@@ -1,0 +1,137 @@
+// Ablation B: the Modular Design placement rules (paper §5).
+//
+//  - Region width sweep: partial-bitstream size, device share and
+//    reconfiguration time as the full-height region widens (the paper's
+//    "minimal of four slices" rule is the left end).
+//  - Bus-macro provisioning: macros (eight 3-state buffers each) needed
+//    as the static<->dynamic interface widens, and the TBUF cost charged
+//    to every variant.
+//  - Device family sweep: the same 5-column module on different
+//    Virtex-II parts (frame size grows with device height).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "fabric/bus_macro.hpp"
+#include "mccdma/case_study.hpp"
+#include "rtr/manager.hpp"
+#include "synth/flow.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace pdr;
+
+namespace {
+
+void print_width_sweep() {
+  std::puts("=== region width sweep (XC2V2000, case-study memory) ===\n");
+  Table t({"width (CLB cols)", "slice budget", "% of device", "partial bitstream",
+           "cold reconfig (ms)"});
+  for (int width : {2, 3, 4, 5, 6, 8, 12, 16, 24, 32}) {
+    synth::ModularDesignFlow flow(fabric::xc2v2000());
+    flow.add_region("D1", {{"mod", "qam16_mapper", {}}}, 0, width);
+    const synth::DesignBundle bundle = flow.run();
+    rtr::BitstreamStore store = mccdma::make_case_study_store();
+    rtr::NonePrefetch policy;
+    rtr::ReconfigManager manager(bundle, rtr::sundance_manager_config(), store, policy);
+    t.row()
+        .add(width)
+        .add(bundle.floorplan.region_slices("D1"))
+        .add(100.0 * bundle.floorplan.region_fraction("D1"), 1)
+        .add(human_bytes(bundle.variant("D1", "mod").bitstream.size()))
+        .add(to_ms(manager.cold_load_latency("mod")), 2);
+  }
+  t.print();
+  std::puts("\n(reconfiguration time scales linearly with region width: partial");
+  std::puts(" bitstreams are full-height column sets)\n");
+}
+
+void print_bus_macro_sweep() {
+  std::puts("=== bus-macro provisioning vs. interface width ===\n");
+  Table t({"signals crossing", "bus macros", "TBUFs", "% of device TBUFs"});
+  const fabric::DeviceModel dev = fabric::xc2v2000();
+  for (int signals : {1, 8, 16, 33, 64, 128, 256}) {
+    const int macros = fabric::bus_macros_needed(signals);
+    const int tbufs = macros * fabric::kBusMacroWidth;
+    t.row()
+        .add(signals)
+        .add(macros)
+        .add(tbufs)
+        .add(100.0 * tbufs / dev.total_tbufs(), 2);
+  }
+  t.print();
+  std::puts("");
+}
+
+void print_device_sweep() {
+  std::puts("=== device family sweep: same 5-column module on each part ===\n");
+  Table t({"device", "slices", "frame bytes", "partial bitstream", "cold reconfig (ms)",
+           "full bitstream"});
+  for (const char* name : {"XC2V1000", "XC2V2000", "XC2V3000", "XC2V6000"}) {
+    synth::ModularDesignFlow flow(fabric::device_by_name(name));
+    flow.add_region("D1", {{"mod", "qam16_mapper", {}}}, 0, 5);
+    const synth::DesignBundle bundle = flow.run();
+    rtr::BitstreamStore store = mccdma::make_case_study_store();
+    rtr::NonePrefetch policy;
+    rtr::ReconfigManager manager(bundle, rtr::sundance_manager_config(), store, policy);
+    t.row()
+        .add(name)
+        .add(bundle.device.total_slices())
+        .add(bundle.device.frame_bytes())
+        .add(human_bytes(bundle.variant("D1", "mod").bitstream.size()))
+        .add(to_ms(manager.cold_load_latency("mod")), 2)
+        .add(human_bytes(bundle.initial_bitstream.size()));
+  }
+  t.print();
+  std::puts("\n(full-height frames mean taller devices pay more per column — the");
+  std::puts(" Modular Design tax the paper's placement rules imply)\n");
+}
+
+void BM_PartialBitgen(benchmark::State& state) {
+  const fabric::DeviceModel dev = fabric::xc2v2000();
+  const fabric::FrameMap map(dev);
+  const auto frames = map.frames_for_clb_range(40, 40 + static_cast<int>(state.range(0)) - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synth::generate_partial_bitstream(dev, frames, 12345));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(frames.size()) * dev.frame_bytes());
+}
+BENCHMARK(BM_PartialBitgen)->Arg(2)->Arg(5)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+void BM_BitstreamValidate(benchmark::State& state) {
+  const fabric::DeviceModel dev = fabric::xc2v2000();
+  const fabric::FrameMap map(dev);
+  const auto frames = map.frames_for_clb_range(43, 47);
+  const auto stream = synth::generate_partial_bitstream(dev, frames, 99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fabric::BitstreamReader::validate(dev, stream));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_BitstreamValidate)->Unit(benchmark::kMicrosecond);
+
+void BM_FloorplanValidation(benchmark::State& state) {
+  for (auto _ : state) {
+    fabric::Floorplan plan(fabric::xc2v2000());
+    plan.add_region("S", 0, 9, false);
+    plan.add_region("D1", 40, 44, true, 32, 32);
+    plan.add_region("D2", 45, 47, true, 16, 16);
+    benchmark::DoNotOptimize(plan.region_frames("D1"));
+  }
+}
+BENCHMARK(BM_FloorplanValidation);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_width_sweep();
+  print_bus_macro_sweep();
+  print_device_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

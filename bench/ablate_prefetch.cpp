@@ -1,0 +1,165 @@
+// Ablation A: the prefetch policy (the abstract's "prefetching technic to
+// minimize reconfiguration latency").
+//
+// Three policies over the same fading traces:
+//   - none:     on-demand reconfiguration (baseline),
+//   - schedule: guard-band announcements from the adaptive controller
+//               stage the likely next module before the SNR crosses the
+//               switching threshold,
+//   - history:  a first-order Markov predictor stages the likely next
+//               module right after every switch.
+// Plus the on-chip bitstream cache as an orthogonal knob.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "mccdma/case_study.hpp"
+#include "mccdma/system.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace pdr;
+using namespace pdr::literals;
+
+namespace {
+
+const mccdma::CaseStudy& case_study() {
+  static const mccdma::CaseStudy cs = mccdma::build_case_study();
+  return cs;
+}
+
+struct Accum {
+  Stats stall_ms;        ///< per-trace stall
+  double elapsed_ms = 0;
+  int switches = 0;
+  int hits = 0;
+  int inflight = 0;
+  int misses = 0;
+  int wasted = 0;
+};
+
+Accum run_policy(aaa::PrefetchChoice policy, Bytes cache, int seeds) {
+  Accum acc;
+  for (int seed = 0; seed < seeds; ++seed) {
+    mccdma::SystemConfig config;
+    config.seed = 1000 + static_cast<std::uint64_t>(seed);
+    config.prefetch = policy;
+    config.manager.cache_capacity = cache;
+    config.ber_sample_every = 0;
+    mccdma::TransmitterSystem system(case_study(), config);
+    const auto r = system.run(30'000);
+    acc.stall_ms.add(to_ms(r.stall_total));
+    acc.elapsed_ms += to_ms(r.elapsed);
+    acc.switches += r.switches;
+    acc.hits += r.manager.prefetch_hits;
+    acc.inflight += r.manager.prefetch_inflight;
+    acc.misses += r.manager.misses;
+    acc.wasted += r.manager.prefetches_wasted;
+  }
+  return acc;
+}
+
+void print_policy_table() {
+  const int seeds = 6;
+  std::printf("=== prefetch policy ablation (%d fading traces x 30k symbols) ===\n\n", seeds);
+  Table t({"policy", "cache", "switches", "stall (ms)", "stall/switch (ms)", "hits", "in-flight",
+           "misses", "wasted"});
+  struct Row {
+    const char* label;
+    aaa::PrefetchChoice policy;
+    Bytes cache;
+  };
+  const Row rows[] = {
+      {"none", aaa::PrefetchChoice::None, 0},
+      {"schedule (guard band)", aaa::PrefetchChoice::Schedule, 0},
+      {"history (markov)", aaa::PrefetchChoice::History, 0},
+      {"none + 256 KiB cache", aaa::PrefetchChoice::None, 256_KiB},
+      {"schedule + 256 KiB cache", aaa::PrefetchChoice::Schedule, 256_KiB},
+  };
+  for (const auto& row : rows) {
+    const Accum a = run_policy(row.policy, row.cache, seeds);
+    const double total_stall = a.stall_ms.mean() * static_cast<double>(a.stall_ms.count());
+    t.row()
+        .add(row.label)
+        .add(row.cache == 0 ? "off" : "on")
+        .add(a.switches)
+        .add(strprintf("%.1f (sd %.1f/trace)", total_stall, a.stall_ms.stddev()))
+        .add(a.switches > 0 ? total_stall / a.switches : 0.0, 2)
+        .add(a.hits)
+        .add(a.inflight)
+        .add(a.misses)
+        .add(a.wasted);
+  }
+  t.print();
+  std::puts("\n(the guard band warns ~1 decision early, hiding the 4 ms memory fetch;");
+  std::puts(" the Markov predictor stages instantly after each switch, so with only");
+  std::puts(" two modules it converts every later switch into a staged load; the");
+  std::puts(" cache removes the external fetch for modules seen before)\n");
+}
+
+void print_guard_sweep() {
+  std::puts("=== guard-band width sweep (schedule policy) ===\n");
+  Table t({"guard (dB)", "stall (ms)", "hits", "in-flight", "misses", "wasted"});
+  for (double guard : {0.0, 0.5, 1.0, 2.0, 4.0, 6.0}) {
+    Accum acc;
+    for (int seed = 0; seed < 6; ++seed) {
+      mccdma::SystemConfig config;
+      config.seed = 2000 + static_cast<std::uint64_t>(seed);
+      config.adaptive.guard_db = guard;
+      config.ber_sample_every = 0;
+      mccdma::TransmitterSystem system(case_study(), config);
+      const auto r = system.run(30'000);
+      acc.stall_ms.add(to_ms(r.stall_total));
+      acc.hits += r.manager.prefetch_hits;
+      acc.inflight += r.manager.prefetch_inflight;
+      acc.misses += r.manager.misses;
+      acc.wasted += r.manager.prefetches_wasted;
+    }
+    t.row()
+        .add(guard, 1)
+        .add(acc.stall_ms.mean() * static_cast<double>(acc.stall_ms.count()), 2)
+        .add(acc.hits)
+        .add(acc.inflight)
+        .add(acc.misses)
+        .add(acc.wasted);
+  }
+  t.print();
+  std::puts("\n(too narrow: announcements come too late; wider guards warn earlier,");
+  std::puts(" at the cost of more speculative stagings)\n");
+}
+
+void BM_SystemPrefetchOn(benchmark::State& state) {
+  mccdma::SystemConfig config;
+  config.seed = 9;
+  config.ber_sample_every = 0;
+  for (auto _ : state) {
+    mccdma::TransmitterSystem system(case_study(), config);
+    benchmark::DoNotOptimize(system.run(2000));
+  }
+}
+BENCHMARK(BM_SystemPrefetchOn)->Unit(benchmark::kMillisecond);
+
+void BM_SystemPrefetchOff(benchmark::State& state) {
+  mccdma::SystemConfig config;
+  config.seed = 9;
+  config.prefetch = aaa::PrefetchChoice::None;
+  config.ber_sample_every = 0;
+  for (auto _ : state) {
+    mccdma::TransmitterSystem system(case_study(), config);
+    benchmark::DoNotOptimize(system.run(2000));
+  }
+}
+BENCHMARK(BM_SystemPrefetchOff)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_policy_table();
+  print_guard_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,170 @@
+// Evaluation: BER waterfall of the transmitter chain.
+//
+// The case study's adaptive thresholds (switch up at 14 dB, down at
+// 10 dB) only make sense if the underlying link behaves: this bench
+// regenerates the BER-vs-SNR curves for QPSK and QAM-16 through the full
+// MC-CDMA chain (spreading + OFDM), over AWGN and over an equalized
+// multipath channel, against the Gray-coding theory curves.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "dsp/convcode.hpp"
+#include "mccdma/channel.hpp"
+#include "mccdma/modulation.hpp"
+#include "mccdma/receiver.hpp"
+#include "mccdma/transmitter.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace pdr;
+
+namespace {
+
+/// Channel Es/N0 (per OFDM sample) that yields the target post-detector
+/// Eb/N0. Two conversions stack: Es = Eb * bits/symbol, and despreading
+/// a partially-loaded MC-CDMA system (users < SF) collects a processing
+/// gain of SF/users that must be pre-subtracted for the detector to see
+/// exactly the target Eb/N0.
+double esn0_db(double ebn0_db, int bits_per_symbol, const mccdma::McCdmaParams& p) {
+  return ebn0_db + 10.0 * std::log10(static_cast<double>(bits_per_symbol)) -
+         10.0 * std::log10(static_cast<double>(p.spreading_factor) / p.n_users);
+}
+
+double measure_ber(const std::string& modulation, double ebn0_db, bool multipath,
+                   std::uint64_t seed, int symbols) {
+  mccdma::McCdmaParams p;
+  mccdma::Transmitter tx(p);
+  mccdma::Receiver rx(p);
+  tx.select_modulation(modulation);
+  rx.select_modulation(modulation);
+  const int bits = mccdma::make_modulator(modulation)->bits_per_symbol();
+
+  mccdma::AwgnChannel awgn{Rng(seed)};
+  Rng taps_rng(seed ^ 0x5555);
+  mccdma::MultipathChannel fading(
+      mccdma::MultipathChannel::exponential_profile(8, 2.0, taps_rng), Rng(seed + 1));
+  if (multipath) rx.set_channel_response(fading.frequency_response(p.n_subcarriers));
+
+  mccdma::BerReport report;
+  for (int k = 0; k < symbols; ++k) {
+    const auto sym = tx.next_symbol();
+    const auto noisy = multipath ? fading.apply(sym.samples, esn0_db(ebn0_db, bits, p))
+                                 : awgn.apply(sym.samples, esn0_db(ebn0_db, bits, p));
+    rx.measure(noisy, sym.user_bits, report);
+  }
+  return report.ber();
+}
+
+void print_waterfall() {
+  std::puts("=== BER waterfall: MC-CDMA chain vs Gray-coding theory ===");
+  std::puts("(AWGN column should track theory; the equalized 8-tap multipath");
+  std::puts(" channel pays an SNR penalty on faded subcarriers)\n");
+  Table t({"Eb/N0 (dB)", "qpsk theory", "qpsk awgn", "qpsk multipath", "qam16 theory",
+           "qam16 awgn", "qam16 multipath"});
+  for (double ebn0 : {0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0}) {
+    const int symbols = 400;
+    t.row()
+        .add(ebn0, 0)
+        .add(strprintf("%.1e", mccdma::theoretical_ber("qpsk", ebn0)))
+        .add(strprintf("%.1e", measure_ber("qpsk", ebn0, false, 100, symbols)))
+        .add(strprintf("%.1e", measure_ber("qpsk", ebn0, true, 200, symbols)))
+        .add(strprintf("%.1e", mccdma::theoretical_ber("qam16", ebn0)))
+        .add(strprintf("%.1e", measure_ber("qam16", ebn0, false, 300, symbols)))
+        .add(strprintf("%.1e", measure_ber("qam16", ebn0, true, 400, symbols)));
+  }
+  t.print();
+  std::puts("\n(the ~4 dB gap between the qpsk and qam16 curves is what the");
+  std::puts(" adaptive controller's 10/14 dB hysteresis thresholds straddle)\n");
+}
+
+/// Coded BER: K=7 rate-1/2 convolutional code over the full chain. The
+/// channel Es/N0 additionally drops by the code rate (each information
+/// bit is spread over 2 channel bits).
+double measure_coded_ber(const std::string& modulation, double ebn0_db, std::uint64_t seed,
+                         int blocks) {
+  mccdma::McCdmaParams p;
+  mccdma::Transmitter tx(p);
+  mccdma::Receiver rx(p);
+  tx.select_modulation(modulation);
+  rx.select_modulation(modulation);
+  const int bits = mccdma::make_modulator(modulation)->bits_per_symbol();
+  const dsp::ConvolutionalCode code = dsp::ConvolutionalCode::k7_rate_half();
+  const double rate = 1.0 / static_cast<double>(code.rate_denominator());
+  const double snr = esn0_db(ebn0_db, bits, p) + 10.0 * std::log10(rate);
+
+  mccdma::AwgnChannel channel{Rng(seed)};
+  Rng bitgen(seed + 7);
+  const std::size_t bits_per_user = tx.bits_per_user_symbol();
+  std::uint64_t errors = 0, total = 0;
+
+  for (int blk = 0; blk < blocks; ++blk) {
+    // One information block per user, coded, carried over several symbols.
+    const std::size_t info_len = 4 * bits_per_user - 20;  // leaves room for the tail
+    std::vector<std::vector<std::uint8_t>> info(p.n_users);
+    std::vector<std::vector<std::uint8_t>> coded(p.n_users);
+    for (std::size_t u = 0; u < p.n_users; ++u) {
+      info[u].resize(info_len);
+      for (auto& b : info[u]) b = static_cast<std::uint8_t>(bitgen.uniform_int(0, 1));
+      coded[u] = code.encode(info[u]);
+      coded[u].resize(8 * bits_per_user, 0);  // pad to a whole symbol count
+    }
+    std::vector<std::vector<std::uint8_t>> received(p.n_users);
+    for (std::size_t sym = 0; sym < 8; ++sym) {
+      std::vector<std::vector<std::uint8_t>> chunk(p.n_users);
+      for (std::size_t u = 0; u < p.n_users; ++u)
+        chunk[u].assign(coded[u].begin() + static_cast<std::ptrdiff_t>(sym * bits_per_user),
+                        coded[u].begin() + static_cast<std::ptrdiff_t>((sym + 1) * bits_per_user));
+      const auto txsym = tx.make_symbol(chunk);
+      const auto rxbits = rx.receive(channel.apply(txsym.samples, snr));
+      for (std::size_t u = 0; u < p.n_users; ++u)
+        received[u].insert(received[u].end(), rxbits[u].begin(), rxbits[u].end());
+    }
+    for (std::size_t u = 0; u < p.n_users; ++u) {
+      received[u].resize(code.encode(info[u]).size());  // strip the padding
+      const auto decoded = code.decode(received[u]);
+      for (std::size_t i = 0; i < info_len; ++i)
+        if (decoded[i] != info[u][i]) ++errors;
+      total += info_len;
+    }
+  }
+  return static_cast<double>(errors) / static_cast<double>(total);
+}
+
+void print_coding_gain() {
+  std::puts("=== coding gain: K=7 rate-1/2 convolutional + Viterbi, QPSK chain ===\n");
+  Table t({"Eb/N0 (dB)", "uncoded", "coded (hard Viterbi)"});
+  for (double ebn0 : {2.0, 4.0, 6.0, 8.0}) {
+    t.row()
+        .add(ebn0, 0)
+        .add(strprintf("%.1e", measure_ber("qpsk", ebn0, false, 500, 400)))
+        .add(strprintf("%.1e", measure_coded_ber("qpsk", ebn0, 600, 12)));
+  }
+  t.print();
+  std::puts("\n(hard-decision Viterbi buys ~3 dB at moderate SNR despite the");
+  std::puts(" halved information rate already being charged to Eb/N0)\n");
+}
+
+void BM_BerPointQpsk(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(measure_ber("qpsk", 6.0, false, 7, 50));
+}
+BENCHMARK(BM_BerPointQpsk)->Unit(benchmark::kMillisecond);
+
+void BM_BerPointMultipath(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(measure_ber("qam16", 10.0, true, 9, 50));
+}
+BENCHMARK(BM_BerPointMultipath)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_waterfall();
+  print_coding_gain();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Paper Figure 3: "Complete Design Flow: SynDEx tool and Modular Design".
+//
+// We regenerate the flow itself (modelisation -> adequation -> VHDL/macro
+// code generation -> Modular Design placement + bitstreams) and report
+// what each stage costs as the number of dynamic modules grows — the
+// figure's promise is that the whole chain is automatic, so its cost IS
+// the tool runtime.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "aaa/adequation.hpp"
+#include "aaa/codegen_vhdl.hpp"
+#include "aaa/macrocode.hpp"
+#include "mccdma/case_study.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace pdr;
+using namespace pdr::literals;
+
+namespace {
+
+/// Flow input with `n_variants` dynamic modules in one region.
+synth::ModularDesignFlow make_flow(int n_variants) {
+  synth::ModularDesignFlow flow(fabric::xc2v2000());
+  flow.add_static("ifft", "ifft", {{"n", 64}});
+  flow.add_static("iface", "interface_in_out");
+  flow.add_static("cfg", "config_manager");
+  flow.add_static("pb", "protocol_builder");
+  std::vector<synth::ModuleSpec> variants;
+  for (int v = 0; v < n_variants; ++v) {
+    variants.push_back(synth::ModuleSpec{
+        "var" + std::to_string(v), "custom",
+        {{"luts", 100 + 40 * v}, {"ffs", 80 + 20 * v}, {"in_bits", 16}, {"out_bits", 16}}});
+  }
+  flow.add_region("D1", std::move(variants));
+  return flow;
+}
+
+void print_flow_stage_table() {
+  std::puts("=== Figure 3: automatic flow cost per stage vs. dynamic module count ===\n");
+  Table t({"dyn modules", "elaborate (us)", "map (us)", "place (us)", "bitgen (ms)",
+           "bitstreams", "region cols"});
+  for (int n : {1, 2, 4, 8, 16}) {
+    synth::ModularDesignFlow flow = make_flow(n);
+    const synth::DesignBundle bundle = flow.run();
+    t.row()
+        .add(n)
+        .add(bundle.report.elaborate_us, 1)
+        .add(bundle.report.map_us, 1)
+        .add(bundle.report.place_us, 1)
+        .add(bundle.report.bitgen_us / 1000.0, 2)
+        .add(human_bytes(bundle.report.total_bitstream_bytes))
+        .add(bundle.floorplan.region("D1").width_cols());
+  }
+  t.print();
+  std::puts("\n(bitstream generation dominates, as place & route + bitgen do in the");
+  std::puts(" real Xilinx Modular Design back-end)\n");
+}
+
+void print_artifact_inventory() {
+  std::puts("=== flow artifacts for the case study (what Figure 3's boxes emit) ===\n");
+  const mccdma::CaseStudy cs = mccdma::build_case_study();
+  aaa::Adequation adequation(cs.algorithm, cs.architecture, cs.durations);
+  adequation.apply_constraints(cs.constraints);
+  adequation.set_reconfig_cost(mccdma::case_study_reconfig_cost(cs.bundle));
+  aaa::AdequationOptions options;
+  options.preloaded["D1"] = "qpsk";
+  const aaa::Schedule schedule = adequation.run(options);
+  const aaa::Executive executive = aaa::generate_executive(schedule, cs.algorithm, cs.architecture);
+
+  Table t({"artifact", "size"});
+  t.row().add("constraints file").add(aaa::write_constraints(cs.constraints).size());
+  t.row().add("schedule items").add(std::uint64_t{schedule.items.size()});
+  std::size_t macro_instrs = 0;
+  for (const auto& p : executive.programs) macro_instrs += p.body.size();
+  t.row().add("macro instructions").add(std::uint64_t{macro_instrs});
+  std::size_t vhdl_bytes = aaa::generate_vhdl_package().size();
+  for (aaa::NodeId n : cs.architecture.operators()) {
+    const aaa::OperatorNode& op = cs.architecture.op(n);
+    if (op.kind != aaa::OperatorKind::Processor)
+      vhdl_bytes += aaa::generate_vhdl_entity(executive.program(op.name), op).size();
+  }
+  t.row().add("generated VHDL bytes").add(std::uint64_t{vhdl_bytes});
+  t.row().add("partial bitstreams").add(std::uint64_t{cs.bundle.dynamic_variants.at("D1").size()});
+  t.row().add("initial full bitstream").add(human_bytes(cs.bundle.initial_bitstream.size()));
+  t.print();
+  std::puts("");
+}
+
+void BM_FlowRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    synth::ModularDesignFlow flow = make_flow(n);
+    benchmark::DoNotOptimize(flow.run());
+  }
+}
+BENCHMARK(BM_FlowRun)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_AdequationCaseStudy(benchmark::State& state) {
+  const mccdma::CaseStudy cs = mccdma::build_case_study();
+  aaa::Adequation adequation(cs.algorithm, cs.architecture, cs.durations);
+  adequation.apply_constraints(cs.constraints);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adequation.run());
+  }
+}
+BENCHMARK(BM_AdequationCaseStudy)->Unit(benchmark::kMicrosecond);
+
+void BM_VhdlGeneration(benchmark::State& state) {
+  const mccdma::CaseStudy cs = mccdma::build_case_study();
+  aaa::Adequation adequation(cs.algorithm, cs.architecture, cs.durations);
+  adequation.apply_constraints(cs.constraints);
+  const aaa::Schedule schedule = adequation.run();
+  const aaa::Executive executive = aaa::generate_executive(schedule, cs.algorithm, cs.architecture);
+  const aaa::OperatorNode& f1 = cs.architecture.op(cs.architecture.by_name("F1"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aaa::generate_vhdl_entity(executive.program("F1"), f1));
+  }
+}
+BENCHMARK(BM_VhdlGeneration)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_flow_stage_table();
+  print_artifact_inventory();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

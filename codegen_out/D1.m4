@@ -1,0 +1,9 @@
+divert(-1)
+# D1.m4 -- synchronized executive (pdrflow, SynDEx-style)
+# vertex kind: fpga_region
+divert(0)dnl
+processor_(D1, fpga_region)dnl
+main_
+  loop_
+  endloop_
+endmain_

@@ -1,0 +1,9 @@
+divert(-1)
+# DSP.m4 -- synchronized executive (pdrflow, SynDEx-style)
+# vertex kind: processor
+divert(0)dnl
+processor_(DSP, processor)dnl
+main_
+  loop_
+  endloop_
+endmain_

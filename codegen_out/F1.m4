@@ -1,0 +1,19 @@
+divert(-1)
+# F1.m4 -- synchronized executive (pdrflow, SynDEx-style)
+# vertex kind: fpga_static
+divert(0)dnl
+processor_(F1, fpga_static)dnl
+main_
+  loop_
+    compute_(data_in, 1000)
+    compute_(scramble, 800)
+    compute_(conv_code, 1000)
+    compute_(interleave, 1000)
+    compute_(modulation_qpsk_, 1000)
+    compute_(spread, 2000)
+    compute_(ifft, 3200)
+    compute_(cyclic_prefix, 800)
+    compute_(frame, 1000)
+    compute_(shb_out, 500)
+  endloop_
+endmain_

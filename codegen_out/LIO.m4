@@ -1,0 +1,9 @@
+divert(-1)
+# LIO.m4 -- synchronized executive (pdrflow, SynDEx-style)
+# vertex kind: medium
+divert(0)dnl
+media_(LIO)dnl
+main_
+  loop_
+  endloop_
+endmain_

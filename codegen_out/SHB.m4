@@ -1,0 +1,9 @@
+divert(-1)
+# SHB.m4 -- synchronized executive (pdrflow, SynDEx-style)
+# vertex kind: medium
+divert(0)dnl
+media_(SHB)dnl
+main_
+  loop_
+  endloop_
+endmain_

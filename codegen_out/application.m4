@@ -1,0 +1,15 @@
+divert(-1)
+# mccdma_tx.m4 -- application executive index
+divert(0)dnl
+application_(mccdma_tx)dnl
+declare_processor_(DSP, processor)dnl
+declare_processor_(F1, fpga_static)dnl
+declare_processor_(D1, fpga_region)dnl
+declare_media_(SHB, 200000000)dnl
+declare_media_(LIO, 400000000)dnl
+include_(DSP.m4)dnl
+include_(F1.m4)dnl
+include_(D1.m4)dnl
+include_(SHB.m4)dnl
+include_(LIO.m4)dnl
+end_application_dnl

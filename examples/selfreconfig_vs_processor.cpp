@@ -1,0 +1,80 @@
+// Paper Figure 2: different ways to reconfigure the dynamic parts of an
+// FPGA. The placement of the configuration manager (M) and the protocol
+// configuration builder (P) — on the FPGA's fixed part or on the CPU —
+// plus the port choice (ICAP vs SelectMAP vs JTAG) determine the
+// reconfiguration latency.
+//
+//  case a) standalone self-reconfiguration: M and P in the fixed part,
+//          loading through ICAP;
+//  case b) processor-hosted: the FPGA raises an interrupt, the CPU's
+//          manager and software builder feed SelectMAP.
+
+#include <cstdio>
+
+#include "mccdma/case_study.hpp"
+#include "rtr/manager.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace pdr;
+
+namespace {
+
+rtr::ManagerConfig configure(aaa::Placement m, aaa::Placement p, fabric::PortKind port) {
+  rtr::ManagerConfig cfg;
+  cfg.manager = m;
+  cfg.builder = p;
+  cfg.port_kind = port;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  const mccdma::CaseStudy cs = mccdma::build_case_study();
+  const Bytes stream = cs.bundle.variant("D1", "qam16").bitstream.size();
+  printf("partial bitstream of Op_Dyn: %llu bytes\n\n",
+         static_cast<unsigned long long>(stream));
+
+  struct Scenario {
+    const char* label;
+    rtr::ManagerConfig cfg;
+  };
+  const Scenario scenarios[] = {
+      {"a) self-reconfig: M=FPGA P=FPGA ICAP",
+       configure(aaa::Placement::Fpga, aaa::Placement::Fpga, fabric::PortKind::Icap)},
+      {"a') self-reconfig: M=FPGA P=FPGA SelectMAP",
+       configure(aaa::Placement::Fpga, aaa::Placement::Fpga, fabric::PortKind::SelectMap)},
+      {"b) processor: M=CPU P=CPU SelectMAP",
+       configure(aaa::Placement::Cpu, aaa::Placement::Cpu, fabric::PortKind::SelectMap)},
+      {"b') processor: M=CPU P=FPGA SelectMAP",
+       configure(aaa::Placement::Cpu, aaa::Placement::Fpga, fabric::PortKind::SelectMap)},
+      {"c) JTAG fallback: M=CPU P=CPU JTAG",
+       configure(aaa::Placement::Cpu, aaa::Placement::Cpu, fabric::PortKind::Jtag)},
+  };
+
+  // Two memories: the case-study board memory (slow, dominates latency)
+  // and a fast local SRAM that exposes the M/P placement differences.
+  for (const bool fast_memory : {false, true}) {
+    printf("--- bitstream memory: %s ---\n",
+           fast_memory ? "fast local SRAM (200 MB/s)" : "case-study memory (16.7 MB/s)");
+    Table table({"scenario", "cold load (ms)", "port-only (ms)", "overhead vs a) (x)"});
+    double base = 0;
+    for (const auto& s : scenarios) {
+      rtr::BitstreamStore store =
+          fast_memory ? rtr::BitstreamStore(200e6, 1000) : mccdma::make_case_study_store();
+      rtr::NonePrefetch policy;
+      rtr::ReconfigManager manager(cs.bundle, s.cfg, store, policy);
+      const double cold = to_ms(manager.cold_load_latency("qam16"));
+      const double port_only = to_ms(manager.port().transfer_time(stream));
+      if (base == 0) base = cold;
+      table.row().add(s.label).add(cold).add(port_only).add(cold / base);
+    }
+    table.print();
+    puts("");
+  }
+
+  std::puts("\nthe paper's board uses case a): the fixed part addresses external");
+  std::puts("memory and drives ICAP; its ~4 ms is dominated by the memory stream.");
+  return 0;
+}

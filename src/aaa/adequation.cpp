@@ -1,0 +1,482 @@
+#include "aaa/adequation.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace pdr::aaa {
+
+using namespace pdr::literals;
+
+const char* mapping_strategy_name(MappingStrategy strategy) {
+  switch (strategy) {
+    case MappingStrategy::SynDExList: return "syndex_list";
+    case MappingStrategy::RoundRobin: return "round_robin";
+    case MappingStrategy::FirstFeasible: return "first_feasible";
+  }
+  return "?";
+}
+
+const char* item_kind_name(ItemKind kind) {
+  switch (kind) {
+    case ItemKind::Compute: return "compute";
+    case ItemKind::Transfer: return "transfer";
+    case ItemKind::Reconfig: return "reconfig";
+  }
+  return "?";
+}
+
+std::vector<const ScheduledItem*> Schedule::on_resource(const std::string& resource) const {
+  std::vector<const ScheduledItem*> out;
+  for (const auto& item : items)
+    if (item.resource == resource) out.push_back(&item);
+  return out;
+}
+
+double Schedule::utilization(const std::string& resource) const {
+  if (makespan <= 0) return 0.0;
+  const auto it = resource_busy.find(resource);
+  if (it == resource_busy.end()) return 0.0;
+  return static_cast<double>(it->second) / static_cast<double>(makespan);
+}
+
+TimeNs Schedule::period_lower_bound() const {
+  TimeNs bound = 0;
+  for (const auto& [resource, busy] : resource_busy) bound = std::max(bound, busy);
+  return bound;
+}
+
+std::string Schedule::to_string() const {
+  std::string out = strprintf("schedule: makespan %.3f us, %d reconfigs (%.3f us exposed)\n",
+                              to_us(makespan), reconfig_count, to_us(reconfig_exposed));
+  for (const auto& item : items) {
+    out += strprintf("  %9.3f..%9.3f us  %-8s %-10s %s\n", to_us(item.start), to_us(item.end),
+                     item_kind_name(item.kind), item.resource.c_str(), item.label.c_str());
+  }
+  return out;
+}
+
+std::string Schedule::to_csv() const {
+  std::string out = "kind,label,resource,start_ns,end_ns,variant,module\n";
+  for (const auto& item : items)
+    out += strprintf("%s,%s,%s,%lld,%lld,%s,%s\n", item_kind_name(item.kind), item.label.c_str(),
+                     item.resource.c_str(), static_cast<long long>(item.start),
+                     static_cast<long long>(item.end), item.variant.c_str(), item.module.c_str());
+  return out;
+}
+
+std::string Schedule::gantt(int width) const {
+  if (items.empty() || makespan == 0) return "(empty schedule)\n";
+  std::vector<std::string> resources;
+  for (const auto& item : items)
+    if (std::find(resources.begin(), resources.end(), item.resource) == resources.end())
+      resources.push_back(item.resource);
+
+  std::string out;
+  for (const auto& res : resources) {
+    std::string bar(static_cast<std::size_t>(width), '.');
+    for (const auto& item : items) {
+      if (item.resource != res) continue;
+      auto pos = [&](TimeNs t) {
+        return std::min<std::size_t>(static_cast<std::size_t>(width) - 1,
+                                     static_cast<std::size_t>(t * width / makespan));
+      };
+      const char mark = item.kind == ItemKind::Compute   ? '#'
+                        : item.kind == ItemKind::Transfer ? '='
+                                                          : 'R';
+      for (std::size_t i = pos(item.start); i <= pos(item.end > 0 ? item.end - 1 : 0); ++i)
+        bar[i] = mark;
+    }
+    out += strprintf("%-10s |%s|\n", res.c_str(), bar.c_str());
+  }
+  out += strprintf("%-10s  0%*s%.1f us   (#=compute ==transfer R=reconfig)\n", "", width - 8, "",
+                   to_us(makespan));
+  return out;
+}
+
+void validate_schedule(const Schedule& schedule, const AlgorithmGraph& algorithm,
+                       const ArchitectureGraph& architecture) {
+  // 1. No overlap per resource.
+  std::map<std::string, std::vector<const ScheduledItem*>> per_resource;
+  for (const auto& item : schedule.items) {
+    PDR_CHECK(item.end >= item.start, "validate_schedule", "item '" + item.label + "' ends before it starts");
+    per_resource[item.resource].push_back(&item);
+  }
+  for (auto& [res, list] : per_resource) {
+    std::sort(list.begin(), list.end(),
+              [](const ScheduledItem* a, const ScheduledItem* b) { return a->start < b->start; });
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      PDR_CHECK(list[i]->start >= list[i - 1]->end, "validate_schedule",
+                "items '" + list[i - 1]->label + "' and '" + list[i]->label +
+                    "' overlap on resource '" + res + "'");
+    }
+  }
+
+  // 2. Dependencies respected.
+  std::map<graph::NodeId, const ScheduledItem*> compute_of;
+  for (const auto& item : schedule.items)
+    if (item.kind == ItemKind::Compute) compute_of[item.op] = &item;
+  const auto& g = algorithm.digraph();
+  for (graph::EdgeId e : g.edge_ids()) {
+    const graph::NodeId p = g.edge_from(e);
+    const graph::NodeId c = g.edge_to(e);
+    const auto ip = compute_of.find(p);
+    const auto ic = compute_of.find(c);
+    PDR_CHECK(ip != compute_of.end() && ic != compute_of.end(), "validate_schedule",
+              "an operation was never scheduled");
+    PDR_CHECK(ic->second->start >= ip->second->end, "validate_schedule",
+              "operation '" + g[c].name + "' starts before its input '" + g[p].name + "' finishes");
+    if (ip->second->resource != ic->second->resource && g.edge(e).bytes > 0) {
+      // A transfer chain must exist, lying between producer end and
+      // consumer start.
+      bool found = false;
+      for (const auto& item : schedule.items) {
+        if (item.kind == ItemKind::Transfer && item.src == g[p].name && item.dst == g[c].name) {
+          found = true;
+          PDR_CHECK(item.start >= ip->second->end && item.end <= ic->second->start,
+                    "validate_schedule",
+                    "transfer '" + item.label + "' not between producer and consumer");
+        }
+      }
+      PDR_CHECK(found, "validate_schedule",
+                "missing transfer for dependency '" + g[p].name + "' -> '" + g[c].name + "'");
+    }
+  }
+
+  // 3. Regions hold the right module when computing.
+  for (NodeId w : architecture.operators_of_kind(OperatorKind::FpgaRegion)) {
+    const std::string& rname = architecture.op(w).name;
+    auto it = per_resource.find(rname);
+    if (it == per_resource.end()) continue;
+    std::string loaded;  // unknown until first reconfig
+    bool any_reconfig = false;
+    std::string preloaded_variant;  // variant computes may use before any reconfig
+    for (const ScheduledItem* item : it->second) {
+      if (item->kind == ItemKind::Reconfig) {
+        loaded = item->module;
+        any_reconfig = true;
+      } else if (item->kind == ItemKind::Compute && !item->variant.empty()) {
+        if (!any_reconfig) {
+          if (preloaded_variant.empty()) preloaded_variant = item->variant;
+          PDR_CHECK(item->variant == preloaded_variant, "validate_schedule",
+                    "region '" + rname + "' computes two variants with no reconfiguration between");
+        } else {
+          PDR_CHECK(item->variant == loaded, "validate_schedule",
+                    "region '" + rname + "' computes variant '" + item->variant +
+                        "' while module '" + loaded + "' is loaded");
+        }
+      }
+    }
+  }
+
+  // 4. Reconfigurations serialize on the single configuration port.
+  std::vector<const ScheduledItem*> reconfigs;
+  for (const auto& item : schedule.items)
+    if (item.kind == ItemKind::Reconfig) reconfigs.push_back(&item);
+  std::sort(reconfigs.begin(), reconfigs.end(),
+            [](const ScheduledItem* a, const ScheduledItem* b) { return a->start < b->start; });
+  for (std::size_t i = 1; i < reconfigs.size(); ++i)
+    PDR_CHECK(reconfigs[i]->start >= reconfigs[i - 1]->end, "validate_schedule",
+              "two reconfigurations overlap on the configuration port");
+}
+
+Adequation::Adequation(const AlgorithmGraph& algorithm, const ArchitectureGraph& architecture,
+                       const DurationTable& durations)
+    : algorithm_(algorithm), architecture_(architecture), durations_(durations) {
+  reconfig_cost_ = [](const std::string&, const std::string&) { return 4_ms; };
+}
+
+void Adequation::set_reconfig_cost(ReconfigCost cost) { reconfig_cost_ = std::move(cost); }
+
+void Adequation::pin(const std::string& op_name, const std::string& operator_name) {
+  algorithm_.by_name(op_name);        // throws if unknown
+  architecture_.by_name(operator_name);
+  pins_[op_name] = operator_name;
+}
+
+void Adequation::apply_constraints(const ConstraintSet& constraints) {
+  const auto& g = algorithm_.digraph();
+  for (graph::NodeId n : g.node_ids()) {
+    const Operation& op = g[n];
+    if (!op.conditioned()) continue;
+    std::string region;
+    for (const auto& alt : op.alternatives) {
+      const ModuleConstraint* m = constraints.find_module(alt.name);
+      if (m == nullptr) continue;
+      PDR_CHECK(region.empty() || region == m->region, "Adequation::apply_constraints",
+                "alternatives of '" + op.name + "' are declared in two regions");
+      region = m->region;
+    }
+    if (region.empty()) continue;
+    // Pin to the architecture operator representing that region.
+    for (NodeId w : architecture_.operators_of_kind(OperatorKind::FpgaRegion)) {
+      if (architecture_.op(w).region == region) {
+        pins_[op.name] = architecture_.op(w).name;
+        break;
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Mutable scheduling state shared by evaluation and commit.
+struct State {
+  std::map<std::string, TimeNs> operator_free;
+  std::map<std::string, TimeNs> medium_free;
+  std::map<std::string, std::string> region_loaded;
+  TimeNs port_free = 0;
+  std::map<graph::NodeId, TimeNs> finish;
+  std::map<graph::NodeId, NodeId> placed_on;  // op -> architecture operator node
+};
+
+/// Outcome of evaluating one (operation, operator) candidate.
+struct Candidate {
+  NodeId target = graph::kNoNode;
+  TimeNs data_avail = 0;
+  TimeNs reconfig_start = 0;
+  TimeNs reconfig_end = 0;
+  bool needs_reconfig = false;
+  TimeNs start = 0;
+  TimeNs end = 0;
+  TimeNs exposed = 0;
+  std::string variant;
+  std::string exec_kind;
+  struct Hop {
+    graph::NodeId pred;
+    std::vector<NodeId> media;
+    Bytes bytes;
+  };
+  std::vector<Hop> transfers;
+};
+
+}  // namespace
+
+Schedule Adequation::run(const AdequationOptions& options) const {
+  algorithm_.validate();
+  architecture_.validate();
+
+  const auto& g = algorithm_.digraph();
+
+  // Critical-path priorities from operator-agnostic mean durations.
+  const auto remainder = g.critical_path_remainder([&](graph::NodeId n) {
+    const Operation& op = g[n];
+    if (!op.conditioned()) return durations_.mean(op.kind);
+    double worst = 0;
+    for (const auto& alt : op.alternatives) worst = std::max(worst, durations_.mean(alt.kind));
+    return worst;
+  });
+
+  State st;
+  for (NodeId w : architecture_.operators()) {
+    st.operator_free[architecture_.op(w).name] = 0;
+    if (architecture_.op(w).kind == OperatorKind::FpgaRegion) {
+      const auto it = options.preloaded.find(architecture_.op(w).name);
+      st.region_loaded[architecture_.op(w).name] = it == options.preloaded.end() ? "" : it->second;
+    }
+  }
+  for (NodeId m : architecture_.media()) st.medium_free[architecture_.medium(m).name] = 0;
+
+  // Evaluates placing `n` on operator `w` against state `st`. When
+  // `commit` is set, reserves media and emits items into `schedule`.
+  Schedule schedule;
+  auto evaluate = [&](graph::NodeId n, NodeId w, bool commit) -> Candidate {
+    const Operation& op = g[n];
+    const OperatorNode& target = architecture_.op(w);
+    Candidate cand;
+    cand.target = w;
+
+    // Which executable kind / variant runs here?
+    if (op.conditioned()) {
+      const auto sel = options.selection.find(op.name);
+      const Alternative* alt = &op.alternatives.front();
+      if (sel != options.selection.end()) {
+        alt = nullptr;
+        for (const auto& a : op.alternatives)
+          if (a.name == sel->second) alt = &a;
+        PDR_CHECK(alt != nullptr, "Adequation",
+                  "selection '" + sel->second + "' is not an alternative of '" + op.name + "'");
+      }
+      cand.variant = alt->name;
+      cand.exec_kind = alt->kind;
+    } else {
+      cand.exec_kind = op.kind;
+    }
+
+    // Data availability: route each incoming dependency.
+    TimeNs data_avail = 0;
+    for (graph::EdgeId e : g.in_edges(n)) {
+      const graph::NodeId p = g.edge_from(e);
+      const Bytes bytes = g.edge(e).bytes;
+      TimeNs t = st.finish.at(p);
+      const NodeId src_w = st.placed_on.at(p);
+      if (src_w != w && bytes > 0) {
+        Candidate::Hop hop{p, architecture_.route(src_w, w), bytes};
+        for (NodeId m : hop.media) {
+          const MediumNode& medium = architecture_.medium(m);
+          const TimeNs tstart = std::max(t, st.medium_free.at(medium.name));
+          const TimeNs tend = tstart + medium.transfer_time(bytes);
+          if (commit) {
+            st.medium_free[medium.name] = tend;
+            ScheduledItem item;
+            item.kind = ItemKind::Transfer;
+            item.label = g[p].name + "->" + op.name;
+            item.resource = medium.name;
+            item.start = tstart;
+            item.end = tend;
+            item.src = g[p].name;
+            item.dst = op.name;
+            item.bytes = bytes;
+            schedule.items.push_back(std::move(item));
+          }
+          t = tend;
+        }
+        cand.transfers.push_back(std::move(hop));
+      }
+      data_avail = std::max(data_avail, t);
+    }
+    cand.data_avail = data_avail;
+
+    // Reconfiguration, when targeting a region holding a different module.
+    TimeNs region_ready = st.operator_free.at(target.name);
+    const TimeNs free_before = region_ready;
+    if (target.kind == OperatorKind::FpgaRegion && !cand.variant.empty() &&
+        st.region_loaded.at(target.name) != cand.variant) {
+      cand.needs_reconfig = true;
+      const TimeNs rd = reconfig_cost_(target.name, cand.variant);
+      const TimeNs earliest = std::max(st.port_free, free_before);
+      cand.reconfig_start = options.prefetch ? earliest : std::max(earliest, data_avail);
+      cand.reconfig_end = cand.reconfig_start + rd;
+      region_ready = cand.reconfig_end;
+      if (commit) {
+        st.port_free = cand.reconfig_end;
+        st.region_loaded[target.name] = cand.variant;
+        ScheduledItem item;
+        item.kind = ItemKind::Reconfig;
+        item.label = "load " + cand.variant;
+        item.resource = target.name;
+        item.start = cand.reconfig_start;
+        item.end = cand.reconfig_end;
+        item.module = cand.variant;
+        // Exposure: how much later the compute starts because of this
+        // reconfiguration, vs. a region already holding the module.
+        const TimeNs would_start = std::max(data_avail, free_before);
+        const TimeNs with_reconfig = std::max(data_avail, cand.reconfig_end);
+        item.exposed_stall = std::max<TimeNs>(0, with_reconfig - would_start);
+        schedule.reconfig_exposed += item.exposed_stall;
+        schedule.reconfig_total += rd;
+        ++schedule.reconfig_count;
+        schedule.items.push_back(std::move(item));
+      }
+    }
+
+    cand.start = std::max(data_avail, region_ready);
+    cand.end = cand.start + durations_.lookup(cand.exec_kind, target);
+
+    if (commit) {
+      st.operator_free[target.name] = cand.end;
+      st.finish[n] = cand.end;
+      st.placed_on[n] = w;
+      ScheduledItem item;
+      item.kind = ItemKind::Compute;
+      item.label = op.name + (cand.variant.empty() ? "" : "(" + cand.variant + ")");
+      item.resource = target.name;
+      item.start = cand.start;
+      item.end = cand.end;
+      item.op = n;
+      item.variant = cand.variant;
+      schedule.items.push_back(std::move(item));
+      schedule.placement[n] = target.name;
+    }
+    return cand;
+  };
+
+  // Candidate operators for an operation.
+  auto candidates = [&](graph::NodeId n) {
+    const Operation& op = g[n];
+    std::vector<NodeId> out;
+    const auto pin_it = pins_.find(op.name);
+    for (NodeId w : architecture_.operators()) {
+      const OperatorNode& target = architecture_.op(w);
+      if (pin_it != pins_.end() && target.name != pin_it->second) continue;
+      // Regions host only conditioned vertices (dynamic modules).
+      if (target.kind == OperatorKind::FpgaRegion && !op.conditioned()) continue;
+      const std::string kind = op.conditioned() ? op.alternatives.front().kind : op.kind;
+      if (!durations_.supports(kind, target)) continue;
+      out.push_back(w);
+    }
+    PDR_CHECK(!out.empty(), "Adequation",
+              "operation '" + op.name + "' has no feasible operator" +
+                  (pin_it != pins_.end() ? " (pinned to '" + pin_it->second + "')" : ""));
+    return out;
+  };
+
+  // Greedy list scheduling (or a deliberately naive baseline strategy).
+  std::set<graph::NodeId> done;
+  std::vector<graph::NodeId> pending = g.node_ids();
+  std::size_t round_robin_cursor = 0;
+  while (!pending.empty()) {
+    // Ready = all predecessors scheduled. The SynDEx strategy picks the
+    // ready op with the largest critical-path remainder; the baselines
+    // take the first ready op in id order.
+    graph::NodeId best_op = graph::kNoNode;
+    double best_prio = -1;
+    for (graph::NodeId n : pending) {
+      bool ready = true;
+      for (graph::NodeId p : g.predecessors(n))
+        if (!done.count(p)) ready = false;
+      if (!ready) continue;
+      if (options.strategy != MappingStrategy::SynDExList) {
+        best_op = n;
+        break;
+      }
+      if (remainder[n] > best_prio) {
+        best_prio = remainder[n];
+        best_op = n;
+      }
+    }
+    PDR_CHECK(best_op != graph::kNoNode, "Adequation", "no ready operation (cycle?)");
+
+    const auto cands = candidates(best_op);
+    NodeId best_w = graph::kNoNode;
+    switch (options.strategy) {
+      case MappingStrategy::SynDExList: {
+        TimeNs best_end = 0;
+        for (NodeId w : cands) {
+          const Candidate c = evaluate(best_op, w, /*commit=*/false);
+          if (best_w == graph::kNoNode || c.end < best_end) {
+            best_w = w;
+            best_end = c.end;
+          }
+        }
+        break;
+      }
+      case MappingStrategy::RoundRobin:
+        best_w = cands[round_robin_cursor++ % cands.size()];
+        break;
+      case MappingStrategy::FirstFeasible:
+        best_w = cands.front();
+        break;
+    }
+    evaluate(best_op, best_w, /*commit=*/true);
+
+    done.insert(best_op);
+    pending.erase(std::remove(pending.begin(), pending.end(), best_op), pending.end());
+  }
+
+  // Finalize.
+  std::sort(schedule.items.begin(), schedule.items.end(),
+            [](const ScheduledItem& a, const ScheduledItem& b) {
+              return a.start != b.start ? a.start < b.start : a.resource < b.resource;
+            });
+  for (const auto& item : schedule.items) {
+    schedule.makespan = std::max(schedule.makespan, item.end);
+    schedule.resource_busy[item.resource] += item.end - item.start;
+  }
+  return schedule;
+}
+
+}  // namespace pdr::aaa

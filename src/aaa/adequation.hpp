@@ -1,0 +1,163 @@
+// Adequation: mapping + scheduling of the algorithm graph onto the
+// architecture graph (§3), extended for runtime-reconfigurable operators
+// (§4).
+//
+// The heuristic is SynDEx-style greedy list scheduling: at each step the
+// ready operation with the largest critical-path remainder is placed on
+// the operator minimizing its finish time, accounting for
+//   - computation durations (DurationTable),
+//   - inter-operator communications routed hop-by-hop over media, each
+//     medium being an exclusive resource,
+//   - reconfiguration: placing a conditioned-vertex variant on an
+//     FpgaRegion operator whose currently-loaded module differs inserts a
+//     Reconfig item occupying both the region and the configuration port.
+//
+// With `prefetch` enabled the Reconfig item is hoisted to the earliest
+// instant the region and the configuration port are simultaneously free
+// ("configuration prefetching", §1/§6); without it, reconfiguration starts
+// only when the operation's inputs are ready (on-demand), exposing the
+// full loading latency.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "aaa/algorithm_graph.hpp"
+#include "aaa/architecture_graph.hpp"
+#include "aaa/constraints.hpp"
+#include "aaa/durations.hpp"
+#include "util/units.hpp"
+
+namespace pdr::aaa {
+
+enum class ItemKind : std::uint8_t { Compute, Transfer, Reconfig };
+
+const char* item_kind_name(ItemKind kind);
+
+/// One scheduled activity on one resource.
+struct ScheduledItem {
+  ItemKind kind = ItemKind::Compute;
+  std::string label;
+  std::string resource;  ///< operator name (Compute/Reconfig target region) or medium name
+  TimeNs start = 0;
+  TimeNs end = 0;
+
+  // Compute items.
+  graph::NodeId op = graph::kNoNode;
+  std::string variant;  ///< alternative chosen for conditioned vertices
+
+  // Transfer items.
+  std::string src;
+  std::string dst;
+  Bytes bytes = 0;
+
+  // Reconfig items.
+  std::string module;       ///< module loaded into `resource` (a region)
+  TimeNs exposed_stall = 0; ///< part of this reconfiguration not hidden by prefetch
+};
+
+/// Result of one adequation run.
+struct Schedule {
+  std::vector<ScheduledItem> items;  ///< sorted by (start, resource)
+  TimeNs makespan = 0;
+  std::map<std::string, TimeNs> resource_busy;
+  std::map<graph::NodeId, std::string> placement;  ///< operation -> operator name
+  int reconfig_count = 0;
+  TimeNs reconfig_total = 0;    ///< summed reconfiguration durations
+  TimeNs reconfig_exposed = 0;  ///< summed latency NOT hidden by prefetch
+
+  /// Items on one resource, in time order.
+  std::vector<const ScheduledItem*> on_resource(const std::string& resource) const;
+
+  /// Fraction of the makespan `resource` is busy.
+  double utilization(const std::string& resource) const;
+
+  /// Lower bound on the steady-state iteration period of the pipelined
+  /// executive: the busiest single resource (no schedule can repeat
+  /// faster than its bottleneck). The executive player's measured
+  /// iteration_period always lies in [period_lower_bound, makespan].
+  TimeNs period_lower_bound() const;
+
+  /// Multi-line textual timeline (one line per item).
+  std::string to_string() const;
+
+  /// ASCII Gantt chart (one row per resource).
+  std::string gantt(int width = 72) const;
+
+  /// CSV export: kind,label,resource,start_ns,end_ns,variant,module — for
+  /// external tooling (spreadsheets, Gantt viewers).
+  std::string to_csv() const;
+};
+
+/// Checks schedule invariants; throws pdr::Error on the first violation:
+///  - no two items overlap on the same resource,
+///  - every data dependency's consumer starts after its producer ends
+///    (plus transfers when placed on different operators),
+///  - every compute on a region is preceded by a reconfiguration loading
+///    its variant (or the region already held it),
+///  - reconfigurations on the same configuration port do not overlap.
+void validate_schedule(const Schedule& schedule, const AlgorithmGraph& algorithm,
+                       const ArchitectureGraph& architecture);
+
+/// Mapping strategy: the SynDEx-style heuristic, or deliberately naive
+/// baselines used to quantify how much the heuristic buys.
+enum class MappingStrategy : std::uint8_t {
+  SynDExList,    ///< critical-path priority + earliest-finish operator (default)
+  RoundRobin,    ///< topological order, operators assigned cyclically
+  FirstFeasible, ///< topological order, always the first feasible operator
+};
+
+const char* mapping_strategy_name(MappingStrategy strategy);
+
+struct AdequationOptions {
+  MappingStrategy strategy = MappingStrategy::SynDExList;
+  /// Hoist reconfiguration ahead of data availability (paper's prefetch).
+  bool prefetch = true;
+  /// Chosen alternative per conditioned vertex name; missing entries use
+  /// the first alternative.
+  std::map<std::string, std::string> selection;
+  /// Modules assumed pre-loaded per region at t=0 ("" = region empty).
+  std::map<std::string, std::string> preloaded;
+  /// Name of the configuration-port pseudo resource.
+  std::string config_port_name = "CFGPORT";
+};
+
+class Adequation {
+ public:
+  /// Cost of loading `module` into `region` (e.g. partial bitstream bytes
+  /// over the configuration port).
+  using ReconfigCost = std::function<TimeNs(const std::string& region, const std::string& module)>;
+
+  Adequation(const AlgorithmGraph& algorithm, const ArchitectureGraph& architecture,
+             const DurationTable& durations);
+
+  /// Sets the reconfiguration cost model (default: 4 ms flat, the paper's
+  /// measured Op_Dyn figure).
+  void set_reconfig_cost(ReconfigCost cost);
+
+  /// Pins an operation onto a named operator (a SynDEx "absolute
+  /// constraint").
+  void pin(const std::string& op_name, const std::string& operator_name);
+
+  /// Applies the constraints file: every conditioned vertex whose
+  /// alternatives are declared as dynamic modules of a region is pinned to
+  /// that region's operator (the paper's "runtime reconfigurable parts of
+  /// an component must be considered as vertices in the architecture
+  /// graph", §4). Throws if alternatives of one vertex span two regions.
+  void apply_constraints(const ConstraintSet& constraints);
+
+  /// Runs the heuristic. Throws pdr::Error if some operation has no
+  /// feasible operator.
+  Schedule run(const AdequationOptions& options = {}) const;
+
+ private:
+  const AlgorithmGraph& algorithm_;
+  const ArchitectureGraph& architecture_;
+  const DurationTable& durations_;
+  ReconfigCost reconfig_cost_;
+  std::map<std::string, std::string> pins_;
+};
+
+}  // namespace pdr::aaa

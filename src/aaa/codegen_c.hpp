@@ -1,0 +1,23 @@
+// C executive generation for processor operators.
+//
+// The paper's flow "target[s] as well as software components as hardware
+// components" (§7): processor vertices get a C executive implementing the
+// same macro program, including — when the configuration manager is
+// placed on the CPU (paper Figure 2 case b) — the interrupt service
+// routine that receives reconfiguration requests from the FPGA and drives
+// SelectMAP.
+#pragma once
+
+#include <string>
+
+#include "aaa/architecture_graph.hpp"
+#include "aaa/constraints.hpp"
+#include "aaa/macrocode.hpp"
+
+namespace pdr::aaa {
+
+/// C source for one processor operator's executive.
+std::string generate_c_executive(const MacroProgram& program, const OperatorNode& op,
+                                 const ConstraintSet& constraints);
+
+}  // namespace pdr::aaa

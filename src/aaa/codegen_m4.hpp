@@ -1,0 +1,29 @@
+// m4 macro-code emission.
+//
+// The real SynDEx tool materializes the synchronized executive as m4
+// macro files, one per architecture vertex, which per-target macro
+// libraries then expand into C or VHDL. We emit the same shape: a
+// `<vertex>.m4` body of `loop_`/`endloop_` delimited executive macros
+// (recv_, send_, compute_, reconf_) plus the processor/media declaration
+// header, so the artifacts of paper Figure 3's "VHDL generation" box have
+// their historically accurate sibling.
+#pragma once
+
+#include <string>
+
+#include "aaa/architecture_graph.hpp"
+#include "aaa/macrocode.hpp"
+
+namespace pdr::aaa {
+
+/// m4 macro file for one operator or medium program.
+std::string generate_m4_macrocode(const MacroProgram& program, const ArchitectureGraph& architecture);
+
+/// The application-level m4 file tying all vertices together (SynDEx's
+/// `<application>.m4`): declares every operator/medium and includes the
+/// per-vertex files.
+std::string generate_m4_application(const Executive& executive,
+                                    const ArchitectureGraph& architecture,
+                                    const std::string& application_name);
+
+}  // namespace pdr::aaa

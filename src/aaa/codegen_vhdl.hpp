@@ -1,0 +1,46 @@
+// VHDL generation for FPGA operators.
+//
+// "The translation generates the VHDL code, both for the static and
+// dynamic parts of a FPGA. The final FPGA design is based on several
+// dedicated processes to control: communication sequencings, computation
+// sequencings, operator behaviour, activation of reading and writing
+// phases of buffers." (§5)
+//
+// generate_vhdl_entity() emits exactly those four processes around the
+// operator's macro program. Dynamic regions additionally get the
+// `in_reconf` lock-up signal and bus-macro instantiations at the region
+// boundary; the static part optionally embeds the configuration manager
+// and protocol builder entities (paper Figure 2 case a).
+#pragma once
+
+#include <string>
+
+#include "aaa/architecture_graph.hpp"
+#include "aaa/constraints.hpp"
+#include "aaa/macrocode.hpp"
+
+namespace pdr::aaa {
+
+struct VhdlOptions {
+  /// Emit the configuration manager + protocol builder components inside
+  /// this entity (static part, self-reconfiguration case).
+  bool embed_reconfig_manager = false;
+  /// Bus macros to instantiate (dynamic regions).
+  int bus_macro_count = 0;
+  std::string clock_name = "clk";
+  std::string reset_name = "rst";
+};
+
+/// Shared package: buffer types, handshake records.
+std::string generate_vhdl_package();
+
+/// One operator's entity + architecture.
+std::string generate_vhdl_entity(const MacroProgram& program, const OperatorNode& op,
+                                 const VhdlOptions& options = {});
+
+/// Top-level structural wrapper connecting every FPGA operator entity of
+/// the executive through its media signals.
+std::string generate_vhdl_top(const Executive& executive, const ArchitectureGraph& architecture,
+                              const ConstraintSet& constraints);
+
+}  // namespace pdr::aaa

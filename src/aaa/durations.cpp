@@ -1,0 +1,90 @@
+#include "aaa/durations.hpp"
+
+#include "util/error.hpp"
+
+namespace pdr::aaa {
+
+void DurationTable::set(const std::string& op_kind, OperatorKind target, TimeNs duration) {
+  PDR_CHECK(duration > 0, "DurationTable::set", "durations must be positive");
+  by_kind_[{op_kind, target}] = duration;
+}
+
+void DurationTable::set_for(const std::string& op_kind, const std::string& operator_name,
+                            TimeNs duration) {
+  PDR_CHECK(duration > 0, "DurationTable::set_for", "durations must be positive");
+  by_name_[{op_kind, operator_name}] = duration;
+}
+
+bool DurationTable::supports(const std::string& op_kind, const OperatorNode& target) const {
+  return by_name_.count({op_kind, target.name}) > 0 || by_kind_.count({op_kind, target.kind}) > 0;
+}
+
+TimeNs DurationTable::lookup(const std::string& op_kind, const OperatorNode& target) const {
+  TimeNs base = 0;
+  if (const auto it = by_name_.find({op_kind, target.name}); it != by_name_.end()) {
+    base = it->second;
+  } else if (const auto it2 = by_kind_.find({op_kind, target.kind}); it2 != by_kind_.end()) {
+    base = it2->second;
+  } else {
+    raise("DurationTable::lookup",
+          "operation kind '" + op_kind + "' has no duration on operator '" + target.name + "'");
+  }
+  PDR_CHECK(target.speed_factor > 0, "DurationTable::lookup", "non-positive speed factor");
+  const auto scaled = static_cast<TimeNs>(static_cast<double>(base) / target.speed_factor);
+  return scaled > 0 ? scaled : 1;
+}
+
+double DurationTable::mean(const std::string& op_kind) const {
+  double sum = 0;
+  int n = 0;
+  for (const auto& [key, d] : by_kind_)
+    if (key.first == op_kind) {
+      sum += static_cast<double>(d);
+      ++n;
+    }
+  for (const auto& [key, d] : by_name_)
+    if (key.first == op_kind) {
+      sum += static_cast<double>(d);
+      ++n;
+    }
+  PDR_CHECK(n > 0, "DurationTable::mean", "no duration entry for kind '" + op_kind + "'");
+  return sum / n;
+}
+
+std::vector<DurationTable::Entry> DurationTable::entries() const {
+  std::vector<Entry> out;
+  for (const auto& [key, d] : by_kind_)
+    out.push_back(Entry{key.first, false, operator_kind_name(key.second), d});
+  for (const auto& [key, d] : by_name_) out.push_back(Entry{key.first, true, key.second, d});
+  return out;
+}
+
+DurationTable mccdma_durations() {
+  using K = OperatorKind;
+  DurationTable t;
+  // Durations are per OFDM symbol (64 subcarriers, 16-sample cyclic
+  // prefix), in nanoseconds.
+  auto both = [&t](const std::string& kind, TimeNs fpga, TimeNs dsp) {
+    t.set(kind, K::FpgaStatic, fpga);
+    t.set(kind, K::FpgaRegion, fpga);
+    t.set(kind, K::Processor, dsp);
+  };
+  both("bit_source", 1000, 2000);
+  both("scrambler", 800, 5000);
+  both("conv_encoder", 1000, 20000);
+  both("interleaver", 1000, 8000);
+  both("bpsk_mapper", 900, 10000);
+  both("qpsk_mapper", 1000, 15000);
+  both("qam16_mapper", 1200, 22000);
+  both("qam64_mapper", 1500, 30000);
+  both("walsh_spreader", 2000, 40000);
+  both("ifft", 3200, 60000);
+  both("cyclic_prefix", 800, 4000);
+  both("frame_builder", 1000, 6000);
+  both("interface_in_out", 500, 500);
+  both("fir", 2000, 30000);
+  both("custom", 1000, 10000);
+  return t;
+}
+
+}  // namespace pdr::aaa

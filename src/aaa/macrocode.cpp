@@ -1,0 +1,160 @@
+#include "aaa/macrocode.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace pdr::aaa {
+
+const char* macro_op_name(MacroOp op) {
+  switch (op) {
+    case MacroOp::Recv: return "recv";
+    case MacroOp::Send: return "send";
+    case MacroOp::Compute: return "compute";
+    case MacroOp::Reconfig: return "reconfig";
+    case MacroOp::Move: return "move";
+  }
+  return "?";
+}
+
+std::string MacroInstr::to_string() const {
+  switch (op) {
+    case MacroOp::Recv:
+      return strprintf("recv    %-24s from %-8s (%llu B)", what.c_str(), with.c_str(),
+                       static_cast<unsigned long long>(bytes));
+    case MacroOp::Send:
+      return strprintf("send    %-24s to   %-8s (%llu B)", what.c_str(), with.c_str(),
+                       static_cast<unsigned long long>(bytes));
+    case MacroOp::Compute:
+      return strprintf("compute %-24s (%.3f us)", what.c_str(), to_us(duration));
+    case MacroOp::Reconfig:
+      return strprintf("reconf  %-24s (%.3f us)", what.c_str(), to_us(duration));
+    case MacroOp::Move:
+      return strprintf("move    %-24s (%llu B)", what.c_str(),
+                       static_cast<unsigned long long>(bytes));
+  }
+  return "?";
+}
+
+std::string MacroProgram::to_string() const {
+  std::string out = (is_medium ? "medium " : "operator ") + resource + ":\n  loop:\n";
+  for (const auto& instr : body) out += "    " + instr.to_string() + "\n";
+  if (body.empty()) out += "    (idle)\n";
+  return out;
+}
+
+const MacroProgram& Executive::program(const std::string& resource) const {
+  for (const auto& p : programs)
+    if (p.resource == resource) return p;
+  raise("Executive::program", "no program for resource '" + resource + "'");
+}
+
+std::string Executive::to_string() const {
+  std::string out;
+  for (const auto& p : programs) out += p.to_string() + "\n";
+  return out;
+}
+
+Executive generate_executive(const Schedule& schedule, const AlgorithmGraph& algorithm,
+                             const ArchitectureGraph& architecture) {
+  // Event = (time, order-class, instruction). Order classes break ties at
+  // equal timestamps: receives (0) before computes/reconfigs (1) before
+  // sends (2).
+  struct Event {
+    TimeNs at;
+    int cls;
+    std::string resource;
+    MacroInstr instr;
+  };
+  std::vector<Event> events;
+
+  // Operator name of each scheduled operation.
+  auto operator_of = [&](const std::string& op_name) -> const std::string& {
+    const graph::NodeId n = algorithm.by_name(op_name);
+    const auto it = schedule.placement.find(n);
+    PDR_CHECK(it != schedule.placement.end(), "generate_executive",
+              "operation '" + op_name + "' was not placed");
+    return it->second;
+  };
+
+  for (const auto& item : schedule.items) {
+    switch (item.kind) {
+      case ItemKind::Compute: {
+        MacroInstr mi;
+        mi.op = MacroOp::Compute;
+        mi.what = item.label;
+        mi.duration = item.end - item.start;
+        mi.at = item.start;
+        events.push_back(Event{item.start, 1, item.resource, std::move(mi)});
+        break;
+      }
+      case ItemKind::Reconfig: {
+        MacroInstr mi;
+        mi.op = MacroOp::Reconfig;
+        mi.what = item.module;
+        mi.duration = item.end - item.start;
+        mi.at = item.start;
+        events.push_back(Event{item.start, 1, item.resource, std::move(mi)});
+        break;
+      }
+      case ItemKind::Transfer: {
+        const std::string buffer = item.src + "_to_" + item.dst;
+        // The medium carries the buffer.
+        MacroInstr move;
+        move.op = MacroOp::Move;
+        move.what = buffer;
+        move.bytes = item.bytes;
+        move.at = item.start;
+        events.push_back(Event{item.start, 1, item.resource, std::move(move)});
+        // Producer side sends when the transfer begins...
+        MacroInstr send;
+        send.op = MacroOp::Send;
+        send.what = buffer;
+        send.with = item.resource;
+        send.bytes = item.bytes;
+        send.at = item.start;
+        events.push_back(Event{item.start, 2, operator_of(item.src), std::move(send)});
+        // ...consumer side receives when it completes.
+        MacroInstr recv;
+        recv.op = MacroOp::Recv;
+        recv.what = buffer;
+        recv.with = item.resource;
+        recv.bytes = item.bytes;
+        recv.at = item.end;
+        events.push_back(Event{item.end, 0, operator_of(item.dst), std::move(recv)});
+        break;
+      }
+    }
+  }
+
+  std::stable_sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.cls < b.cls;
+  });
+
+  Executive exec;
+  // Emit programs in architecture declaration order (operators then media).
+  for (NodeId n : architecture.operators()) {
+    MacroProgram p;
+    p.resource = architecture.op(n).name;
+    p.is_medium = false;
+    exec.programs.push_back(std::move(p));
+  }
+  for (NodeId n : architecture.media()) {
+    MacroProgram p;
+    p.resource = architecture.medium(n).name;
+    p.is_medium = true;
+    exec.programs.push_back(std::move(p));
+  }
+  for (auto& ev : events) {
+    for (auto& p : exec.programs)
+      if (p.resource == ev.resource) {
+        p.body.push_back(std::move(ev.instr));
+        break;
+      }
+  }
+  return exec;
+}
+
+}  // namespace pdr::aaa

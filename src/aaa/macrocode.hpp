@@ -1,0 +1,62 @@
+// Macro-code generation: the synchronized executive.
+//
+// "The result is a synchronized executive represented by a macro-code for
+// each vertices of the architecture." (§3) Each operator and medium gets
+// a loop body of macro instructions (Recv / Send / Compute / Reconfig /
+// Move) derived from one iteration's schedule; this is the intermediate
+// form both code generators (VHDL for FPGA parts, C for processors)
+// translate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "aaa/adequation.hpp"
+
+namespace pdr::aaa {
+
+enum class MacroOp : std::uint8_t {
+  Recv,      ///< operator: receive a buffer from a medium
+  Send,      ///< operator: send a buffer to a medium
+  Compute,   ///< operator: run one operation
+  Reconfig,  ///< region: reconfigure to a module / manager: issue request
+  Move,      ///< medium: carry a buffer between operators
+};
+
+const char* macro_op_name(MacroOp op);
+
+struct MacroInstr {
+  MacroOp op = MacroOp::Compute;
+  std::string what;    ///< operation, buffer or module name
+  std::string with;    ///< medium (Recv/Send), peer operator (Move)
+  Bytes bytes = 0;
+  TimeNs duration = 0;
+  TimeNs at = 0;  ///< schedule time, for traceability
+
+  std::string to_string() const;
+};
+
+/// The infinite loop body of one architecture vertex.
+struct MacroProgram {
+  std::string resource;
+  bool is_medium = false;
+  std::vector<MacroInstr> body;
+
+  std::string to_string() const;
+};
+
+/// The whole synchronized executive.
+struct Executive {
+  std::vector<MacroProgram> programs;
+
+  const MacroProgram& program(const std::string& resource) const;
+  std::string to_string() const;
+};
+
+/// Builds per-vertex macro programs from a schedule. Instructions appear
+/// in schedule-time order; on one operator a Recv precedes the Compute it
+/// feeds and Sends follow the Compute that produced the buffer.
+Executive generate_executive(const Schedule& schedule, const AlgorithmGraph& algorithm,
+                             const ArchitectureGraph& architecture);
+
+}  // namespace pdr::aaa

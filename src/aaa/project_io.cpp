@@ -1,0 +1,303 @@
+#include "aaa/project_io.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace pdr::aaa {
+namespace {
+
+/// Token-stream parser sharing the constraints DSL's conventions:
+/// `#` comments, whitespace tokens, braces split off words, errors with
+/// line numbers.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) { tokenize(text); }
+
+  Project parse() {
+    Project project;
+    bool saw_algorithm = false;
+    bool saw_architecture = false;
+    while (!at_end()) {
+      const std::string head = next("section");
+      if (head == "project") {
+        project.name = next("project <name>");
+      } else if (head == "algorithm") {
+        parse_algorithm(project.algorithm);
+        saw_algorithm = true;
+      } else if (head == "architecture") {
+        parse_architecture(project.architecture);
+        saw_architecture = true;
+      } else if (head == "durations") {
+        parse_durations(project.durations);
+      } else {
+        fail("unknown section '" + head + "'");
+      }
+    }
+    fail_unless(saw_algorithm, "project has no algorithm section");
+    fail_unless(saw_architecture, "project has no architecture section");
+    project.algorithm.validate();
+    project.architecture.validate();
+    return project;
+  }
+
+ private:
+  struct Token {
+    std::string text;
+    std::size_t line;
+  };
+
+  void tokenize(const std::string& text) {
+    const auto lines = split(text, '\n');
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      std::string raw = lines[i];
+      const auto hash = raw.find('#');
+      if (hash != std::string::npos) raw.resize(hash);
+      for (const std::string& word : split_ws(raw)) {
+        std::size_t start = 0;
+        for (std::size_t c = 0; c <= word.size(); ++c) {
+          if (c == word.size() || word[c] == '{' || word[c] == '}') {
+            if (c > start) tokens_.push_back(Token{word.substr(start, c - start), i + 1});
+            if (c < word.size()) tokens_.push_back(Token{std::string(1, word[c]), i + 1});
+            start = c + 1;
+          }
+        }
+      }
+    }
+  }
+
+  bool at_end() const { return pos_ >= tokens_.size(); }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    const std::size_t line =
+        tokens_.empty() ? 0 : tokens_[pos_ > 0 ? pos_ - 1 : 0].line;
+    raise("project", "line " + std::to_string(line) + ": " + msg);
+  }
+  void fail_unless(bool cond, const std::string& msg) const {
+    if (!cond) fail(msg);
+  }
+
+  std::string next(const std::string& usage) {
+    if (at_end()) fail("missing token; usage: " + usage);
+    return tokens_[pos_++].text;
+  }
+  std::string peek() const { return at_end() ? std::string() : tokens_[pos_].text; }
+  void expect(const std::string& token) {
+    fail_unless(next("'" + token + "'") == token, "expected '" + token + "'");
+  }
+
+  int parse_int(const std::string& s) const {
+    try {
+      std::size_t idx = 0;
+      const int v = std::stoi(s, &idx);
+      fail_unless(idx == s.size(), "trailing characters in integer '" + s + "'");
+      return v;
+    } catch (const Error&) {
+      throw;
+    } catch (const std::exception&) {
+      fail("expected an integer, got '" + s + "'");
+    }
+  }
+  double parse_double(const std::string& s) const {
+    try {
+      std::size_t idx = 0;
+      const double v = std::stod(s, &idx);
+      fail_unless(idx == s.size(), "trailing characters in number '" + s + "'");
+      return v;
+    } catch (const Error&) {
+      throw;
+    } catch (const std::exception&) {
+      fail("expected a number, got '" + s + "'");
+    }
+  }
+  TimeNs parse_time(const std::string& s) const {
+    try {
+      std::size_t idx = 0;
+      const long long v = std::stoll(s, &idx);
+      fail_unless(idx == s.size() && v > 0, "expected a positive integer time, got '" + s + "'");
+      return static_cast<TimeNs>(v);
+    } catch (const Error&) {
+      throw;
+    } catch (const std::exception&) {
+      fail("expected a time in ns, got '" + s + "'");
+    }
+  }
+
+  /// `param <key> <int>` repetitions.
+  synth::Params parse_params() {
+    synth::Params params;
+    while (peek() == "param") {
+      next("param");
+      const std::string key = next("param <key> <int>");
+      params[key] = parse_int(next("param <key> <int>"));
+    }
+    return params;
+  }
+
+  void parse_algorithm(AlgorithmGraph& g) {
+    expect("{");
+    while (peek() != "}") {
+      fail_unless(!at_end(), "unterminated algorithm section");
+      const std::string stmt = next("algorithm statement");
+      if (stmt == "sensor" || stmt == "compute" || stmt == "actuator") {
+        Operation op;
+        op.name = next(stmt + " <name> kind <kind>");
+        expect("kind");
+        op.kind = next("kind <operator-kind>");
+        op.params = parse_params();
+        op.cls = stmt == "sensor"     ? OpClass::Sensor
+                 : stmt == "actuator" ? OpClass::Actuator
+                                      : OpClass::Compute;
+        g.add_operation(std::move(op));
+      } else if (stmt == "conditioned") {
+        const std::string name = next("conditioned <name> { alt ... }");
+        expect("{");
+        std::vector<Alternative> alternatives;
+        while (peek() != "}") {
+          expect("alt");
+          Alternative alt;
+          alt.name = next("alt <name> kind <kind>");
+          expect("kind");
+          alt.kind = next("kind <operator-kind>");
+          alt.params = parse_params();
+          alternatives.push_back(std::move(alt));
+        }
+        next("'}'");
+        g.add_conditioned(name, std::move(alternatives));
+      } else if (stmt == "dep") {
+        const std::string from = next("dep <from> -> <to> bytes <n>");
+        expect("->");
+        const std::string to = next("dep <from> -> <to> bytes <n>");
+        expect("bytes");
+        g.add_dependency(from, to, static_cast<Bytes>(parse_int(next("bytes <n>"))));
+      } else {
+        fail("unknown algorithm statement '" + stmt + "'");
+      }
+    }
+    next("'}'");
+  }
+
+  void parse_architecture(ArchitectureGraph& arch) {
+    expect("{");
+    while (peek() != "}") {
+      fail_unless(!at_end(), "unterminated architecture section");
+      const std::string stmt = next("architecture statement");
+      if (stmt == "processor" || stmt == "fpga_static" || stmt == "fpga_region") {
+        OperatorNode op;
+        op.kind = operator_kind_from_name(stmt);
+        op.name = next(stmt + " <name>");
+        while (peek() == "speed" || peek() == "device" || peek() == "region") {
+          const std::string attr = next("attribute");
+          if (attr == "speed")
+            op.speed_factor = parse_double(next("speed <factor>"));
+          else if (attr == "device")
+            op.device = next("device <name>");
+          else
+            op.region = next("region <name>");
+        }
+        arch.add_operator(std::move(op));
+      } else if (stmt == "medium") {
+        MediumNode m;
+        m.name = next("medium <name> bandwidth <B/s> [latency <ns>]");
+        expect("bandwidth");
+        m.bandwidth_bytes_per_s = parse_double(next("bandwidth <B/s>"));
+        if (peek() == "latency") {
+          next("latency");
+          m.latency = parse_time(next("latency <ns>"));
+        }
+        arch.add_medium(std::move(m));
+      } else if (stmt == "connect") {
+        const std::string op = next("connect <operator> <medium>");
+        arch.connect(op, next("connect <operator> <medium>"));
+      } else {
+        fail("unknown architecture statement '" + stmt + "'");
+      }
+    }
+    next("'}'");
+  }
+
+  void parse_durations(DurationTable& t) {
+    expect("{");
+    while (peek() != "}") {
+      fail_unless(!at_end(), "unterminated durations section");
+      const std::string stmt = next("durations statement");
+      if (stmt == "set") {
+        const std::string kind = next("set <op-kind> <operator-kind> <ns>");
+        const OperatorKind target = operator_kind_from_name(next("set <op-kind> <operator-kind> <ns>"));
+        t.set(kind, target, parse_time(next("set <op-kind> <operator-kind> <ns>")));
+      } else if (stmt == "set_for") {
+        const std::string kind = next("set_for <op-kind> <operator-name> <ns>");
+        const std::string target = next("set_for <op-kind> <operator-name> <ns>");
+        t.set_for(kind, target, parse_time(next("set_for <op-kind> <operator-name> <ns>")));
+      } else {
+        fail("unknown durations statement '" + stmt + "'");
+      }
+    }
+    next("'}'");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+std::string params_text(const synth::Params& params) {
+  std::string out;
+  for (const auto& [key, value] : params) out += "  param " + key + " " + std::to_string(value);
+  return out;
+}
+
+}  // namespace
+
+Project parse_project(const std::string& text) { return Parser(text).parse(); }
+
+std::string write_project(const Project& project) {
+  std::string out = "project " + project.name + "\n\nalgorithm {\n";
+  const auto& g = project.algorithm.digraph();
+  for (graph::NodeId n : g.node_ids()) {
+    const Operation& op = g[n];
+    if (op.conditioned()) {
+      out += "  conditioned " + op.name + " {\n";
+      for (const auto& alt : op.alternatives)
+        out += "    alt " + alt.name + " kind " + alt.kind + params_text(alt.params) + "\n";
+      out += "  }\n";
+    } else {
+      const char* cls = op.cls == OpClass::Sensor     ? "sensor"
+                        : op.cls == OpClass::Actuator ? "actuator"
+                                                      : "compute";
+      out += strprintf("  %-8s %s kind %s%s\n", cls, op.name.c_str(), op.kind.c_str(),
+                       params_text(op.params).c_str());
+    }
+  }
+  for (graph::EdgeId e : g.edge_ids())
+    out += strprintf("  dep %s -> %s bytes %llu\n", g[g.edge_from(e)].name.c_str(),
+                     g[g.edge_to(e)].name.c_str(),
+                     static_cast<unsigned long long>(g.edge(e).bytes));
+  out += "}\n\narchitecture {\n";
+
+  const auto& arch = project.architecture;
+  for (NodeId n : arch.operators()) {
+    const OperatorNode& op = arch.op(n);
+    out += strprintf("  %s %s speed %g", operator_kind_name(op.kind), op.name.c_str(),
+                     op.speed_factor);
+    if (!op.device.empty()) out += " device " + op.device;
+    if (!op.region.empty()) out += " region " + op.region;
+    out += "\n";
+  }
+  for (NodeId n : arch.media()) {
+    const MediumNode& m = arch.medium(n);
+    out += strprintf("  medium %s bandwidth %.0f latency %lld\n", m.name.c_str(),
+                     m.bandwidth_bytes_per_s, static_cast<long long>(m.latency));
+  }
+  for (NodeId n : arch.operators())
+    for (NodeId m : arch.attached_media(n))
+      out += "  connect " + arch.op(n).name + " " + arch.medium(m).name + "\n";
+  out += "}\n";
+
+  out += "\ndurations {\n";
+  for (const auto& e : project.durations.entries())
+    out += strprintf("  %s %s %s %lld\n", e.per_operator_name ? "set_for" : "set",
+                     e.op_kind.c_str(), e.target.c_str(), static_cast<long long>(e.duration));
+  out += "}\n";
+  return out;
+}
+
+}  // namespace pdr::aaa

@@ -1,0 +1,62 @@
+// Project file I/O: the SynDEx-style textual project.
+//
+// SynDEx designs live in a project file holding the algorithm graph, the
+// architecture graph and the characterization (durations). We provide the
+// same round-trippable artifact so designs can be authored, versioned and
+// fed to the `pdrflow` CLI without writing C++:
+//
+//   project mccdma_tx
+//
+//   algorithm {
+//     sensor   data_in   kind bit_source
+//     compute  scramble  kind scrambler
+//     compute  fft       kind ifft  param n 64  param width 16
+//     conditioned modulation {
+//       alt qpsk  kind qpsk_mapper
+//       alt qam16 kind qam16_mapper
+//     }
+//     actuator shb_out   kind interface_in_out
+//     dep data_in -> scramble bytes 16
+//     dep scramble -> modulation bytes 16
+//   }
+//
+//   architecture {
+//     processor   DSP  speed 1.0
+//     fpga_static F1   device XC2V2000
+//     fpga_region D1   device XC2V2000 region D1
+//     medium SHB bandwidth 200000000 latency 2000
+//     connect DSP SHB
+//     connect F1  SHB
+//   }
+//
+//   durations {
+//     set bit_source processor 2000
+//     set bit_source fpga_static 1000
+//     set_for ifft F1 3200
+//   }
+#pragma once
+
+#include <string>
+
+#include "aaa/algorithm_graph.hpp"
+#include "aaa/architecture_graph.hpp"
+#include "aaa/durations.hpp"
+
+namespace pdr::aaa {
+
+struct Project {
+  std::string name = "project";
+  AlgorithmGraph algorithm;
+  ArchitectureGraph architecture;
+  DurationTable durations;
+};
+
+/// Parses the project DSL. Errors carry "line N:" positions; the
+/// resulting graphs are validated.
+Project parse_project(const std::string& text);
+
+/// Serializes a project; parse_project(write_project(p)) reproduces the
+/// same graphs and durations.
+std::string write_project(const Project& project);
+
+}  // namespace pdr::aaa

@@ -1,0 +1,67 @@
+// Convolutional coding: encoder + hard-decision Viterbi decoder.
+//
+// The case study's transmit chain carries a convolutional encoder block
+// (paper Figure 4); the receive side of an SDR needs the matching
+// decoder. Default code: the ubiquitous K=7, rate-1/2 code with
+// generators (133, 171) octal — the one the cited MC-CDMA prototype [3]
+// uses.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pdr::dsp {
+
+class ConvolutionalCode {
+ public:
+  /// `constraint_length` K (memory = K-1), generator polynomials in
+  /// binary (lowest bit = current input). Rate = 1 / generators.size().
+  ConvolutionalCode(int constraint_length, std::vector<std::uint32_t> generators);
+
+  /// The standard K=7 rate-1/2 (133, 171) code.
+  static ConvolutionalCode k7_rate_half();
+
+  int constraint_length() const { return k_; }
+  std::size_t rate_denominator() const { return generators_.size(); }
+  int states() const { return 1 << (k_ - 1); }
+
+  /// Encodes `bits`, appending K-1 flush zeros so the trellis terminates
+  /// in state 0. Output length = (bits.size() + K - 1) * generators.
+  std::vector<std::uint8_t> encode(std::span<const std::uint8_t> bits) const;
+
+  /// Hard-decision Viterbi decode of a terminated codeword; returns the
+  /// information bits (flush bits stripped). Throws if the codeword
+  /// length is not a whole number of branches or too short.
+  std::vector<std::uint8_t> decode(std::span<const std::uint8_t> coded) const;
+
+  /// Soft-decision Viterbi decode from log-likelihood ratios, one per
+  /// coded bit, with the convention llr > 0 <=> bit 0 more likely. A zero
+  /// LLR is an erasure (used for punctured positions). Same framing rules
+  /// as decode().
+  std::vector<std::uint8_t> decode_soft(std::span<const double> llrs) const;
+
+ private:
+  /// Output bits of a branch from `state` with input `bit`.
+  std::uint32_t branch_output(int state, int bit) const;
+
+  int k_;
+  std::vector<std::uint32_t> generators_;
+};
+
+/// Puncturing: raises the rate of a mother code by deleting coded bits in
+/// a repeating pattern (true = transmit). E.g. the standard rate-3/4
+/// pattern over a rate-1/2 mother code is {1,1,0,1,1,0}.
+std::vector<std::uint8_t> puncture(std::span<const std::uint8_t> coded,
+                                   std::span<const bool> pattern);
+
+/// Inverse for the soft path: re-inserts erasures (LLR 0) at punctured
+/// positions so decode_soft() sees the mother code's framing.
+/// `coded_length` is the unpunctured length.
+std::vector<double> depuncture(std::span<const double> llrs, std::span<const bool> pattern,
+                               std::size_t coded_length);
+
+/// The standard rate-3/4 pattern for a rate-1/2 mother code.
+inline const bool kRate34Pattern[6] = {true, true, false, true, true, false};
+
+}  // namespace pdr::dsp

@@ -1,0 +1,36 @@
+#include "dsp/crc.hpp"
+
+#include <array>
+
+namespace pdr::dsp {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+void Crc32::update_byte(std::uint8_t byte) {
+  state_ = kTable[(state_ ^ byte) & 0xffu] ^ (state_ >> 8);
+}
+
+void Crc32::update(std::span<const std::uint8_t> data) {
+  for (std::uint8_t b : data) update_byte(b);
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  Crc32 crc;
+  crc.update(data);
+  return crc.value();
+}
+
+}  // namespace pdr::dsp

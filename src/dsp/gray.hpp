@@ -1,0 +1,18 @@
+// Gray code conversion used by the QPSK / QAM-16 constellation mappers.
+#pragma once
+
+#include <cstdint>
+
+namespace pdr::dsp {
+
+/// Binary -> Gray.
+constexpr std::uint32_t gray_encode(std::uint32_t b) { return b ^ (b >> 1); }
+
+/// Gray -> binary.
+constexpr std::uint32_t gray_decode(std::uint32_t g) {
+  std::uint32_t b = g;
+  for (std::uint32_t shift = 1; shift < 32; shift <<= 1) b ^= b >> shift;
+  return b;
+}
+
+}  // namespace pdr::dsp

@@ -1,0 +1,41 @@
+#include "dsp/prbs.hpp"
+
+#include "util/error.hpp"
+
+namespace pdr::dsp {
+
+Prbs::Prbs(Kind kind, std::uint32_t seed) {
+  switch (kind) {
+    case Kind::Prbs7:
+      degree_ = 7;
+      tap_ = 6;
+      break;
+    case Kind::Prbs15:
+      degree_ = 15;
+      tap_ = 14;
+      break;
+    case Kind::Prbs23:
+      degree_ = 23;
+      tap_ = 18;
+      break;
+    default:
+      raise("Prbs", "unknown kind");
+  }
+  state_ = seed & ((1u << degree_) - 1);
+  PDR_CHECK(state_ != 0, "Prbs", "seed must be nonzero within register width");
+}
+
+int Prbs::next_bit() {
+  // Fibonacci form, e.g. PRBS7: new = s[6] ^ s[5]; s = (s << 1) | new.
+  const unsigned fb = ((state_ >> (degree_ - 1)) ^ (state_ >> (tap_ - 1))) & 1u;
+  state_ = ((state_ << 1) | fb) & ((1u << degree_) - 1);
+  return static_cast<int>(fb);
+}
+
+std::vector<std::uint8_t> Prbs::bits(std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(next_bit());
+  return out;
+}
+
+}  // namespace pdr::dsp

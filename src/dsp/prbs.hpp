@@ -1,0 +1,36 @@
+// LFSR pseudo-random binary sequences (PRBS) used as bit sources.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pdr::dsp {
+
+/// Fibonacci LFSR emitting standard PRBS sequences.
+class Prbs {
+ public:
+  /// Standard generator polynomials.
+  enum class Kind {
+    Prbs7,   // x^7 + x^6 + 1
+    Prbs15,  // x^15 + x^14 + 1
+    Prbs23,  // x^23 + x^18 + 1
+  };
+
+  explicit Prbs(Kind kind, std::uint32_t seed = 1);
+
+  /// Next bit (0/1).
+  int next_bit();
+
+  /// Next `n` bits.
+  std::vector<std::uint8_t> bits(std::size_t n);
+
+  /// Sequence period for this kind (2^degree - 1).
+  std::uint32_t period() const { return (1u << degree_) - 1; }
+
+ private:
+  std::uint32_t state_;
+  unsigned degree_;
+  unsigned tap_;  // second feedback tap position (1-based from LSB side)
+};
+
+}  // namespace pdr::dsp

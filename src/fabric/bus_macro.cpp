@@ -1,0 +1,33 @@
+#include "fabric/bus_macro.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace pdr::fabric {
+
+int bus_macros_needed(int signal_count) {
+  PDR_CHECK(signal_count >= 0, "bus_macros_needed", "negative signal count");
+  return (signal_count + kBusMacroWidth - 1) / kBusMacroWidth;
+}
+
+std::vector<BusMacro> plan_bus_macros(const std::string& region_name, int boundary_col,
+                                      int in_signals, int out_signals, int max_row_bands) {
+  const int n_in = bus_macros_needed(in_signals);
+  const int n_out = bus_macros_needed(out_signals);
+  PDR_CHECK(n_in + n_out <= max_row_bands, "plan_bus_macros",
+            strprintf("region %s needs %d bus macros at column %d but only %d row bands exist",
+                      region_name.c_str(), n_in + n_out, boundary_col, max_row_bands));
+  std::vector<BusMacro> out;
+  int band = 0;
+  for (int i = 0; i < n_in; ++i) {
+    out.push_back(BusMacro{strprintf("%s_bm_in%d", region_name.c_str(), i), boundary_col, band++,
+                           BusMacroDir::LeftToRight});
+  }
+  for (int i = 0; i < n_out; ++i) {
+    out.push_back(BusMacro{strprintf("%s_bm_out%d", region_name.c_str(), i), boundary_col, band++,
+                           BusMacroDir::RightToLeft});
+  }
+  return out;
+}
+
+}  // namespace pdr::fabric

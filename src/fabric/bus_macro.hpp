@@ -1,0 +1,46 @@
+// Bus macros: the fixed routing bridges between static and reconfigurable
+// regions.
+//
+// The paper (§5): "The communications between static and dynamic parts use
+// a special bus macro. This bus is a fixed routing bridge between two
+// sides and is pre-routed. The current implementation of the bus macro
+// uses eight 3-state buffers, their position exactly straddles the
+// dividing line between designs."
+//
+// We model a bus macro as an 8-signal bridge pinned at a CLB column
+// boundary. A floorplan must provision enough macros at each region edge
+// to carry every signal crossing it; the placer computes that from module
+// port widths.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pdr::fabric {
+
+/// Signals carried by one bus macro (eight 3-state buffers).
+inline constexpr int kBusMacroWidth = 8;
+
+enum class BusMacroDir : std::uint8_t { LeftToRight, RightToLeft };
+
+/// One pre-routed bus macro instance.
+struct BusMacro {
+  std::string name;
+  int boundary_col = 0;  ///< straddles the boundary between CLB columns boundary_col-1 | boundary_col
+  int row_band = 0;      ///< vertical position index (0 = bottom band)
+  BusMacroDir dir = BusMacroDir::LeftToRight;
+};
+
+/// Computes how many bus macros are needed to carry `signal_count` signals
+/// in one direction (ceil division by the macro width).
+int bus_macros_needed(int signal_count);
+
+/// Plans bus macro instances for a region edge: `in_signals` entering the
+/// region and `out_signals` leaving it across the boundary at
+/// `boundary_col`. Row bands are assigned sequentially from the bottom.
+/// Throws if more macros are requested than `max_row_bands` can hold.
+std::vector<BusMacro> plan_bus_macros(const std::string& region_name, int boundary_col,
+                                      int in_signals, int out_signals, int max_row_bands);
+
+}  // namespace pdr::fabric

@@ -1,0 +1,45 @@
+#include "fabric/config_memory.hpp"
+
+#include "util/error.hpp"
+
+namespace pdr::fabric {
+
+ConfigMemory::ConfigMemory(const DeviceModel& device)
+    : device_(device),
+      map_(device),
+      frames_(static_cast<std::size_t>(device.total_frames()),
+              std::vector<std::uint8_t>(static_cast<std::size_t>(device.frame_bytes()), 0)),
+      owners_(static_cast<std::size_t>(device.total_frames())) {}
+
+void ConfigMemory::write_frame(const FrameAddress& addr, std::span<const std::uint8_t> data) {
+  PDR_CHECK(data.size() == static_cast<std::size_t>(device_.frame_bytes()), "ConfigMemory",
+            "frame data size mismatch");
+  const auto i = static_cast<std::size_t>(map_.linear_index(addr));
+  frames_[i].assign(data.begin(), data.end());
+  owners_[i] = writer_tag_;
+  ++frames_written_;
+}
+
+std::span<const std::uint8_t> ConfigMemory::read_frame(const FrameAddress& addr) const {
+  return frames_[static_cast<std::size_t>(map_.linear_index(addr))];
+}
+
+const std::string& ConfigMemory::frame_owner(const FrameAddress& addr) const {
+  return owners_[static_cast<std::size_t>(map_.linear_index(addr))];
+}
+
+void ConfigMemory::flip_bit(const FrameAddress& addr, int byte_index, int bit) {
+  PDR_CHECK(byte_index >= 0 && byte_index < device_.frame_bytes(), "ConfigMemory::flip_bit",
+            "byte index out of range");
+  PDR_CHECK(bit >= 0 && bit < 8, "ConfigMemory::flip_bit", "bit index out of range");
+  const auto i = static_cast<std::size_t>(map_.linear_index(addr));
+  frames_[i][static_cast<std::size_t>(byte_index)] ^= static_cast<std::uint8_t>(1u << bit);
+}
+
+bool ConfigMemory::region_owned_by(std::span<const FrameAddress> addrs, const std::string& tag) const {
+  for (const auto& a : addrs)
+    if (frame_owner(a) != tag) return false;
+  return true;
+}
+
+}  // namespace pdr::fabric

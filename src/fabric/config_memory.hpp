@@ -1,0 +1,59 @@
+// Device configuration memory.
+//
+// Holds the current contents of every configuration frame and, per frame,
+// the name of the module whose bitstream last wrote it. This is how the
+// simulation observes which module is "physically" present in a
+// reconfigurable region at any instant.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fabric/bitstream.hpp"
+#include "fabric/frames.hpp"
+
+namespace pdr::fabric {
+
+class ConfigMemory : public BitstreamReader::Sink {
+ public:
+  explicit ConfigMemory(const DeviceModel& device);
+
+  const DeviceModel& device() const { return device_; }
+
+  /// BitstreamReader sink: stores the frame and tags it with the pending
+  /// writer tag (see set_writer_tag).
+  void write_frame(const FrameAddress& addr, std::span<const std::uint8_t> data) override;
+
+  /// Tag recorded on every subsequent frame write (typically the module
+  /// name whose bitstream is being loaded).
+  void set_writer_tag(std::string tag) { writer_tag_ = std::move(tag); }
+
+  /// Readback of one frame.
+  std::span<const std::uint8_t> read_frame(const FrameAddress& addr) const;
+
+  /// Owner tag of a frame ("" if never written).
+  const std::string& frame_owner(const FrameAddress& addr) const;
+
+  /// Number of frames ever written.
+  int frames_written() const { return frames_written_; }
+
+  /// True if every frame in `addrs` is owned by `tag`.
+  bool region_owned_by(std::span<const FrameAddress> addrs, const std::string& tag) const;
+
+  /// Flips one bit of a stored frame — a single-event upset (SEU) model
+  /// for scrubbing experiments. The owner tag is unchanged: corruption is
+  /// invisible to bookkeeping, only to payload verification.
+  void flip_bit(const FrameAddress& addr, int byte_index, int bit);
+
+ private:
+  DeviceModel device_;
+  FrameMap map_;
+  std::vector<std::vector<std::uint8_t>> frames_;
+  std::vector<std::string> owners_;
+  std::string writer_tag_;
+  int frames_written_ = 0;
+};
+
+}  // namespace pdr::fabric

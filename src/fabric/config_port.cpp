@@ -1,0 +1,58 @@
+#include "fabric/config_port.hpp"
+
+#include "util/error.hpp"
+
+namespace pdr::fabric {
+
+const char* port_kind_name(PortKind kind) {
+  switch (kind) {
+    case PortKind::Icap: return "ICAP";
+    case PortKind::SelectMap: return "SelectMAP";
+    case PortKind::Jtag: return "JTAG";
+  }
+  return "?";
+}
+
+ConfigPort::ConfigPort(PortKind kind, PortTiming timing, ConfigMemory& memory)
+    : kind_(kind), timing_(timing), memory_(memory) {
+  PDR_CHECK(timing_.width_bits > 0 && timing_.clock_hz > 0, "ConfigPort", "invalid timing");
+}
+
+PortTiming ConfigPort::default_timing(PortKind kind) {
+  switch (kind) {
+    case PortKind::Icap: return PortTiming{8, 66e6, 500};
+    case PortKind::SelectMap: return PortTiming{8, 50e6, 1000};
+    case PortKind::Jtag: return PortTiming{1, 33e6, 2000};
+  }
+  return PortTiming{};
+}
+
+TimeNs ConfigPort::transfer_time(Bytes bytes) const {
+  const auto bits = static_cast<double>(bytes) * 8.0;
+  const double cycles = bits / static_cast<double>(timing_.width_bits);
+  const double ns = cycles * 1e9 / timing_.clock_hz;
+  const auto whole = static_cast<TimeNs>(ns);
+  return timing_.setup_overhead + ((static_cast<double>(whole) < ns) ? whole + 1 : whole);
+}
+
+double ConfigPort::bandwidth_bytes_per_s() const {
+  return timing_.clock_hz * static_cast<double>(timing_.width_bits) / 8.0;
+}
+
+LoadReport ConfigPort::load(std::span<const std::uint8_t> stream, const std::string& module_tag) {
+  memory_.set_writer_tag(module_tag);
+  BitstreamReader reader(memory_.device(), memory_);
+  const ParseResult parsed = reader.parse(stream);
+
+  LoadReport report;
+  report.stream_bytes = stream.size();
+  report.frames_written = parsed.frames_written;
+  report.duration = transfer_time(stream.size());
+
+  ++loads_;
+  total_busy_ += report.duration;
+  total_bytes_ += report.stream_bytes;
+  return report;
+}
+
+}  // namespace pdr::fabric

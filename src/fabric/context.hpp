@@ -1,0 +1,32 @@
+// Module context save / restore.
+//
+// A reconfigurable module's configuration frames ARE its state (LUT RAM,
+// SRL contents, BRAM data live in the configuration plane on Virtex-II).
+// Capturing a region's frames into a bitstream-formatted snapshot and
+// replaying it later — possibly into a congruent region elsewhere, via
+// relocate_bitstream — is the standard mechanism for task preemption and
+// migration on partially reconfigurable fabrics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fabric/config_memory.hpp"
+#include "fabric/floorplan.hpp"
+
+namespace pdr::fabric {
+
+/// Reads region `region_name`'s current frames out of `memory` and packs
+/// them as a loadable partial bitstream (readback + repackaging).
+std::vector<std::uint8_t> snapshot_region(const ConfigMemory& memory, const Floorplan& plan,
+                                          const std::string& region_name);
+
+/// Restores a snapshot into `region_name` via the given port-less direct
+/// write (tags frames with `tag`). The snapshot must cover exactly the
+/// region's frames. Returns the number of frames restored.
+int restore_region(ConfigMemory& memory, const Floorplan& plan, const std::string& region_name,
+                   std::span<const std::uint8_t> snapshot, const std::string& tag);
+
+}  // namespace pdr::fabric

@@ -1,0 +1,40 @@
+#include "fabric/device.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace pdr::fabric {
+namespace {
+
+DeviceModel base(std::string name, int rows, int cols, int bram_cols, int brams_per_col,
+                 std::uint32_t idcode) {
+  DeviceModel d;
+  d.name = std::move(name);
+  d.clb_rows = rows;
+  d.clb_cols = cols;
+  d.bram_cols = bram_cols;
+  d.brams_per_col = brams_per_col;
+  d.idcode = idcode;
+  return d;
+}
+
+}  // namespace
+
+DeviceModel xc2v1000() { return base("XC2V1000", 40, 32, 4, 10, 0x01028093u); }
+
+DeviceModel xc2v2000() { return base("XC2V2000", 56, 48, 4, 14, 0x01038093u); }
+
+DeviceModel xc2v3000() { return base("XC2V3000", 64, 56, 6, 16, 0x01040093u); }
+
+DeviceModel xc2v6000() { return base("XC2V6000", 96, 88, 6, 24, 0x01060093u); }
+
+DeviceModel device_by_name(const std::string& name) {
+  const std::string n = to_lower(name);
+  if (n == "xc2v1000") return xc2v1000();
+  if (n == "xc2v2000") return xc2v2000();
+  if (n == "xc2v3000") return xc2v3000();
+  if (n == "xc2v6000") return xc2v6000();
+  raise("device_by_name", "unknown device '" + name + "'");
+}
+
+}  // namespace pdr::fabric

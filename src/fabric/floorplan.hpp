@@ -1,0 +1,85 @@
+// Device floorplan: static area plus full-height reconfigurable regions.
+//
+// The paper's Modular-Design placement rules (§5) are enforced here:
+//  - a reconfigurable module spans the full height of the device,
+//  - its width is at least four slices (= two CLB columns, since a
+//    Virtex-II CLB column is two slice-columns wide),
+//  - regions do not overlap,
+//  - static/dynamic signals cross only through bus macros pinned at the
+//    region boundaries.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fabric/bus_macro.hpp"
+#include "fabric/device.hpp"
+#include "fabric/frames.hpp"
+
+namespace pdr::fabric {
+
+/// Minimum reconfigurable-region width: 4 slice-columns = 2 CLB columns.
+inline constexpr int kMinReconfigClbCols = 2;
+
+/// One full-height column range of the device.
+struct Region {
+  std::string name;
+  int col_lo = 0;  ///< first CLB column (inclusive)
+  int col_hi = 0;  ///< last CLB column (inclusive)
+  bool reconfigurable = false;
+  std::vector<BusMacro> bus_macros;  ///< bridges at this region's edges
+
+  int width_cols() const { return col_hi - col_lo + 1; }
+  /// Width in slice-columns (the unit the paper's 4-slice rule uses).
+  int width_slice_cols() const { return width_cols() * 2; }
+};
+
+class Floorplan {
+ public:
+  explicit Floorplan(DeviceModel device);
+
+  const DeviceModel& device() const { return device_; }
+  const FrameMap& frame_map() const { return frames_; }
+
+  /// Adds a region; validates the placement rules above. For
+  /// reconfigurable regions, plans bus macros for `in_signals` /
+  /// `out_signals` crossing each of its boundaries with the static area.
+  const Region& add_region(const std::string& name, int col_lo, int col_hi, bool reconfigurable,
+                           int in_signals = 0, int out_signals = 0);
+
+  const Region& region(const std::string& name) const;
+  const Region* find_region(const std::string& name) const;
+  const std::vector<Region>& regions() const { return regions_; }
+
+  std::vector<const Region*> reconfigurable_regions() const;
+
+  /// CLB columns not covered by any region (available static area).
+  std::vector<int> free_columns() const;
+
+  /// All configuration frames of a region (CLB + interleaved BRAM cols).
+  std::vector<FrameAddress> region_frames(const std::string& name) const;
+
+  /// Frame-data payload bytes of a partial bitstream covering the region.
+  Bytes region_payload_bytes(const std::string& name) const;
+
+  /// Region frames as a fraction of total device frames (the paper quotes
+  /// its dynamic region as 8 % of the FPGA).
+  double region_fraction(const std::string& name) const;
+
+  /// Slices available in a region.
+  int region_slices(const std::string& name) const;
+
+  /// ASCII rendering of the column map, e.g. "SSSS DDDD SSSS..." — used by
+  /// examples to show the resulting floorplan.
+  std::string render() const;
+
+ private:
+  void check_overlap(int col_lo, int col_hi) const;
+
+  DeviceModel device_;
+  FrameMap frames_;
+  std::vector<Region> regions_;
+};
+
+}  // namespace pdr::fabric

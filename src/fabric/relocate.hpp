@@ -1,0 +1,34 @@
+// Partial-bitstream relocation.
+//
+// A classic partial-reconfiguration capability: take the partial
+// bitstream of a module placed in one full-height region and retarget it
+// to another region of identical shape by rewriting the frame addresses
+// (and resealing the CRC), without re-running synthesis or placement.
+// With one stored bitstream a module can then occupy any compatible
+// region — the natural companion to the paper's "more than one dynamic
+// part" extension.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fabric/bitstream.hpp"
+#include "fabric/floorplan.hpp"
+
+namespace pdr::fabric {
+
+/// Rewrites `stream` (a valid partial bitstream for `from`) so it targets
+/// `to`. Both regions must have the same width and cover the same frame
+/// pattern (same CLB frame count and identical interleaved BRAM columns,
+/// else the frame sets are not congruent). Throws pdr::Error when the
+/// regions are incompatible or the stream is malformed.
+std::vector<std::uint8_t> relocate_bitstream(const Floorplan& plan,
+                                             std::span<const std::uint8_t> stream,
+                                             const std::string& from, const std::string& to);
+
+/// True if a bitstream for `from` can be relocated to `to` on this
+/// floorplan (same width, congruent frame layout).
+bool regions_congruent(const Floorplan& plan, const std::string& from, const std::string& to);
+
+}  // namespace pdr::fabric

@@ -1,0 +1,205 @@
+// Generic directed graph with typed vertex and edge payloads.
+//
+// Both AAA graphs (the data-flow algorithm graph and the architecture
+// graph) are instances of Digraph. Vertices and edges are addressed by
+// dense integer ids that stay valid for the life of the graph (no removal
+// compaction; removed slots are tombstoned).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace pdr::graph {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+inline constexpr EdgeId kNoEdge = static_cast<EdgeId>(-1);
+
+template <typename V, typename E>
+class Digraph {
+ public:
+  struct Node {
+    V value;
+    std::vector<EdgeId> out;
+    std::vector<EdgeId> in;
+    bool alive = true;
+  };
+  struct Edge {
+    E value;
+    NodeId from = kNoNode;
+    NodeId to = kNoNode;
+    bool alive = true;
+  };
+
+  NodeId add_node(V value) {
+    nodes_.push_back(Node{std::move(value), {}, {}, true});
+    return static_cast<NodeId>(nodes_.size() - 1);
+  }
+
+  EdgeId add_edge(NodeId from, NodeId to, E value) {
+    PDR_CHECK(valid(from) && valid(to), "Digraph::add_edge", "endpoint does not exist");
+    edges_.push_back(Edge{std::move(value), from, to, true});
+    const auto id = static_cast<EdgeId>(edges_.size() - 1);
+    nodes_[from].out.push_back(id);
+    nodes_[to].in.push_back(id);
+    return id;
+  }
+
+  /// Tombstones a node and all incident edges.
+  void remove_node(NodeId n) {
+    PDR_CHECK(valid(n), "Digraph::remove_node", "node does not exist");
+    for (EdgeId e : nodes_[n].out) edges_[e].alive = false;
+    for (EdgeId e : nodes_[n].in) edges_[e].alive = false;
+    nodes_[n].alive = false;
+  }
+
+  void remove_edge(EdgeId e) {
+    PDR_CHECK(e < edges_.size() && edges_[e].alive, "Digraph::remove_edge", "edge does not exist");
+    edges_[e].alive = false;
+  }
+
+  bool valid(NodeId n) const { return n < nodes_.size() && nodes_[n].alive; }
+  bool valid_edge(EdgeId e) const { return e < edges_.size() && edges_[e].alive; }
+
+  V& operator[](NodeId n) {
+    PDR_CHECK(valid(n), "Digraph", "node does not exist");
+    return nodes_[n].value;
+  }
+  const V& operator[](NodeId n) const {
+    PDR_CHECK(valid(n), "Digraph", "node does not exist");
+    return nodes_[n].value;
+  }
+  E& edge(EdgeId e) {
+    PDR_CHECK(valid_edge(e), "Digraph", "edge does not exist");
+    return edges_[e].value;
+  }
+  const E& edge(EdgeId e) const {
+    PDR_CHECK(valid_edge(e), "Digraph", "edge does not exist");
+    return edges_[e].value;
+  }
+
+  NodeId edge_from(EdgeId e) const {
+    PDR_CHECK(valid_edge(e), "Digraph", "edge does not exist");
+    return edges_[e].from;
+  }
+  NodeId edge_to(EdgeId e) const {
+    PDR_CHECK(valid_edge(e), "Digraph", "edge does not exist");
+    return edges_[e].to;
+  }
+
+  /// Live out-edges of n.
+  std::vector<EdgeId> out_edges(NodeId n) const { return live_edges(nodes_.at(n).out); }
+  /// Live in-edges of n.
+  std::vector<EdgeId> in_edges(NodeId n) const { return live_edges(nodes_.at(n).in); }
+
+  /// Live successor node ids of n (with duplicates if parallel edges exist).
+  std::vector<NodeId> successors(NodeId n) const {
+    std::vector<NodeId> out;
+    for (EdgeId e : out_edges(n)) out.push_back(edges_[e].to);
+    return out;
+  }
+  std::vector<NodeId> predecessors(NodeId n) const {
+    std::vector<NodeId> out;
+    for (EdgeId e : in_edges(n)) out.push_back(edges_[e].from);
+    return out;
+  }
+
+  std::size_t node_count() const {
+    return static_cast<std::size_t>(std::count_if(nodes_.begin(), nodes_.end(), [](const Node& n) { return n.alive; }));
+  }
+  std::size_t edge_count() const {
+    return static_cast<std::size_t>(std::count_if(edges_.begin(), edges_.end(), [](const Edge& e) { return e.alive; }));
+  }
+
+  /// All live node ids in insertion order.
+  std::vector<NodeId> node_ids() const {
+    std::vector<NodeId> out;
+    for (NodeId n = 0; n < nodes_.size(); ++n)
+      if (nodes_[n].alive) out.push_back(n);
+    return out;
+  }
+  std::vector<EdgeId> edge_ids() const {
+    std::vector<EdgeId> out;
+    for (EdgeId e = 0; e < edges_.size(); ++e)
+      if (edges_[e].alive) out.push_back(e);
+    return out;
+  }
+
+  /// Kahn topological order; empty optional if the live graph has a cycle.
+  std::optional<std::vector<NodeId>> topological_order() const {
+    std::vector<std::size_t> indeg(nodes_.size(), 0);
+    std::vector<NodeId> ready;
+    for (NodeId n : node_ids()) {
+      indeg[n] = in_edges(n).size();
+      if (indeg[n] == 0) ready.push_back(n);
+    }
+    std::vector<NodeId> order;
+    order.reserve(node_count());
+    for (std::size_t head = 0; head < ready.size(); ++head) {
+      const NodeId n = ready[head];
+      order.push_back(n);
+      for (NodeId s : successors(n))
+        if (--indeg[s] == 0) ready.push_back(s);
+    }
+    if (order.size() != node_count()) return std::nullopt;
+    return order;
+  }
+
+  bool is_acyclic() const { return topological_order().has_value(); }
+
+  /// Longest path length with per-node weights; requires acyclic graph.
+  /// Returns per-node "distance to sink" (node weight included), i.e. the
+  /// critical-path remainder used by list schedulers.
+  std::vector<double> critical_path_remainder(const std::function<double(NodeId)>& weight) const {
+    auto order = topological_order();
+    PDR_CHECK(order.has_value(), "Digraph::critical_path_remainder", "graph has a cycle");
+    std::vector<double> dist(nodes_.size(), 0.0);
+    for (auto it = order->rbegin(); it != order->rend(); ++it) {
+      const NodeId n = *it;
+      double best = 0.0;
+      for (NodeId s : successors(n)) best = std::max(best, dist[s]);
+      dist[n] = weight(n) + best;
+    }
+    return dist;
+  }
+
+  /// All nodes reachable from n (excluding n itself unless on a cycle).
+  std::vector<NodeId> reachable_from(NodeId n) const {
+    std::vector<bool> seen(nodes_.size(), false);
+    std::vector<NodeId> stack{n};
+    std::vector<NodeId> out;
+    while (!stack.empty()) {
+      const NodeId cur = stack.back();
+      stack.pop_back();
+      for (NodeId s : successors(cur)) {
+        if (!seen[s]) {
+          seen[s] = true;
+          out.push_back(s);
+          stack.push_back(s);
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::vector<EdgeId> live_edges(const std::vector<EdgeId>& ids) const {
+    std::vector<EdgeId> out;
+    out.reserve(ids.size());
+    for (EdgeId e : ids)
+      if (edges_[e].alive) out.push_back(e);
+    return out;
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace pdr::graph

@@ -1,0 +1,41 @@
+#include "graph/dot.hpp"
+
+#include "util/strings.hpp"
+
+namespace pdr::graph {
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const std::string& graph_name, const std::vector<DotNode>& nodes,
+                   const std::vector<DotEdge>& edges) {
+  std::string out = "digraph " + identifier(graph_name) + " {\n";
+  out += "  rankdir=LR;\n  node [fontname=\"monospace\"];\n";
+  for (const auto& n : nodes) {
+    out += "  " + identifier(n.id) + " [label=\"" + escape(n.label) + "\", shape=" + n.shape;
+    if (!n.color.empty()) out += ", style=filled, fillcolor=\"" + escape(n.color) + "\"";
+    out += "];\n";
+  }
+  for (const auto& e : edges) {
+    out += "  " + identifier(e.from) + " -> " + identifier(e.to);
+    std::string attrs;
+    if (!e.label.empty()) attrs += "label=\"" + escape(e.label) + "\"";
+    if (e.dashed) attrs += std::string(attrs.empty() ? "" : ", ") + "style=dashed";
+    if (!attrs.empty()) out += " [" + attrs + "]";
+    out += ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace pdr::graph

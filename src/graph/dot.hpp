@@ -1,0 +1,29 @@
+// Graphviz DOT export for pdr graphs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pdr::graph {
+
+/// One node of a DOT rendering.
+struct DotNode {
+  std::string id;
+  std::string label;
+  std::string shape = "box";   // graphviz shape name
+  std::string color;           // optional fill color
+};
+
+/// One edge of a DOT rendering.
+struct DotEdge {
+  std::string from;
+  std::string to;
+  std::string label;
+  bool dashed = false;
+};
+
+/// Renders a digraph description as Graphviz DOT text.
+std::string to_dot(const std::string& graph_name, const std::vector<DotNode>& nodes,
+                   const std::vector<DotEdge>& edges);
+
+}  // namespace pdr::graph

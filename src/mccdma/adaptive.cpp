@@ -1,0 +1,37 @@
+#include "mccdma/adaptive.hpp"
+
+#include "util/error.hpp"
+
+namespace pdr::mccdma {
+
+AdaptiveController::AdaptiveController(Config config)
+    : config_(std::move(config)), active_(config_.low_mod) {
+  PDR_CHECK(config_.down_threshold_db < config_.up_threshold_db, "AdaptiveController",
+            "hysteresis requires down threshold below up threshold");
+  PDR_CHECK(config_.guard_db >= 0.0, "AdaptiveController", "guard band must be non-negative");
+}
+
+AdaptiveController::Decision AdaptiveController::update(double snr_db) {
+  Decision d;
+  const bool low_active = active_ == config_.low_mod;
+
+  if (low_active && snr_db >= config_.up_threshold_db) {
+    active_ = config_.high_mod;
+    d.switched = true;
+    ++switches_;
+  } else if (!low_active && snr_db <= config_.down_threshold_db) {
+    active_ = config_.low_mod;
+    d.switched = true;
+    ++switches_;
+  } else if (low_active && snr_db >= config_.up_threshold_db - config_.guard_db) {
+    // Drifting up towards the switch point: warn the prefetcher.
+    d.announce = config_.high_mod;
+  } else if (!low_active && snr_db <= config_.down_threshold_db + config_.guard_db) {
+    d.announce = config_.low_mod;
+  }
+
+  d.active = active_;
+  return d;
+}
+
+}  // namespace pdr::mccdma

@@ -1,0 +1,51 @@
+// Adaptive modulation controller.
+//
+// The DSP measures SNR and selects the modulation of each OFDM symbol
+// (paper §6). This controller adds two standard refinements that make the
+// reconfiguration workload realistic:
+//  - hysteresis around the switching threshold, so channel noise does not
+//    cause modulation ping-pong (each switch costs a ~4 ms
+//    reconfiguration);
+//  - a guard band: when the SNR drifts within `guard_db` of a switching
+//    boundary, the controller emits an *announcement* of the likely next
+//    modulation — the early warning the reconfiguration manager's
+//    prefetcher turns into hidden loading time.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pdr::mccdma {
+
+class AdaptiveController {
+ public:
+  struct Config {
+    double up_threshold_db = 14.0;   ///< switch QPSK -> QAM-16 above this
+    double down_threshold_db = 10.0; ///< switch QAM-16 -> QPSK below this
+    double guard_db = 2.0;           ///< announce when this close to a switch
+    std::string low_mod = "qpsk";
+    std::string high_mod = "qam16";
+  };
+
+  struct Decision {
+    std::string active;                   ///< modulation for the next symbol
+    bool switched = false;                ///< active changed this step
+    std::optional<std::string> announce;  ///< prefetch hint, if any
+  };
+
+  explicit AdaptiveController(Config config);
+
+  /// Decides the modulation given the latest SNR measurement.
+  Decision update(double snr_db);
+
+  const std::string& active() const { return active_; }
+  int switches() const { return switches_; }
+
+ private:
+  Config config_;
+  std::string active_;
+  int switches_ = 0;
+};
+
+}  // namespace pdr::mccdma

@@ -1,0 +1,38 @@
+#include "mccdma/ofdm.hpp"
+
+#include <cmath>
+
+#include "dsp/fft.hpp"
+#include "util/error.hpp"
+
+namespace pdr::mccdma {
+
+OfdmModulator::OfdmModulator(const McCdmaParams& params) : params_(params) { params_.validate(); }
+
+std::vector<Cplx> OfdmModulator::modulate(std::span<const Cplx> chips) const {
+  PDR_CHECK(chips.size() == params_.n_subcarriers, "OfdmModulator::modulate", "chip count mismatch");
+  std::vector<Cplx> freq(chips.begin(), chips.end());
+  dsp::ifft(freq);  // includes 1/N
+  const double unitary = std::sqrt(static_cast<double>(params_.n_subcarriers));
+  for (auto& s : freq) s *= unitary;  // -> 1/sqrt(N) overall
+
+  std::vector<Cplx> out;
+  out.reserve(params_.samples_per_symbol());
+  // Cyclic prefix: last cp samples first.
+  out.insert(out.end(), freq.end() - static_cast<std::ptrdiff_t>(params_.cyclic_prefix), freq.end());
+  out.insert(out.end(), freq.begin(), freq.end());
+  return out;
+}
+
+std::vector<Cplx> OfdmModulator::demodulate(std::span<const Cplx> samples) const {
+  PDR_CHECK(samples.size() == params_.samples_per_symbol(), "OfdmModulator::demodulate",
+            "sample count mismatch");
+  std::vector<Cplx> body(samples.begin() + static_cast<std::ptrdiff_t>(params_.cyclic_prefix),
+                         samples.end());
+  dsp::fft(body);
+  const double unitary = 1.0 / std::sqrt(static_cast<double>(params_.n_subcarriers));
+  for (auto& c : body) c *= unitary;
+  return body;
+}
+
+}  // namespace pdr::mccdma

@@ -1,0 +1,30 @@
+// OFDM modulation: IFFT + cyclic prefix (and the inverse).
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "mccdma/params.hpp"
+
+namespace pdr::mccdma {
+
+using Cplx = std::complex<double>;
+
+class OfdmModulator {
+ public:
+  explicit OfdmModulator(const McCdmaParams& params);
+
+  /// Frequency-domain chips -> time-domain samples with cyclic prefix.
+  /// Uses the unitary (1/sqrt(N)) convention so chip and sample energies
+  /// match.
+  std::vector<Cplx> modulate(std::span<const Cplx> chips) const;
+
+  /// Time samples (with CP) -> frequency-domain chips.
+  std::vector<Cplx> demodulate(std::span<const Cplx> samples) const;
+
+ private:
+  McCdmaParams params_;
+};
+
+}  // namespace pdr::mccdma

@@ -1,0 +1,23 @@
+#include "mccdma/params.hpp"
+
+#include "dsp/fft.hpp"
+#include "util/error.hpp"
+
+namespace pdr::mccdma {
+
+void McCdmaParams::validate() const {
+  PDR_CHECK(dsp::is_pow2(n_subcarriers), "McCdmaParams", "n_subcarriers must be a power of two");
+  PDR_CHECK(dsp::is_pow2(spreading_factor), "McCdmaParams",
+            "spreading_factor must be a power of two");
+  PDR_CHECK(spreading_factor <= n_subcarriers, "McCdmaParams",
+            "spreading_factor cannot exceed n_subcarriers");
+  PDR_CHECK(n_subcarriers % spreading_factor == 0, "McCdmaParams",
+            "spreading_factor must divide n_subcarriers");
+  PDR_CHECK(n_users >= 1 && n_users <= spreading_factor, "McCdmaParams",
+            "n_users must be in [1, spreading_factor]");
+  PDR_CHECK(cyclic_prefix < n_subcarriers, "McCdmaParams",
+            "cyclic prefix must be shorter than the symbol");
+  PDR_CHECK(sample_rate_hz > 0, "McCdmaParams", "sample rate must be positive");
+}
+
+}  // namespace pdr::mccdma

@@ -1,0 +1,40 @@
+// MC-CDMA system parameters.
+//
+// Defaults follow the 4G air-interface prototype the case study
+// implements (Le Nours, Nouvel & Hélard, EURASIP JASP 2004 — paper
+// ref. [3]): 64 subcarriers, Walsh spreading factor 16, 1/4 cyclic
+// prefix, 20 MHz sampling.
+#pragma once
+
+#include <cstddef>
+
+#include "util/units.hpp"
+
+namespace pdr::mccdma {
+
+struct McCdmaParams {
+  std::size_t n_subcarriers = 64;   ///< OFDM size (power of two)
+  std::size_t spreading_factor = 16;  ///< Walsh code length (power of two, <= n_subcarriers)
+  std::size_t cyclic_prefix = 16;   ///< CP length in samples
+  std::size_t n_users = 4;          ///< active users (<= spreading_factor)
+  double sample_rate_hz = 20e6;
+
+  /// Spread symbol groups per OFDM symbol (frequency-division of codes).
+  std::size_t groups() const { return n_subcarriers / spreading_factor; }
+
+  /// Data symbols carried per user per OFDM symbol.
+  std::size_t symbols_per_user() const { return groups(); }
+
+  /// Samples in one OFDM symbol including cyclic prefix.
+  std::size_t samples_per_symbol() const { return n_subcarriers + cyclic_prefix; }
+
+  /// Air time of one OFDM symbol.
+  TimeNs symbol_duration() const {
+    return static_cast<TimeNs>(static_cast<double>(samples_per_symbol()) * 1e9 / sample_rate_hz);
+  }
+
+  /// Checks structural validity (powers of two, user count, ...).
+  void validate() const;
+};
+
+}  // namespace pdr::mccdma

@@ -1,0 +1,52 @@
+#include "mccdma/spreading.hpp"
+
+#include <cmath>
+
+#include "dsp/walsh.hpp"
+#include "util/error.hpp"
+
+namespace pdr::mccdma {
+
+Spreader::Spreader(const McCdmaParams& params) : params_(params) {
+  params_.validate();
+  for (std::size_t u = 0; u < params_.n_users; ++u)
+    codes_.push_back(dsp::walsh_code(params_.spreading_factor, u));
+}
+
+std::vector<Cplx> Spreader::spread(const std::vector<std::vector<Cplx>>& user_symbols) const {
+  PDR_CHECK(user_symbols.size() == params_.n_users, "Spreader::spread", "user count mismatch");
+  for (const auto& symbols : user_symbols)
+    PDR_CHECK(symbols.size() == params_.symbols_per_user(), "Spreader::spread",
+              "symbols per user mismatch");
+
+  const std::size_t sf = params_.spreading_factor;
+  const double scale = 1.0 / std::sqrt(static_cast<double>(params_.n_users));
+  std::vector<Cplx> chips(params_.n_subcarriers, Cplx{0.0, 0.0});
+  for (std::size_t g = 0; g < params_.groups(); ++g) {
+    for (std::size_t u = 0; u < params_.n_users; ++u) {
+      const Cplx s = user_symbols[u][g] * scale;
+      for (std::size_t k = 0; k < sf; ++k)
+        chips[g * sf + k] += s * static_cast<double>(codes_[u][k]);
+    }
+  }
+  return chips;
+}
+
+std::vector<Cplx> Spreader::despread(std::span<const Cplx> chips, std::size_t user) const {
+  PDR_CHECK(chips.size() == params_.n_subcarriers, "Spreader::despread", "chip count mismatch");
+  PDR_CHECK(user < params_.n_users, "Spreader::despread", "user index out of range");
+
+  const std::size_t sf = params_.spreading_factor;
+  const double scale = std::sqrt(static_cast<double>(params_.n_users)) / static_cast<double>(sf);
+  std::vector<Cplx> symbols;
+  symbols.reserve(params_.groups());
+  for (std::size_t g = 0; g < params_.groups(); ++g) {
+    Cplx acc{0.0, 0.0};
+    for (std::size_t k = 0; k < sf; ++k)
+      acc += chips[g * sf + k] * static_cast<double>(codes_[user][k]);
+    symbols.push_back(acc * scale);
+  }
+  return symbols;
+}
+
+}  // namespace pdr::mccdma

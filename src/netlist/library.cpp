@@ -1,0 +1,129 @@
+#include "netlist/library.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace pdr::netlist {
+
+int clog2(int n) {
+  PDR_CHECK(n >= 1, "clog2", "argument must be >= 1");
+  int bits = 0;
+  while ((1 << bits) < n) ++bits;
+  return bits;
+}
+
+Netlist make_register(int width) {
+  PDR_CHECK(width > 0, "make_register", "width must be positive");
+  Netlist n(strprintf("reg%d", width));
+  n.add_port("d", width, PortDir::In).add_port("q", width, PortDir::Out);
+  n.add(PrimitiveKind::FlipFlop, width);
+  return n;
+}
+
+Netlist make_counter(int width) {
+  PDR_CHECK(width > 0, "make_counter", "width must be positive");
+  Netlist n(strprintf("counter%d", width));
+  n.add_port("en", 1, PortDir::In).add_port("q", width, PortDir::Out);
+  n.add(PrimitiveKind::Lut4, width).add(PrimitiveKind::FlipFlop, width);
+  return n;
+}
+
+Netlist make_adder(int width) {
+  PDR_CHECK(width > 0, "make_adder", "width must be positive");
+  Netlist n(strprintf("add%d", width));
+  n.add_port("a", width, PortDir::In).add_port("b", width, PortDir::In).add_port("s", width, PortDir::Out);
+  n.add(PrimitiveKind::Lut4, width);
+  return n;
+}
+
+Netlist make_comparator(int width) {
+  PDR_CHECK(width > 0, "make_comparator", "width must be positive");
+  Netlist n(strprintf("cmp%d", width));
+  n.add_port("a", width, PortDir::In).add_port("b", width, PortDir::In).add_port("eq", 1, PortDir::Out);
+  n.add(PrimitiveKind::Lut4, (width + 1) / 2);
+  return n;
+}
+
+Netlist make_mux(int width, int ways) {
+  PDR_CHECK(width > 0 && ways >= 2, "make_mux", "need positive width and >= 2 ways");
+  Netlist n(strprintf("mux%dx%d", ways, width));
+  for (int i = 0; i < ways; ++i) n.add_port(strprintf("in%d", i), width, PortDir::In);
+  n.add_port("sel", clog2(ways), PortDir::In).add_port("out", width, PortDir::Out);
+  n.add(PrimitiveKind::Lut4, width * (ways - 1));
+  return n;
+}
+
+Netlist make_shift_register(int width, int depth) {
+  PDR_CHECK(width > 0 && depth > 0, "make_shift_register", "width and depth must be positive");
+  Netlist n(strprintf("srl%dx%d", width, depth));
+  n.add_port("d", width, PortDir::In).add_port("q", width, PortDir::Out);
+  n.add(PrimitiveKind::Lut4, width * ((depth + 15) / 16));
+  return n;
+}
+
+Netlist make_rom(int depth, int width) {
+  PDR_CHECK(depth > 0 && width > 0, "make_rom", "depth and width must be positive");
+  Netlist n(strprintf("rom%dx%d", depth, width));
+  n.add_port("addr", clog2(depth), PortDir::In).add_port("data", width, PortDir::Out);
+  if (depth <= 64) {
+    // LUT ROM: a 4-input LUT stores 16 bits.
+    n.add(PrimitiveKind::Lut4, width * ((depth + 15) / 16));
+  } else {
+    const int bits = depth * width;
+    n.add(PrimitiveKind::Bram18, (bits + 18431) / 18432);
+  }
+  return n;
+}
+
+Netlist make_multiplier(int width) {
+  PDR_CHECK(width > 0, "make_multiplier", "width must be positive");
+  Netlist n(strprintf("mult%d", width));
+  n.add_port("a", width, PortDir::In).add_port("b", width, PortDir::In);
+  n.add_port("p", 2 * width, PortDir::Out);
+  const int blocks_per_dim = (width + 17) / 18;
+  n.add(PrimitiveKind::Mult18, blocks_per_dim * blocks_per_dim);
+  if (blocks_per_dim > 1) n.add(PrimitiveKind::Lut4, 2 * width);  // partial-product adders
+  return n;
+}
+
+Netlist make_fsm(int states, int inputs, int outputs) {
+  PDR_CHECK(states >= 2, "make_fsm", "an FSM needs at least 2 states");
+  PDR_CHECK(inputs >= 0 && outputs >= 0, "make_fsm", "negative port counts");
+  Netlist n(strprintf("fsm_s%d_i%d_o%d", states, inputs, outputs));
+  if (inputs > 0) n.add_port("in", inputs, PortDir::In);
+  if (outputs > 0) n.add_port("out", outputs, PortDir::Out);
+  n.add(PrimitiveKind::FlipFlop, clog2(states));
+  n.add(PrimitiveKind::Lut4, outputs + states / 2 + inputs + clog2(states));
+  return n;
+}
+
+Netlist make_fifo(int depth, int width) {
+  PDR_CHECK(depth >= 2 && width > 0, "make_fifo", "need depth >= 2 and positive width");
+  Netlist n(strprintf("fifo%dx%d", depth, width));
+  n.add_port("din", width, PortDir::In).add_port("wr", 1, PortDir::In);
+  n.add_port("dout", width, PortDir::Out).add_port("rd", 1, PortDir::In);
+  n.add_port("empty", 1, PortDir::Out).add_port("full", 1, PortDir::Out);
+  const int ptr = clog2(depth);
+  n.instantiate(make_counter(ptr), 2);
+  n.instantiate(make_comparator(ptr), 2);
+  if (depth * width > 1024) {
+    n.add(PrimitiveKind::Bram18, (depth * width + 18431) / 18432);
+  } else {
+    n.add(PrimitiveKind::Lut4, width * ((depth + 15) / 16));  // SRL16-based
+  }
+  return n;
+}
+
+Netlist make_ping_pong_buffer(int depth, int width) {
+  PDR_CHECK(depth >= 2 && width > 0, "make_ping_pong_buffer", "need depth >= 2 and positive width");
+  Netlist n(strprintf("pingpong%dx%d", depth, width));
+  n.add_port("din", width, PortDir::In).add_port("dout", width, PortDir::Out);
+  n.add_port("phase", 1, PortDir::In);
+  const int bits = depth * width;
+  n.add(PrimitiveKind::Bram18, 2 * ((bits + 18431) / 18432));
+  n.instantiate(make_counter(clog2(depth)), 2);
+  n.instantiate(make_fsm(4, 2, 3), 1);  // read/write phase control (paper §5)
+  return n;
+}
+
+}  // namespace pdr::netlist

@@ -1,0 +1,47 @@
+#include "rtr/arbiter.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace pdr::rtr {
+
+RequestArbiter::RequestArbiter(ReconfigManager& manager) : manager_(manager) {}
+
+void RequestArbiter::submit(const std::string& region, const std::string& module, TimeNs now,
+                            int priority) {
+  PDR_CHECK(!region.empty() && !module.empty(), "RequestArbiter::submit",
+            "region and module must be named");
+  for (auto& queued : queue_) {
+    if (queued.region == region && queued.module == module) {
+      queued.priority = std::max(queued.priority, priority);
+      ++coalesced_;
+      return;
+    }
+  }
+  queue_.push_back(ConfigRequest{region, module, priority, now});
+}
+
+std::vector<DrainedRequest> RequestArbiter::drain(TimeNs now) {
+  std::vector<ConfigRequest> ordered(queue_.begin(), queue_.end());
+  queue_.clear();
+  std::stable_sort(ordered.begin(), ordered.end(), [](const ConfigRequest& a, const ConfigRequest& b) {
+    if (a.priority != b.priority) return a.priority > b.priority;
+    return a.submitted < b.submitted;
+  });
+
+  std::vector<DrainedRequest> out;
+  TimeNs t = now;
+  for (const auto& req : ordered) {
+    DrainedRequest drained;
+    drained.request = req;
+    drained.queue_wait = std::max<TimeNs>(0, t - req.submitted);
+    drained.outcome = manager_.request(req.region, req.module, t);
+    total_queue_wait_ += drained.queue_wait;
+    t = std::max(t, drained.outcome.ready_at);
+    out.push_back(std::move(drained));
+  }
+  return out;
+}
+
+}  // namespace pdr::rtr

@@ -1,0 +1,60 @@
+// Configuration request arbitration.
+//
+// "A configuration manager is in charge of the configuration bitstream
+// which must be loaded on the reconfigurable part by sending
+// configuration requests" (§5). With several dynamic regions (paper §7)
+// requests contend for the single configuration port; the arbiter orders
+// them by priority, then FIFO, and drains them through the manager.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "rtr/manager.hpp"
+
+namespace pdr::rtr {
+
+/// One queued configuration request.
+struct ConfigRequest {
+  std::string region;
+  std::string module;
+  int priority = 0;       ///< higher drains first
+  TimeNs submitted = 0;
+};
+
+/// Outcome of one drained request.
+struct DrainedRequest {
+  ConfigRequest request;
+  RequestOutcome outcome;
+  TimeNs queue_wait = 0;  ///< time spent queued before the manager saw it
+};
+
+class RequestArbiter {
+ public:
+  explicit RequestArbiter(ReconfigManager& manager);
+
+  /// Enqueues a request. Duplicate (region, module) pairs already queued
+  /// are coalesced (the earlier submission wins; priority is raised to
+  /// the max of both).
+  void submit(const std::string& region, const std::string& module, TimeNs now, int priority = 0);
+
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Drains every queued request in (priority desc, submission asc)
+  /// order starting at `now`; each request is issued when the previous
+  /// one's reconfiguration finished. Returns the per-request outcomes.
+  std::vector<DrainedRequest> drain(TimeNs now);
+
+  // Statistics across drains.
+  int coalesced() const { return coalesced_; }
+  TimeNs total_queue_wait() const { return total_queue_wait_; }
+
+ private:
+  ReconfigManager& manager_;
+  std::deque<ConfigRequest> queue_;
+  int coalesced_ = 0;
+  TimeNs total_queue_wait_ = 0;
+};
+
+}  // namespace pdr::rtr

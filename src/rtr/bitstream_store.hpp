@@ -1,0 +1,46 @@
+// External bitstream memory.
+//
+// In the paper's implementation the protocol builder "address[es]
+// external memory and drive[s] ICAP" — the partial bitstreams live in a
+// memory next to the FPGA. This models that memory: bitstream contents by
+// module name, plus the access-time model for streaming one out.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace pdr::rtr {
+
+class BitstreamStore {
+ public:
+  /// `bandwidth_bytes_per_s`: sustained streaming rate of the memory;
+  /// `access_latency`: fixed address-setup cost per stream.
+  BitstreamStore(double bandwidth_bytes_per_s, TimeNs access_latency);
+
+  /// Registers a module's partial bitstream. Re-registering replaces it.
+  void add(const std::string& module, std::vector<std::uint8_t> bitstream);
+
+  bool contains(const std::string& module) const;
+  std::span<const std::uint8_t> get(const std::string& module) const;
+  Bytes size_of(const std::string& module) const;
+
+  /// Time to stream a module's bitstream out of this memory.
+  TimeNs fetch_time(const std::string& module) const;
+
+  double bandwidth_bytes_per_s() const { return bandwidth_; }
+  TimeNs access_latency() const { return latency_; }
+  std::size_t count() const { return streams_.size(); }
+  Bytes total_bytes() const;
+
+ private:
+  double bandwidth_;
+  TimeNs latency_;
+  std::map<std::string, std::vector<std::uint8_t>> streams_;
+};
+
+}  // namespace pdr::rtr

@@ -1,0 +1,248 @@
+#include "rtr/manager.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace pdr::rtr {
+
+const char* request_kind_name(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::AlreadyLoaded: return "already_loaded";
+    case RequestKind::PrefetchHit: return "prefetch_hit";
+    case RequestKind::PrefetchInFlight: return "prefetch_inflight";
+    case RequestKind::Miss: return "miss";
+  }
+  return "?";
+}
+
+ManagerConfig sundance_manager_config() {
+  ManagerConfig cfg;
+  cfg.manager = aaa::Placement::Fpga;
+  cfg.builder = aaa::Placement::Fpga;
+  cfg.port_kind = fabric::PortKind::Icap;
+  cfg.manager_overhead = 500;
+  return cfg;
+}
+
+ReconfigManager::ReconfigManager(const synth::DesignBundle& bundle, ManagerConfig config,
+                                 BitstreamStore& store, PrefetchPolicy& policy)
+    : bundle_(bundle),
+      config_(config),
+      store_(store),
+      policy_(policy),
+      builder_(config.builder, config.port_kind, config.cpu_builder_bytes_per_s,
+               config.fpga_builder_bytes_per_s),
+      memory_(bundle.device),
+      port_(config.port_kind,
+            config.port_timing.value_or(fabric::ConfigPort::default_timing(config.port_kind)),
+            memory_),
+      cache_(config.cache_capacity) {
+  // Register every dynamic variant's bitstream with the external store.
+  for (const auto& [region, variants] : bundle_.dynamic_variants) {
+    loaded_.emplace(region, "");
+    for (const auto& v : variants)
+      if (!store_.contains(v.name)) store_.add(v.name, v.bitstream);
+  }
+}
+
+const std::string& ReconfigManager::loaded(const std::string& region) const {
+  const auto it = loaded_.find(region);
+  PDR_CHECK(it != loaded_.end(), "ReconfigManager::loaded", "unknown region '" + region + "'");
+  return it->second;
+}
+
+TimeNs ReconfigManager::staging_time(const std::string& module) const {
+  const Bytes bytes = store_.size_of(module);
+  const TimeNs fetch = store_.fetch_time(module);
+  const TimeNs build = transfer_time_ns(bytes, builder_.throughput_bytes_per_s());
+  // Fetch and build stream through each other: slowest stage dominates.
+  return std::max(fetch, build);
+}
+
+TimeNs ReconfigManager::staged_load_latency(const std::string& module) const {
+  TimeNs latency = config_.manager_overhead + port_.transfer_time(store_.size_of(module));
+  if (config_.manager == aaa::Placement::Cpu) latency += config_.interrupt_latency;
+  return latency;
+}
+
+TimeNs ReconfigManager::cold_load_latency(const std::string& module) const {
+  const Bytes bytes = store_.size_of(module);
+  const TimeNs fetch = store_.fetch_time(module);
+  const TimeNs build = transfer_time_ns(bytes, builder_.throughput_bytes_per_s());
+  const TimeNs load = port_.transfer_time(bytes);
+  // The three stages are pipelined; the slowest dominates.
+  TimeNs latency = config_.manager_overhead + std::max({fetch, build, load});
+  if (config_.manager == aaa::Placement::Cpu) latency += config_.interrupt_latency;
+  return latency;
+}
+
+void ReconfigManager::apply_load(const std::string& region, const std::string& module) {
+  const BuildResult built = builder_.build(bundle_.device, store_.get(module));
+  port_.load(built.stream, module);
+  if (config_.verify_loads) {
+    const auto frames = bundle_.floorplan.region_frames(region);
+    PDR_CHECK(memory_.region_owned_by(frames, module), "ReconfigManager",
+              "after loading '" + module + "', region '" + region +
+                  "' frames are not all owned by it");
+  }
+  stats_.bytes_loaded += store_.size_of(module);
+}
+
+RequestOutcome ReconfigManager::request(const std::string& region, const std::string& module,
+                                        TimeNs now) {
+  PDR_CHECK(loaded_.count(region) > 0, "ReconfigManager::request", "unknown region '" + region + "'");
+  ++stats_.requests;
+  policy_.observe(region, module);
+
+  RequestOutcome out;
+  if (loaded_.at(region) == module) {
+    out.kind = RequestKind::AlreadyLoaded;
+    out.ready_at = now;
+    ++stats_.already_loaded;
+    out.stall = 0;
+    return out;
+  }
+
+  const auto staged = staged_.find(region);
+  const bool have_staged = staged != staged_.end() && staged->second.module == module;
+  if (have_staged) {
+    // Two ways to finish: wait out the staging and pay only the port
+    // transfer, or abandon it and stream the pipelined cold path. A real
+    // manager takes whichever completes first (a barely-started staging
+    // must not be slower than no prefetch at all).
+    const TimeNs via_staged =
+        std::max({now, staged->second.ready, port_free_}) + staged_load_latency(module);
+    const TimeNs via_cold = std::max(now, port_free_) + cold_load_latency(module);
+    if (via_staged <= via_cold) {
+      out.kind =
+          staged->second.ready <= now ? RequestKind::PrefetchHit : RequestKind::PrefetchInFlight;
+      out.ready_at = via_staged;
+      stats_.total_load_time += staged_load_latency(module);
+      if (out.kind == RequestKind::PrefetchHit)
+        ++stats_.prefetch_hits;
+      else
+        ++stats_.prefetch_inflight;
+    } else {
+      out.kind = RequestKind::Miss;
+      out.ready_at = via_cold;
+      stats_.total_load_time += cold_load_latency(module);
+      ++stats_.misses;
+      ++stats_.prefetches_wasted;  // the staging never paid off
+    }
+    staged_.erase(staged);
+  } else {
+    out.kind = RequestKind::Miss;
+    TimeNs latency = cold_load_latency(module);
+    if (cache_.capacity() > 0 && cache_.lookup(module)) {
+      // The on-chip cache removes the external fetch, like staging does.
+      latency = staged_load_latency(module);
+    }
+    ++stats_.misses;
+    out.ready_at = std::max(now, port_free_) + latency;
+    stats_.total_load_time += latency;
+  }
+  port_free_ = out.ready_at;
+
+  apply_load(region, module);
+  if (cache_.capacity() > 0) cache_.insert(module, store_.size_of(module));
+  loaded_[region] = module;
+
+  out.stall = std::max<TimeNs>(0, out.ready_at - now);
+  stats_.total_stall += out.stall;
+  PDR_DEBUG("rtr") << request_kind_name(out.kind) << " " << module << " -> " << region
+                   << " ready at " << to_us(out.ready_at) << " us";
+  return out;
+}
+
+std::optional<TimeNs> ReconfigManager::announce(const std::string& region,
+                                                const std::string& module, TimeNs now) {
+  PDR_CHECK(loaded_.count(region) > 0, "ReconfigManager::announce",
+            "unknown region '" + region + "'");
+  if (dynamic_cast<NonePrefetch*>(&policy_) != nullptr) return std::nullopt;
+  if (loaded_.at(region) == module) return std::nullopt;
+
+  const auto staged = staged_.find(region);
+  if (staged != staged_.end()) {
+    if (staged->second.module == module) return staged->second.ready;
+    // Replacing a never-demanded staged stream: the earlier prefetch was
+    // wasted.
+    ++stats_.prefetches_wasted;
+  }
+
+  const TimeNs start = std::max(now, staging_free_);
+  TimeNs duration = staging_time(module);
+  if (cache_.capacity() > 0 && cache_.lookup(module)) duration = 0;  // already on chip
+  const TimeNs ready = start + duration;
+  staging_free_ = ready;
+  staged_[region] = Staged{module, ready};
+  if (cache_.capacity() > 0) cache_.insert(module, store_.size_of(module));
+  ++stats_.prefetches_issued;
+  PDR_DEBUG("rtr") << "staging " << module << " for " << region << ", ready at " << to_us(ready)
+                   << " us";
+  return ready;
+}
+
+void ReconfigManager::auto_prefetch(const std::string& region, TimeNs now) {
+  const auto predicted = policy_.predict(region, loaded(region));
+  if (predicted.has_value() && store_.contains(*predicted)) announce(region, *predicted, now);
+}
+
+void ReconfigManager::set_resident(const std::string& region, const std::string& module) {
+  PDR_CHECK(loaded_.count(region) > 0, "ReconfigManager::set_resident",
+            "unknown region '" + region + "'");
+  apply_load(region, module);
+  loaded_[region] = module;
+}
+
+TimeNs ReconfigManager::blank(const std::string& region, TimeNs now) {
+  PDR_CHECK(loaded_.count(region) > 0, "ReconfigManager::blank", "unknown region '" + region + "'");
+  const std::string blank_name = "__blank_" + region;
+  if (!store_.contains(blank_name)) {
+    // Blanking streams are MFWR-compressed: one zero frame + a 4-word
+    // repeat per remaining frame, so eager unloading is cheap.
+    const auto frames = bundle_.floorplan.region_frames(region);
+    store_.add(blank_name, synth::generate_uniform_bitstream(bundle_.device, frames, 0));
+  }
+  const TimeNs done = std::max(now, port_free_) + cold_load_latency(blank_name);
+  port_free_ = done;
+  const BuildResult built = builder_.build(bundle_.device, store_.get(blank_name));
+  port_.load(built.stream, blank_name);
+  loaded_[region] = "";
+  staged_.erase(region);
+  ++stats_.blanks;
+  return done;
+}
+
+int ReconfigManager::verify_resident(const std::string& region) const {
+  const std::string& module = loaded(region);
+  PDR_CHECK(!module.empty(), "ReconfigManager::verify_resident",
+            "region '" + region + "' has no resident module");
+  const auto& artifact = bundle_.variant(region, module);
+  const fabric::FrameMap map(bundle_.device);
+  int corrupted = 0;
+  for (const auto& addr : artifact.placement.frames) {
+    const auto data = memory_.read_frame(addr);
+    const int linear = map.linear_index(addr);
+    bool bad = false;
+    for (std::size_t b = 0; b < data.size() && !bad; ++b)
+      bad = data[b] !=
+            synth::frame_payload_byte(artifact.netlist_hash, linear, static_cast<int>(b));
+    if (bad) ++corrupted;
+  }
+  return corrupted;
+}
+
+TimeNs ReconfigManager::scrub(const std::string& region, TimeNs now) {
+  const std::string module = loaded(region);
+  PDR_CHECK(!module.empty(), "ReconfigManager::scrub",
+            "region '" + region + "' has no resident module to scrub");
+  const TimeNs done = std::max(now, port_free_) + cold_load_latency(module);
+  port_free_ = done;
+  apply_load(region, module);
+  ++stats_.scrubs;
+  return done;
+}
+
+}  // namespace pdr::rtr

@@ -1,0 +1,185 @@
+// The runtime reconfiguration manager (paper §5, Figure 2).
+//
+// "A configuration manager is in charge of the configuration bitstream
+// which must be loaded on the reconfigurable part by sending configuration
+// requests" to the protocol configuration builder. This class ties
+// together the bitstream store (external memory), the protocol builder,
+// the configuration port, an optional on-chip cache and the prefetch
+// policy, and tracks which module is physically resident in each region.
+//
+// Loading pipeline and the prefetch split:
+//
+//   external memory --fetch--> protocol builder --stream--> ICAP/SelectMAP
+//
+// The slow stages are the memory fetch and (for a CPU-hosted builder) the
+// software framing; the port transfer itself is fast. Prefetching
+// exploits exactly that:
+//
+//  - announce(): a *hint* that `module` will be demanded soon. The
+//    manager pre-stages the built stream into an on-chip staging buffer
+//    (fetch + build run off the critical path). The region is NOT
+//    touched — it may still be computing.
+//  - request(): a *demand*. The region is rewritten through the port:
+//    from the staging buffer if the hint was right (port-transfer latency
+//    only), or through the full fetch+build+load pipeline on a miss.
+//
+// All timing is explicit simulated time passed by the caller, so the
+// manager composes with both the static schedule and the event simulator.
+// Placement of the manager (M) and builder (P) — paper Figure 2 —
+// determines latency contributions: a CPU-hosted manager adds the
+// interrupt round trip (case b), a CPU-hosted builder throttles staging
+// to software framing throughput.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "aaa/constraints.hpp"
+#include "fabric/config_memory.hpp"
+#include "fabric/config_port.hpp"
+#include "rtr/bitstream_store.hpp"
+#include "rtr/cache.hpp"
+#include "rtr/prefetch.hpp"
+#include "rtr/protocol_builder.hpp"
+#include "synth/flow.hpp"
+#include "util/units.hpp"
+
+namespace pdr::rtr {
+
+struct ManagerConfig {
+  aaa::Placement manager = aaa::Placement::Fpga;  ///< 'M' placement
+  aaa::Placement builder = aaa::Placement::Fpga;  ///< 'P' placement
+  fabric::PortKind port_kind = fabric::PortKind::Icap;
+  std::optional<fabric::PortTiming> port_timing;  ///< default: per kind
+  TimeNs interrupt_latency = 5000;   ///< FPGA->CPU request signalling (case b)
+  TimeNs manager_overhead = 500;     ///< request bookkeeping
+  double cpu_builder_bytes_per_s = 40e6;
+  double fpga_builder_bytes_per_s = 1e9;
+  Bytes cache_capacity = 0;          ///< on-chip bitstream cache (0 = off)
+  bool verify_loads = true;          ///< readback-verify region ownership
+};
+
+/// Case-study configuration (paper §6): self reconfiguration through
+/// ICAP, manager and builder in the FPGA's fixed part, partial bitstreams
+/// in external memory whose streaming rate bottlenecks a cold load at the
+/// paper's observed ≈ 4 ms for the 8 % region.
+ManagerConfig sundance_manager_config();
+
+/// How a demand was satisfied.
+enum class RequestKind : std::uint8_t {
+  AlreadyLoaded,    ///< module resident; no reconfiguration
+  PrefetchHit,      ///< staged ahead of time; only the port transfer paid
+  PrefetchInFlight, ///< staging still running; partial fetch latency paid
+  Miss,             ///< full fetch+build+load latency exposed
+};
+
+const char* request_kind_name(RequestKind kind);
+
+struct RequestOutcome {
+  RequestKind kind = RequestKind::Miss;
+  TimeNs ready_at = 0;  ///< when the module is usable
+  TimeNs stall = 0;     ///< ready_at - request time
+};
+
+struct ManagerStats {
+  int requests = 0;
+  int already_loaded = 0;
+  int prefetch_hits = 0;
+  int prefetch_inflight = 0;
+  int misses = 0;
+  int prefetches_issued = 0;
+  int prefetches_wasted = 0;  ///< staged streams replaced before any demand
+  int scrubs = 0;
+  int blanks = 0;
+  TimeNs total_stall = 0;
+  TimeNs total_load_time = 0;
+  Bytes bytes_loaded = 0;
+};
+
+class ReconfigManager {
+ public:
+  /// `bundle` supplies device, floorplan and variant bitstreams (which
+  /// are registered into `store`); both must outlive the manager.
+  /// `policy` decides speculative staging.
+  ReconfigManager(const synth::DesignBundle& bundle, ManagerConfig config, BitstreamStore& store,
+                  PrefetchPolicy& policy);
+
+  /// Demands `module` in `region` at time `now`; returns when usable.
+  /// Physically rewrites the region's configuration frames.
+  RequestOutcome request(const std::string& region, const std::string& module, TimeNs now);
+
+  /// Hints that `module` will be demanded in `region` soon: stages its
+  /// built stream on chip (no effect with NonePrefetch, a resident module
+  /// or an identical staged/staging entry). Returns the staging's
+  /// completion time if one was started or is running.
+  std::optional<TimeNs> announce(const std::string& region, const std::string& module, TimeNs now);
+
+  /// Asks the policy for a predicted next module and announces it.
+  void auto_prefetch(const std::string& region, TimeNs now);
+
+  /// Declares `module` resident at t = 0 without a load: the initial
+  /// full-device bitstream already configured the region with it (the
+  /// constraints file's `load startup` policy). Physically applies the
+  /// module's frames.
+  void set_resident(const std::string& region, const std::string& module);
+
+  /// Eager unload (constraints `unload eager`): loads the region's blank
+  /// bitstream, clearing its logic. Occupies the port like any load.
+  /// Returns completion time.
+  TimeNs blank(const std::string& region, TimeNs now);
+
+  /// Readback verification: compares the region's configuration frames
+  /// against the resident module's expected payload; returns the number
+  /// of corrupted frames (0 = clean). Throws if nothing is resident.
+  int verify_resident(const std::string& region) const;
+
+  /// Scrubbing: rewrites the resident module's frames (full fetch+build+
+  /// load pipeline, port-occupying), repairing any SEU corruption.
+  /// Returns completion time.
+  TimeNs scrub(const std::string& region, TimeNs now);
+
+  /// Module resident in a region ("" if never configured).
+  const std::string& loaded(const std::string& region) const;
+
+  /// End-to-end latency of one cold (unstaged) load of `module`.
+  TimeNs cold_load_latency(const std::string& module) const;
+
+  /// Latency of a demand whose stream is already staged on chip (port
+  /// transfer + overheads only).
+  TimeNs staged_load_latency(const std::string& module) const;
+
+  /// Time for staging a module (fetch + build, off the critical path).
+  TimeNs staging_time(const std::string& module) const;
+
+  const ManagerStats& stats() const { return stats_; }
+  const fabric::ConfigMemory& memory() const { return memory_; }
+  const fabric::ConfigPort& port() const { return port_; }
+  const BitstreamCache& cache() const { return cache_; }
+  TimeNs port_free_at() const { return port_free_; }
+
+ private:
+  struct Staged {
+    std::string module;
+    TimeNs ready = 0;  ///< when fetch+build completes
+  };
+
+  /// Applies the physical load through builder + port.
+  void apply_load(const std::string& region, const std::string& module);
+
+  const synth::DesignBundle& bundle_;
+  ManagerConfig config_;
+  BitstreamStore& store_;
+  PrefetchPolicy& policy_;
+  ProtocolBuilder builder_;
+  fabric::ConfigMemory memory_;
+  fabric::ConfigPort port_;
+  BitstreamCache cache_;
+  std::map<std::string, std::string> loaded_;
+  std::map<std::string, Staged> staged_;  ///< one staging buffer per region
+  TimeNs port_free_ = 0;
+  TimeNs staging_free_ = 0;  ///< the staging engine handles one fetch at a time
+  ManagerStats stats_;
+};
+
+}  // namespace pdr::rtr

@@ -1,0 +1,79 @@
+#include "rtr/prefetch.hpp"
+
+#include "util/error.hpp"
+
+namespace pdr::rtr {
+
+void ScheduleLookahead::feed(const std::string& region, const std::vector<std::string>& upcoming) {
+  auto& q = queue_[region];
+  q.insert(q.end(), upcoming.begin(), upcoming.end());
+}
+
+std::optional<std::string> ScheduleLookahead::predict(const std::string& region,
+                                                      const std::string& current) {
+  const auto it = queue_.find(region);
+  if (it == queue_.end()) return std::nullopt;
+  std::size_t h = head_[region];
+  // Skip entries equal to what is already resident; the next *different*
+  // module is the one worth prefetching.
+  while (h < it->second.size() && it->second[h] == current) ++h;
+  if (h >= it->second.size()) return std::nullopt;
+  return it->second[h];
+}
+
+void ScheduleLookahead::observe(const std::string& region, const std::string& module) {
+  const auto it = queue_.find(region);
+  if (it == queue_.end()) return;
+  std::size_t& h = head_[region];
+  // Advance past this demand if it matches the known sequence.
+  if (h < it->second.size() && it->second[h] == module) ++h;
+}
+
+std::size_t ScheduleLookahead::pending(const std::string& region) const {
+  const auto it = queue_.find(region);
+  if (it == queue_.end()) return 0;
+  const auto hit = head_.find(region);
+  const std::size_t h = hit == head_.end() ? 0 : hit->second;
+  return it->second.size() - h;
+}
+
+HistoryPredictor::HistoryPredictor(const aaa::ConstraintSet& constraints) {
+  for (const auto& [a, b] : constraints.relations) counts_[{a, b}] += 1;
+}
+
+std::optional<std::string> HistoryPredictor::predict(const std::string& region,
+                                                     const std::string& current) {
+  (void)region;
+  std::optional<std::string> best;
+  int best_count = 0;
+  for (const auto& [key, count] : counts_) {
+    if (key.first != current) continue;
+    if (count > best_count) {
+      best_count = count;
+      best = key.second;
+    }
+  }
+  return best;
+}
+
+void HistoryPredictor::observe(const std::string& region, const std::string& module) {
+  const auto it = last_.find(region);
+  if (it != last_.end() && it->second != module) counts_[{it->second, module}] += 1;
+  last_[region] = module;
+}
+
+int HistoryPredictor::transition_count(const std::string& from, const std::string& to) const {
+  const auto it = counts_.find({from, to});
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::unique_ptr<PrefetchPolicy> make_prefetch_policy(const aaa::ConstraintSet& constraints) {
+  switch (constraints.prefetch) {
+    case aaa::PrefetchChoice::None: return std::make_unique<NonePrefetch>();
+    case aaa::PrefetchChoice::Schedule: return std::make_unique<ScheduleLookahead>();
+    case aaa::PrefetchChoice::History: return std::make_unique<HistoryPredictor>(constraints);
+  }
+  raise("make_prefetch_policy", "unknown prefetch choice");
+}
+
+}  // namespace pdr::rtr

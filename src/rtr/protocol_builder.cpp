@@ -1,0 +1,33 @@
+#include "rtr/protocol_builder.hpp"
+
+#include "util/error.hpp"
+
+namespace pdr::rtr {
+
+ProtocolBuilder::ProtocolBuilder(aaa::Placement placement, fabric::PortKind mode,
+                                 double cpu_bytes_per_s, double fpga_bytes_per_s)
+    : placement_(placement),
+      mode_(mode),
+      cpu_bytes_per_s_(cpu_bytes_per_s),
+      fpga_bytes_per_s_(fpga_bytes_per_s) {
+  PDR_CHECK(cpu_bytes_per_s_ > 0 && fpga_bytes_per_s_ > 0, "ProtocolBuilder",
+            "builder throughputs must be positive");
+}
+
+double ProtocolBuilder::throughput_bytes_per_s() const {
+  return placement_ == aaa::Placement::Cpu ? cpu_bytes_per_s_ : fpga_bytes_per_s_;
+}
+
+BuildResult ProtocolBuilder::build(const fabric::DeviceModel& device,
+                                   std::span<const std::uint8_t> raw) const {
+  // Structural validation IS the builder's job: framing, addresses, CRC.
+  const fabric::ParseResult parsed = fabric::BitstreamReader::validate(device, raw);
+
+  BuildResult result;
+  result.frames = parsed.frames_written;
+  result.stream.assign(raw.begin(), raw.end());
+  result.build_time = transfer_time_ns(raw.size(), throughput_bytes_per_s());
+  return result;
+}
+
+}  // namespace pdr::rtr

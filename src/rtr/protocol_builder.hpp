@@ -1,0 +1,55 @@
+// The protocol configuration builder.
+//
+// "Configuration requests are sent to the protocol configuration builder
+// which is in charge to construct a valid reconfiguration stream in
+// agreement with the used protocol mode (e.g selectmap)." (§5)
+//
+// The builder consumes a raw partial bitstream from the store, validates
+// its structure against the target device (sync word, IDCODE, packet
+// framing, CRC) and emits the port-mode stream. Where it runs (paper's
+// 'P' label: FPGA or CPU) determines its throughput and therefore how
+// much it contributes to reconfiguration latency.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "aaa/constraints.hpp"
+#include "fabric/bitstream.hpp"
+#include "fabric/config_port.hpp"
+#include "util/units.hpp"
+
+namespace pdr::rtr {
+
+struct BuildResult {
+  std::vector<std::uint8_t> stream;  ///< port-ready stream
+  TimeNs build_time = 0;             ///< time the builder itself needs
+  int frames = 0;
+};
+
+class ProtocolBuilder {
+ public:
+  /// `cpu_bytes_per_s`: software framing throughput when placed on the
+  /// CPU; `fpga_bytes_per_s`: hardware builder throughput (usually above
+  /// the port rate, i.e. transparent).
+  ProtocolBuilder(aaa::Placement placement, fabric::PortKind mode, double cpu_bytes_per_s,
+                  double fpga_bytes_per_s);
+
+  aaa::Placement placement() const { return placement_; }
+  fabric::PortKind mode() const { return mode_; }
+  double throughput_bytes_per_s() const;
+
+  /// Validates `raw` against `device` and produces the port stream.
+  /// Throws pdr::Error (with the precise packet defect) on malformed
+  /// streams — a corrupted external memory must never reach the fabric.
+  BuildResult build(const fabric::DeviceModel& device, std::span<const std::uint8_t> raw) const;
+
+ private:
+  aaa::Placement placement_;
+  fabric::PortKind mode_;
+  double cpu_bytes_per_s_;
+  double fpga_bytes_per_s_;
+};
+
+}  // namespace pdr::rtr

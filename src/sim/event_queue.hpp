@@ -1,0 +1,49 @@
+// Discrete-event core: a time-ordered event queue with stable FIFO
+// ordering of simultaneous events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace pdr::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void(TimeNs now)>;
+
+  /// Schedules `action` at absolute time `at` (>= now()).
+  void schedule(TimeNs at, Action action);
+
+  /// Schedules `action` `delay` after now().
+  void schedule_in(TimeNs delay, Action action) { schedule(now_ + delay, std::move(action)); }
+
+  /// Runs events until the queue drains or `until` is passed; returns the
+  /// number of events executed.
+  std::size_t run(TimeNs until = INT64_MAX);
+
+  TimeNs now() const { return now_; }
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    TimeNs at;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  TimeNs now_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace pdr::sim

@@ -1,0 +1,163 @@
+#include "sim/executive_player.hpp"
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace pdr::sim {
+
+using namespace pdr::literals;
+using aaa::MacroInstr;
+using aaa::MacroOp;
+using aaa::MacroProgram;
+
+ExecutivePlayer::ExecutivePlayer(const aaa::Executive& executive,
+                                 const aaa::ArchitectureGraph& architecture)
+    : executive_(executive), architecture_(architecture) {
+  reconfig_cost_ = [](const std::string&, const std::string&) { return 4_ms; };
+}
+
+void ExecutivePlayer::set_reconfig_cost(ReconfigCost cost) { reconfig_cost_ = std::move(cost); }
+
+void ExecutivePlayer::set_variant_selector(VariantSelector selector) {
+  selector_ = std::move(selector);
+}
+
+PlayResult ExecutivePlayer::run(int iterations) {
+  PDR_CHECK(iterations > 0, "ExecutivePlayer::run", "iterations must be positive");
+
+  struct ProgState {
+    const MacroProgram* prog = nullptr;
+    std::size_t pc = 0;       ///< index into prog->body
+    int iteration = 0;        ///< completed loop passes
+    TimeNs time = 0;          ///< local completion time of last instruction
+    bool done = false;
+  };
+  std::vector<ProgState> progs;
+  for (const auto& p : executive_.programs) {
+    ProgState st;
+    st.prog = &p;
+    st.done = p.body.empty();
+    progs.push_back(st);
+  }
+
+  // Token channels: "snd:<buffer>" = producer -> medium,
+  // "dlv:<buffer>" = medium -> consumer. Values are availability times.
+  std::map<std::string, std::deque<TimeNs>> channels;
+  TimeNs port_free = 0;
+  std::map<std::string, std::string> region_loaded;  ///< sticky module per region
+
+  PlayResult result;
+  result.iterations = iterations;
+  std::vector<TimeNs> first_iter_end(progs.size(), 0);
+
+  // Cooperative fixpoint: keep advancing any program whose next
+  // instruction's inputs are available.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto& st : progs) {
+      while (!st.done) {
+        const MacroInstr& instr = st.prog->body[st.pc];
+        bool advanced = false;
+        switch (instr.op) {
+          case MacroOp::Send: {
+            channels["snd:" + instr.what].push_back(st.time);
+            advanced = true;
+            break;
+          }
+          case MacroOp::Move: {
+            auto& q = channels["snd:" + instr.what];
+            if (!q.empty()) {
+              const TimeNs token = q.front();
+              q.pop_front();
+              const TimeNs start = std::max(st.time, token);
+              const auto m = architecture_.find(st.prog->resource);
+              TimeNs duration = 0;
+              if (m.has_value() && !architecture_.is_operator(*m))
+                duration = architecture_.medium(*m).transfer_time(instr.bytes);
+              const TimeNs end = start + duration;
+              result.timeline.add(st.prog->resource, instr.what, SpanKind::Transfer, start, end);
+              channels["dlv:" + instr.what].push_back(end);
+              st.time = end;
+              advanced = true;
+            }
+            break;
+          }
+          case MacroOp::Recv: {
+            auto& q = channels["dlv:" + instr.what];
+            if (!q.empty()) {
+              const TimeNs token = q.front();
+              q.pop_front();
+              st.time = std::max(st.time, token);
+              advanced = true;
+            }
+            break;
+          }
+          case MacroOp::Compute: {
+            const TimeNs end = st.time + instr.duration;
+            result.timeline.add(st.prog->resource, instr.what, SpanKind::Compute, st.time, end);
+            st.time = end;
+            advanced = true;
+            break;
+          }
+          case MacroOp::Reconfig: {
+            std::string module = instr.what;
+            if (selector_) module = selector_(st.iteration, st.prog->resource, instr.what);
+            // With runtime selection, regions are sticky: reloading the
+            // resident module costs nothing.
+            if (selector_ && region_loaded[st.prog->resource] == module) {
+              ++result.reconfigs_skipped;
+              advanced = true;
+              break;
+            }
+            const TimeNs cost = reconfig_cost_(st.prog->resource, module);
+            const TimeNs start = std::max(st.time, port_free);
+            const TimeNs end = start + cost;
+            port_free = end;
+            region_loaded[st.prog->resource] = module;
+            result.timeline.add(st.prog->resource, "load " + module, SpanKind::Reconfig, start,
+                                end);
+            st.time = end;
+            ++result.reconfigs;
+            advanced = true;
+            break;
+          }
+        }
+        if (!advanced) break;  // blocked; try other programs
+        progress = true;
+        if (++st.pc == st.prog->body.size()) {
+          st.pc = 0;
+          ++st.iteration;
+          if (st.iteration == 1) first_iter_end[static_cast<std::size_t>(&st - progs.data())] = st.time;
+          if (st.iteration >= iterations) st.done = true;
+        }
+      }
+    }
+  }
+
+  // Deadlock check: every program must have completed all iterations.
+  for (const auto& st : progs) {
+    if (!st.done) {
+      const MacroInstr& instr = st.prog->body[st.pc];
+      raise("ExecutivePlayer",
+            strprintf("deadlock: program '%s' blocked at iteration %d on '%s %s'",
+                      st.prog->resource.c_str(), st.iteration, macro_op_name(instr.op),
+                      instr.what.c_str()));
+    }
+    result.makespan = std::max(result.makespan, st.time);
+  }
+  if (iterations > 1) {
+    TimeNs first = 0;
+    for (std::size_t i = 0; i < progs.size(); ++i) first = std::max(first, first_iter_end[i]);
+    result.iteration_period = (result.makespan - first) / (iterations - 1);
+  } else {
+    result.iteration_period = result.makespan;
+  }
+  return result;
+}
+
+}  // namespace pdr::sim

@@ -1,0 +1,66 @@
+// Executive player: executes generated macro-code.
+//
+// The synchronized executive (aaa::Executive) is a set of sequential loop
+// programs, one per architecture vertex, synchronizing through buffer
+// tokens: a producer's `send` deposits a token that the medium's `move`
+// carries and the consumer's `recv` blocks on. The player runs all
+// programs for N iterations of the infinitely-repeated data-flow graph,
+// verifying the executive is deadlock-free and measuring the achieved
+// iteration period (throughput) — which a correct pipelined executive
+// makes shorter than the single-iteration makespan.
+//
+// Reconfig instructions contend for the single configuration port and
+// take `reconfig_cost(region, module)`.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "aaa/architecture_graph.hpp"
+#include "aaa/macrocode.hpp"
+#include "sim/timeline.hpp"
+#include "util/units.hpp"
+
+namespace pdr::sim {
+
+struct PlayResult {
+  TimeNs makespan = 0;          ///< completion time of the last program
+  TimeNs iteration_period = 0;  ///< steady-state time per graph iteration
+  int iterations = 0;
+  Timeline timeline;
+  int reconfigs = 0;
+  int reconfigs_skipped = 0;  ///< region already held the selected module
+};
+
+class ExecutivePlayer {
+ public:
+  using ReconfigCost = std::function<TimeNs(const std::string& region, const std::string& module)>;
+
+  ExecutivePlayer(const aaa::Executive& executive, const aaa::ArchitectureGraph& architecture);
+
+  /// Cost of a Reconfig macro instruction (default 4 ms flat).
+  void set_reconfig_cost(ReconfigCost cost);
+
+  /// Runtime variant selection: called once per (iteration, region) when
+  /// the program reaches a Reconfig instruction; the returned module
+  /// replaces the statically scheduled one (return the instruction's own
+  /// module to keep it). With a selector installed, regions become
+  /// sticky: a Reconfig whose module is already resident from the
+  /// previous iteration is skipped at zero cost — the runtime semantics
+  /// of the paper's conditioned vertices.
+  using VariantSelector = std::function<std::string(int iteration, const std::string& region,
+                                                    const std::string& scheduled)>;
+  void set_variant_selector(VariantSelector selector);
+
+  /// Runs `iterations` loop passes of every program. Throws pdr::Error
+  /// with the blocked instruction set if the executive deadlocks.
+  PlayResult run(int iterations);
+
+ private:
+  const aaa::Executive& executive_;
+  const aaa::ArchitectureGraph& architecture_;
+  ReconfigCost reconfig_cost_;
+  VariantSelector selector_;
+};
+
+}  // namespace pdr::sim

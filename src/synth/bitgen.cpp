@@ -1,0 +1,88 @@
+#include "synth/bitgen.hpp"
+
+#include "util/error.hpp"
+
+namespace pdr::synth {
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::vector<std::uint8_t> frame_payload(const fabric::DeviceModel& device, std::uint64_t hash,
+                                        int frame_linear) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(device.frame_bytes()));
+  for (std::size_t b = 0; b < data.size(); ++b)
+    data[b] = frame_payload_byte(hash, frame_linear, static_cast<int>(b));
+  return data;
+}
+
+}  // namespace
+
+std::uint8_t frame_payload_byte(std::uint64_t module_hash, int frame_linear, int byte_index) {
+  // One mix per 8-byte lane, sliced per byte: cheap and deterministic.
+  const std::uint64_t lane =
+      mix64(module_hash ^ (static_cast<std::uint64_t>(frame_linear) << 20) ^
+            static_cast<std::uint64_t>(byte_index / 8));
+  return static_cast<std::uint8_t>(lane >> ((byte_index % 8) * 8));
+}
+
+std::vector<std::uint8_t> generate_partial_bitstream(const fabric::DeviceModel& device,
+                                                     const std::vector<fabric::FrameAddress>& frames,
+                                                     std::uint64_t module_hash) {
+  PDR_CHECK(!frames.empty(), "generate_partial_bitstream", "no frames to write");
+  const fabric::FrameMap map(device);
+
+  fabric::BitstreamWriter writer(device);
+  writer.begin();
+  writer.write_idcode();
+
+  // Coalesce linearly consecutive frames into single FAR + FDRI bursts.
+  std::size_t i = 0;
+  while (i < frames.size()) {
+    std::size_t j = i;
+    while (j + 1 < frames.size() &&
+           map.linear_index(frames[j + 1]) == map.linear_index(frames[j]) + 1)
+      ++j;
+    writer.write_far(frames[i]);
+    std::vector<std::uint8_t> burst;
+    burst.reserve((j - i + 1) * static_cast<std::size_t>(device.frame_bytes()));
+    for (std::size_t k = i; k <= j; ++k) {
+      const auto data = frame_payload(device, module_hash, map.linear_index(frames[k]));
+      burst.insert(burst.end(), data.begin(), data.end());
+    }
+    writer.write_fdri(burst);
+    i = j + 1;
+  }
+
+  writer.end();
+  return writer.take();
+}
+
+std::vector<std::uint8_t> generate_uniform_bitstream(const fabric::DeviceModel& device,
+                                                     const std::vector<fabric::FrameAddress>& frames,
+                                                     std::uint8_t fill) {
+  PDR_CHECK(!frames.empty(), "generate_uniform_bitstream", "no frames to write");
+  fabric::BitstreamWriter writer(device);
+  writer.begin();
+  writer.write_idcode();
+  writer.write_far(frames.front());
+  writer.write_fdri(std::vector<std::uint8_t>(static_cast<std::size_t>(device.frame_bytes()), fill));
+  for (std::size_t i = 1; i < frames.size(); ++i) writer.write_mfwr(frames[i]);
+  writer.end();
+  return writer.take();
+}
+
+std::vector<std::uint8_t> generate_full_bitstream(const fabric::DeviceModel& device,
+                                                  std::uint64_t design_hash) {
+  const fabric::FrameMap map(device);
+  std::vector<fabric::FrameAddress> all;
+  all.reserve(static_cast<std::size_t>(map.total_frames()));
+  for (int f = 0; f < map.total_frames(); ++f) all.push_back(map.from_linear(f));
+  return generate_partial_bitstream(device, all, design_hash);
+}
+
+}  // namespace pdr::synth

@@ -1,0 +1,40 @@
+// Partial and full bitstream generation.
+//
+// Frame payloads are derived deterministically from the module netlist's
+// content hash, so (a) two syntheses of the same module produce identical
+// bitstreams, (b) different modules produce different configuration data,
+// and (c) the simulation can verify after a load that a region "physically"
+// holds the module it believes it loaded.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fabric/bitstream.hpp"
+#include "fabric/device.hpp"
+#include "fabric/frames.hpp"
+
+namespace pdr::synth {
+
+/// The synthetic payload byte for (module hash, frame linear index, byte).
+std::uint8_t frame_payload_byte(std::uint64_t module_hash, int frame_linear, int byte_index);
+
+/// Builds a partial bitstream covering exactly `frames` (any order; runs
+/// of linearly consecutive frames share one FDRI burst).
+std::vector<std::uint8_t> generate_partial_bitstream(const fabric::DeviceModel& device,
+                                                     const std::vector<fabric::FrameAddress>& frames,
+                                                     std::uint64_t module_hash);
+
+/// Builds a full-device bitstream (every frame) for initial configuration.
+std::vector<std::uint8_t> generate_full_bitstream(const fabric::DeviceModel& device,
+                                                  std::uint64_t design_hash);
+
+/// Builds a compressed uniform-fill bitstream over `frames` using
+/// multi-frame writes: one real frame of `fill` bytes, then a 4-word MFWR
+/// packet pair per remaining frame. This is how blanking bitstreams stay
+/// small (and load fast) on real devices.
+std::vector<std::uint8_t> generate_uniform_bitstream(const fabric::DeviceModel& device,
+                                                     const std::vector<fabric::FrameAddress>& frames,
+                                                     std::uint8_t fill);
+
+}  // namespace pdr::synth

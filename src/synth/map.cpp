@@ -1,0 +1,74 @@
+#include "synth/map.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace pdr::synth {
+
+using netlist::PrimitiveKind;
+
+ResourceUsage& ResourceUsage::operator+=(const ResourceUsage& o) {
+  slices += o.slices;
+  luts += o.luts;
+  ffs += o.ffs;
+  brams += o.brams;
+  mults += o.mults;
+  tbufs += o.tbufs;
+  return *this;
+}
+
+std::string ResourceUsage::to_string() const {
+  return strprintf("%d slices (%d LUT, %d FF), %d BRAM, %d MULT, %d TBUF", slices, luts, ffs, brams,
+                   mults, tbufs);
+}
+
+ResourceUsage map_netlist(const netlist::Netlist& nl) {
+  ResourceUsage u;
+  u.luts = nl.count(PrimitiveKind::Lut4);
+  u.ffs = nl.count(PrimitiveKind::FlipFlop);
+  u.brams = nl.count(PrimitiveKind::Bram18);
+  u.mults = nl.count(PrimitiveKind::Mult18);
+  u.tbufs = nl.count(PrimitiveKind::Tbuf);
+  // Two LUTs and two FFs per slice, derated by packing efficiency.
+  const double lut_slices = static_cast<double>(u.luts) / 2.0;
+  const double ff_slices = static_cast<double>(u.ffs) / 2.0;
+  u.slices = static_cast<int>(std::ceil(std::max(lut_slices, ff_slices) / kPackingEfficiency));
+  return u;
+}
+
+double utilization_percent(const ResourceUsage& usage, const fabric::DeviceModel& device) {
+  double worst = 0.0;
+  worst = std::max(worst, 100.0 * usage.slices / device.total_slices());
+  if (device.total_brams() > 0) worst = std::max(worst, 100.0 * usage.brams / device.total_brams());
+  if (device.total_mult18() > 0) worst = std::max(worst, 100.0 * usage.mults / device.total_mult18());
+  if (device.total_tbufs() > 0) worst = std::max(worst, 100.0 * usage.tbufs / device.total_tbufs());
+  return worst;
+}
+
+bool fits(const ResourceUsage& usage, int slice_budget, int bram_budget, int mult_budget) {
+  return usage.slices <= slice_budget && usage.brams <= bram_budget && usage.mults <= mult_budget;
+}
+
+bool fits_region(const ResourceUsage& usage, const fabric::Floorplan& plan,
+                 const std::string& region_name) {
+  const fabric::Region& r = plan.region(region_name);
+  const fabric::DeviceModel& dev = plan.device();
+  const int slice_budget = plan.region_slices(region_name);
+  // BRAM/MULT columns strictly inside the region's span are usable by it.
+  int bram_cols_inside = 0;
+  for (int pos : plan.frame_map().bram_positions())
+    if (pos >= r.col_lo && pos < r.col_hi) ++bram_cols_inside;
+  const int bram_budget = bram_cols_inside * dev.brams_per_col;
+  return fits(usage, slice_budget, bram_budget, bram_budget);
+}
+
+int columns_needed(const ResourceUsage& usage, const fabric::DeviceModel& device) {
+  const int per_col = device.slices_per_clb_col();
+  PDR_CHECK(per_col > 0, "columns_needed", "device has no slices");
+  return std::max(1, static_cast<int>(std::ceil(static_cast<double>(usage.slices) / per_col)));
+}
+
+}  // namespace pdr::synth

@@ -1,0 +1,56 @@
+// Technology mapping: netlist primitive counts -> device resources.
+//
+// Mirrors Virtex-II packing: a slice holds two 4-input LUTs and two
+// flip-flops; BRAM18 and MULT18 map one-to-one to embedded blocks; bus
+// macros consume TBUFs. `kPackingEfficiency` models the fact that real
+// P&R rarely packs slices fully (LUT and FF of one slice often belong to
+// different logic), which is also where the paper's observed overhead of
+// generated structures shows up.
+#pragma once
+
+#include <string>
+
+#include "fabric/device.hpp"
+#include "fabric/floorplan.hpp"
+#include "netlist/netlist.hpp"
+
+namespace pdr::synth {
+
+/// Fraction of theoretical slice capacity real packing achieves.
+inline constexpr double kPackingEfficiency = 0.80;
+
+/// Mapped resource totals of one module.
+struct ResourceUsage {
+  int slices = 0;
+  int luts = 0;
+  int ffs = 0;
+  int brams = 0;
+  int mults = 0;
+  int tbufs = 0;
+
+  ResourceUsage& operator+=(const ResourceUsage& o);
+  friend ResourceUsage operator+(ResourceUsage a, const ResourceUsage& b) { return a += b; }
+
+  std::string to_string() const;
+};
+
+/// Maps a netlist onto slices/BRAMs/MULTs.
+ResourceUsage map_netlist(const netlist::Netlist& nl);
+
+/// Percentage (0-100) of `device` the usage occupies, by its scarcest
+/// dimension (slices, BRAMs or MULTs).
+double utilization_percent(const ResourceUsage& usage, const fabric::DeviceModel& device);
+
+/// True if `usage` fits within `slice_budget` slices, `bram_budget` BRAMs
+/// and `mult_budget` MULTs.
+bool fits(const ResourceUsage& usage, int slice_budget, int bram_budget, int mult_budget);
+
+/// True if `usage` fits in floorplan region `region_name` (slices from the
+/// region's columns; BRAM/MULT columns interleaved in its range).
+bool fits_region(const ResourceUsage& usage, const fabric::Floorplan& plan,
+                 const std::string& region_name);
+
+/// CLB columns needed to hold `usage` on `device` at kPackingEfficiency.
+int columns_needed(const ResourceUsage& usage, const fabric::DeviceModel& device);
+
+}  // namespace pdr::synth

@@ -1,0 +1,71 @@
+#include "synth/place.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace pdr::synth {
+
+Placer::Placer(const fabric::Floorplan& plan) : plan_(plan) {
+  for (int c : plan.free_columns()) free_cols_.insert(c);
+}
+
+PlacedModule Placer::place_dynamic(const std::string& variant_name, const netlist::Netlist& nl,
+                                   const std::string& region_name) {
+  const fabric::Region& region = plan_.region(region_name);
+  PDR_CHECK(region.reconfigurable, "Placer::place_dynamic",
+            "region '" + region_name + "' is not reconfigurable");
+  const ResourceUsage usage = map_netlist(nl);
+  PDR_CHECK(fits_region(usage, plan_, region_name), "Placer::place_dynamic",
+            strprintf("variant '%s' (%s) does not fit region '%s' (%d slices)",
+                      variant_name.c_str(), usage.to_string().c_str(), region_name.c_str(),
+                      plan_.region_slices(region_name)));
+
+  PlacedModule p;
+  p.name = variant_name;
+  p.region = region_name;
+  p.col_lo = region.col_lo;
+  p.col_hi = region.col_hi;
+  p.usage = usage;
+  // Bus macros are part of the region's fixed infrastructure; their TBUFs
+  // are charged to every variant since each variant's netlist must
+  // instantiate the macro ends.
+  p.usage.tbufs += static_cast<int>(region.bus_macros.size()) * fabric::kBusMacroWidth;
+  p.frames = plan_.region_frames(region_name);
+  return p;
+}
+
+PlacedModule Placer::place_static(const netlist::Netlist& nl) {
+  const ResourceUsage usage = map_netlist(nl);
+  const int need = columns_needed(usage, plan_.device());
+
+  // First fit: find `need` consecutive free columns.
+  int run_start = -1;
+  int run_len = 0;
+  int prev = -2;
+  for (int c : free_cols_) {
+    if (c == prev + 1 && run_len > 0) {
+      ++run_len;
+    } else {
+      run_start = c;
+      run_len = 1;
+    }
+    prev = c;
+    if (run_len >= need) break;
+  }
+  PDR_CHECK(run_len >= need, "Placer::place_static",
+            strprintf("no run of %d free columns for static module '%s' (%d columns free)", need,
+                      nl.name().c_str(), static_cast<int>(free_cols_.size())));
+
+  PlacedModule p;
+  p.name = nl.name();
+  p.col_lo = run_start;
+  p.col_hi = run_start + need - 1;
+  p.usage = usage;
+  p.frames = plan_.frame_map().frames_for_clb_range(p.col_lo, p.col_hi);
+  for (int c = p.col_lo; c <= p.col_hi; ++c) free_cols_.erase(c);
+  return p;
+}
+
+int Placer::free_static_columns() const { return static_cast<int>(free_cols_.size()); }
+
+}  // namespace pdr::synth

@@ -1,0 +1,51 @@
+// Module placement under the paper's Modular Design rules.
+//
+// Dynamic module variants are placed into their reconfigurable region
+// (all variants of a region cover the region's full frame set — that is
+// what makes their partial bitstreams interchangeable). Static modules
+// are packed first-fit into the remaining columns.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fabric/floorplan.hpp"
+#include "netlist/netlist.hpp"
+#include "synth/map.hpp"
+
+namespace pdr::synth {
+
+/// One placed module.
+struct PlacedModule {
+  std::string name;
+  std::string region;  ///< reconfigurable region name, or "" for static area
+  int col_lo = 0;
+  int col_hi = 0;
+  ResourceUsage usage;
+  std::vector<fabric::FrameAddress> frames;  ///< frames its bitstream covers
+};
+
+class Placer {
+ public:
+  explicit Placer(const fabric::Floorplan& plan);
+
+  /// Places a dynamic variant into `region_name`. Verifies the variant
+  /// fits the region's resources; the placement covers the whole region
+  /// (partial bitstreams of all variants must be interchangeable).
+  PlacedModule place_dynamic(const std::string& variant_name, const netlist::Netlist& nl,
+                             const std::string& region_name);
+
+  /// Places a static module into free columns (first fit, left to right).
+  /// Throws if the static area is exhausted.
+  PlacedModule place_static(const netlist::Netlist& nl);
+
+  /// Columns still unallocated.
+  int free_static_columns() const;
+
+ private:
+  const fabric::Floorplan& plan_;
+  std::set<int> free_cols_;
+};
+
+}  // namespace pdr::synth

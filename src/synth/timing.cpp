@@ -1,0 +1,39 @@
+#include "synth/timing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace pdr::synth {
+
+using netlist::PrimitiveKind;
+
+int estimate_logic_levels(const netlist::Netlist& nl) {
+  const int luts = nl.count(PrimitiveKind::Lut4);
+  const int ffs = std::max(1, nl.count(PrimitiveKind::FlipFlop));
+  if (luts == 0) return 0;
+  const double cone = static_cast<double>(luts) / ffs + 1.0;
+  return 1 + static_cast<int>(std::ceil(std::log2(cone)));
+}
+
+TimingEstimate estimate_timing(const netlist::Netlist& nl, const TimingModel& model,
+                               bool crosses_bus_macro) {
+  PDR_CHECK(model.lut_delay_ns > 0 && model.net_delay_ns >= 0, "estimate_timing",
+            "invalid timing model");
+  TimingEstimate est;
+  est.logic_levels = estimate_logic_levels(nl);
+
+  double path = model.clk_to_out_ns + model.setup_ns;
+  path += est.logic_levels * (model.lut_delay_ns + model.net_delay_ns);
+  if (nl.count(PrimitiveKind::Bram18) > 0) path = std::max(path, model.bram_access_ns + model.setup_ns);
+  if (nl.count(PrimitiveKind::Mult18) > 0)
+    path = std::max(path, model.mult_delay_ns + model.clk_to_out_ns + model.setup_ns);
+  if (crosses_bus_macro) path += model.bus_macro_ns;
+
+  est.critical_path_ns = path;
+  est.fmax_mhz = 1000.0 / path;
+  return est;
+}
+
+}  // namespace pdr::synth

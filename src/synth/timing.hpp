@@ -1,0 +1,44 @@
+// Static timing estimation.
+//
+// Synthesis reports (and the paper's Table 1 family of comparisons)
+// include a maximum clock frequency per module. We estimate it from the
+// netlist with the standard pre-P&R heuristic: critical path = levels of
+// LUT logic between registers x (LUT delay + average net delay), plus
+// fixed clock-to-out / setup terms, derated when the module is placed in
+// a reconfigurable region (bus-macro crossings add delay).
+#pragma once
+
+#include "fabric/device.hpp"
+#include "netlist/netlist.hpp"
+
+namespace pdr::synth {
+
+/// Virtex-II-flavoured delay constants (ns).
+struct TimingModel {
+  double lut_delay_ns = 0.44;       ///< one 4-input LUT
+  double net_delay_ns = 0.90;       ///< average routed net
+  double clk_to_out_ns = 0.57;
+  double setup_ns = 0.45;
+  double bram_access_ns = 2.5;      ///< synchronous BRAM read
+  double mult_delay_ns = 4.3;       ///< MULT18X18 combinational
+  double bus_macro_ns = 1.2;        ///< one TBUF boundary crossing
+};
+
+/// Timing estimate of one module.
+struct TimingEstimate {
+  int logic_levels = 0;        ///< estimated LUT levels between registers
+  double critical_path_ns = 0;
+  double fmax_mhz = 0;
+};
+
+/// Estimated LUT logic levels: ceil(log2(luts / max(ffs,1) + 1)) + 1,
+/// the classic fan-in cone heuristic — more combinational logic per
+/// register means deeper cones.
+int estimate_logic_levels(const netlist::Netlist& nl);
+
+/// Full estimate for a module; `crosses_bus_macro` adds the boundary
+/// penalty reconfigurable modules pay (paper §5 bus macros).
+TimingEstimate estimate_timing(const netlist::Netlist& nl, const TimingModel& model = {},
+                               bool crosses_bus_macro = false);
+
+}  // namespace pdr::synth

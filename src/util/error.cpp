@@ -1,0 +1,9 @@
+#include "util/error.hpp"
+
+namespace pdr {
+
+void raise(const std::string& where, const std::string& message) {
+  throw Error(where + ": " + message);
+}
+
+}  // namespace pdr

@@ -1,0 +1,25 @@
+// Error type and checking macros shared by all pdrflow modules.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pdr {
+
+/// Exception thrown for all recoverable pdrflow errors (bad input graphs,
+/// malformed bitstreams, infeasible placements, parse failures, ...).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string message) : std::runtime_error(std::move(message)) {}
+};
+
+/// Throws pdr::Error with `message` prefixed by `where`.
+[[noreturn]] void raise(const std::string& where, const std::string& message);
+
+}  // namespace pdr
+
+/// Checks an invariant on user-supplied data; throws pdr::Error on failure.
+#define PDR_CHECK(cond, where, msg)            \
+  do {                                         \
+    if (!(cond)) ::pdr::raise((where), (msg)); \
+  } while (false)

@@ -1,0 +1,45 @@
+// Time and size units used throughout pdrflow.
+//
+// Simulated time is carried as signed 64-bit nanoseconds (`TimeNs`). At
+// nanosecond resolution a signed 64-bit counter covers ~292 years of
+// simulated time, far beyond any schedule or transmitter run we model.
+#pragma once
+
+#include <cstdint>
+
+namespace pdr {
+
+/// Simulated time in nanoseconds.
+using TimeNs = std::int64_t;
+
+/// Sizes in bytes.
+using Bytes = std::uint64_t;
+
+namespace literals {
+
+constexpr TimeNs operator""_ns(unsigned long long v) { return static_cast<TimeNs>(v); }
+constexpr TimeNs operator""_us(unsigned long long v) { return static_cast<TimeNs>(v) * 1000; }
+constexpr TimeNs operator""_ms(unsigned long long v) { return static_cast<TimeNs>(v) * 1000 * 1000; }
+constexpr TimeNs operator""_s(unsigned long long v) { return static_cast<TimeNs>(v) * 1000 * 1000 * 1000; }
+
+constexpr Bytes operator""_KiB(unsigned long long v) { return static_cast<Bytes>(v) * 1024; }
+constexpr Bytes operator""_MiB(unsigned long long v) { return static_cast<Bytes>(v) * 1024 * 1024; }
+
+}  // namespace literals
+
+/// Converts nanoseconds to (fractional) milliseconds for reporting.
+constexpr double to_ms(TimeNs t) { return static_cast<double>(t) / 1e6; }
+
+/// Converts nanoseconds to (fractional) microseconds for reporting.
+constexpr double to_us(TimeNs t) { return static_cast<double>(t) / 1e3; }
+
+/// Time to transfer `bytes` over a link of `bytes_per_second`, rounded up
+/// to a whole nanosecond so repeated transfers never under-account.
+constexpr TimeNs transfer_time_ns(Bytes bytes, double bytes_per_second) {
+  if (bytes_per_second <= 0.0) return 0;
+  const double ns = static_cast<double>(bytes) * 1e9 / bytes_per_second;
+  const auto whole = static_cast<TimeNs>(ns);
+  return (static_cast<double>(whole) < ns) ? whole + 1 : whole;
+}
+
+}  // namespace pdr

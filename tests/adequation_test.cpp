@@ -1,0 +1,355 @@
+#include <gtest/gtest.h>
+
+#include "aaa/adequation.hpp"
+#include "aaa/durations.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace pdr::aaa {
+namespace {
+
+using namespace pdr::literals;
+
+DurationTable simple_durations() {
+  DurationTable t;
+  for (const char* kind : {"src", "work", "alt_a", "alt_b", "sink"}) {
+    t.set(kind, OperatorKind::Processor, 10'000);
+    t.set(kind, OperatorKind::FpgaStatic, 2'000);
+    t.set(kind, OperatorKind::FpgaRegion, 2'000);
+  }
+  return t;
+}
+
+ArchitectureGraph small_arch() {
+  ArchitectureGraph arch;
+  arch.add_operator(OperatorNode{"CPU", OperatorKind::Processor, 1.0, "", ""});
+  arch.add_operator(OperatorNode{"F1", OperatorKind::FpgaStatic, 1.0, "XC2V2000", ""});
+  arch.add_operator(OperatorNode{"D1", OperatorKind::FpgaRegion, 1.0, "XC2V2000", "D1"});
+  arch.add_medium(MediumNode{"BUS", 100e6, 100});
+  arch.connect("CPU", "BUS");
+  arch.connect("F1", "BUS");
+  arch.connect("D1", "BUS");
+  return arch;
+}
+
+AlgorithmGraph chain() {
+  AlgorithmGraph g;
+  g.add_operation({"a", "src", {}, OpClass::Sensor, {}});
+  g.add_compute("b", "work");
+  g.add_operation({"c", "sink", {}, OpClass::Actuator, {}});
+  g.add_dependency("a", "b", 100);
+  g.add_dependency("b", "c", 100);
+  return g;
+}
+
+AlgorithmGraph conditioned_chain() {
+  AlgorithmGraph g;
+  g.add_operation({"a", "src", {}, OpClass::Sensor, {}});
+  g.add_conditioned("m", {{"alt_a", "alt_a", {}}, {"alt_b", "alt_b", {}}});
+  g.add_operation({"c", "sink", {}, OpClass::Actuator, {}});
+  g.add_dependency("a", "m", 100);
+  g.add_dependency("m", "c", 100);
+  return g;
+}
+
+TEST(Adequation, SchedulesChainOnFastestOperator) {
+  const AlgorithmGraph g = chain();
+  const ArchitectureGraph arch = small_arch();
+  const DurationTable t = simple_durations();
+  const Schedule s = Adequation(g, arch, t).run();
+  validate_schedule(s, g, arch);
+  // Everything lands on F1 (fast, no transfers needed); regions excluded
+  // for non-conditioned ops.
+  for (const auto& [op, res] : s.placement) EXPECT_EQ(res, "F1");
+  EXPECT_EQ(s.makespan, 6'000);
+  EXPECT_EQ(s.reconfig_count, 0);
+}
+
+TEST(Adequation, DeterministicAcrossRuns) {
+  const AlgorithmGraph g = chain();
+  const ArchitectureGraph arch = small_arch();
+  const DurationTable t = simple_durations();
+  Adequation adequation(g, arch, t);
+  const Schedule s1 = adequation.run();
+  const Schedule s2 = adequation.run();
+  EXPECT_EQ(s1.makespan, s2.makespan);
+  EXPECT_EQ(s1.items.size(), s2.items.size());
+}
+
+TEST(Adequation, PinForcesOperatorAndTransfers) {
+  const AlgorithmGraph g = chain();
+  const ArchitectureGraph arch = small_arch();
+  const DurationTable t = simple_durations();
+  Adequation adequation(g, arch, t);
+  adequation.pin("b", "CPU");
+  const Schedule s = adequation.run();
+  validate_schedule(s, g, arch);
+  EXPECT_EQ(s.placement.at(g.by_name("b")), "CPU");
+  // a on F1, b on CPU -> at least two transfers over BUS.
+  int transfers = 0;
+  for (const auto& item : s.items)
+    if (item.kind == ItemKind::Transfer) ++transfers;
+  EXPECT_GE(transfers, 2);
+}
+
+TEST(Adequation, ConditionedVertexOnRegionInsertsReconfig) {
+  const AlgorithmGraph g = conditioned_chain();
+  const ArchitectureGraph arch = small_arch();
+  const DurationTable t = simple_durations();
+  Adequation adequation(g, arch, t);
+  adequation.pin("m", "D1");
+  adequation.set_reconfig_cost([](const std::string&, const std::string&) { return 1_ms; });
+  const Schedule s = adequation.run();
+  validate_schedule(s, g, arch);
+  EXPECT_EQ(s.reconfig_count, 1);
+  EXPECT_EQ(s.reconfig_total, 1_ms);
+  // The region item loads the first alternative by default.
+  bool found = false;
+  for (const auto& item : s.items)
+    if (item.kind == ItemKind::Reconfig) {
+      EXPECT_EQ(item.module, "alt_a");
+      found = true;
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(Adequation, SelectionPicksAlternative) {
+  const AlgorithmGraph g = conditioned_chain();
+  const ArchitectureGraph arch = small_arch();
+  const DurationTable t = simple_durations();
+  Adequation adequation(g, arch, t);
+  adequation.pin("m", "D1");
+  AdequationOptions options;
+  options.selection["m"] = "alt_b";
+  const Schedule s = adequation.run(options);
+  for (const auto& item : s.items)
+    if (item.kind == ItemKind::Compute && item.variant != "") EXPECT_EQ(item.variant, "alt_b");
+}
+
+TEST(Adequation, UnknownSelectionThrows) {
+  const AlgorithmGraph g = conditioned_chain();
+  const ArchitectureGraph arch = small_arch();
+  const DurationTable t = simple_durations();
+  Adequation adequation(g, arch, t);
+  adequation.pin("m", "D1");
+  AdequationOptions options;
+  options.selection["m"] = "alt_z";
+  EXPECT_THROW(adequation.run(options), pdr::Error);
+}
+
+TEST(Adequation, PreloadedRegionSkipsReconfig) {
+  const AlgorithmGraph g = conditioned_chain();
+  const ArchitectureGraph arch = small_arch();
+  const DurationTable t = simple_durations();
+  Adequation adequation(g, arch, t);
+  adequation.pin("m", "D1");
+  AdequationOptions options;
+  options.preloaded["D1"] = "alt_a";
+  const Schedule s = adequation.run(options);
+  validate_schedule(s, g, arch);
+  EXPECT_EQ(s.reconfig_count, 0);
+}
+
+TEST(Adequation, PrefetchHoistsReconfigBeforeDataReady) {
+  const AlgorithmGraph g = conditioned_chain();
+  const ArchitectureGraph arch = small_arch();
+  const DurationTable t = simple_durations();
+  Adequation adequation(g, arch, t);
+  adequation.pin("m", "D1");
+  adequation.set_reconfig_cost([](const std::string&, const std::string&) { return 1_ms; });
+
+  AdequationOptions with;
+  with.prefetch = true;
+  AdequationOptions without;
+  without.prefetch = false;
+  const Schedule sp = adequation.run(with);
+  const Schedule sn = adequation.run(without);
+  validate_schedule(sp, g, arch);
+  validate_schedule(sn, g, arch);
+
+  // Prefetched reconfiguration starts at t=0 (region and port idle);
+  // on-demand starts only once the input data arrived.
+  TimeNs prefetch_start = -1, demand_start = -1;
+  for (const auto& item : sp.items)
+    if (item.kind == ItemKind::Reconfig) prefetch_start = item.start;
+  for (const auto& item : sn.items)
+    if (item.kind == ItemKind::Reconfig) demand_start = item.start;
+  EXPECT_EQ(prefetch_start, 0);
+  EXPECT_GT(demand_start, 0);
+  EXPECT_LE(sp.makespan, sn.makespan);
+  EXPECT_LT(sp.reconfig_exposed, sn.reconfig_exposed + 1);
+}
+
+TEST(Adequation, InfeasibleOperationThrows) {
+  AlgorithmGraph g;
+  g.add_compute("exotic", "quantum_op");
+  const ArchitectureGraph arch = small_arch();
+  const DurationTable t = simple_durations();
+  EXPECT_THROW(Adequation(g, arch, t).run(), pdr::Error);
+}
+
+TEST(Adequation, PinUnknownNamesThrow) {
+  const AlgorithmGraph g = chain();
+  const ArchitectureGraph arch = small_arch();
+  const DurationTable t = simple_durations();
+  Adequation adequation(g, arch, t);
+  EXPECT_THROW(adequation.pin("nope", "F1"), pdr::Error);
+  EXPECT_THROW(adequation.pin("b", "nope"), pdr::Error);
+}
+
+TEST(Adequation, ApplyConstraintsPinsConditionedVertices) {
+  AlgorithmGraph g;
+  g.add_operation({"a", "src", {}, OpClass::Sensor, {}});
+  g.add_conditioned("m", {{"qpsk", "alt_a", {}}, {"qam16", "alt_b", {}}});
+  g.add_dependency("a", "m", 10);
+  const ArchitectureGraph arch = small_arch();
+  const DurationTable t = simple_durations();
+
+  const ConstraintSet cset = parse_constraints(
+      "region D1 { width 2 }\n"
+      "dynamic qpsk { region D1\n kind qpsk_mapper }\n"
+      "dynamic qam16 { region D1\n kind qam16_mapper }\n");
+  Adequation adequation(g, arch, t);
+  adequation.apply_constraints(cset);
+  const Schedule s = adequation.run();
+  EXPECT_EQ(s.placement.at(g.by_name("m")), "D1");
+}
+
+TEST(Schedule, CsvExportListsEveryItem) {
+  const AlgorithmGraph g = chain();
+  const ArchitectureGraph arch = small_arch();
+  const DurationTable t = simple_durations();
+  const Schedule s = Adequation(g, arch, t).run();
+  const std::string csv = s.to_csv();
+  EXPECT_NE(csv.find("kind,label,resource,start_ns,end_ns,variant,module"), std::string::npos);
+  // One line per item plus the header.
+  EXPECT_EQ(static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n')),
+            s.items.size() + 1);
+  EXPECT_NE(csv.find("compute,b,F1"), std::string::npos);
+}
+
+TEST(Schedule, UtilizationAndResourceQueries) {
+  const AlgorithmGraph g = chain();
+  const ArchitectureGraph arch = small_arch();
+  const DurationTable t = simple_durations();
+  const Schedule s = Adequation(g, arch, t).run();
+  EXPECT_EQ(s.on_resource("F1").size(), 3u);
+  EXPECT_NEAR(s.utilization("F1"), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.utilization("CPU"), 0.0);
+  EXPECT_NE(s.to_string().find("makespan"), std::string::npos);
+  EXPECT_NE(s.gantt().find("F1"), std::string::npos);
+}
+
+TEST(ValidateSchedule, CatchesResourceOverlap) {
+  Schedule s;
+  ScheduledItem x;
+  x.kind = ItemKind::Compute;
+  x.label = "x";
+  x.resource = "F1";
+  x.start = 0;
+  x.end = 10;
+  x.op = 0;
+  ScheduledItem y = x;
+  y.label = "y";
+  y.start = 5;
+  y.end = 15;
+  y.op = 1;
+  s.items = {x, y};
+
+  AlgorithmGraph g;
+  g.add_compute("x", "work");
+  g.add_compute("y", "work");
+  const ArchitectureGraph arch = small_arch();
+  EXPECT_THROW(validate_schedule(s, g, arch), pdr::Error);
+}
+
+TEST(Adequation, BaselineStrategiesScheduleValidly) {
+  const AlgorithmGraph g = chain();
+  const ArchitectureGraph arch = small_arch();
+  const DurationTable t = simple_durations();
+  const Adequation adequation(g, arch, t);
+  for (const auto strategy :
+       {MappingStrategy::SynDExList, MappingStrategy::RoundRobin, MappingStrategy::FirstFeasible}) {
+    AdequationOptions options;
+    options.strategy = strategy;
+    const Schedule s = adequation.run(options);
+    validate_schedule(s, g, arch);
+    EXPECT_EQ(s.placement.size(), g.size()) << mapping_strategy_name(strategy);
+  }
+}
+
+TEST(Adequation, HeuristicBeatsRoundRobinOnWideGraph) {
+  // A wide graph with expensive transfers: the SynDEx heuristic clusters
+  // work on the fast FPGA; round-robin scatters it across the slow CPU
+  // too, paying both slow compute and bus transfers.
+  AlgorithmGraph g;
+  g.add_operation({"s", "src", {}, OpClass::Sensor, {}});
+  for (int i = 0; i < 8; ++i) {
+    const std::string name = "w" + std::to_string(i);
+    g.add_compute(name, "work");
+    g.add_dependency("s", name, 4096);
+  }
+  const ArchitectureGraph arch = small_arch();
+  const DurationTable t = simple_durations();
+  const Adequation adequation(g, arch, t);
+
+  AdequationOptions syndex;
+  AdequationOptions naive;
+  naive.strategy = MappingStrategy::RoundRobin;
+  const Schedule good = adequation.run(syndex);
+  const Schedule bad = adequation.run(naive);
+  validate_schedule(good, g, arch);
+  validate_schedule(bad, g, arch);
+  EXPECT_LT(good.makespan, bad.makespan);
+}
+
+TEST(Adequation, StrategyNames) {
+  EXPECT_STREQ(mapping_strategy_name(MappingStrategy::SynDExList), "syndex_list");
+  EXPECT_STREQ(mapping_strategy_name(MappingStrategy::RoundRobin), "round_robin");
+  EXPECT_STREQ(mapping_strategy_name(MappingStrategy::FirstFeasible), "first_feasible");
+}
+
+/// Property: random layered DAGs on the small platform always produce
+/// valid schedules; makespan is at least the critical path of the fastest
+/// operator.
+class RandomAdequationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomAdequationTest, RandomDagSchedulesValidly) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 77 + 5);
+  AlgorithmGraph g;
+  const int layers = 4;
+  const int per_layer = 3;
+  std::vector<std::vector<std::string>> names(layers);
+  for (int l = 0; l < layers; ++l) {
+    for (int i = 0; i < per_layer; ++i) {
+      const std::string name = "op_" + std::to_string(l) + "_" + std::to_string(i);
+      names[l].push_back(name);
+      if (l == 0)
+        g.add_operation({name, "src", {}, OpClass::Sensor, {}});
+      else
+        g.add_compute(name, "work");
+    }
+  }
+  for (int l = 1; l < layers; ++l)
+    for (int i = 0; i < per_layer; ++i) {
+      // Each op depends on 1-2 ops of the previous layer.
+      const int deps = 1 + static_cast<int>(rng.uniform_int(0, 1));
+      for (int d = 0; d < deps; ++d)
+        g.add_dependency(names[l - 1][static_cast<std::size_t>(rng.uniform_int(0, per_layer - 1))],
+                         names[l][static_cast<std::size_t>(i)],
+                         static_cast<Bytes>(rng.uniform_int(16, 256)));
+  }
+
+  const ArchitectureGraph arch = small_arch();
+  const DurationTable t = simple_durations();
+  const Schedule s = Adequation(g, arch, t).run();
+  validate_schedule(s, g, arch);
+  EXPECT_GE(s.makespan, 2'000 * layers);  // fastest-operator critical path
+  EXPECT_EQ(s.placement.size(), g.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomAdequationTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace pdr::aaa

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "aaa/constraints.hpp"
+#include "util/error.hpp"
+
+namespace pdr::aaa {
+namespace {
+
+const char* kGood = R"(
+# full-featured constraints file
+device XC2V2000
+port selectmap
+manager cpu
+builder fpga
+prefetch history
+
+region D1 {
+  width 5
+  margin 1
+}
+region D2 {
+  width auto
+}
+
+dynamic qpsk {
+  region D1
+  kind qpsk_mapper
+  load startup
+  unload eager
+}
+dynamic qam16 {
+  region D1
+  kind qam16_mapper
+  param n 64
+  param width 16
+}
+dynamic filt {
+  region D2
+  kind fir
+  param taps 16
+}
+
+exclude qpsk qam16
+relation qpsk then qam16
+relation qam16 then qpsk
+)";
+
+TEST(Constraints, ParsesFullExample) {
+  const ConstraintSet set = parse_constraints(kGood);
+  EXPECT_EQ(set.device, "XC2V2000");
+  EXPECT_EQ(set.port, PortChoice::SelectMap);
+  EXPECT_EQ(set.manager, Placement::Cpu);
+  EXPECT_EQ(set.builder, Placement::Fpga);
+  EXPECT_EQ(set.prefetch, PrefetchChoice::History);
+  ASSERT_EQ(set.regions.size(), 2u);
+  EXPECT_EQ(set.regions[0].width, 5);
+  EXPECT_EQ(set.regions[0].margin, 1);
+  EXPECT_EQ(set.regions[1].width, -1);
+  ASSERT_EQ(set.modules.size(), 3u);
+  EXPECT_EQ(set.modules[0].load, LoadPolicy::Startup);
+  EXPECT_EQ(set.modules[0].unload, UnloadPolicy::Eager);
+  EXPECT_EQ(set.modules[1].params.at("n"), 64);
+  EXPECT_EQ(set.modules[1].params.at("width"), 16);
+  ASSERT_EQ(set.exclusions.size(), 1u);
+  EXPECT_EQ(set.exclusions[0], (std::pair<std::string, std::string>{"qpsk", "qam16"}));
+  ASSERT_EQ(set.relations.size(), 2u);
+}
+
+TEST(Constraints, LookupHelpers) {
+  const ConstraintSet set = parse_constraints(kGood);
+  EXPECT_NE(set.find_region("D1"), nullptr);
+  EXPECT_EQ(set.find_region("D9"), nullptr);
+  EXPECT_NE(set.find_module("qpsk"), nullptr);
+  EXPECT_EQ(set.find_module("zzz"), nullptr);
+  EXPECT_EQ(set.modules_of("D1").size(), 2u);
+  EXPECT_EQ(set.modules_of("D2").size(), 1u);
+}
+
+TEST(Constraints, WriteParseRoundTrip) {
+  const ConstraintSet a = parse_constraints(kGood);
+  const ConstraintSet b = parse_constraints(write_constraints(a));
+  EXPECT_EQ(b.device, a.device);
+  EXPECT_EQ(b.port, a.port);
+  EXPECT_EQ(b.manager, a.manager);
+  EXPECT_EQ(b.prefetch, a.prefetch);
+  EXPECT_EQ(b.regions.size(), a.regions.size());
+  EXPECT_EQ(b.modules.size(), a.modules.size());
+  EXPECT_EQ(b.modules[1].params, a.modules[1].params);
+  EXPECT_EQ(b.exclusions, a.exclusions);
+  EXPECT_EQ(b.relations, a.relations);
+}
+
+TEST(Constraints, CommentsAndBlankLinesIgnored) {
+  const ConstraintSet set = parse_constraints(
+      "# leading comment\n\ndevice XC2V1000   # trailing comment\n"
+      "region R { width 2 }\ndynamic m { region R\n kind fir }\n");
+  EXPECT_EQ(set.device, "XC2V1000");
+  EXPECT_EQ(set.regions.size(), 1u);
+}
+
+struct BadCase {
+  const char* label;
+  const char* text;
+};
+
+class BadConstraintsTest : public ::testing::TestWithParam<BadCase> {};
+
+TEST_P(BadConstraintsTest, RejectedWithLineNumber) {
+  try {
+    parse_constraints(GetParam().text);
+    FAIL() << GetParam().label;
+  } catch (const pdr::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line"), std::string::npos) << e.what();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, BadConstraintsTest,
+    ::testing::Values(
+        BadCase{"unknown_directive", "frobnicate yes\n"},
+        BadCase{"bad_port", "port usb\n"},
+        BadCase{"bad_placement", "manager gpu\n"},
+        BadCase{"bad_prefetch", "prefetch psychic\n"},
+        BadCase{"missing_arg", "device\n"},
+        BadCase{"unterminated_block", "region D1 {\n  width 2\n"},
+        BadCase{"missing_brace", "region D1\n"},
+        BadCase{"bad_int", "region D1 {\n  width five\n}\ndynamic m { region D1\n kind fir }\n"},
+        BadCase{"bad_load", "region D1 { width 2 }\ndynamic m {\n region D1\n kind fir\n load maybe\n}\n"},
+        BadCase{"bad_relation_keyword",
+                "region D1 { width 2 }\ndynamic a { region D1\n kind fir }\n"
+                "dynamic b { region D1\n kind fir }\nrelation a before b\n"}),
+    [](const ::testing::TestParamInfo<BadCase>& info) { return info.param.label; });
+
+TEST(Constraints, ValidationCatchesDanglingReferences) {
+  // Module in unknown region.
+  EXPECT_THROW(parse_constraints("dynamic m {\n region ghost\n kind fir\n}\n"), pdr::Error);
+  // Region without modules.
+  EXPECT_THROW(parse_constraints("region D1 { width 2 }\n"), pdr::Error);
+  // Exclusion of unknown module.
+  EXPECT_THROW(parse_constraints("region D1 { width 2 }\ndynamic m { region D1\n kind fir }\n"
+                                 "exclude m ghost\n"),
+               pdr::Error);
+  // Self exclusion.
+  EXPECT_THROW(parse_constraints("region D1 { width 2 }\ndynamic m { region D1\n kind fir }\n"
+                                 "exclude m m\n"),
+               pdr::Error);
+  // Duplicate module.
+  EXPECT_THROW(parse_constraints("region D1 { width 2 }\ndynamic m { region D1\n kind fir }\n"
+                                 "dynamic m { region D1\n kind fir }\n"),
+               pdr::Error);
+}
+
+TEST(Constraints, KeywordNames) {
+  EXPECT_STREQ(to_keyword(PortChoice::Icap), "icap");
+  EXPECT_STREQ(to_keyword(Placement::Cpu), "cpu");
+  EXPECT_STREQ(to_keyword(PrefetchChoice::Schedule), "schedule");
+  EXPECT_STREQ(to_keyword(LoadPolicy::Startup), "startup");
+  EXPECT_STREQ(to_keyword(UnloadPolicy::Lazy), "lazy");
+}
+
+TEST(Constraints, DefaultsMatchPaperCaseA) {
+  const ConstraintSet set;
+  EXPECT_EQ(set.port, PortChoice::Icap);
+  EXPECT_EQ(set.manager, Placement::Fpga);
+  EXPECT_EQ(set.builder, Placement::Fpga);
+  EXPECT_EQ(set.prefetch, PrefetchChoice::Schedule);
+}
+
+}  // namespace
+}  // namespace pdr::aaa

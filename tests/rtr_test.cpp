@@ -1,0 +1,543 @@
+#include <gtest/gtest.h>
+
+#include "rtr/arbiter.hpp"
+#include "rtr/bitstream_store.hpp"
+#include "rtr/cache.hpp"
+#include "rtr/manager.hpp"
+#include "rtr/prefetch.hpp"
+#include "rtr/protocol_builder.hpp"
+#include "synth/flow.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace pdr::rtr {
+namespace {
+
+using namespace pdr::literals;
+
+synth::DesignBundle test_bundle() {
+  synth::ModularDesignFlow flow(fabric::xc2v2000());
+  flow.add_static("ifft", "ifft", {{"n", 64}});
+  flow.add_region("D1", {{"qpsk", "qpsk_mapper", {}}, {"qam16", "qam16_mapper", {}}});
+  return flow.run();
+}
+
+// --- store -----------------------------------------------------------------------
+
+TEST(BitstreamStore, AddGetFetchTime) {
+  BitstreamStore store(1e6, 1000);  // 1 MB/s, 1 us latency
+  store.add("m", std::vector<std::uint8_t>(1000, 0xaa));
+  EXPECT_TRUE(store.contains("m"));
+  EXPECT_FALSE(store.contains("x"));
+  EXPECT_EQ(store.size_of("m"), 1000u);
+  EXPECT_EQ(store.fetch_time("m"), 1000 + 1'000'000);  // 1 ms stream + latency
+  EXPECT_EQ(store.count(), 1u);
+  EXPECT_EQ(store.total_bytes(), 1000u);
+}
+
+TEST(BitstreamStore, ReplaceAndErrors) {
+  BitstreamStore store(1e6, 0);
+  store.add("m", std::vector<std::uint8_t>(10, 1));
+  store.add("m", std::vector<std::uint8_t>(20, 2));
+  EXPECT_EQ(store.size_of("m"), 20u);
+  EXPECT_THROW(store.get("ghost"), pdr::Error);
+  EXPECT_THROW(store.add("", std::vector<std::uint8_t>(1)), pdr::Error);
+  EXPECT_THROW(store.add("e", {}), pdr::Error);
+  EXPECT_THROW(BitstreamStore(0.0, 0), pdr::Error);
+}
+
+// --- cache -----------------------------------------------------------------------
+
+TEST(BitstreamCache, HitMissAndLru) {
+  BitstreamCache cache(100);
+  EXPECT_FALSE(cache.lookup("a"));
+  cache.insert("a", 40);
+  cache.insert("b", 40);
+  EXPECT_TRUE(cache.lookup("a"));  // refreshes a
+  cache.insert("c", 40);           // evicts b (LRU)
+  EXPECT_TRUE(cache.lookup("a"));
+  EXPECT_FALSE(cache.lookup("b"));
+  EXPECT_TRUE(cache.lookup("c"));
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_LE(cache.used(), cache.capacity());
+}
+
+TEST(BitstreamCache, OversizedNeverCached) {
+  BitstreamCache cache(10);
+  cache.insert("big", 50);
+  EXPECT_FALSE(cache.lookup("big"));
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(BitstreamCache, InvalidateRemoves) {
+  BitstreamCache cache(100);
+  cache.insert("a", 10);
+  cache.invalidate("a");
+  EXPECT_FALSE(cache.lookup("a"));
+  cache.invalidate("ghost");  // no-op
+}
+
+TEST(BitstreamCache, HitRateAccounting) {
+  BitstreamCache cache(100);
+  cache.insert("a", 10);
+  cache.lookup("a");
+  cache.lookup("b");
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.5);
+}
+
+TEST(BitstreamCache, ReinsertUpdatesSize) {
+  BitstreamCache cache(100);
+  cache.insert("a", 90);
+  cache.insert("a", 10);
+  EXPECT_EQ(cache.used(), 10u);
+  cache.insert("b", 80);
+  EXPECT_TRUE(cache.lookup("a"));
+  EXPECT_TRUE(cache.lookup("b"));
+}
+
+// --- prefetch policies -------------------------------------------------------------
+
+TEST(Prefetch, NoneNeverPredicts) {
+  NonePrefetch p;
+  EXPECT_FALSE(p.predict("D1", "qpsk").has_value());
+  EXPECT_STREQ(p.name(), "none");
+}
+
+TEST(Prefetch, ScheduleLookaheadFollowsQueue) {
+  ScheduleLookahead p;
+  p.feed("D1", {"qpsk", "qpsk", "qam16", "qpsk"});
+  // Currently qpsk resident; next different demand is qam16.
+  EXPECT_EQ(p.predict("D1", "qpsk").value(), "qam16");
+  p.observe("D1", "qpsk");
+  p.observe("D1", "qpsk");
+  EXPECT_EQ(p.predict("D1", "qpsk").value(), "qam16");
+  p.observe("D1", "qam16");
+  EXPECT_EQ(p.predict("D1", "qam16").value(), "qpsk");
+  p.observe("D1", "qpsk");
+  EXPECT_FALSE(p.predict("D1", "qpsk").has_value());  // queue exhausted
+  EXPECT_EQ(p.pending("D1"), 0u);
+}
+
+TEST(Prefetch, ScheduleLookaheadUnknownRegionEmpty) {
+  ScheduleLookahead p;
+  EXPECT_FALSE(p.predict("D9", "x").has_value());
+  EXPECT_EQ(p.pending("D9"), 0u);
+}
+
+TEST(Prefetch, HistoryLearnsTransitions) {
+  HistoryPredictor p;
+  EXPECT_FALSE(p.predict("D1", "qpsk").has_value());
+  p.observe("D1", "qpsk");
+  p.observe("D1", "qam16");
+  p.observe("D1", "qpsk");
+  p.observe("D1", "qam16");
+  EXPECT_EQ(p.transition_count("qpsk", "qam16"), 2);
+  EXPECT_EQ(p.predict("D1", "qpsk").value(), "qam16");
+  EXPECT_EQ(p.predict("D1", "qam16").value(), "qpsk");
+}
+
+TEST(Prefetch, HistorySeededFromRelations) {
+  aaa::ConstraintSet cset = aaa::parse_constraints(
+      "region D1 { width 2 }\n"
+      "dynamic a { region D1\n kind fir }\n"
+      "dynamic b { region D1\n kind fir }\n"
+      "relation a then b\n");
+  HistoryPredictor p(cset);
+  EXPECT_EQ(p.predict("D1", "a").value(), "b");
+}
+
+TEST(Prefetch, FactoryMatchesChoice) {
+  aaa::ConstraintSet cset = aaa::parse_constraints(
+      "prefetch history\nregion D1 { width 2 }\ndynamic a { region D1\n kind fir }\n");
+  EXPECT_STREQ(make_prefetch_policy(cset)->name(), "history");
+  cset.prefetch = aaa::PrefetchChoice::None;
+  EXPECT_STREQ(make_prefetch_policy(cset)->name(), "none");
+  cset.prefetch = aaa::PrefetchChoice::Schedule;
+  EXPECT_STREQ(make_prefetch_policy(cset)->name(), "schedule");
+}
+
+// --- protocol builder ---------------------------------------------------------------
+
+TEST(ProtocolBuilder, ValidatesAndTimes) {
+  const synth::DesignBundle bundle = test_bundle();
+  const auto& stream = bundle.variant("D1", "qpsk").bitstream;
+  ProtocolBuilder fpga_builder(aaa::Placement::Fpga, fabric::PortKind::Icap, 40e6, 1e9);
+  const BuildResult r = fpga_builder.build(bundle.device, stream);
+  EXPECT_EQ(r.stream.size(), stream.size());
+  EXPECT_GT(r.frames, 0);
+
+  ProtocolBuilder cpu_builder(aaa::Placement::Cpu, fabric::PortKind::SelectMap, 40e6, 1e9);
+  EXPECT_GT(cpu_builder.build(bundle.device, stream).build_time, r.build_time);
+}
+
+TEST(ProtocolBuilder, RejectsCorruptedMemory) {
+  const synth::DesignBundle bundle = test_bundle();
+  auto stream = bundle.variant("D1", "qpsk").bitstream;
+  stream[stream.size() / 2] ^= 0x10;
+  ProtocolBuilder builder(aaa::Placement::Fpga, fabric::PortKind::Icap, 40e6, 1e9);
+  EXPECT_THROW(builder.build(bundle.device, stream), pdr::Error);
+}
+
+// --- manager ---------------------------------------------------------------------------
+
+struct ManagerFixture {
+  synth::DesignBundle bundle = test_bundle();
+  BitstreamStore store{50e6, 1000};
+  ScheduleLookahead policy;
+  ManagerConfig config;
+  std::unique_ptr<ReconfigManager> manager;
+
+  explicit ManagerFixture(ManagerConfig cfg = {}) : config(cfg) {
+    manager = std::make_unique<ReconfigManager>(bundle, config, store, policy);
+  }
+};
+
+TEST(Manager, RegistersVariantBitstreams) {
+  ManagerFixture f;
+  EXPECT_TRUE(f.store.contains("qpsk"));
+  EXPECT_TRUE(f.store.contains("qam16"));
+  EXPECT_EQ(f.manager->loaded("D1"), "");
+  EXPECT_THROW(f.manager->loaded("D9"), pdr::Error);
+}
+
+TEST(Manager, ColdMissPaysFullLatency) {
+  ManagerFixture f;
+  const TimeNs cold = f.manager->cold_load_latency("qpsk");
+  const auto outcome = f.manager->request("D1", "qpsk", 1000);
+  EXPECT_EQ(outcome.kind, RequestKind::Miss);
+  EXPECT_EQ(outcome.ready_at, 1000 + cold);
+  EXPECT_EQ(outcome.stall, cold);
+  EXPECT_EQ(f.manager->loaded("D1"), "qpsk");
+  EXPECT_EQ(f.manager->stats().misses, 1);
+}
+
+TEST(Manager, RepeatRequestIsFree) {
+  ManagerFixture f;
+  f.manager->request("D1", "qpsk", 0);
+  const auto outcome = f.manager->request("D1", "qpsk", 5_ms);
+  EXPECT_EQ(outcome.kind, RequestKind::AlreadyLoaded);
+  EXPECT_EQ(outcome.stall, 0);
+}
+
+TEST(Manager, LoadPhysicallyConfiguresRegion) {
+  ManagerFixture f;
+  f.manager->request("D1", "qam16", 0);
+  const auto frames = f.bundle.floorplan.region_frames("D1");
+  EXPECT_TRUE(f.manager->memory().region_owned_by(frames, "qam16"));
+  f.manager->request("D1", "qpsk", 10_ms);
+  EXPECT_TRUE(f.manager->memory().region_owned_by(frames, "qpsk"));
+}
+
+TEST(Manager, AnnounceThenRequestIsPrefetchHit) {
+  ManagerFixture f;
+  f.manager->request("D1", "qpsk", 0);
+  const TimeNs t1 = f.manager->port_free_at();
+  const auto done = f.manager->announce("D1", "qam16", t1);
+  ASSERT_TRUE(done.has_value());
+  // Demand after staging finished: only the port transfer remains.
+  const auto outcome = f.manager->request("D1", "qam16", *done + 1_ms);
+  EXPECT_EQ(outcome.kind, RequestKind::PrefetchHit);
+  EXPECT_EQ(outcome.stall, f.manager->staged_load_latency("qam16"));
+  EXPECT_LT(outcome.stall, f.manager->cold_load_latency("qam16"));
+  EXPECT_EQ(f.manager->stats().prefetch_hits, 1);
+  EXPECT_EQ(f.manager->stats().prefetches_issued, 1);
+}
+
+TEST(Manager, AnnounceDoesNotTouchTheRegion) {
+  // Staging must not disturb the module that is still computing: only a
+  // demand rewrites the region's frames.
+  ManagerFixture f;
+  f.manager->request("D1", "qpsk", 0);
+  const auto frames = f.bundle.floorplan.region_frames("D1");
+  f.manager->announce("D1", "qam16", 10_ms);
+  EXPECT_EQ(f.manager->loaded("D1"), "qpsk");
+  EXPECT_TRUE(f.manager->memory().region_owned_by(frames, "qpsk"));
+}
+
+TEST(Manager, AnnounceInFlightGivesPartialStall) {
+  ManagerFixture f;
+  f.manager->request("D1", "qpsk", 0);
+  const TimeNs t1 = f.manager->port_free_at();
+  const auto done = f.manager->announce("D1", "qam16", t1);
+  ASSERT_TRUE(done.has_value());
+  // Demand shortly before staging completes: the staged path wins and the
+  // stall is the small remainder plus the port transfer.
+  const TimeNs just_before = *done - 1000;
+  const auto outcome = f.manager->request("D1", "qam16", just_before);
+  EXPECT_EQ(outcome.kind, RequestKind::PrefetchInFlight);
+  EXPECT_EQ(outcome.stall, 1000 + f.manager->staged_load_latency("qam16"));
+  EXPECT_LT(outcome.stall, f.manager->cold_load_latency("qam16"));
+}
+
+TEST(Manager, BarelyStartedStagingFallsBackToColdPath) {
+  // A demand arriving right after the announce must never be slower than
+  // no prefetch at all: the manager streams the cold pipelined path.
+  ManagerFixture f;
+  f.manager->request("D1", "qpsk", 0);
+  const TimeNs t1 = f.manager->port_free_at();
+  f.manager->announce("D1", "qam16", t1);
+  const auto outcome = f.manager->request("D1", "qam16", t1 + 10);
+  EXPECT_EQ(outcome.kind, RequestKind::Miss);
+  EXPECT_EQ(outcome.stall, f.manager->cold_load_latency("qam16"));
+  EXPECT_EQ(f.manager->stats().prefetches_wasted, 1);
+}
+
+TEST(Manager, AnnounceIgnoredWithNonePolicy) {
+  synth::DesignBundle bundle = test_bundle();
+  BitstreamStore store(50e6, 1000);
+  NonePrefetch none;
+  ReconfigManager manager(bundle, ManagerConfig{}, store, none);
+  manager.request("D1", "qpsk", 0);
+  EXPECT_FALSE(manager.announce("D1", "qam16", 10_ms).has_value());
+  EXPECT_EQ(manager.stats().prefetches_issued, 0);
+}
+
+TEST(Manager, AnnounceForResidentModuleIsNoop) {
+  ManagerFixture f;
+  f.manager->request("D1", "qpsk", 0);
+  EXPECT_FALSE(f.manager->announce("D1", "qpsk", 10_ms).has_value());
+}
+
+TEST(Manager, DuplicateAnnounceReturnsSameCompletion) {
+  ManagerFixture f;
+  f.manager->request("D1", "qpsk", 0);
+  const auto a = f.manager->announce("D1", "qam16", f.manager->port_free_at());
+  const auto b = f.manager->announce("D1", "qam16", f.manager->port_free_at());
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  EXPECT_EQ(*a, *b);
+  EXPECT_EQ(f.manager->stats().prefetches_issued, 1);
+}
+
+TEST(Manager, MispredictedStagingDoesNotHurtResidentModule) {
+  ManagerFixture f;
+  f.manager->request("D1", "qpsk", 0);
+  f.manager->announce("D1", "qam16", f.manager->port_free_at());
+  // Demand stays on qpsk: the staged qam16 is simply unused; the resident
+  // module is untouched and free.
+  const auto outcome = f.manager->request("D1", "qpsk", f.manager->port_free_at() + 1_ms);
+  EXPECT_EQ(outcome.kind, RequestKind::AlreadyLoaded);
+  EXPECT_EQ(outcome.stall, 0);
+}
+
+TEST(Manager, ReplacedStagingCountedWasted) {
+  // Three variants so a second announce can replace the first.
+  synth::ModularDesignFlow flow(fabric::xc2v2000());
+  flow.add_region("D1", {{"qpsk", "qpsk_mapper", {}},
+                         {"qam16", "qam16_mapper", {}},
+                         {"qam64", "qam64_mapper", {}}});
+  const synth::DesignBundle bundle = flow.run();
+  BitstreamStore store(50e6, 1000);
+  ScheduleLookahead policy;
+  ReconfigManager manager(bundle, ManagerConfig{}, store, policy);
+
+  manager.request("D1", "qpsk", 0);
+  manager.announce("D1", "qam16", 10_ms);
+  manager.announce("D1", "qam64", 20_ms);  // replaces staged qam16
+  EXPECT_EQ(manager.stats().prefetches_wasted, 1);
+  EXPECT_EQ(manager.stats().prefetches_issued, 2);
+  const auto outcome = manager.request("D1", "qam64", 40_ms);
+  EXPECT_EQ(outcome.kind, RequestKind::PrefetchHit);
+}
+
+TEST(Manager, CpuManagerAddsInterruptLatency) {
+  ManagerConfig fpga_cfg;
+  ManagerFixture on_fpga(fpga_cfg);
+  ManagerConfig cpu_cfg;
+  cpu_cfg.manager = aaa::Placement::Cpu;
+  cpu_cfg.interrupt_latency = 50_us;
+  ManagerFixture on_cpu(cpu_cfg);
+  EXPECT_EQ(on_cpu.manager->cold_load_latency("qpsk"),
+            on_fpga.manager->cold_load_latency("qpsk") + 50_us);
+}
+
+TEST(Manager, CpuBuilderThrottlesWhenSlowest) {
+  ManagerConfig cfg;
+  cfg.builder = aaa::Placement::Cpu;
+  cfg.cpu_builder_bytes_per_s = 1e6;  // 1 MB/s software framing, slowest stage
+  ManagerFixture slow(cfg);
+  ManagerFixture fast;
+  EXPECT_GT(slow.manager->cold_load_latency("qpsk"), fast.manager->cold_load_latency("qpsk"));
+}
+
+TEST(Manager, CacheSkipsMemoryFetch) {
+  ManagerConfig cfg;
+  cfg.cache_capacity = 1_MiB;
+  ManagerFixture f(cfg);
+  const auto first = f.manager->request("D1", "qpsk", 0);
+  f.manager->request("D1", "qam16", first.ready_at + 1_ms);
+  // qpsk is cached now; reloading it avoids the store fetch.
+  const auto third = f.manager->request("D1", "qpsk", f.manager->port_free_at() + 1_ms);
+  EXPECT_LT(third.stall, first.stall);
+  EXPECT_GT(f.manager->cache().hits(), 0);
+}
+
+TEST(Manager, AutoPrefetchUsesPolicyPrediction) {
+  ManagerFixture f;
+  f.policy.feed("D1", {"qpsk", "qam16"});
+  f.manager->request("D1", "qpsk", 0);
+  f.manager->auto_prefetch("D1", f.manager->port_free_at());
+  EXPECT_EQ(f.manager->stats().prefetches_issued, 1);
+  const auto outcome = f.manager->request("D1", "qam16", f.manager->port_free_at() + 1_ms);
+  EXPECT_EQ(outcome.kind, RequestKind::PrefetchHit);
+}
+
+TEST(Manager, StatsAccumulate) {
+  ManagerFixture f;
+  f.manager->request("D1", "qpsk", 0);
+  f.manager->request("D1", "qam16", 20_ms);
+  f.manager->request("D1", "qam16", 40_ms);
+  const ManagerStats& s = f.manager->stats();
+  EXPECT_EQ(s.requests, 3);
+  EXPECT_EQ(s.misses, 2);
+  EXPECT_EQ(s.already_loaded, 1);
+  EXPECT_GT(s.total_stall, 0);
+  EXPECT_GT(s.bytes_loaded, 0u);
+}
+
+TEST(Manager, SundanceConfigIsCaseA) {
+  const ManagerConfig cfg = sundance_manager_config();
+  EXPECT_EQ(cfg.manager, aaa::Placement::Fpga);
+  EXPECT_EQ(cfg.builder, aaa::Placement::Fpga);
+  EXPECT_EQ(cfg.port_kind, fabric::PortKind::Icap);
+}
+
+TEST(Manager, RequestKindNames) {
+  EXPECT_STREQ(request_kind_name(RequestKind::Miss), "miss");
+  EXPECT_STREQ(request_kind_name(RequestKind::PrefetchHit), "prefetch_hit");
+}
+
+// --- residency, blanking, readback, scrubbing -----------------------------------
+
+TEST(Manager, SetResidentSkipsPort) {
+  ManagerFixture f;
+  f.manager->set_resident("D1", "qpsk");
+  EXPECT_EQ(f.manager->loaded("D1"), "qpsk");
+  EXPECT_EQ(f.manager->port_free_at(), 0);  // no port time consumed
+  const auto outcome = f.manager->request("D1", "qpsk", 100);
+  EXPECT_EQ(outcome.kind, RequestKind::AlreadyLoaded);
+}
+
+TEST(Manager, BlankClearsResidencyAndOccupiesPort) {
+  ManagerFixture f;
+  f.manager->request("D1", "qpsk", 0);
+  const TimeNs done = f.manager->blank("D1", f.manager->port_free_at());
+  EXPECT_GT(done, 0);
+  EXPECT_EQ(f.manager->loaded("D1"), "");
+  EXPECT_EQ(f.manager->stats().blanks, 1);
+  // The next demand is a full miss again.
+  const auto outcome = f.manager->request("D1", "qpsk", done + 1_ms);
+  EXPECT_EQ(outcome.kind, RequestKind::Miss);
+}
+
+TEST(Manager, VerifyDetectsSeuAndScrubRepairs) {
+  ManagerFixture f;
+  f.manager->request("D1", "qam16", 0);
+  EXPECT_EQ(f.manager->verify_resident("D1"), 0);
+
+  // Inject two upsets in different frames.
+  const auto frames = f.bundle.floorplan.region_frames("D1");
+  auto& memory = const_cast<fabric::ConfigMemory&>(f.manager->memory());
+  memory.flip_bit(frames[3], 10, 2);
+  memory.flip_bit(frames[17], 0, 7);
+  EXPECT_EQ(f.manager->verify_resident("D1"), 2);
+
+  const TimeNs done = f.manager->scrub("D1", f.manager->port_free_at());
+  EXPECT_GT(done, 0);
+  EXPECT_EQ(f.manager->verify_resident("D1"), 0);
+  EXPECT_EQ(f.manager->stats().scrubs, 1);
+  EXPECT_EQ(f.manager->loaded("D1"), "qam16");  // residency unchanged
+}
+
+TEST(Manager, ScrubWithoutResidentThrows) {
+  ManagerFixture f;
+  EXPECT_THROW(f.manager->scrub("D1", 0), pdr::Error);
+  EXPECT_THROW(f.manager->verify_resident("D1"), pdr::Error);
+}
+
+// --- request arbiter --------------------------------------------------------------
+
+synth::DesignBundle two_region_bundle() {
+  synth::ModularDesignFlow flow(fabric::xc2v2000());
+  flow.add_region("D1", {{"qpsk", "qpsk_mapper", {}}, {"qam16", "qam16_mapper", {}}});
+  flow.add_region("D2", {{"fir_a", "custom", {{"luts", 100}, {"ffs", 50}}},
+                         {"fir_b", "custom", {{"luts", 150}, {"ffs", 60}}}});
+  return flow.run();
+}
+
+TEST(Arbiter, DrainsByPriorityThenFifo) {
+  const synth::DesignBundle bundle = two_region_bundle();
+  BitstreamStore store(50e6, 1000);
+  NonePrefetch policy;
+  ReconfigManager manager(bundle, ManagerConfig{}, store, policy);
+  RequestArbiter arbiter(manager);
+
+  arbiter.submit("D2", "fir_a", 0, /*priority=*/0);
+  arbiter.submit("D1", "qpsk", 10, /*priority=*/5);
+  EXPECT_EQ(arbiter.pending(), 2u);
+  const auto drained = arbiter.drain(100);
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0].request.region, "D1");  // higher priority first
+  EXPECT_EQ(drained[1].request.region, "D2");
+  // Requests serialize on the port: the second starts after the first.
+  EXPECT_GE(drained[1].outcome.ready_at, drained[0].outcome.ready_at);
+  EXPECT_EQ(arbiter.pending(), 0u);
+}
+
+TEST(Arbiter, CoalescesDuplicates) {
+  const synth::DesignBundle bundle = two_region_bundle();
+  BitstreamStore store(50e6, 1000);
+  NonePrefetch policy;
+  ReconfigManager manager(bundle, ManagerConfig{}, store, policy);
+  RequestArbiter arbiter(manager);
+
+  arbiter.submit("D1", "qpsk", 0, 0);
+  arbiter.submit("D1", "qpsk", 5, 9);  // same target, higher priority
+  EXPECT_EQ(arbiter.pending(), 1u);
+  EXPECT_EQ(arbiter.coalesced(), 1);
+  arbiter.submit("D1", "qam16", 6, 0);  // different module: kept
+  EXPECT_EQ(arbiter.pending(), 2u);
+  const auto drained = arbiter.drain(10);
+  // The coalesced request carries the raised priority -> drains first.
+  EXPECT_EQ(drained[0].request.module, "qpsk");
+  EXPECT_EQ(drained[0].request.priority, 9);
+}
+
+TEST(Arbiter, QueueWaitAccounted) {
+  const synth::DesignBundle bundle = two_region_bundle();
+  BitstreamStore store(50e6, 1000);
+  NonePrefetch policy;
+  ReconfigManager manager(bundle, ManagerConfig{}, store, policy);
+  RequestArbiter arbiter(manager);
+
+  arbiter.submit("D1", "qpsk", 0, 0);
+  arbiter.submit("D2", "fir_a", 0, 0);
+  const auto drained = arbiter.drain(1000);
+  EXPECT_EQ(drained[0].queue_wait, 1000);
+  // The second waited for the first's reconfiguration too.
+  EXPECT_EQ(drained[1].queue_wait, drained[0].outcome.ready_at);
+  EXPECT_EQ(arbiter.total_queue_wait(), drained[0].queue_wait + drained[1].queue_wait);
+}
+
+TEST(Arbiter, RejectsUnnamedTargets) {
+  const synth::DesignBundle bundle = two_region_bundle();
+  BitstreamStore store(50e6, 1000);
+  NonePrefetch policy;
+  ReconfigManager manager(bundle, ManagerConfig{}, store, policy);
+  RequestArbiter arbiter(manager);
+  EXPECT_THROW(arbiter.submit("", "m", 0), pdr::Error);
+  EXPECT_THROW(arbiter.submit("D1", "", 0), pdr::Error);
+}
+
+TEST(Manager, ScrubSerializesOnPort) {
+  ManagerFixture f;
+  f.manager->request("D1", "qpsk", 0);
+  const TimeNs t0 = f.manager->port_free_at();
+  const TimeNs s1 = f.manager->scrub("D1", t0);
+  const TimeNs s2 = f.manager->scrub("D1", t0);  // requested while busy
+  EXPECT_GE(s2, s1 + (s1 - t0));                 // second waits for the first
+}
+
+}  // namespace
+}  // namespace pdr::rtr

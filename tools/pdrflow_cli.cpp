@@ -1,0 +1,224 @@
+// pdrflow — command-line front end to the design flow.
+//
+// Usage:
+//   pdrflow build <constraints-file> [--out DIR]
+//       Parse a constraints file, run the Modular Design flow and write
+//       floorplan report + partial bitstreams (+ blank bitstreams).
+//   pdrflow inspect <bitstream.bit> --device NAME
+//       Validate a bitstream and print its packet structure.
+//   pdrflow devices
+//       List the supported device models.
+//   pdrflow latency <constraints-file> [--bandwidth B/s]
+//       Print per-module cold/staged reconfiguration latencies.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "aaa/adequation.hpp"
+#include "aaa/constraints.hpp"
+#include "aaa/macrocode.hpp"
+#include "aaa/project_io.hpp"
+#include "fabric/bitstream.hpp"
+#include "mccdma/case_study.hpp"
+#include "rtr/manager.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace pdr;
+
+namespace {
+
+int usage() {
+  std::fputs(
+      "usage:\n"
+      "  pdrflow build <constraints-file> [--out DIR]\n"
+      "  pdrflow inspect <bitstream.bit> --device NAME\n"
+      "  pdrflow latency <constraints-file> [--bandwidth BYTES_PER_S]\n"
+      "  pdrflow adequation <project-file> [--no-prefetch] [--reconfig-ms N]\n"
+      "  pdrflow devices\n",
+      stderr);
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PDR_CHECK(in.good(), "pdrflow", "cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file(const std::filesystem::path& path, std::span<const std::uint8_t> data) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(data.data()), static_cast<std::streamsize>(data.size()));
+  std::printf("  wrote %-40s (%s)\n", path.c_str(), human_bytes(data.size()).c_str());
+}
+
+const char* find_flag(int argc, char** argv, const char* flag) {
+  for (int i = 0; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  return nullptr;
+}
+
+int cmd_devices() {
+  Table t({"device", "CLB array", "slices", "BRAM18", "MULT18", "frame bytes", "full bitstream"});
+  for (const char* name : {"XC2V1000", "XC2V2000", "XC2V3000", "XC2V6000"}) {
+    const fabric::DeviceModel d = fabric::device_by_name(name);
+    t.row()
+        .add(name)
+        .add(strprintf("%dx%d", d.clb_rows, d.clb_cols))
+        .add(d.total_slices())
+        .add(d.total_brams())
+        .add(d.total_mult18())
+        .add(d.frame_bytes())
+        .add(human_bytes(d.config_payload_bytes()));
+  }
+  t.print();
+  return 0;
+}
+
+int cmd_build(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const aaa::ConstraintSet constraints = aaa::parse_constraints(read_file(argv[0]));
+  const char* out_flag = find_flag(argc, argv, "--out");
+  const std::filesystem::path out_dir = out_flag ? out_flag : "pdrflow_out";
+  std::filesystem::create_directories(out_dir);
+
+  const synth::DesignBundle bundle = mccdma::run_flow_from_constraints(constraints, {});
+  std::fputs(bundle.floorplan.render().c_str(), stdout);
+
+  Table t({"region", "variant", "slices", "fmax (MHz)", "bitstream", "% of device"});
+  for (const auto& [region, variants] : bundle.dynamic_variants) {
+    for (const auto& v : variants) {
+      t.row()
+          .add(region)
+          .add(v.name)
+          .add(v.usage.slices)
+          .add(v.timing.fmax_mhz, 0)
+          .add(human_bytes(v.bitstream.size()))
+          .add(100.0 * bundle.floorplan.region_fraction(region), 1);
+      write_file(out_dir / (v.name + "_partial.bit"), v.bitstream);
+    }
+  }
+  t.print();
+  write_file(out_dir / "initial_full.bit", bundle.initial_bitstream);
+  return 0;
+}
+
+int cmd_inspect(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const char* device_name = find_flag(argc, argv, "--device");
+  if (device_name == nullptr) return usage();
+  const fabric::DeviceModel device = fabric::device_by_name(device_name);
+
+  const std::string blob = read_file(argv[0]);
+  const std::vector<std::uint8_t> stream(blob.begin(), blob.end());
+  std::puts(fabric::describe_bitstream(device, stream).c_str());
+
+  const auto actions = fabric::decode_packets(device, stream);
+  Table t({"packet", "register", "payload words", "detail"});
+  int i = 0;
+  for (const auto& a : actions) {
+    std::string detail;
+    if (a.reg == fabric::ConfigReg::Far && !a.payload.empty())
+      detail = fabric::FrameAddress::decode(a.payload[0]).to_string();
+    if (a.reg == fabric::ConfigReg::Idcode && !a.payload.empty())
+      detail = strprintf("0x%08x", a.payload[0]);
+    const char* reg_name = a.reg == fabric::ConfigReg::Crc      ? "CRC"
+                           : a.reg == fabric::ConfigReg::Far    ? "FAR"
+                           : a.reg == fabric::ConfigReg::Fdri   ? "FDRI"
+                           : a.reg == fabric::ConfigReg::Cmd    ? "CMD"
+                           : a.reg == fabric::ConfigReg::Idcode ? "IDCODE"
+                                                                : "?";
+    t.row().add(i++).add(reg_name).add(std::uint64_t{a.payload.size()}).add(detail);
+  }
+  t.print();
+  return 0;
+}
+
+int cmd_latency(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const aaa::ConstraintSet constraints = aaa::parse_constraints(read_file(argv[0]));
+  const char* bw_flag = find_flag(argc, argv, "--bandwidth");
+  const double bandwidth = bw_flag ? std::stod(bw_flag) : mccdma::kCaseStudyStoreBandwidth;
+
+  const synth::DesignBundle bundle = mccdma::run_flow_from_constraints(constraints, {});
+  rtr::BitstreamStore store(bandwidth, mccdma::kCaseStudyStoreLatency);
+  rtr::NonePrefetch policy;
+  rtr::ManagerConfig cfg;
+  cfg.manager =
+      constraints.manager == aaa::Placement::Cpu ? aaa::Placement::Cpu : aaa::Placement::Fpga;
+  cfg.builder = constraints.builder;
+  cfg.port_kind = constraints.port == aaa::PortChoice::Icap        ? fabric::PortKind::Icap
+                  : constraints.port == aaa::PortChoice::SelectMap ? fabric::PortKind::SelectMap
+                                                                   : fabric::PortKind::Jtag;
+  rtr::ReconfigManager manager(bundle, cfg, store, policy);
+
+  std::printf("memory bandwidth %.1f MB/s, port %s\n\n", bandwidth / 1e6,
+              fabric::port_kind_name(cfg.port_kind));
+  Table t({"region", "module", "cold (ms)", "staged (ms)", "staging (ms)"});
+  for (const auto& [region, variants] : bundle.dynamic_variants)
+    for (const auto& v : variants)
+      t.row()
+          .add(region)
+          .add(v.name)
+          .add(to_ms(manager.cold_load_latency(v.name)), 3)
+          .add(to_ms(manager.staged_load_latency(v.name)), 3)
+          .add(to_ms(manager.staging_time(v.name)), 3);
+  t.print();
+  return 0;
+}
+
+int cmd_adequation(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const aaa::Project project = aaa::parse_project(read_file(argv[0]));
+
+  aaa::Adequation adequation(project.algorithm, project.architecture, project.durations);
+  const char* ms_flag = find_flag(argc, argv, "--reconfig-ms");
+  const TimeNs reconfig = ms_flag ? static_cast<TimeNs>(std::stod(ms_flag) * 1e6) : 4'000'000;
+  adequation.set_reconfig_cost(
+      [reconfig](const std::string&, const std::string&) { return reconfig; });
+
+  aaa::AdequationOptions options;
+  for (int i = 0; i < argc; ++i)
+    if (std::strcmp(argv[i], "--no-prefetch") == 0) options.prefetch = false;
+
+  const aaa::Schedule schedule = adequation.run(options);
+  aaa::validate_schedule(schedule, project.algorithm, project.architecture);
+  std::printf("project '%s': %zu operations on %zu operators\n\n", project.name.c_str(),
+              project.algorithm.size(), project.architecture.operators().size());
+  std::fputs(schedule.to_string().c_str(), stdout);
+  std::puts("");
+  std::fputs(schedule.gantt().c_str(), stdout);
+  std::puts("\nsynchronized executive:");
+  const aaa::Executive executive =
+      aaa::generate_executive(schedule, project.algorithm, project.architecture);
+  std::fputs(executive.to_string().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "devices") return cmd_devices();
+    if (cmd == "build") return cmd_build(argc - 2, argv + 2);
+    if (cmd == "inspect") return cmd_inspect(argc - 2, argv + 2);
+    if (cmd == "latency") return cmd_latency(argc - 2, argv + 2);
+    if (cmd == "adequation") return cmd_adequation(argc - 2, argv + 2);
+  } catch (const pdr::Error& e) {
+    std::fprintf(stderr, "pdrflow: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
