@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_floorplan.dir/ablate_floorplan.cpp.o"
+  "CMakeFiles/ablate_floorplan.dir/ablate_floorplan.cpp.o.d"
+  "ablate_floorplan"
+  "ablate_floorplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

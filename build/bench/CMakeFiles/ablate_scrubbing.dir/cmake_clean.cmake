@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_scrubbing.dir/ablate_scrubbing.cpp.o"
+  "CMakeFiles/ablate_scrubbing.dir/ablate_scrubbing.cpp.o.d"
+  "ablate_scrubbing"
+  "ablate_scrubbing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_scrubbing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

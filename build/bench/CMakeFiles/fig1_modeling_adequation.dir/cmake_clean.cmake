@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_modeling_adequation.dir/fig1_modeling_adequation.cpp.o"
+  "CMakeFiles/fig1_modeling_adequation.dir/fig1_modeling_adequation.cpp.o.d"
+  "fig1_modeling_adequation"
+  "fig1_modeling_adequation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_modeling_adequation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

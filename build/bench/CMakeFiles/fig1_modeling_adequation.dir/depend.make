@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1_modeling_adequation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_reconfig_architectures.dir/fig2_reconfig_architectures.cpp.o"
+  "CMakeFiles/fig2_reconfig_architectures.dir/fig2_reconfig_architectures.cpp.o.d"
+  "fig2_reconfig_architectures"
+  "fig2_reconfig_architectures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_reconfig_architectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

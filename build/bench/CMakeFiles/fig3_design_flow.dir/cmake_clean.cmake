@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_design_flow.dir/fig3_design_flow.cpp.o"
+  "CMakeFiles/fig3_design_flow.dir/fig3_design_flow.cpp.o.d"
+  "fig3_design_flow"
+  "fig3_design_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_design_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_transmitter.dir/fig4_transmitter.cpp.o"
+  "CMakeFiles/fig4_transmitter.dir/fig4_transmitter.cpp.o.d"
+  "fig4_transmitter"
+  "fig4_transmitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_transmitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

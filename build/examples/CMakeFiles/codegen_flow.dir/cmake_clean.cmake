@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codegen_flow.dir/codegen_flow.cpp.o"
+  "CMakeFiles/codegen_flow.dir/codegen_flow.cpp.o.d"
+  "codegen_flow"
+  "codegen_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codegen_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_bank.dir/filter_bank.cpp.o"
+  "CMakeFiles/filter_bank.dir/filter_bank.cpp.o.d"
+  "filter_bank"
+  "filter_bank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mccdma_transmitter.dir/mccdma_transmitter.cpp.o"
+  "CMakeFiles/mccdma_transmitter.dir/mccdma_transmitter.cpp.o.d"
+  "mccdma_transmitter"
+  "mccdma_transmitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mccdma_transmitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

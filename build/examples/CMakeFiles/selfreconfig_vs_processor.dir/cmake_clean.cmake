@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfreconfig_vs_processor.dir/selfreconfig_vs_processor.cpp.o"
+  "CMakeFiles/selfreconfig_vs_processor.dir/selfreconfig_vs_processor.cpp.o.d"
+  "selfreconfig_vs_processor"
+  "selfreconfig_vs_processor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfreconfig_vs_processor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for selfreconfig_vs_processor.
+# This may be replaced when dependencies are built.

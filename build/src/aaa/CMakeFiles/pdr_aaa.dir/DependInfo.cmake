@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aaa/adequation.cpp" "src/aaa/CMakeFiles/pdr_aaa.dir/adequation.cpp.o" "gcc" "src/aaa/CMakeFiles/pdr_aaa.dir/adequation.cpp.o.d"
+  "/root/repo/src/aaa/algorithm_graph.cpp" "src/aaa/CMakeFiles/pdr_aaa.dir/algorithm_graph.cpp.o" "gcc" "src/aaa/CMakeFiles/pdr_aaa.dir/algorithm_graph.cpp.o.d"
+  "/root/repo/src/aaa/architecture_graph.cpp" "src/aaa/CMakeFiles/pdr_aaa.dir/architecture_graph.cpp.o" "gcc" "src/aaa/CMakeFiles/pdr_aaa.dir/architecture_graph.cpp.o.d"
+  "/root/repo/src/aaa/codegen_c.cpp" "src/aaa/CMakeFiles/pdr_aaa.dir/codegen_c.cpp.o" "gcc" "src/aaa/CMakeFiles/pdr_aaa.dir/codegen_c.cpp.o.d"
+  "/root/repo/src/aaa/codegen_m4.cpp" "src/aaa/CMakeFiles/pdr_aaa.dir/codegen_m4.cpp.o" "gcc" "src/aaa/CMakeFiles/pdr_aaa.dir/codegen_m4.cpp.o.d"
+  "/root/repo/src/aaa/codegen_vhdl.cpp" "src/aaa/CMakeFiles/pdr_aaa.dir/codegen_vhdl.cpp.o" "gcc" "src/aaa/CMakeFiles/pdr_aaa.dir/codegen_vhdl.cpp.o.d"
+  "/root/repo/src/aaa/constraints.cpp" "src/aaa/CMakeFiles/pdr_aaa.dir/constraints.cpp.o" "gcc" "src/aaa/CMakeFiles/pdr_aaa.dir/constraints.cpp.o.d"
+  "/root/repo/src/aaa/durations.cpp" "src/aaa/CMakeFiles/pdr_aaa.dir/durations.cpp.o" "gcc" "src/aaa/CMakeFiles/pdr_aaa.dir/durations.cpp.o.d"
+  "/root/repo/src/aaa/macrocode.cpp" "src/aaa/CMakeFiles/pdr_aaa.dir/macrocode.cpp.o" "gcc" "src/aaa/CMakeFiles/pdr_aaa.dir/macrocode.cpp.o.d"
+  "/root/repo/src/aaa/project_io.cpp" "src/aaa/CMakeFiles/pdr_aaa.dir/project_io.cpp.o" "gcc" "src/aaa/CMakeFiles/pdr_aaa.dir/project_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/pdr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/pdr_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/pdr_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pdr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/pdr_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/pdr_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

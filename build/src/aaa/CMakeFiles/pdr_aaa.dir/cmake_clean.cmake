@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdr_aaa.dir/adequation.cpp.o"
+  "CMakeFiles/pdr_aaa.dir/adequation.cpp.o.d"
+  "CMakeFiles/pdr_aaa.dir/algorithm_graph.cpp.o"
+  "CMakeFiles/pdr_aaa.dir/algorithm_graph.cpp.o.d"
+  "CMakeFiles/pdr_aaa.dir/architecture_graph.cpp.o"
+  "CMakeFiles/pdr_aaa.dir/architecture_graph.cpp.o.d"
+  "CMakeFiles/pdr_aaa.dir/codegen_c.cpp.o"
+  "CMakeFiles/pdr_aaa.dir/codegen_c.cpp.o.d"
+  "CMakeFiles/pdr_aaa.dir/codegen_m4.cpp.o"
+  "CMakeFiles/pdr_aaa.dir/codegen_m4.cpp.o.d"
+  "CMakeFiles/pdr_aaa.dir/codegen_vhdl.cpp.o"
+  "CMakeFiles/pdr_aaa.dir/codegen_vhdl.cpp.o.d"
+  "CMakeFiles/pdr_aaa.dir/constraints.cpp.o"
+  "CMakeFiles/pdr_aaa.dir/constraints.cpp.o.d"
+  "CMakeFiles/pdr_aaa.dir/durations.cpp.o"
+  "CMakeFiles/pdr_aaa.dir/durations.cpp.o.d"
+  "CMakeFiles/pdr_aaa.dir/macrocode.cpp.o"
+  "CMakeFiles/pdr_aaa.dir/macrocode.cpp.o.d"
+  "CMakeFiles/pdr_aaa.dir/project_io.cpp.o"
+  "CMakeFiles/pdr_aaa.dir/project_io.cpp.o.d"
+  "libpdr_aaa.a"
+  "libpdr_aaa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdr_aaa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

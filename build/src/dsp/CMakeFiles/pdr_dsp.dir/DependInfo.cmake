@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/convcode.cpp" "src/dsp/CMakeFiles/pdr_dsp.dir/convcode.cpp.o" "gcc" "src/dsp/CMakeFiles/pdr_dsp.dir/convcode.cpp.o.d"
+  "/root/repo/src/dsp/crc.cpp" "src/dsp/CMakeFiles/pdr_dsp.dir/crc.cpp.o" "gcc" "src/dsp/CMakeFiles/pdr_dsp.dir/crc.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/dsp/CMakeFiles/pdr_dsp.dir/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/pdr_dsp.dir/fft.cpp.o.d"
+  "/root/repo/src/dsp/fir.cpp" "src/dsp/CMakeFiles/pdr_dsp.dir/fir.cpp.o" "gcc" "src/dsp/CMakeFiles/pdr_dsp.dir/fir.cpp.o.d"
+  "/root/repo/src/dsp/prbs.cpp" "src/dsp/CMakeFiles/pdr_dsp.dir/prbs.cpp.o" "gcc" "src/dsp/CMakeFiles/pdr_dsp.dir/prbs.cpp.o.d"
+  "/root/repo/src/dsp/walsh.cpp" "src/dsp/CMakeFiles/pdr_dsp.dir/walsh.cpp.o" "gcc" "src/dsp/CMakeFiles/pdr_dsp.dir/walsh.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pdr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

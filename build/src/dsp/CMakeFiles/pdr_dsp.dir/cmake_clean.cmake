@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdr_dsp.dir/convcode.cpp.o"
+  "CMakeFiles/pdr_dsp.dir/convcode.cpp.o.d"
+  "CMakeFiles/pdr_dsp.dir/crc.cpp.o"
+  "CMakeFiles/pdr_dsp.dir/crc.cpp.o.d"
+  "CMakeFiles/pdr_dsp.dir/fft.cpp.o"
+  "CMakeFiles/pdr_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/pdr_dsp.dir/fir.cpp.o"
+  "CMakeFiles/pdr_dsp.dir/fir.cpp.o.d"
+  "CMakeFiles/pdr_dsp.dir/prbs.cpp.o"
+  "CMakeFiles/pdr_dsp.dir/prbs.cpp.o.d"
+  "CMakeFiles/pdr_dsp.dir/walsh.cpp.o"
+  "CMakeFiles/pdr_dsp.dir/walsh.cpp.o.d"
+  "libpdr_dsp.a"
+  "libpdr_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdr_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

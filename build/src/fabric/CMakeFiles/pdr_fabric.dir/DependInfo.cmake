@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/bitstream.cpp" "src/fabric/CMakeFiles/pdr_fabric.dir/bitstream.cpp.o" "gcc" "src/fabric/CMakeFiles/pdr_fabric.dir/bitstream.cpp.o.d"
+  "/root/repo/src/fabric/bus_macro.cpp" "src/fabric/CMakeFiles/pdr_fabric.dir/bus_macro.cpp.o" "gcc" "src/fabric/CMakeFiles/pdr_fabric.dir/bus_macro.cpp.o.d"
+  "/root/repo/src/fabric/config_memory.cpp" "src/fabric/CMakeFiles/pdr_fabric.dir/config_memory.cpp.o" "gcc" "src/fabric/CMakeFiles/pdr_fabric.dir/config_memory.cpp.o.d"
+  "/root/repo/src/fabric/config_port.cpp" "src/fabric/CMakeFiles/pdr_fabric.dir/config_port.cpp.o" "gcc" "src/fabric/CMakeFiles/pdr_fabric.dir/config_port.cpp.o.d"
+  "/root/repo/src/fabric/context.cpp" "src/fabric/CMakeFiles/pdr_fabric.dir/context.cpp.o" "gcc" "src/fabric/CMakeFiles/pdr_fabric.dir/context.cpp.o.d"
+  "/root/repo/src/fabric/device.cpp" "src/fabric/CMakeFiles/pdr_fabric.dir/device.cpp.o" "gcc" "src/fabric/CMakeFiles/pdr_fabric.dir/device.cpp.o.d"
+  "/root/repo/src/fabric/floorplan.cpp" "src/fabric/CMakeFiles/pdr_fabric.dir/floorplan.cpp.o" "gcc" "src/fabric/CMakeFiles/pdr_fabric.dir/floorplan.cpp.o.d"
+  "/root/repo/src/fabric/frames.cpp" "src/fabric/CMakeFiles/pdr_fabric.dir/frames.cpp.o" "gcc" "src/fabric/CMakeFiles/pdr_fabric.dir/frames.cpp.o.d"
+  "/root/repo/src/fabric/relocate.cpp" "src/fabric/CMakeFiles/pdr_fabric.dir/relocate.cpp.o" "gcc" "src/fabric/CMakeFiles/pdr_fabric.dir/relocate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pdr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/pdr_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

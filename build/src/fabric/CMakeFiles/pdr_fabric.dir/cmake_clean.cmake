@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdr_fabric.dir/bitstream.cpp.o"
+  "CMakeFiles/pdr_fabric.dir/bitstream.cpp.o.d"
+  "CMakeFiles/pdr_fabric.dir/bus_macro.cpp.o"
+  "CMakeFiles/pdr_fabric.dir/bus_macro.cpp.o.d"
+  "CMakeFiles/pdr_fabric.dir/config_memory.cpp.o"
+  "CMakeFiles/pdr_fabric.dir/config_memory.cpp.o.d"
+  "CMakeFiles/pdr_fabric.dir/config_port.cpp.o"
+  "CMakeFiles/pdr_fabric.dir/config_port.cpp.o.d"
+  "CMakeFiles/pdr_fabric.dir/context.cpp.o"
+  "CMakeFiles/pdr_fabric.dir/context.cpp.o.d"
+  "CMakeFiles/pdr_fabric.dir/device.cpp.o"
+  "CMakeFiles/pdr_fabric.dir/device.cpp.o.d"
+  "CMakeFiles/pdr_fabric.dir/floorplan.cpp.o"
+  "CMakeFiles/pdr_fabric.dir/floorplan.cpp.o.d"
+  "CMakeFiles/pdr_fabric.dir/frames.cpp.o"
+  "CMakeFiles/pdr_fabric.dir/frames.cpp.o.d"
+  "CMakeFiles/pdr_fabric.dir/relocate.cpp.o"
+  "CMakeFiles/pdr_fabric.dir/relocate.cpp.o.d"
+  "libpdr_fabric.a"
+  "libpdr_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdr_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdr_graph.dir/dot.cpp.o"
+  "CMakeFiles/pdr_graph.dir/dot.cpp.o.d"
+  "libpdr_graph.a"
+  "libpdr_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdr_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

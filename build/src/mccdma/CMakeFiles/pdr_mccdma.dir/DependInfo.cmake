@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mccdma/adaptive.cpp" "src/mccdma/CMakeFiles/pdr_mccdma.dir/adaptive.cpp.o" "gcc" "src/mccdma/CMakeFiles/pdr_mccdma.dir/adaptive.cpp.o.d"
+  "/root/repo/src/mccdma/case_study.cpp" "src/mccdma/CMakeFiles/pdr_mccdma.dir/case_study.cpp.o" "gcc" "src/mccdma/CMakeFiles/pdr_mccdma.dir/case_study.cpp.o.d"
+  "/root/repo/src/mccdma/channel.cpp" "src/mccdma/CMakeFiles/pdr_mccdma.dir/channel.cpp.o" "gcc" "src/mccdma/CMakeFiles/pdr_mccdma.dir/channel.cpp.o.d"
+  "/root/repo/src/mccdma/estimator.cpp" "src/mccdma/CMakeFiles/pdr_mccdma.dir/estimator.cpp.o" "gcc" "src/mccdma/CMakeFiles/pdr_mccdma.dir/estimator.cpp.o.d"
+  "/root/repo/src/mccdma/modulation.cpp" "src/mccdma/CMakeFiles/pdr_mccdma.dir/modulation.cpp.o" "gcc" "src/mccdma/CMakeFiles/pdr_mccdma.dir/modulation.cpp.o.d"
+  "/root/repo/src/mccdma/ofdm.cpp" "src/mccdma/CMakeFiles/pdr_mccdma.dir/ofdm.cpp.o" "gcc" "src/mccdma/CMakeFiles/pdr_mccdma.dir/ofdm.cpp.o.d"
+  "/root/repo/src/mccdma/params.cpp" "src/mccdma/CMakeFiles/pdr_mccdma.dir/params.cpp.o" "gcc" "src/mccdma/CMakeFiles/pdr_mccdma.dir/params.cpp.o.d"
+  "/root/repo/src/mccdma/receiver.cpp" "src/mccdma/CMakeFiles/pdr_mccdma.dir/receiver.cpp.o" "gcc" "src/mccdma/CMakeFiles/pdr_mccdma.dir/receiver.cpp.o.d"
+  "/root/repo/src/mccdma/spreading.cpp" "src/mccdma/CMakeFiles/pdr_mccdma.dir/spreading.cpp.o" "gcc" "src/mccdma/CMakeFiles/pdr_mccdma.dir/spreading.cpp.o.d"
+  "/root/repo/src/mccdma/system.cpp" "src/mccdma/CMakeFiles/pdr_mccdma.dir/system.cpp.o" "gcc" "src/mccdma/CMakeFiles/pdr_mccdma.dir/system.cpp.o.d"
+  "/root/repo/src/mccdma/transmitter.cpp" "src/mccdma/CMakeFiles/pdr_mccdma.dir/transmitter.cpp.o" "gcc" "src/mccdma/CMakeFiles/pdr_mccdma.dir/transmitter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/pdr_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/aaa/CMakeFiles/pdr_aaa.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtr/CMakeFiles/pdr_rtr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pdr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pdr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pdr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/pdr_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/pdr_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/pdr_fabric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

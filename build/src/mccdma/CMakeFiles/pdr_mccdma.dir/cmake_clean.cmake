@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdr_mccdma.dir/adaptive.cpp.o"
+  "CMakeFiles/pdr_mccdma.dir/adaptive.cpp.o.d"
+  "CMakeFiles/pdr_mccdma.dir/case_study.cpp.o"
+  "CMakeFiles/pdr_mccdma.dir/case_study.cpp.o.d"
+  "CMakeFiles/pdr_mccdma.dir/channel.cpp.o"
+  "CMakeFiles/pdr_mccdma.dir/channel.cpp.o.d"
+  "CMakeFiles/pdr_mccdma.dir/estimator.cpp.o"
+  "CMakeFiles/pdr_mccdma.dir/estimator.cpp.o.d"
+  "CMakeFiles/pdr_mccdma.dir/modulation.cpp.o"
+  "CMakeFiles/pdr_mccdma.dir/modulation.cpp.o.d"
+  "CMakeFiles/pdr_mccdma.dir/ofdm.cpp.o"
+  "CMakeFiles/pdr_mccdma.dir/ofdm.cpp.o.d"
+  "CMakeFiles/pdr_mccdma.dir/params.cpp.o"
+  "CMakeFiles/pdr_mccdma.dir/params.cpp.o.d"
+  "CMakeFiles/pdr_mccdma.dir/receiver.cpp.o"
+  "CMakeFiles/pdr_mccdma.dir/receiver.cpp.o.d"
+  "CMakeFiles/pdr_mccdma.dir/spreading.cpp.o"
+  "CMakeFiles/pdr_mccdma.dir/spreading.cpp.o.d"
+  "CMakeFiles/pdr_mccdma.dir/system.cpp.o"
+  "CMakeFiles/pdr_mccdma.dir/system.cpp.o.d"
+  "CMakeFiles/pdr_mccdma.dir/transmitter.cpp.o"
+  "CMakeFiles/pdr_mccdma.dir/transmitter.cpp.o.d"
+  "libpdr_mccdma.a"
+  "libpdr_mccdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdr_mccdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdr_netlist.dir/library.cpp.o"
+  "CMakeFiles/pdr_netlist.dir/library.cpp.o.d"
+  "CMakeFiles/pdr_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/pdr_netlist.dir/netlist.cpp.o.d"
+  "libpdr_netlist.a"
+  "libpdr_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdr_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

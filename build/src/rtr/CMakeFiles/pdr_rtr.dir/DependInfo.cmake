@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtr/arbiter.cpp" "src/rtr/CMakeFiles/pdr_rtr.dir/arbiter.cpp.o" "gcc" "src/rtr/CMakeFiles/pdr_rtr.dir/arbiter.cpp.o.d"
+  "/root/repo/src/rtr/bitstream_store.cpp" "src/rtr/CMakeFiles/pdr_rtr.dir/bitstream_store.cpp.o" "gcc" "src/rtr/CMakeFiles/pdr_rtr.dir/bitstream_store.cpp.o.d"
+  "/root/repo/src/rtr/cache.cpp" "src/rtr/CMakeFiles/pdr_rtr.dir/cache.cpp.o" "gcc" "src/rtr/CMakeFiles/pdr_rtr.dir/cache.cpp.o.d"
+  "/root/repo/src/rtr/manager.cpp" "src/rtr/CMakeFiles/pdr_rtr.dir/manager.cpp.o" "gcc" "src/rtr/CMakeFiles/pdr_rtr.dir/manager.cpp.o.d"
+  "/root/repo/src/rtr/prefetch.cpp" "src/rtr/CMakeFiles/pdr_rtr.dir/prefetch.cpp.o" "gcc" "src/rtr/CMakeFiles/pdr_rtr.dir/prefetch.cpp.o.d"
+  "/root/repo/src/rtr/protocol_builder.cpp" "src/rtr/CMakeFiles/pdr_rtr.dir/protocol_builder.cpp.o" "gcc" "src/rtr/CMakeFiles/pdr_rtr.dir/protocol_builder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fabric/CMakeFiles/pdr_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/aaa/CMakeFiles/pdr_aaa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pdr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pdr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/pdr_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/pdr_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/pdr_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

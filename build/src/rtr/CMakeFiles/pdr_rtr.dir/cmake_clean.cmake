@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdr_rtr.dir/arbiter.cpp.o"
+  "CMakeFiles/pdr_rtr.dir/arbiter.cpp.o.d"
+  "CMakeFiles/pdr_rtr.dir/bitstream_store.cpp.o"
+  "CMakeFiles/pdr_rtr.dir/bitstream_store.cpp.o.d"
+  "CMakeFiles/pdr_rtr.dir/cache.cpp.o"
+  "CMakeFiles/pdr_rtr.dir/cache.cpp.o.d"
+  "CMakeFiles/pdr_rtr.dir/manager.cpp.o"
+  "CMakeFiles/pdr_rtr.dir/manager.cpp.o.d"
+  "CMakeFiles/pdr_rtr.dir/prefetch.cpp.o"
+  "CMakeFiles/pdr_rtr.dir/prefetch.cpp.o.d"
+  "CMakeFiles/pdr_rtr.dir/protocol_builder.cpp.o"
+  "CMakeFiles/pdr_rtr.dir/protocol_builder.cpp.o.d"
+  "libpdr_rtr.a"
+  "libpdr_rtr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdr_rtr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

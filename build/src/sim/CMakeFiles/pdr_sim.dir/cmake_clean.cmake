@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdr_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/pdr_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/pdr_sim.dir/executive_player.cpp.o"
+  "CMakeFiles/pdr_sim.dir/executive_player.cpp.o.d"
+  "CMakeFiles/pdr_sim.dir/timeline.cpp.o"
+  "CMakeFiles/pdr_sim.dir/timeline.cpp.o.d"
+  "libpdr_sim.a"
+  "libpdr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

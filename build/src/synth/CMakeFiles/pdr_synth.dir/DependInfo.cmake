@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/bitgen.cpp" "src/synth/CMakeFiles/pdr_synth.dir/bitgen.cpp.o" "gcc" "src/synth/CMakeFiles/pdr_synth.dir/bitgen.cpp.o.d"
+  "/root/repo/src/synth/elaborate.cpp" "src/synth/CMakeFiles/pdr_synth.dir/elaborate.cpp.o" "gcc" "src/synth/CMakeFiles/pdr_synth.dir/elaborate.cpp.o.d"
+  "/root/repo/src/synth/flow.cpp" "src/synth/CMakeFiles/pdr_synth.dir/flow.cpp.o" "gcc" "src/synth/CMakeFiles/pdr_synth.dir/flow.cpp.o.d"
+  "/root/repo/src/synth/map.cpp" "src/synth/CMakeFiles/pdr_synth.dir/map.cpp.o" "gcc" "src/synth/CMakeFiles/pdr_synth.dir/map.cpp.o.d"
+  "/root/repo/src/synth/place.cpp" "src/synth/CMakeFiles/pdr_synth.dir/place.cpp.o" "gcc" "src/synth/CMakeFiles/pdr_synth.dir/place.cpp.o.d"
+  "/root/repo/src/synth/timing.cpp" "src/synth/CMakeFiles/pdr_synth.dir/timing.cpp.o" "gcc" "src/synth/CMakeFiles/pdr_synth.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/pdr_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/pdr_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pdr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/pdr_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

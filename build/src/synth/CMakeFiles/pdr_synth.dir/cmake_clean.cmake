@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdr_synth.dir/bitgen.cpp.o"
+  "CMakeFiles/pdr_synth.dir/bitgen.cpp.o.d"
+  "CMakeFiles/pdr_synth.dir/elaborate.cpp.o"
+  "CMakeFiles/pdr_synth.dir/elaborate.cpp.o.d"
+  "CMakeFiles/pdr_synth.dir/flow.cpp.o"
+  "CMakeFiles/pdr_synth.dir/flow.cpp.o.d"
+  "CMakeFiles/pdr_synth.dir/map.cpp.o"
+  "CMakeFiles/pdr_synth.dir/map.cpp.o.d"
+  "CMakeFiles/pdr_synth.dir/place.cpp.o"
+  "CMakeFiles/pdr_synth.dir/place.cpp.o.d"
+  "CMakeFiles/pdr_synth.dir/timing.cpp.o"
+  "CMakeFiles/pdr_synth.dir/timing.cpp.o.d"
+  "libpdr_synth.a"
+  "libpdr_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdr_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

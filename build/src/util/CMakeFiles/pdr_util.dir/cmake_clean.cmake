@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdr_util.dir/error.cpp.o"
+  "CMakeFiles/pdr_util.dir/error.cpp.o.d"
+  "CMakeFiles/pdr_util.dir/log.cpp.o"
+  "CMakeFiles/pdr_util.dir/log.cpp.o.d"
+  "CMakeFiles/pdr_util.dir/rng.cpp.o"
+  "CMakeFiles/pdr_util.dir/rng.cpp.o.d"
+  "CMakeFiles/pdr_util.dir/stats.cpp.o"
+  "CMakeFiles/pdr_util.dir/stats.cpp.o.d"
+  "CMakeFiles/pdr_util.dir/strings.cpp.o"
+  "CMakeFiles/pdr_util.dir/strings.cpp.o.d"
+  "CMakeFiles/pdr_util.dir/table.cpp.o"
+  "CMakeFiles/pdr_util.dir/table.cpp.o.d"
+  "libpdr_util.a"
+  "libpdr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

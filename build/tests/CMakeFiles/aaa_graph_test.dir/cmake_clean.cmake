@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aaa_graph_test.dir/aaa_graph_test.cpp.o"
+  "CMakeFiles/aaa_graph_test.dir/aaa_graph_test.cpp.o.d"
+  "aaa_graph_test"
+  "aaa_graph_test.pdb"
+  "aaa_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aaa_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adequation_test.dir/adequation_test.cpp.o"
+  "CMakeFiles/adequation_test.dir/adequation_test.cpp.o.d"
+  "adequation_test"
+  "adequation_test.pdb"
+  "adequation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adequation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mccdma_test.dir/mccdma_test.cpp.o"
+  "CMakeFiles/mccdma_test.dir/mccdma_test.cpp.o.d"
+  "mccdma_test"
+  "mccdma_test.pdb"
+  "mccdma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mccdma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/project_io_test.dir/project_io_test.cpp.o"
+  "CMakeFiles/project_io_test.dir/project_io_test.cpp.o.d"
+  "project_io_test"
+  "project_io_test.pdb"
+  "project_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/project_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

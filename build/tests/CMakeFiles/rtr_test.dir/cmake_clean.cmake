@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtr_test.dir/rtr_test.cpp.o"
+  "CMakeFiles/rtr_test.dir/rtr_test.cpp.o.d"
+  "rtr_test"
+  "rtr_test.pdb"
+  "rtr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/pdrflow_cli.cpp" "tools/CMakeFiles/pdrflow.dir/pdrflow_cli.cpp.o" "gcc" "tools/CMakeFiles/pdrflow.dir/pdrflow_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mccdma/CMakeFiles/pdr_mccdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtr/CMakeFiles/pdr_rtr.dir/DependInfo.cmake"
+  "/root/repo/build/src/aaa/CMakeFiles/pdr_aaa.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/pdr_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/pdr_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/pdr_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/pdr_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pdr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pdr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pdr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

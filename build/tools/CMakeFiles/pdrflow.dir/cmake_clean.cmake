@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdrflow.dir/pdrflow_cli.cpp.o"
+  "CMakeFiles/pdrflow.dir/pdrflow_cli.cpp.o.d"
+  "pdrflow"
+  "pdrflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdrflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pdrflow.
+# This may be replaced when dependencies are built.
