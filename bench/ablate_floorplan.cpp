@@ -13,6 +13,7 @@
 
 #include <cstdio>
 
+#include "bench_obs.hpp"
 #include "fabric/bus_macro.hpp"
 #include "mccdma/case_study.hpp"
 #include "rtr/manager.hpp"
@@ -25,12 +26,13 @@ using namespace pdr;
 
 namespace {
 
-void print_width_sweep() {
+void print_width_sweep(benchutil::ObsSinks* sinks) {
   std::puts("=== region width sweep (XC2V2000, case-study memory) ===\n");
   Table t({"width (CLB cols)", "slice budget", "% of device", "partial bitstream",
            "cold reconfig (ms)"});
   for (int width : {2, 3, 4, 5, 6, 8, 12, 16, 24, 32}) {
     synth::ModularDesignFlow flow(fabric::xc2v2000());
+    flow.set_observability(&sinks->tracer, &sinks->metrics);
     flow.add_region("D1", {{"mod", "qam16_mapper", {}}}, 0, width);
     const synth::DesignBundle bundle = flow.run();
     rtr::BitstreamStore store = mccdma::make_case_study_store();
@@ -128,9 +130,11 @@ BENCHMARK(BM_FloorplanValidation);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_width_sweep();
+  benchutil::ObsSinks sinks = benchutil::parse_obs_flags(argc, argv);
+  print_width_sweep(&sinks);
   print_bus_macro_sweep();
   print_device_sweep();
+  sinks.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -14,6 +14,7 @@
 
 #include <cstdio>
 
+#include "bench_obs.hpp"
 #include "mccdma/case_study.hpp"
 #include "mccdma/system.hpp"
 #include "util/stats.hpp"
@@ -37,11 +38,13 @@ struct Accum {
   int switches = 0;
   int hits = 0;
   int inflight = 0;
+  int cache_hits = 0;
   int misses = 0;
   int wasted = 0;
 };
 
-Accum run_policy(aaa::PrefetchChoice policy, Bytes cache, int seeds) {
+Accum run_policy(aaa::PrefetchChoice policy, Bytes cache, int seeds,
+                 benchutil::ObsSinks* sinks = nullptr) {
   Accum acc;
   for (int seed = 0; seed < seeds; ++seed) {
     mccdma::SystemConfig config;
@@ -49,6 +52,10 @@ Accum run_policy(aaa::PrefetchChoice policy, Bytes cache, int seeds) {
     config.prefetch = policy;
     config.manager.cache_capacity = cache;
     config.ber_sample_every = 0;
+    if (sinks != nullptr) {
+      config.tracer = &sinks->tracer;
+      config.metrics = &sinks->metrics;
+    }
     mccdma::TransmitterSystem system(case_study(), config);
     const auto r = system.run(30'000);
     acc.stall_ms.add(to_ms(r.stall_total));
@@ -56,17 +63,18 @@ Accum run_policy(aaa::PrefetchChoice policy, Bytes cache, int seeds) {
     acc.switches += r.switches;
     acc.hits += r.manager.prefetch_hits;
     acc.inflight += r.manager.prefetch_inflight;
+    acc.cache_hits += r.manager.cache_hits;
     acc.misses += r.manager.misses;
     acc.wasted += r.manager.prefetches_wasted;
   }
   return acc;
 }
 
-void print_policy_table() {
+void print_policy_table(benchutil::ObsSinks* sinks) {
   const int seeds = 6;
   std::printf("=== prefetch policy ablation (%d fading traces x 30k symbols) ===\n\n", seeds);
   Table t({"policy", "cache", "switches", "stall (ms)", "stall/switch (ms)", "hits", "in-flight",
-           "misses", "wasted"});
+           "cache hits", "misses", "wasted"});
   struct Row {
     const char* label;
     aaa::PrefetchChoice policy;
@@ -80,7 +88,7 @@ void print_policy_table() {
       {"schedule + 256 KiB cache", aaa::PrefetchChoice::Schedule, 256_KiB},
   };
   for (const auto& row : rows) {
-    const Accum a = run_policy(row.policy, row.cache, seeds);
+    const Accum a = run_policy(row.policy, row.cache, seeds, sinks);
     const double total_stall = a.stall_ms.mean() * static_cast<double>(a.stall_ms.count());
     t.row()
         .add(row.label)
@@ -90,6 +98,7 @@ void print_policy_table() {
         .add(a.switches > 0 ? total_stall / a.switches : 0.0, 2)
         .add(a.hits)
         .add(a.inflight)
+        .add(a.cache_hits)
         .add(a.misses)
         .add(a.wasted);
   }
@@ -157,8 +166,10 @@ BENCHMARK(BM_SystemPrefetchOff)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_policy_table();
+  benchutil::ObsSinks sinks = benchutil::parse_obs_flags(argc, argv);
+  print_policy_table(&sinks);
   print_guard_sweep();
+  sinks.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -14,6 +14,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench_obs.hpp"
 #include "mccdma/case_study.hpp"
 #include "rtr/manager.hpp"
 #include "util/rng.hpp"
@@ -41,11 +42,13 @@ struct ScrubResult {
 /// Simulates `horizon` of run time with SEUs arriving as a Poisson
 /// process (`seu_rate_hz`) and periodic scrubbing every `period` (0 = no
 /// scrubbing; exposure then runs to the horizon).
-ScrubResult simulate(TimeNs period, double seu_rate_hz, TimeNs horizon, std::uint64_t seed) {
+ScrubResult simulate(TimeNs period, double seu_rate_hz, TimeNs horizon, std::uint64_t seed,
+                     benchutil::ObsSinks* sinks = nullptr) {
   const auto& cs = case_study();
   rtr::BitstreamStore store = mccdma::make_case_study_store();
   rtr::NonePrefetch policy;
   rtr::ReconfigManager manager(cs.bundle, rtr::sundance_manager_config(), store, policy);
+  if (sinks != nullptr) manager.set_observability(&sinks->tracer, &sinks->metrics);
   manager.set_resident("D1", "qpsk");
   const auto frames = cs.bundle.floorplan.region_frames("D1");
 
@@ -95,13 +98,13 @@ ScrubResult simulate(TimeNs period, double seu_rate_hz, TimeNs horizon, std::uin
   return result;
 }
 
-void print_scrub_table() {
+void print_scrub_table(benchutil::ObsSinks* sinks) {
   std::puts("=== scrub period vs. SEU exposure (Poisson SEUs at 50/s, 2 s run) ===");
   std::puts("(exaggerated upset rate so one run shows the trade-off)\n");
   Table t({"scrub period (ms)", "scrubs", "SEUs", "mean exposure (ms)", "port busy (%)"});
   const TimeNs horizon = 2_s;
   for (TimeNs period : {TimeNs{0}, 500_ms, 200_ms, 100_ms, 50_ms, 20_ms}) {
-    const ScrubResult r = simulate(period, 50.0, horizon, 42);
+    const ScrubResult r = simulate(period, 50.0, horizon, 42, sinks);
     t.row()
         .add(period == 0 ? std::string("off") : strprintf("%.0f", to_ms(period)))
         .add(r.scrubs)
@@ -153,8 +156,10 @@ BENCHMARK(BM_Scrub)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_scrub_table();
+  benchutil::ObsSinks sinks = benchutil::parse_obs_flags(argc, argv);
+  print_scrub_table(&sinks);
   print_verify_cost();
+  sinks.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,0 +1,59 @@
+// Shared --trace-out/--metrics-out plumbing for the ablation binaries.
+//
+// The flags are consumed (removed from argv) before
+// benchmark::Initialize sees them, since google-benchmark rejects
+// unknown flags. With neither flag given the sinks stay inert: the
+// ablations still attach them, at the cost of recording into unused
+// in-memory buffers.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace pdr::benchutil {
+
+/// Extracts "--<flag> VALUE" from argv, compacting argv in place.
+/// Returns "" when absent.
+inline std::string take_flag(int& argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) != 0) continue;
+    std::string value = argv[i + 1];
+    for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+    argc -= 2;
+    return value;
+  }
+  return "";
+}
+
+struct ObsSinks {
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  std::string trace_path;
+  std::string metrics_path;
+
+  /// Writes whichever outputs were requested on the command line.
+  void write() const {
+    if (!trace_path.empty()) {
+      tracer.write_chrome_json(trace_path);
+      std::printf("wrote trace with %zu events to %s\n", tracer.size(), trace_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+      metrics.write_json(metrics_path);
+      std::printf("wrote %zu metrics to %s\n", metrics.names().size(), metrics_path.c_str());
+    }
+  }
+};
+
+/// Parses (and strips) --trace-out / --metrics-out.
+inline ObsSinks parse_obs_flags(int& argc, char** argv) {
+  ObsSinks sinks;
+  sinks.trace_path = take_flag(argc, argv, "--trace-out");
+  sinks.metrics_path = take_flag(argc, argv, "--metrics-out");
+  return sinks;
+}
+
+}  // namespace pdr::benchutil

@@ -97,6 +97,19 @@ std::string Schedule::gantt(int width) const {
   return out;
 }
 
+void export_schedule(const Schedule& schedule, obs::Tracer& tracer) {
+  for (const auto& item : schedule.items) {
+    std::vector<obs::TraceArg> args;
+    if (!item.variant.empty()) args.push_back({"variant", item.variant});
+    if (!item.module.empty()) args.push_back({"module", item.module});
+    if (item.bytes > 0) args.push_back({"bytes", std::to_string(item.bytes)});
+    if (item.kind == ItemKind::Reconfig && item.exposed_stall > 0)
+      args.push_back({"exposed_stall_ns", std::to_string(item.exposed_stall)});
+    tracer.span(item.resource, item.label, std::string("sched_") + item_kind_name(item.kind),
+                item.start, item.end, std::move(args));
+  }
+}
+
 void validate_schedule(const Schedule& schedule, const AlgorithmGraph& algorithm,
                        const ArchitectureGraph& architecture) {
   // 1. No overlap per resource.

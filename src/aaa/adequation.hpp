@@ -28,6 +28,7 @@
 #include "aaa/architecture_graph.hpp"
 #include "aaa/constraints.hpp"
 #include "aaa/durations.hpp"
+#include "obs/trace.hpp"
 #include "util/units.hpp"
 
 namespace pdr::aaa {
@@ -90,6 +91,13 @@ struct Schedule {
   /// external tooling (spreadsheets, Gantt viewers).
   std::string to_csv() const;
 };
+
+/// Replays a schedule into a tracer: one span per item, track = resource,
+/// category = "sched_<kind>" ("sched_compute" / "sched_transfer" /
+/// "sched_reconfig"), with variant/module/bytes attached as span args.
+/// Lets `pdrflow adequation --trace-out` render the Gantt in
+/// chrome://tracing / Perfetto alongside simulator tracks.
+void export_schedule(const Schedule& schedule, obs::Tracer& tracer);
 
 /// Checks schedule invariants; throws pdr::Error on the first violation:
 ///  - no two items overlap on the same resource,

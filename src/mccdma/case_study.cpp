@@ -75,9 +75,11 @@ aaa::AlgorithmGraph make_transmitter_algorithm(const McCdmaParams& params) {
 }
 
 synth::DesignBundle run_flow_from_constraints(const aaa::ConstraintSet& constraints,
-                                              const std::vector<synth::ModuleSpec>& statics) {
+                                              const std::vector<synth::ModuleSpec>& statics,
+                                              obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
   constraints.validate();
   synth::ModularDesignFlow flow(fabric::device_by_name(constraints.device));
+  flow.set_observability(tracer, metrics);
   for (const auto& s : statics) flow.add_static(s.name, s.kind, s.params);
   for (const auto& region : constraints.regions) {
     std::vector<synth::ModuleSpec> variants;

@@ -52,8 +52,12 @@ aaa::AlgorithmGraph make_transmitter_algorithm(const McCdmaParams& params);
 
 /// Runs the Modular Design flow for a ConstraintSet: dynamic modules from
 /// the constraints, plus the given static modules.
+/// `tracer`/`metrics` (optional) receive the flow's stage spans and
+/// counters.
 synth::DesignBundle run_flow_from_constraints(const aaa::ConstraintSet& constraints,
-                                              const std::vector<synth::ModuleSpec>& statics);
+                                              const std::vector<synth::ModuleSpec>& statics,
+                                              obs::Tracer* tracer = nullptr,
+                                              obs::MetricsRegistry* metrics = nullptr);
 
 /// Assembles the whole case study.
 CaseStudy build_case_study();

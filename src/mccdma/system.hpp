@@ -20,6 +20,8 @@
 #include "mccdma/estimator.hpp"
 #include "mccdma/receiver.hpp"
 #include "mccdma/transmitter.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rtr/manager.hpp"
 #include "sim/timeline.hpp"
 
@@ -48,6 +50,11 @@ struct SystemConfig {
   /// symbols and re-estimate the equalizer from it (0 = genie channel
   /// knowledge). Pilots consume air time but carry no payload.
   std::size_t pilot_every = 0;
+  /// Optional observability sinks. The manager's port/staging spans and
+  /// "rtr.*" metrics flow here; run() also replays the system timeline and
+  /// records "system.*" counters. Either may be nullptr.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct SystemReport {

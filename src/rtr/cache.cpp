@@ -10,10 +10,12 @@ bool BitstreamCache::lookup(const std::string& module) {
   const auto it = sizes_.find(module);
   if (it == sizes_.end()) {
     ++misses_;
+    if (metrics_ != nullptr) metrics_->counter("rtr.cache.misses").add();
     return false;
   }
   lru_.splice(lru_.begin(), lru_, it->second.first);
   ++hits_;
+  if (metrics_ != nullptr) metrics_->counter("rtr.cache.hits").add();
   return true;
 }
 
@@ -36,7 +38,11 @@ void BitstreamCache::insert(const std::string& module, Bytes bytes) {
     lru_.pop_back();
     used_ -= sizes_.at(victim).second;
     sizes_.erase(victim);
+    ++evictions_;
+    if (metrics_ != nullptr) metrics_->counter("rtr.cache.evictions").add();
   }
+  if (metrics_ != nullptr)
+    metrics_->gauge("rtr.cache.used_bytes").set(static_cast<double>(used_));
 }
 
 void BitstreamCache::invalidate(const std::string& module) {
@@ -45,6 +51,8 @@ void BitstreamCache::invalidate(const std::string& module) {
   used_ -= it->second.second;
   lru_.erase(it->second.first);
   sizes_.erase(it);
+  if (metrics_ != nullptr)
+    metrics_->gauge("rtr.cache.used_bytes").set(static_cast<double>(used_));
 }
 
 }  // namespace pdr::rtr

@@ -12,6 +12,7 @@
 #include <map>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "util/units.hpp"
 
 namespace pdr::rtr {
@@ -32,6 +33,10 @@ class BitstreamCache {
   /// Removes a module if present.
   void invalidate(const std::string& module);
 
+  /// Mirrors hit/miss/eviction counters and the occupancy gauge into
+  /// `metrics` under "rtr.cache." (nullptr = off).
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
   Bytes capacity() const { return capacity_; }
   Bytes used() const { return used_; }
   std::size_t entries() const { return sizes_.size(); }
@@ -39,6 +44,7 @@ class BitstreamCache {
   // Statistics.
   int hits() const { return hits_; }
   int misses() const { return misses_; }
+  int evictions() const { return evictions_; }
   double hit_rate() const {
     const int total = hits_ + misses_;
     return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
@@ -51,6 +57,8 @@ class BitstreamCache {
   std::map<std::string, std::pair<std::list<std::string>::iterator, Bytes>> sizes_;
   int hits_ = 0;
   int misses_ = 0;
+  int evictions_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace pdr::rtr

@@ -12,10 +12,20 @@ const char* request_kind_name(RequestKind kind) {
     case RequestKind::AlreadyLoaded: return "already_loaded";
     case RequestKind::PrefetchHit: return "prefetch_hit";
     case RequestKind::PrefetchInFlight: return "prefetch_inflight";
+    case RequestKind::CacheHit: return "cache_hit";
     case RequestKind::Miss: return "miss";
   }
   return "?";
 }
+
+namespace {
+
+// Tracer track names: port occupancy vs the off-critical-path staging
+// engine render as two lanes in the exported Chrome trace.
+constexpr const char* kPortTrack = "cfg_port";
+constexpr const char* kStagingTrack = "staging";
+
+}  // namespace
 
 ManagerConfig sundance_manager_config() {
   ManagerConfig cfg;
@@ -45,6 +55,29 @@ ReconfigManager::ReconfigManager(const synth::DesignBundle& bundle, ManagerConfi
     for (const auto& v : variants)
       if (!store_.contains(v.name)) store_.add(v.name, v.bitstream);
   }
+}
+
+void ReconfigManager::set_observability(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  metrics_ = metrics;
+  cache_.set_metrics(metrics);
+  builder_.set_metrics(metrics);
+  policy_.set_metrics(metrics);
+}
+
+void ReconfigManager::bump(const char* name, double delta) {
+  if (metrics_ != nullptr) metrics_->counter(std::string("rtr.manager.") + name).add(delta);
+}
+
+void ReconfigManager::note_port_load(const std::string& region, const std::string& module,
+                                     const char* category, TimeNs latency, TimeNs end) {
+  if (tracer_ != nullptr)
+    tracer_->span(kPortTrack, "load " + module + " -> " + region, category, end - latency, end,
+                  {{"module", module}, {"region", region}});
+  if (metrics_ != nullptr)
+    metrics_->histogram("rtr.manager.load_latency_ns", obs::latency_buckets_ns(),
+                        "end-to-end latency of port loads")
+        .observe(static_cast<double>(latency));
 }
 
 const std::string& ReconfigManager::loaded(const std::string& region) const {
@@ -88,6 +121,7 @@ void ReconfigManager::apply_load(const std::string& region, const std::string& m
                   "' frames are not all owned by it");
   }
   stats_.bytes_loaded += store_.size_of(module);
+  bump("bytes_loaded", static_cast<double>(store_.size_of(module)));
 }
 
 RequestOutcome ReconfigManager::request(const std::string& region, const std::string& module,
@@ -102,9 +136,15 @@ RequestOutcome ReconfigManager::request(const std::string& region, const std::st
     out.ready_at = now;
     ++stats_.already_loaded;
     out.stall = 0;
+    bump("requests");
+    bump("already_loaded");
+    if (tracer_ != nullptr)
+      tracer_->instant(kPortTrack, "resident " + module, "resident", now,
+                       {{"region", region}});
     return out;
   }
 
+  TimeNs latency_paid = 0;
   const auto staged = staged_.find(region);
   const bool have_staged = staged != staged_.end() && staged->second.module == module;
   if (have_staged) {
@@ -119,7 +159,7 @@ RequestOutcome ReconfigManager::request(const std::string& region, const std::st
       out.kind =
           staged->second.ready <= now ? RequestKind::PrefetchHit : RequestKind::PrefetchInFlight;
       out.ready_at = via_staged;
-      stats_.total_load_time += staged_load_latency(module);
+      latency_paid = staged_load_latency(module);
       if (out.kind == RequestKind::PrefetchHit)
         ++stats_.prefetch_hits;
       else
@@ -127,22 +167,27 @@ RequestOutcome ReconfigManager::request(const std::string& region, const std::st
     } else {
       out.kind = RequestKind::Miss;
       out.ready_at = via_cold;
-      stats_.total_load_time += cold_load_latency(module);
+      latency_paid = cold_load_latency(module);
       ++stats_.misses;
       ++stats_.prefetches_wasted;  // the staging never paid off
+      bump("prefetches_wasted");
     }
     staged_.erase(staged);
   } else {
-    out.kind = RequestKind::Miss;
-    TimeNs latency = cold_load_latency(module);
     if (cache_.capacity() > 0 && cache_.lookup(module)) {
       // The on-chip cache removes the external fetch, like staging does.
-      latency = staged_load_latency(module);
+      // Not a plain miss: report it so cache effectiveness is visible.
+      out.kind = RequestKind::CacheHit;
+      latency_paid = staged_load_latency(module);
+      ++stats_.cache_hits;
+    } else {
+      out.kind = RequestKind::Miss;
+      latency_paid = cold_load_latency(module);
+      ++stats_.misses;
     }
-    ++stats_.misses;
-    out.ready_at = std::max(now, port_free_) + latency;
-    stats_.total_load_time += latency;
+    out.ready_at = std::max(now, port_free_) + latency_paid;
   }
+  stats_.total_load_time += latency_paid;
   port_free_ = out.ready_at;
 
   apply_load(region, module);
@@ -151,6 +196,13 @@ RequestOutcome ReconfigManager::request(const std::string& region, const std::st
 
   out.stall = std::max<TimeNs>(0, out.ready_at - now);
   stats_.total_stall += out.stall;
+  bump("requests");
+  bump(request_kind_name(out.kind));
+  if (metrics_ != nullptr)
+    metrics_->histogram("rtr.manager.stall_ns", obs::latency_buckets_ns(),
+                        "demand stall exposed to the application")
+        .observe(static_cast<double>(out.stall));
+  note_port_load(region, module, "load", latency_paid, out.ready_at);
   PDR_DEBUG("rtr") << request_kind_name(out.kind) << " " << module << " -> " << region
                    << " ready at " << to_us(out.ready_at) << " us";
   return out;
@@ -169,6 +221,10 @@ std::optional<TimeNs> ReconfigManager::announce(const std::string& region,
     // Replacing a never-demanded staged stream: the earlier prefetch was
     // wasted.
     ++stats_.prefetches_wasted;
+    bump("prefetches_wasted");
+    if (tracer_ != nullptr)
+      tracer_->instant(kStagingTrack, "replace " + staged->second.module, "prefetch_wasted", now,
+                       {{"region", region}});
   }
 
   const TimeNs start = std::max(now, staging_free_);
@@ -179,6 +235,10 @@ std::optional<TimeNs> ReconfigManager::announce(const std::string& region,
   staged_[region] = Staged{module, ready};
   if (cache_.capacity() > 0) cache_.insert(module, store_.size_of(module));
   ++stats_.prefetches_issued;
+  bump("prefetches_issued");
+  if (tracer_ != nullptr)
+    tracer_->span(kStagingTrack, "stage " + module + " for " + region, "staging", start, ready,
+                  {{"module", module}, {"region", region}});
   PDR_DEBUG("rtr") << "staging " << module << " for " << region << ", ready at " << to_us(ready)
                    << " us";
   return ready;
@@ -205,13 +265,18 @@ TimeNs ReconfigManager::blank(const std::string& region, TimeNs now) {
     const auto frames = bundle_.floorplan.region_frames(region);
     store_.add(blank_name, synth::generate_uniform_bitstream(bundle_.device, frames, 0));
   }
-  const TimeNs done = std::max(now, port_free_) + cold_load_latency(blank_name);
+  const TimeNs latency = cold_load_latency(blank_name);
+  const TimeNs done = std::max(now, port_free_) + latency;
   port_free_ = done;
-  const BuildResult built = builder_.build(bundle_.device, store_.get(blank_name));
-  port_.load(built.stream, blank_name);
+  // An eager unload is a load like any other: the same build + port path,
+  // the same readback verification (against the blank stream's ownership)
+  // and the same byte accounting.
+  apply_load(region, blank_name);
   loaded_[region] = "";
   staged_.erase(region);
   ++stats_.blanks;
+  bump("blanks");
+  note_port_load(region, blank_name, "blank", latency, done);
   return done;
 }
 
@@ -238,10 +303,13 @@ TimeNs ReconfigManager::scrub(const std::string& region, TimeNs now) {
   const std::string module = loaded(region);
   PDR_CHECK(!module.empty(), "ReconfigManager::scrub",
             "region '" + region + "' has no resident module to scrub");
-  const TimeNs done = std::max(now, port_free_) + cold_load_latency(module);
+  const TimeNs latency = cold_load_latency(module);
+  const TimeNs done = std::max(now, port_free_) + latency;
   port_free_ = done;
   apply_load(region, module);
   ++stats_.scrubs;
+  bump("scrubs");
+  note_port_load(region, module, "scrub", latency, done);
   return done;
 }
 

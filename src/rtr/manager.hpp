@@ -38,6 +38,8 @@
 #include "aaa/constraints.hpp"
 #include "fabric/config_memory.hpp"
 #include "fabric/config_port.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rtr/bitstream_store.hpp"
 #include "rtr/cache.hpp"
 #include "rtr/prefetch.hpp"
@@ -71,6 +73,7 @@ enum class RequestKind : std::uint8_t {
   AlreadyLoaded,    ///< module resident; no reconfiguration
   PrefetchHit,      ///< staged ahead of time; only the port transfer paid
   PrefetchInFlight, ///< staging still running; partial fetch latency paid
+  CacheHit,         ///< unstaged, but the on-chip cache held the stream
   Miss,             ///< full fetch+build+load latency exposed
 };
 
@@ -87,6 +90,7 @@ struct ManagerStats {
   int already_loaded = 0;
   int prefetch_hits = 0;
   int prefetch_inflight = 0;
+  int cache_hits = 0;  ///< demands served from the on-chip bitstream cache
   int misses = 0;
   int prefetches_issued = 0;
   int prefetches_wasted = 0;  ///< staged streams replaced before any demand
@@ -152,6 +156,12 @@ class ReconfigManager {
   /// Time for staging a module (fetch + build, off the critical path).
   TimeNs staging_time(const std::string& module) const;
 
+  /// Attaches an observability sink: spans for every port load and
+  /// staging go to `tracer` (tracks "cfg_port" / "staging"), counters and
+  /// stall/latency histograms to `metrics` (under "rtr."). Either may be
+  /// nullptr; both propagate to the cache, builder and prefetch policy.
+  void set_observability(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+
   const ManagerStats& stats() const { return stats_; }
   const fabric::ConfigMemory& memory() const { return memory_; }
   const fabric::ConfigPort& port() const { return port_; }
@@ -167,6 +177,16 @@ class ReconfigManager {
   /// Applies the physical load through builder + port.
   void apply_load(const std::string& region, const std::string& module);
 
+  /// Increments metrics counter "rtr.manager.<name>" if a sink is set.
+  void bump(const char* name, double delta = 1.0);
+
+  /// Records one port occupancy [end - latency, end] as a tracer span and
+  /// a load-latency histogram sample. `category` is "load" for demand
+  /// loads (so trace durations reconcile with stats().total_load_time),
+  /// "blank"/"scrub" for maintenance loads.
+  void note_port_load(const std::string& region, const std::string& module, const char* category,
+                      TimeNs latency, TimeNs end);
+
   const synth::DesignBundle& bundle_;
   ManagerConfig config_;
   BitstreamStore& store_;
@@ -180,6 +200,8 @@ class ReconfigManager {
   TimeNs port_free_ = 0;
   TimeNs staging_free_ = 0;  ///< the staging engine handles one fetch at a time
   ManagerStats stats_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace pdr::rtr

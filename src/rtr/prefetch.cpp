@@ -18,10 +18,12 @@ std::optional<std::string> ScheduleLookahead::predict(const std::string& region,
   // module is the one worth prefetching.
   while (h < it->second.size() && it->second[h] == current) ++h;
   if (h >= it->second.size()) return std::nullopt;
+  count_event("predictions");
   return it->second[h];
 }
 
 void ScheduleLookahead::observe(const std::string& region, const std::string& module) {
+  count_event("observations");
   const auto it = queue_.find(region);
   if (it == queue_.end()) return;
   std::size_t& h = head_[region];
@@ -53,10 +55,12 @@ std::optional<std::string> HistoryPredictor::predict(const std::string& region,
       best = key.second;
     }
   }
+  if (best.has_value()) count_event("predictions");
   return best;
 }
 
 void HistoryPredictor::observe(const std::string& region, const std::string& module) {
+  count_event("observations");
   const auto it = last_.find(region);
   if (it != last_.end() && it->second != module) counts_[{it->second, module}] += 1;
   last_[region] = module;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "aaa/constraints.hpp"
+#include "obs/metrics.hpp"
 
 namespace pdr::rtr {
 
@@ -36,6 +37,19 @@ class PrefetchPolicy {
   virtual void observe(const std::string& region, const std::string& module) = 0;
 
   virtual const char* name() const = 0;
+
+  /// Mirrors observation/prediction counts into `metrics` under
+  /// "rtr.prefetch." (nullptr = off).
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
+ protected:
+  /// Increments "rtr.prefetch.<event>" when a metrics sink is attached.
+  void count_event(const char* event) const {
+    if (metrics_ != nullptr) metrics_->counter(std::string("rtr.prefetch.") + event).add();
+  }
+
+ private:
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 /// Baseline: never prefetch.

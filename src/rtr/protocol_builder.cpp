@@ -27,6 +27,14 @@ BuildResult ProtocolBuilder::build(const fabric::DeviceModel& device,
   result.frames = parsed.frames_written;
   result.stream.assign(raw.begin(), raw.end());
   result.build_time = transfer_time_ns(raw.size(), throughput_bytes_per_s());
+  if (metrics_ != nullptr) {
+    metrics_->counter("rtr.builder.builds").add();
+    metrics_->counter("rtr.builder.bytes").add(static_cast<double>(raw.size()));
+    metrics_
+        ->histogram("rtr.builder.build_time_ns", obs::latency_buckets_ns(),
+                    "protocol builder framing time per stream")
+        .observe(static_cast<double>(result.build_time));
+  }
   return result;
 }
 

@@ -18,6 +18,7 @@
 #include "aaa/constraints.hpp"
 #include "fabric/bitstream.hpp"
 #include "fabric/config_port.hpp"
+#include "obs/metrics.hpp"
 #include "util/units.hpp"
 
 namespace pdr::rtr {
@@ -45,11 +46,16 @@ class ProtocolBuilder {
   /// streams — a corrupted external memory must never reach the fabric.
   BuildResult build(const fabric::DeviceModel& device, std::span<const std::uint8_t> raw) const;
 
+  /// Mirrors build counts/bytes and a build-time histogram into `metrics`
+  /// under "rtr.builder." (nullptr = off).
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
  private:
   aaa::Placement placement_;
   fabric::PortKind mode_;
   double cpu_bytes_per_s_;
   double fpga_bytes_per_s_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace pdr::rtr

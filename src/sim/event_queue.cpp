@@ -5,8 +5,12 @@
 namespace pdr::sim {
 
 void EventQueue::schedule(TimeNs at, Action action) {
+  schedule(at, std::string(), std::move(action));
+}
+
+void EventQueue::schedule(TimeNs at, std::string label, Action action) {
   PDR_CHECK(at >= now_, "EventQueue::schedule", "cannot schedule into the past");
-  queue_.push(Event{at, seq_++, std::move(action)});
+  queue_.push(Event{at, seq_++, std::move(label), std::move(action)});
 }
 
 std::size_t EventQueue::run(TimeNs until) {
@@ -16,8 +20,11 @@ std::size_t EventQueue::run(TimeNs until) {
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
     now_ = ev.at;
+    if (tracer_ != nullptr)
+      tracer_->instant("events", ev.label.empty() ? "event" : ev.label, "sim_event", now_);
     ev.action(now_);
     ++executed;
+    if (metrics_ != nullptr) metrics_->counter("sim.events_executed").add();
   }
   return executed;
 }

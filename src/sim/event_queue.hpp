@@ -5,8 +5,11 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/units.hpp"
 
 namespace pdr::sim {
@@ -18,8 +21,25 @@ class EventQueue {
   /// Schedules `action` at absolute time `at` (>= now()).
   void schedule(TimeNs at, Action action);
 
+  /// Schedules a named `action` at `at`; the label shows up as an instant
+  /// event on the tracer's "events" track when one is attached.
+  void schedule(TimeNs at, std::string label, Action action);
+
   /// Schedules `action` `delay` after now().
   void schedule_in(TimeNs delay, Action action) { schedule(now_ + delay, std::move(action)); }
+
+  /// Schedules a named `action` `delay` after now().
+  void schedule_in(TimeNs delay, std::string label, Action action) {
+    schedule(now_ + delay, std::move(label), std::move(action));
+  }
+
+  /// Attaches an observability sink: every executed event emits an
+  /// instant trace event (simulated time) and bumps
+  /// "sim.events_executed". Either pointer may be nullptr.
+  void set_observability(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
+    tracer_ = tracer;
+    metrics_ = metrics;
+  }
 
   /// Runs events until the queue drains or `until` is passed; returns the
   /// number of events executed.
@@ -33,6 +53,7 @@ class EventQueue {
   struct Event {
     TimeNs at;
     std::uint64_t seq;
+    std::string label;
     Action action;
   };
   struct Later {
@@ -44,6 +65,8 @@ class EventQueue {
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   TimeNs now_ = 0;
   std::uint64_t seq_ = 0;
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace pdr::sim

@@ -157,6 +157,15 @@ PlayResult ExecutivePlayer::run(int iterations) {
   } else {
     result.iteration_period = result.makespan;
   }
+  if (tracer_ != nullptr) result.timeline.export_to(*tracer_, "exec_");
+  if (metrics_ != nullptr) {
+    metrics_->counter("sim.player.runs").add();
+    metrics_->counter("sim.player.reconfigs").add(result.reconfigs);
+    metrics_->counter("sim.player.reconfigs_skipped").add(result.reconfigs_skipped);
+    metrics_->gauge("sim.player.makespan_ns").set(static_cast<double>(result.makespan));
+    metrics_->gauge("sim.player.iteration_period_ns")
+        .set(static_cast<double>(result.iteration_period));
+  }
   return result;
 }
 

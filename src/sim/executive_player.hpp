@@ -18,6 +18,8 @@
 
 #include "aaa/architecture_graph.hpp"
 #include "aaa/macrocode.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/timeline.hpp"
 #include "util/units.hpp"
 
@@ -52,6 +54,14 @@ class ExecutivePlayer {
                                                     const std::string& scheduled)>;
   void set_variant_selector(VariantSelector selector);
 
+  /// Attaches an observability sink: every executed instruction's span is
+  /// exported to `tracer` (categories "exec_compute" / "exec_transfer" /
+  /// "exec_reconfig") and run totals land in `metrics` under "sim.player.".
+  void set_observability(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
+    tracer_ = tracer;
+    metrics_ = metrics;
+  }
+
   /// Runs `iterations` loop passes of every program. Throws pdr::Error
   /// with the blocked instruction set if the executive deadlocks.
   PlayResult run(int iterations);
@@ -61,6 +71,8 @@ class ExecutivePlayer {
   const aaa::ArchitectureGraph& architecture_;
   ReconfigCost reconfig_cost_;
   VariantSelector selector_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace pdr::sim

@@ -120,6 +120,11 @@ std::string Timeline::to_svg(int width_px) const {
   return svg;
 }
 
+void Timeline::export_to(obs::Tracer& tracer, const std::string& category_prefix) const {
+  for (const auto& s : spans_)
+    tracer.span(s.resource, s.label, category_prefix + span_kind_name(s.kind), s.start, s.end);
+}
+
 std::string Timeline::to_csv() const {
   std::string out = "resource,label,kind,start_ns,end_ns\n";
   for (const auto& s : spans_)

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "util/units.hpp"
 
 namespace pdr::sim {
@@ -42,6 +43,11 @@ class Timeline {
 
   /// CSV dump: resource,label,kind,start_ns,end_ns.
   std::string to_csv() const;
+
+  /// Replays every span into `tracer` (track = resource, category =
+  /// `category_prefix` + span kind name), merging this timeline into a
+  /// process-wide Chrome trace.
+  void export_to(obs::Tracer& tracer, const std::string& category_prefix = "") const;
 
   /// Standalone SVG Gantt rendering (one lane per resource, spans colored
   /// by kind, hover titles with label and times) — viewable in any

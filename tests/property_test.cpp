@@ -232,8 +232,8 @@ TEST_P(ManagerFuzzTest, RandomRequestSequencesKeepInvariants) {
     last_port_free = manager.port_free_at();
   }
   const auto& stats = manager.stats();
-  EXPECT_EQ(stats.requests,
-            stats.already_loaded + stats.prefetch_hits + stats.prefetch_inflight + stats.misses);
+  EXPECT_EQ(stats.requests, stats.already_loaded + stats.prefetch_hits + stats.prefetch_inflight +
+                                stats.cache_hits + stats.misses);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ManagerFuzzTest, ::testing::Range(0, 10));

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rtr/arbiter.hpp"
 #include "rtr/bitstream_store.hpp"
 #include "rtr/cache.hpp"
@@ -95,6 +97,56 @@ TEST(BitstreamCache, ReinsertUpdatesSize) {
   cache.insert("b", 80);
   EXPECT_TRUE(cache.lookup("a"));
   EXPECT_TRUE(cache.lookup("b"));
+}
+
+TEST(BitstreamCache, ReinsertGrowingEvictsOthers) {
+  // Re-inserting an entry at a larger size must make room like a fresh
+  // insert would, not silently blow the budget.
+  BitstreamCache cache(100);
+  cache.insert("a", 40);
+  cache.insert("b", 40);
+  cache.insert("a", 80);  // now only a fits alongside nothing else
+  EXPECT_LE(cache.used(), cache.capacity());
+  EXPECT_TRUE(cache.lookup("a"));
+  EXPECT_FALSE(cache.lookup("b"));
+  EXPECT_GT(cache.evictions(), 0);
+}
+
+TEST(BitstreamCache, LookupPromotionChangesEvictionOrder) {
+  BitstreamCache cache(90);
+  cache.insert("a", 30);
+  cache.insert("b", 30);
+  cache.insert("c", 30);
+  EXPECT_TRUE(cache.lookup("a"));  // a becomes most recent; b is now LRU
+  cache.insert("d", 30);
+  EXPECT_FALSE(cache.lookup("b"));
+  EXPECT_TRUE(cache.lookup("a"));
+  EXPECT_TRUE(cache.lookup("c"));
+  EXPECT_TRUE(cache.lookup("d"));
+  EXPECT_EQ(cache.evictions(), 1);
+}
+
+TEST(BitstreamCache, InvalidateAfterEvictionIsNoop) {
+  // A module staged earlier may have been evicted by later inserts by the
+  // time it is invalidated; the invalidate must not disturb the survivors.
+  BitstreamCache cache(50);
+  cache.insert("staged", 30);
+  cache.insert("x", 30);  // evicts staged
+  EXPECT_FALSE(cache.lookup("staged"));
+  cache.invalidate("staged");
+  EXPECT_TRUE(cache.lookup("x"));
+  EXPECT_EQ(cache.used(), 30u);
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(BitstreamCache, ZeroCapacityCachesNothing) {
+  BitstreamCache cache(0);
+  cache.insert("a", 1);
+  EXPECT_FALSE(cache.lookup("a"));
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.used(), 0u);
+  cache.invalidate("a");  // no-op, must not throw
+  EXPECT_EQ(cache.evictions(), 0);
 }
 
 // --- prefetch policies -------------------------------------------------------------
@@ -373,6 +425,24 @@ TEST(Manager, CacheSkipsMemoryFetch) {
   EXPECT_GT(f.manager->cache().hits(), 0);
 }
 
+TEST(Manager, CacheServedDemandReportedAsCacheHit) {
+  // Regression: cache-served demands used to be folded into `misses`,
+  // understating the cache's effect in every stats table.
+  ManagerConfig cfg;
+  cfg.cache_capacity = 1_MiB;
+  ManagerFixture f(cfg);
+  f.manager->request("D1", "qpsk", 0);                             // cold miss
+  f.manager->request("D1", "qam16", f.manager->port_free_at() + 1_ms);  // cold miss
+  const auto outcome = f.manager->request("D1", "qpsk", f.manager->port_free_at() + 1_ms);
+  EXPECT_EQ(outcome.kind, RequestKind::CacheHit);
+  EXPECT_EQ(outcome.stall, f.manager->staged_load_latency("qpsk"));
+  const ManagerStats& s = f.manager->stats();
+  EXPECT_EQ(s.cache_hits, 1);
+  EXPECT_EQ(s.misses, 2);
+  EXPECT_EQ(s.requests, 3);
+  EXPECT_STREQ(request_kind_name(RequestKind::CacheHit), "cache_hit");
+}
+
 TEST(Manager, AutoPrefetchUsesPolicyPrediction) {
   ManagerFixture f;
   f.policy.feed("D1", {"qpsk", "qam16"});
@@ -429,6 +499,53 @@ TEST(Manager, BlankClearsResidencyAndOccupiesPort) {
   // The next demand is a full miss again.
   const auto outcome = f.manager->request("D1", "qpsk", done + 1_ms);
   EXPECT_EQ(outcome.kind, RequestKind::Miss);
+}
+
+TEST(Manager, BlankAccountsBytesAndVerifies) {
+  // Regression: blank() used to poke the port directly, bypassing
+  // apply_load() — so blanks were invisible in bytes_loaded and escaped
+  // the readback verification every demand load gets.
+  ManagerFixture f;
+  f.manager->request("D1", "qpsk", 0);
+  const Bytes before = f.manager->stats().bytes_loaded;
+  f.manager->blank("D1", f.manager->port_free_at());
+  EXPECT_GT(f.manager->stats().bytes_loaded, before);
+  // The readback path ran: the region's frames are owned by the blank
+  // stream, not left tagged with the old module.
+  const auto frames = f.bundle.floorplan.region_frames("D1");
+  EXPECT_TRUE(f.manager->memory().region_owned_by(frames, "__blank_D1"));
+  EXPECT_FALSE(f.manager->memory().region_owned_by(frames, "qpsk"));
+}
+
+TEST(Manager, TraceReconcilesWithStats) {
+  // The tentpole invariant: demand-load spans (category "load") must sum
+  // exactly to ManagerStats::total_load_time; blanks and scrubs are
+  // port-occupying but live under their own categories.
+  ManagerFixture f;
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  f.manager->set_observability(&tracer, &metrics);
+
+  f.manager->request("D1", "qpsk", 0);                                  // miss
+  f.manager->announce("D1", "qam16", f.manager->port_free_at());        // staging span
+  f.manager->request("D1", "qam16", f.manager->port_free_at() + 20_ms); // prefetch hit
+  f.manager->request("D1", "qam16", f.manager->port_free_at() + 1_ms);  // already loaded
+  f.manager->blank("D1", f.manager->port_free_at());                    // blank span
+  f.manager->request("D1", "qpsk", f.manager->port_free_at() + 1_ms);   // miss again
+
+  const ManagerStats& s = f.manager->stats();
+  EXPECT_EQ(tracer.total_duration("load"), s.total_load_time);
+  EXPECT_EQ(tracer.count("staging"), static_cast<std::size_t>(s.prefetches_issued));
+  EXPECT_EQ(tracer.count("blank"), static_cast<std::size_t>(s.blanks));
+  EXPECT_GT(tracer.total_duration("blank"), 0);
+  // Counters mirror the struct.
+  EXPECT_DOUBLE_EQ(metrics.counter("rtr.manager.requests").value(), s.requests);
+  EXPECT_DOUBLE_EQ(metrics.counter("rtr.manager.miss").value(), s.misses);
+  EXPECT_DOUBLE_EQ(metrics.counter("rtr.manager.bytes_loaded").value(),
+                   static_cast<double>(s.bytes_loaded));
+  // The stall histogram saw every demand that touched the port.
+  EXPECT_EQ(metrics.histogram("rtr.manager.stall_ns", obs::latency_buckets_ns()).count(),
+            static_cast<std::uint64_t>(s.requests - s.already_loaded));
 }
 
 TEST(Manager, VerifyDetectsSeuAndScrubRepairs) {

@@ -183,6 +183,52 @@ TEST(ExecutivePlayer, TimelineRecordsAllKinds) {
   EXPECT_GT(r.timeline.total(SpanKind::Transfer), 0);
 }
 
+TEST(EventQueue, LabeledEventsTraced) {
+  EventQueue q;
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  q.set_observability(&tracer, &metrics);
+  int fired = 0;
+  q.schedule(10, "tick", [&](TimeNs) { ++fired; });
+  q.schedule_in(20, "tock", [&](TimeNs) { ++fired; });
+  q.schedule(30, [&](TimeNs) { ++fired; });  // unlabeled still counts
+  EXPECT_EQ(q.run(), 3u);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(tracer.count("sim_event"), 3u);
+  EXPECT_DOUBLE_EQ(metrics.counter("sim.events_executed").value(), 3.0);
+  // Labels become the instant-event names, in execution order.
+  EXPECT_EQ(tracer.events()[0].name, "tick");
+  EXPECT_EQ(tracer.events()[1].name, "tock");
+  EXPECT_EQ(tracer.events()[2].name, "event");
+}
+
+TEST(Timeline, ExportToTracerKeepsKindsAndTimes) {
+  Timeline tl;
+  tl.add("D1", "work", SpanKind::Compute, 0, 100);
+  tl.add("bus", "move", SpanKind::Transfer, 50, 80);
+  obs::Tracer tracer;
+  tl.export_to(tracer, "exec_");
+  EXPECT_EQ(tracer.size(), 2u);
+  EXPECT_EQ(tracer.total_duration(std::string("exec_") + span_kind_name(SpanKind::Compute)), 100);
+  EXPECT_EQ(tracer.total_duration(std::string("exec_") + span_kind_name(SpanKind::Transfer)), 30);
+  EXPECT_EQ(tracer.events()[0].track, "D1");
+  EXPECT_EQ(tracer.events()[1].track, "bus");
+}
+
+TEST(ExecutivePlayer, ObservabilityExportsRunSummary) {
+  const PlayerFixture f;
+  ExecutivePlayer player(f.executive, f.arch);
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  player.set_observability(&tracer, &metrics);
+  const PlayResult r = player.run(2);
+  // Every timeline span got replayed into the tracer under exec_*.
+  EXPECT_EQ(tracer.size(), r.timeline.spans().size());
+  EXPECT_DOUBLE_EQ(metrics.counter("sim.player.runs").value(), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.gauge("sim.player.makespan_ns").value(),
+                   static_cast<double>(r.makespan));
+}
+
 TEST(ExecutivePlayer, ReconfigInstructionsCostAndCount) {
   // Build an executive whose region program contains a Reconfig.
   aaa::AlgorithmGraph algo;

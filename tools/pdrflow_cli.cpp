@@ -10,6 +10,12 @@
 //       List the supported device models.
 //   pdrflow latency <constraints-file> [--bandwidth B/s]
 //       Print per-module cold/staged reconfiguration latencies.
+//   pdrflow simulate [--symbols N] [--prefetch none|schedule|history] ...
+//       Run the MC-CDMA transmitter case study under the runtime manager.
+//
+// `build`, `adequation` and `simulate` accept `--trace-out FILE`
+// (Chrome trace-event JSON, open in https://ui.perfetto.dev) and
+// `--metrics-out FILE` (metrics registry JSON dump).
 
 #include <cstdio>
 #include <cstring>
@@ -26,6 +32,9 @@
 #include "aaa/project_io.hpp"
 #include "fabric/bitstream.hpp"
 #include "mccdma/case_study.hpp"
+#include "mccdma/system.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rtr/manager.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -43,7 +52,10 @@ int usage() {
       "  pdrflow inspect <bitstream.bit> --device NAME\n"
       "  pdrflow latency <constraints-file> [--bandwidth BYTES_PER_S]\n"
       "  pdrflow adequation <project-file> [--no-prefetch] [--reconfig-ms N]\n"
-      "  pdrflow devices\n",
+      "  pdrflow simulate [--symbols N] [--seed S] [--prefetch none|schedule|history]\n"
+      "                   [--cache BYTES] [--scrub-ms N]\n"
+      "  pdrflow devices\n"
+      "build/adequation/simulate also accept --trace-out FILE --metrics-out FILE\n",
       stderr);
   return 2;
 }
@@ -66,6 +78,20 @@ const char* find_flag(int argc, char** argv, const char* flag) {
   for (int i = 0; i + 1 < argc; ++i)
     if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
   return nullptr;
+}
+
+/// Writes the tracer/metrics to the paths given by --trace-out /
+/// --metrics-out, if present.
+void write_observability(int argc, char** argv, const obs::Tracer& tracer,
+                         const obs::MetricsRegistry& metrics) {
+  if (const char* path = find_flag(argc, argv, "--trace-out")) {
+    tracer.write_chrome_json(path);
+    std::printf("  wrote trace with %zu events to %s\n", tracer.size(), path);
+  }
+  if (const char* path = find_flag(argc, argv, "--metrics-out")) {
+    metrics.write_json(path);
+    std::printf("  wrote %zu metrics to %s\n", metrics.names().size(), path);
+  }
 }
 
 int cmd_devices() {
@@ -92,7 +118,10 @@ int cmd_build(int argc, char** argv) {
   const std::filesystem::path out_dir = out_flag ? out_flag : "pdrflow_out";
   std::filesystem::create_directories(out_dir);
 
-  const synth::DesignBundle bundle = mccdma::run_flow_from_constraints(constraints, {});
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  const synth::DesignBundle bundle =
+      mccdma::run_flow_from_constraints(constraints, {}, &tracer, &metrics);
   std::fputs(bundle.floorplan.render().c_str(), stdout);
 
   Table t({"region", "variant", "slices", "fmax (MHz)", "bitstream", "% of device"});
@@ -110,6 +139,7 @@ int cmd_build(int argc, char** argv) {
   }
   t.print();
   write_file(out_dir / "initial_full.bit", bundle.initial_bitstream);
+  write_observability(argc, argv, tracer, metrics);
   return 0;
 }
 
@@ -202,6 +232,77 @@ int cmd_adequation(int argc, char** argv) {
   const aaa::Executive executive =
       aaa::generate_executive(schedule, project.algorithm, project.architecture);
   std::fputs(executive.to_string().c_str(), stdout);
+
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  aaa::export_schedule(schedule, tracer);
+  metrics.counter("adequation.reconfigs").add(schedule.reconfig_count);
+  metrics.gauge("adequation.makespan_ns").set(static_cast<double>(schedule.makespan));
+  metrics.gauge("adequation.reconfig_exposed_ns").set(static_cast<double>(schedule.reconfig_exposed));
+  write_observability(argc, argv, tracer, metrics);
+  return 0;
+}
+
+int cmd_simulate(int argc, char** argv) {
+  const char* symbols_flag = find_flag(argc, argv, "--symbols");
+  const std::size_t n_symbols = symbols_flag ? std::stoul(symbols_flag) : 4096;
+
+  mccdma::SystemConfig config;
+  config.manager = rtr::sundance_manager_config();
+  if (const char* seed = find_flag(argc, argv, "--seed")) config.seed = std::stoull(seed);
+  if (const char* cache = find_flag(argc, argv, "--cache"))
+    config.manager.cache_capacity = static_cast<Bytes>(std::stoull(cache));
+  if (const char* scrub = find_flag(argc, argv, "--scrub-ms"))
+    config.scrub_period = static_cast<TimeNs>(std::stod(scrub) * 1e6);
+  if (const char* prefetch = find_flag(argc, argv, "--prefetch")) {
+    if (std::strcmp(prefetch, "none") == 0)
+      config.prefetch = aaa::PrefetchChoice::None;
+    else if (std::strcmp(prefetch, "schedule") == 0)
+      config.prefetch = aaa::PrefetchChoice::Schedule;
+    else if (std::strcmp(prefetch, "history") == 0)
+      config.prefetch = aaa::PrefetchChoice::History;
+    else
+      return usage();
+  }
+
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  config.tracer = &tracer;
+  config.metrics = &metrics;
+
+  const mccdma::CaseStudy cs = mccdma::build_case_study();
+  mccdma::TransmitterSystem system(cs, config);
+  const mccdma::SystemReport report = system.run(n_symbols);
+
+  std::printf("MC-CDMA transmitter, %zu symbols, prefetch=%s\n\n", report.symbols,
+              aaa::to_keyword(config.prefetch));
+  Table t({"metric", "value"});
+  t.row().add("elapsed (ms)").add(to_ms(report.elapsed), 3);
+  t.row().add("stall (ms)").add(to_ms(report.stall_total), 3);
+  t.row().add("stall fraction (%)").add(100.0 * report.stall_fraction(), 2);
+  t.row().add("throughput (Mb/s)").add(report.throughput_bps() / 1e6, 2);
+  t.row().add("modulation switches").add(report.switches);
+  t.row().add("mean SNR (dB)").add(report.mean_snr_db, 1);
+  t.print();
+
+  const rtr::ManagerStats& m = report.manager;
+  std::puts("\nreconfiguration manager:");
+  Table mt({"stat", "value"});
+  mt.row().add("requests").add(m.requests);
+  mt.row().add("already loaded").add(m.already_loaded);
+  mt.row().add("prefetch hits").add(m.prefetch_hits);
+  mt.row().add("prefetch in-flight").add(m.prefetch_inflight);
+  mt.row().add("cache hits").add(m.cache_hits);
+  mt.row().add("misses").add(m.misses);
+  mt.row().add("prefetches issued").add(m.prefetches_issued);
+  mt.row().add("prefetches wasted").add(m.prefetches_wasted);
+  mt.row().add("scrubs").add(m.scrubs);
+  mt.row().add("blanks").add(m.blanks);
+  mt.row().add("total load time (ms)").add(to_ms(m.total_load_time), 3);
+  mt.row().add("bytes loaded").add(human_bytes(m.bytes_loaded));
+  mt.print();
+
+  write_observability(argc, argv, tracer, metrics);
   return 0;
 }
 
@@ -216,6 +317,7 @@ int main(int argc, char** argv) {
     if (cmd == "inspect") return cmd_inspect(argc - 2, argv + 2);
     if (cmd == "latency") return cmd_latency(argc - 2, argv + 2);
     if (cmd == "adequation") return cmd_adequation(argc - 2, argv + 2);
+    if (cmd == "simulate") return cmd_simulate(argc - 2, argv + 2);
   } catch (const pdr::Error& e) {
     std::fprintf(stderr, "pdrflow: %s\n", e.what());
     return 1;
