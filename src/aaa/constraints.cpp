@@ -1,7 +1,6 @@
 #include "aaa/constraints.hpp"
 
-#include <set>
-
+#include "lint/constraint_rules.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -51,33 +50,23 @@ std::vector<const ModuleConstraint*> ConstraintSet::modules_of(const std::string
 }
 
 void ConstraintSet::validate() const {
-  std::set<std::string> region_names;
-  for (const auto& r : regions) {
-    PDR_CHECK(region_names.insert(r.name).second, "ConstraintSet",
-              "duplicate region '" + r.name + "'");
-    PDR_CHECK(r.width == -1 || r.width >= 1, "ConstraintSet",
-              "region '" + r.name + "' has invalid width");
-    PDR_CHECK(r.margin >= 0, "ConstraintSet", "region '" + r.name + "' has negative margin");
-  }
-  std::set<std::string> module_names;
-  for (const auto& m : modules) {
-    PDR_CHECK(module_names.insert(m.name).second, "ConstraintSet",
-              "duplicate dynamic module '" + m.name + "'");
-    PDR_CHECK(region_names.count(m.region) > 0, "ConstraintSet",
-              "module '" + m.name + "' names undeclared region '" + m.region + "'");
-    PDR_CHECK(!m.kind.empty(), "ConstraintSet", "module '" + m.name + "' has no kind");
-  }
-  for (const auto& r : regions)
-    PDR_CHECK(!modules_of(r.name).empty(), "ConstraintSet",
-              "region '" + r.name + "' has no dynamic modules");
-  for (const auto& [a, b] : exclusions) {
-    PDR_CHECK(module_names.count(a) && module_names.count(b), "ConstraintSet",
-              "exclusion names unknown module ('" + a + "', '" + b + "')");
-    PDR_CHECK(a != b, "ConstraintSet", "module '" + a + "' excluded with itself");
-  }
-  for (const auto& [a, b] : relations)
-    PDR_CHECK(module_names.count(a) && module_names.count(b), "ConstraintSet",
-              "relation names unknown module ('" + a + "', '" + b + "')");
+  // One rule engine for validate() and `pdrflow check`: collect every
+  // error-severity violation, then throw once listing them all.
+  std::string violations;
+  std::size_t count = 0;
+  lint::visit_constraint_violations(
+      *this, [&violations, &count](lint::Rule rule, lint::Severity severity,
+                                   const std::string& /*where*/, const std::string& message,
+                                   const std::string& /*hint*/) {
+        if (severity != lint::Severity::Error) return;
+        if (count > 0) violations += "\n  ";
+        violations += std::string(lint::rule_id(rule)) + ": " + message;
+        ++count;
+      });
+  if (count == 1) raise("ConstraintSet", violations);
+  if (count > 1)
+    raise("ConstraintSet",
+          std::to_string(count) + " constraint violations:\n  " + violations);
 }
 
 namespace {
@@ -89,7 +78,7 @@ class Parser {
  public:
   explicit Parser(const std::string& text) { tokenize(text); }
 
-  ConstraintSet parse() {
+  ConstraintSet parse(bool validate) {
     while (!at_end()) {
       const std::string head = next("directive");
       if (head == "device") {
@@ -117,7 +106,7 @@ class Parser {
         fail("unknown directive '" + head + "'");
       }
     }
-    set_.validate();
+    if (validate) set_.validate();
     return std::move(set_);
   }
 
@@ -262,7 +251,9 @@ class Parser {
 
 }  // namespace
 
-ConstraintSet parse_constraints(const std::string& text) { return Parser(text).parse(); }
+ConstraintSet parse_constraints(const std::string& text, bool validate) {
+  return Parser(text).parse(validate);
+}
 
 std::string write_constraints(const ConstraintSet& set) {
   std::string out;

@@ -89,12 +89,17 @@ struct ConstraintSet {
 
   /// Checks referential integrity (modules name declared regions,
   /// exclusions/relations name declared modules, names unique, at least
-  /// one module per region). Throws pdr::Error on the first violation.
+  /// one module per region, known device). Runs the lint constraint-rule
+  /// engine (lint/constraint_rules.hpp — one implementation shared with
+  /// `pdrflow check`) and throws a single pdr::Error listing EVERY
+  /// error-severity violation; warnings are ignored here.
   void validate() const;
 };
 
-/// Parses the DSL; error messages carry "line N:" positions.
-ConstraintSet parse_constraints(const std::string& text);
+/// Parses the DSL; error messages carry "line N:" positions. With
+/// `validate` false the set is returned unchecked — used by the linter,
+/// which wants every rule violation as a diagnostic rather than a throw.
+ConstraintSet parse_constraints(const std::string& text, bool validate = true);
 
 /// Writes a ConstraintSet back to DSL text (parse(write(x)) == x).
 std::string write_constraints(const ConstraintSet& set);

@@ -1,0 +1,16 @@
+#include "lint/constraint_rules.hpp"
+
+#include "lint/diagnostic.hpp"
+
+namespace pdr::lint {
+
+Report check_constraints(const aaa::ConstraintSet& set) {
+  Report report;
+  visit_constraint_violations(set, [&report](Rule rule, Severity severity, std::string where,
+                                             std::string message, std::string hint) {
+    report.add(rule, severity, std::move(where), std::move(message), std::move(hint));
+  });
+  return report;
+}
+
+}  // namespace pdr::lint

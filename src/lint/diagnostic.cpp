@@ -1,0 +1,92 @@
+#include "lint/diagnostic.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace pdr::lint {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          out += strprintf("\\u%04x", c);
+        else
+          out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Diagnostic::to_string() const {
+  std::string out = std::string(severity_name(severity)) + " " + rule_id(rule);
+  if (!where.empty()) out += " [" + where + "]";
+  out += ": " + message;
+  if (!hint.empty()) out += " (hint: " + hint + ")";
+  return out;
+}
+
+void Report::add(Diagnostic diag) { diags_.push_back(std::move(diag)); }
+
+void Report::add(Rule rule, Severity severity, std::string where, std::string message,
+                 std::string hint) {
+  diags_.push_back(
+      Diagnostic{rule, severity, std::move(where), std::move(message), std::move(hint)});
+}
+
+void Report::merge(Report other) {
+  for (auto& d : other.diags_) diags_.push_back(std::move(d));
+}
+
+std::size_t Report::count(Severity severity) const {
+  return static_cast<std::size_t>(
+      std::count_if(diags_.begin(), diags_.end(),
+                    [severity](const Diagnostic& d) { return d.severity == severity; }));
+}
+
+bool Report::has(Rule rule) const {
+  return std::any_of(diags_.begin(), diags_.end(),
+                     [rule](const Diagnostic& d) { return d.rule == rule; });
+}
+
+std::string Report::to_text() const {
+  if (diags_.empty()) return "";
+  std::vector<const Diagnostic*> sorted;
+  sorted.reserve(diags_.size());
+  for (const auto& d : diags_) sorted.push_back(&d);
+  std::stable_sort(sorted.begin(), sorted.end(), [](const Diagnostic* a, const Diagnostic* b) {
+    return static_cast<int>(a->severity) > static_cast<int>(b->severity);
+  });
+  std::string out;
+  for (const Diagnostic* d : sorted) out += d->to_string() + "\n";
+  out += strprintf("%zu error(s), %zu warning(s)\n", errors(), warnings());
+  return out;
+}
+
+std::string Report::to_json() const {
+  std::string out = "{\"diagnostics\":[";
+  for (std::size_t i = 0; i < diags_.size(); ++i) {
+    const Diagnostic& d = diags_[i];
+    if (i > 0) out += ",";
+    out += strprintf(
+        "\n  {\"code\":\"%s\",\"severity\":\"%s\",\"where\":\"%s\",\"message\":\"%s\","
+        "\"hint\":\"%s\"}",
+        rule_id(d.rule), severity_name(d.severity), json_escape(d.where).c_str(),
+        json_escape(d.message).c_str(), json_escape(d.hint).c_str());
+  }
+  out += strprintf("\n],\"errors\":%zu,\"warnings\":%zu}\n", errors(), warnings());
+  return out;
+}
+
+}  // namespace pdr::lint

@@ -1,0 +1,19 @@
+// Synchronized-executive design rules (PDR060..PDR065).
+//
+// "The result is a synchronized executive represented by a macro-code for
+// each vertices of the architecture." (§3) The macro programs synchronize
+// through blocking Send/Recv pairs over media; these rules verify the
+// synchronization is sound before any code is generated from it:
+//   - every Send has a matching Recv on the same medium (and vice versa),
+//   - the cross-program synchronization graph has no cycle (deadlock),
+//   - no buffer is read before it is written, or overwritten before read.
+#pragma once
+
+#include "aaa/macrocode.hpp"
+#include "lint/diagnostic.hpp"
+
+namespace pdr::lint {
+
+Report check_executive(const aaa::Executive& executive);
+
+}  // namespace pdr::lint

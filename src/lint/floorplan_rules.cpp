@@ -1,0 +1,133 @@
+#include "lint/floorplan_rules.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/strings.hpp"
+
+namespace pdr::lint {
+
+namespace {
+
+bool col_in_reconfigurable(const std::vector<fabric::Region>& regions, int col) {
+  for (const auto& r : regions)
+    if (r.reconfigurable && col >= r.col_lo && col <= r.col_hi) return true;
+  return false;
+}
+
+}  // namespace
+
+Report check_floorplan(const fabric::DeviceModel& device,
+                       const std::vector<fabric::Region>& regions) {
+  Report report;
+
+  for (const auto& r : regions) {
+    if (r.col_lo < 0 || r.col_hi >= device.clb_cols || r.col_lo > r.col_hi)
+      report.add(Rule::RegionOutOfBounds, Severity::Error, "region " + r.name,
+                 strprintf("region '%s' spans columns %d..%d outside the %d-column device",
+                           r.name.c_str(), r.col_lo, r.col_hi, device.clb_cols),
+                 "regions must lie within the CLB array");
+    if (r.reconfigurable && r.width_cols() < fabric::kMinReconfigClbCols)
+      report.add(Rule::RegionTooNarrow, Severity::Error, "region " + r.name,
+                 strprintf("reconfigurable region '%s' is %d CLB column(s) wide; the Modular "
+                           "Design minimum is %d (four slice-columns)",
+                           r.name.c_str(), r.width_cols(), fabric::kMinReconfigClbCols),
+                 "widen the region or merge it with a neighbour");
+  }
+
+  // Overlap: sort by col_lo, flag every adjacent overlapping pair.
+  std::vector<const fabric::Region*> sorted;
+  sorted.reserve(regions.size());
+  for (const auto& r : regions) sorted.push_back(&r);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const fabric::Region* a, const fabric::Region* b) {
+                     return a->col_lo < b->col_lo;
+                   });
+  for (std::size_t i = 1; i < sorted.size(); ++i)
+    if (sorted[i]->col_lo <= sorted[i - 1]->col_hi)
+      report.add(Rule::RegionOverlap, Severity::Error,
+                 "region " + sorted[i - 1]->name + " / " + sorted[i]->name,
+                 strprintf("regions '%s' (%d..%d) and '%s' (%d..%d) share CLB columns",
+                           sorted[i - 1]->name.c_str(), sorted[i - 1]->col_lo,
+                           sorted[i - 1]->col_hi, sorted[i]->name.c_str(), sorted[i]->col_lo,
+                           sorted[i]->col_hi),
+                 "every column belongs to at most one region");
+
+  // Bus macros must straddle a boundary between this region and static
+  // area: at col_lo (bridging col_lo-1 | col_lo) or col_hi+1.
+  for (const auto& r : regions) {
+    for (const auto& bm : r.bus_macros) {
+      const bool at_left = bm.boundary_col == r.col_lo;
+      const bool at_right = bm.boundary_col == r.col_hi + 1;
+      std::string problem;
+      if (!at_left && !at_right) {
+        problem = strprintf("boundary column %d is not an edge of region '%s' (%d..%d)",
+                            bm.boundary_col, r.name.c_str(), r.col_lo, r.col_hi);
+      } else {
+        const int outside = at_left ? r.col_lo - 1 : r.col_hi + 1;
+        if (outside < 0 || outside >= device.clb_cols)
+          problem = strprintf("boundary column %d sits on the device edge; there is no static "
+                              "side to bridge to",
+                              bm.boundary_col);
+        else if (col_in_reconfigurable(regions, outside))
+          problem = strprintf("column %d on the far side of the boundary belongs to another "
+                              "reconfigurable region",
+                              outside);
+      }
+      if (!problem.empty())
+        report.add(Rule::BusMacroOffBoundary, Severity::Error,
+                   "region " + r.name + " macro " + bm.name,
+                   "bus macro '" + bm.name + "': " + problem,
+                   "bus macros are fixed bridges pinned where a dynamic region meets the "
+                   "static area (paper section 5)");
+    }
+  }
+
+  return report;
+}
+
+Report check_floorplan(const fabric::Floorplan& plan) {
+  return check_floorplan(plan.device(), plan.regions());
+}
+
+Report check_bundle(const synth::DesignBundle& bundle) {
+  Report report = check_floorplan(bundle.floorplan);
+
+  int region_slices_total = 0;
+  for (const auto& region : bundle.floorplan.regions())
+    if (region.reconfigurable)
+      region_slices_total += bundle.floorplan.region_slices(region.name);
+
+  for (const auto& [region_name, variants] : bundle.dynamic_variants) {
+    const fabric::Region* region = bundle.floorplan.find_region(region_name);
+    if (region == nullptr) {
+      report.add(Rule::RegionOutOfBounds, Severity::Error, "region " + region_name,
+                 "dynamic variants declared for region '" + region_name +
+                     "' which the floorplan does not contain",
+                 "run the flow with a floorplan declaring this region");
+      continue;
+    }
+    const int capacity = bundle.floorplan.region_slices(region_name);
+    for (const auto& v : variants)
+      if (v.usage.slices > capacity)
+        report.add(Rule::VariantOverflow, Severity::Error,
+                   "region " + region_name + " variant " + v.name,
+                   strprintf("variant '%s' needs %d slices but region '%s' provides %d",
+                             v.name.c_str(), v.usage.slices, region_name.c_str(), capacity),
+                   "widen the region (width/margin in the constraints file) or shrink the "
+                   "module");
+  }
+
+  const int static_capacity = bundle.device.total_slices() - region_slices_total;
+  const synth::ResourceUsage statics = bundle.static_usage();
+  if (statics.slices > static_capacity)
+    report.add(Rule::StaticOverflow, Severity::Error, "static area",
+               strprintf("static modules need %d slices but only %d remain outside the "
+                         "reconfigurable regions",
+                         statics.slices, static_capacity),
+               "use a larger device or shrink the static design");
+
+  return report;
+}
+
+}  // namespace pdr::lint

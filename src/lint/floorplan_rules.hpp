@@ -1,0 +1,32 @@
+// Floorplan design rules (PDR020..PDR025): the paper's Modular Design
+// placement constraints (§5) — full-height regions that do not overlap,
+// the 4-slice (2 CLB columns) minimum width, bus macros straddling the
+// static/dynamic boundary — plus capacity checks of the flow's output
+// (every dynamic variant fits its region, statics fit the free area).
+#pragma once
+
+#include <vector>
+
+#include "fabric/device.hpp"
+#include "fabric/floorplan.hpp"
+#include "lint/diagnostic.hpp"
+#include "synth/flow.hpp"
+
+namespace pdr::lint {
+
+/// Checks raw region declarations against a device. Operates on plain
+/// Region values (not a constructed Floorplan, which enforces most of
+/// these rules at build time) so that externally-produced or hand-edited
+/// floorplans can be audited too.
+Report check_floorplan(const fabric::DeviceModel& device,
+                       const std::vector<fabric::Region>& regions);
+
+/// Convenience overload for a constructed floorplan.
+Report check_floorplan(const fabric::Floorplan& plan);
+
+/// Floorplan rules plus capacity checks over a complete flow output:
+/// every dynamic variant within its region's slices (PDR024), static
+/// modules within the area no region covers (PDR025).
+Report check_bundle(const synth::DesignBundle& bundle);
+
+}  // namespace pdr::lint

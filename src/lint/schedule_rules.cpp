@@ -1,0 +1,203 @@
+#include "lint/schedule_rules.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace pdr::lint {
+
+namespace {
+
+using aaa::ItemKind;
+using aaa::ScheduledItem;
+
+std::string span(const ScheduledItem& item) {
+  return strprintf("'%s' [%lld..%lld ns]", item.label.c_str(),
+                   static_cast<long long>(item.start), static_cast<long long>(item.end));
+}
+
+/// Classifies one overlapping pair on a region/operator; `first` starts
+/// no later than `second`.
+void report_overlap(Report& report, const std::string& resource, const ScheduledItem& first,
+                    const ScheduledItem& second) {
+  if (first.kind == ItemKind::Compute && second.kind == ItemKind::Reconfig) {
+    report.add(Rule::PrefetchIntoBusyRegion, Severity::Error, "resource " + resource,
+               "reconfiguration " + span(second) + " starts while " + span(first) +
+                   " still occupies region '" + resource + "'",
+               "a prefetch may only be hoisted to an instant the region is free");
+  } else if (first.kind == ItemKind::Reconfig && second.kind == ItemKind::Compute) {
+    report.add(Rule::ComputeDuringReconfig, Severity::Error, "resource " + resource,
+               "operation " + span(second) + " starts while region '" + resource +
+                   "' is still reconfiguring (" + span(first) + ")",
+               "delay the operation until the reconfiguration completes");
+  } else {
+    report.add(Rule::ResourceOverlap, Severity::Error, "resource " + resource,
+               "items " + span(first) + " and " + span(second) + " overlap on resource '" +
+                   resource + "'",
+               "every operator and medium executes sequentially (paper section 3)");
+  }
+}
+
+/// Residency interval of one module in one region: from the end of the
+/// reconfiguration that loaded it to the start of the next one.
+struct Residency {
+  std::string module;
+  std::string region;
+  TimeNs from = 0;
+  TimeNs to = 0;
+};
+
+}  // namespace
+
+Report check_schedule(const aaa::Schedule& schedule, const aaa::AlgorithmGraph& algorithm,
+                      const aaa::ArchitectureGraph& architecture,
+                      const aaa::ConstraintSet* constraints) {
+  Report report;
+
+  // PDR047 + per-resource grouping.
+  std::map<std::string, std::vector<const ScheduledItem*>> per_resource;
+  for (const auto& item : schedule.items) {
+    if (item.end < item.start)
+      report.add(Rule::NegativeDuration, Severity::Error, "resource " + item.resource,
+                 "item " + span(item) + " ends before it starts", "");
+    per_resource[item.resource].push_back(&item);
+  }
+
+  // PDR040 / PDR043 / PDR045: overlap on one resource, classified.
+  for (auto& [resource, list] : per_resource) {
+    std::stable_sort(list.begin(), list.end(),
+                     [](const ScheduledItem* a, const ScheduledItem* b) {
+                       return a->start < b->start;
+                     });
+    for (std::size_t i = 1; i < list.size(); ++i)
+      if (list[i]->start < list[i - 1]->end)
+        report_overlap(report, resource, *list[i - 1], *list[i]);
+  }
+
+  // PDR041: every dependency's consumer starts after its producer ends,
+  // with a transfer in between when placed apart.
+  std::map<graph::NodeId, const ScheduledItem*> compute_of;
+  for (const auto& item : schedule.items)
+    if (item.kind == ItemKind::Compute) compute_of[item.op] = &item;
+  const auto& g = algorithm.digraph();
+  for (graph::EdgeId e : g.edge_ids()) {
+    const graph::NodeId p = g.edge_from(e);
+    const graph::NodeId c = g.edge_to(e);
+    const auto ip = compute_of.find(p);
+    const auto ic = compute_of.find(c);
+    if (ip == compute_of.end() || ic == compute_of.end()) {
+      const std::string& missing = ip == compute_of.end() ? g[p].name : g[c].name;
+      report.add(Rule::DependencyViolation, Severity::Error, "operation " + missing,
+                 "operation '" + missing + "' was never scheduled",
+                 "every algorithm vertex must appear in the schedule");
+      continue;
+    }
+    if (ic->second->start < ip->second->end)
+      report.add(Rule::DependencyViolation, Severity::Error, "operation " + g[c].name,
+                 "operation '" + g[c].name + "' starts at " +
+                     std::to_string(ic->second->start) + " ns, before its input '" + g[p].name +
+                     "' finishes at " + std::to_string(ip->second->end) + " ns",
+                 "");
+    if (ip->second->resource != ic->second->resource && g.edge(e).bytes > 0) {
+      bool found = false;
+      for (const auto& item : schedule.items)
+        if (item.kind == ItemKind::Transfer && item.src == g[p].name && item.dst == g[c].name)
+          found = true;
+      if (!found)
+        report.add(Rule::DependencyViolation, Severity::Error, "operation " + g[c].name,
+                   "dependency '" + g[p].name + "' -> '" + g[c].name +
+                       "' crosses operators with no transfer scheduled",
+                   "route the buffer over a connecting medium");
+    }
+  }
+
+  // PDR042: a region computes only the variant its last reconfiguration
+  // loaded (or a consistent preloaded one before any reconfiguration).
+  for (aaa::NodeId w : architecture.operators_of_kind(aaa::OperatorKind::FpgaRegion)) {
+    const std::string& rname = architecture.op(w).name;
+    const auto it = per_resource.find(rname);
+    if (it == per_resource.end()) continue;
+    std::string loaded;
+    bool any_reconfig = false;
+    std::string preloaded_variant;
+    for (const ScheduledItem* item : it->second) {
+      if (item->kind == ItemKind::Reconfig) {
+        loaded = item->module;
+        any_reconfig = true;
+      } else if (item->kind == ItemKind::Compute && !item->variant.empty()) {
+        if (!any_reconfig) {
+          if (preloaded_variant.empty()) preloaded_variant = item->variant;
+          if (item->variant != preloaded_variant)
+            report.add(Rule::WrongModuleLoaded, Severity::Error, "resource " + rname,
+                       "region '" + rname + "' computes variant '" + item->variant +
+                           "' and variant '" + preloaded_variant +
+                           "' with no reconfiguration between",
+                       "insert a reconfiguration or fix the variant selection");
+        } else if (item->variant != loaded) {
+          report.add(Rule::WrongModuleLoaded, Severity::Error, "resource " + rname,
+                     "region '" + rname + "' computes variant '" + item->variant +
+                         "' while module '" + loaded + "' is loaded",
+                     "reconfigure the region to '" + item->variant + "' first");
+        }
+      }
+    }
+  }
+
+  // PDR046: reconfigurations serialize on the single configuration port.
+  std::vector<const ScheduledItem*> reconfigs;
+  for (const auto& item : schedule.items)
+    if (item.kind == ItemKind::Reconfig) reconfigs.push_back(&item);
+  std::stable_sort(reconfigs.begin(), reconfigs.end(),
+                   [](const ScheduledItem* a, const ScheduledItem* b) {
+                     return a->start < b->start;
+                   });
+  for (std::size_t i = 1; i < reconfigs.size(); ++i)
+    if (reconfigs[i]->start < reconfigs[i - 1]->end)
+      report.add(Rule::PortOverlap, Severity::Error, "configuration port",
+                 "reconfigurations " + span(*reconfigs[i - 1]) + " and " + span(*reconfigs[i]) +
+                     " overlap on the configuration port",
+                 "the device has one configuration port; loads must serialize");
+
+  // PDR044: mutually-exclusive modules resident at the same time.
+  if (constraints != nullptr && !constraints->exclusions.empty()) {
+    std::vector<Residency> residencies;
+    for (auto& [resource, list] : per_resource) {
+      const ScheduledItem* current = nullptr;
+      for (const ScheduledItem* item : list) {
+        if (item->kind != ItemKind::Reconfig) continue;
+        if (current != nullptr)
+          residencies.push_back(
+              Residency{current->module, resource, current->end, item->start});
+        current = item;
+      }
+      if (current != nullptr)
+        residencies.push_back(Residency{current->module, resource, current->end,
+                                        std::max(schedule.makespan, current->end)});
+    }
+    for (const auto& [a, b] : constraints->exclusions) {
+      for (const Residency& ra : residencies) {
+        if (ra.module != a) continue;
+        for (const Residency& rb : residencies) {
+          if (rb.module != b || ra.region == rb.region) continue;
+          const TimeNs lo = std::max(ra.from, rb.from);
+          const TimeNs hi = std::min(ra.to, rb.to);
+          if (lo < hi)
+            report.add(Rule::ExclusionOverlap, Severity::Error,
+                       "exclude " + a + " " + b,
+                       strprintf("excluded modules '%s' (region %s) and '%s' (region %s) are "
+                                 "both resident during [%lld..%lld ns]",
+                                 a.c_str(), ra.region.c_str(), b.c_str(), rb.region.c_str(),
+                                 static_cast<long long>(lo), static_cast<long long>(hi)),
+                       "serialize their residency or drop the exclusion");
+        }
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace pdr::lint

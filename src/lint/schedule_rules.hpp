@@ -1,0 +1,25 @@
+// Schedule design rules (PDR040..PDR047): reconfiguration hazards in an
+// adequation result.
+//
+// Beyond the structural invariants (no resource overlap, dependencies
+// respected — the lint twins of aaa::validate_schedule), these rules
+// catch the dynamic-reconfiguration hazards the paper's flow must avoid
+// (§4/§6): an operation computing on a region whose module is unloaded or
+// still reconfiguring, a prefetched reconfiguration ousting a busy
+// region, mutually-exclusive modules resident at the same time, and two
+// loads contending for the single configuration port.
+#pragma once
+
+#include "aaa/adequation.hpp"
+#include "aaa/constraints.hpp"
+#include "lint/diagnostic.hpp"
+
+namespace pdr::lint {
+
+/// Checks one schedule. `constraints` may be nullptr (project files carry
+/// no constraints file); exclusion-overlap checks are skipped then.
+Report check_schedule(const aaa::Schedule& schedule, const aaa::AlgorithmGraph& algorithm,
+                      const aaa::ArchitectureGraph& architecture,
+                      const aaa::ConstraintSet* constraints = nullptr);
+
+}  // namespace pdr::lint

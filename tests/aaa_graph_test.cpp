@@ -285,8 +285,9 @@ TEST(Durations, McCdmaTableCoversCaseStudyKinds) {
     EXPECT_TRUE(t.supports(kind, dsp)) << kind;
     EXPECT_TRUE(t.supports(kind, f1)) << kind;
     // FPGA is faster than the DSP for the datapath blocks.
-    if (std::string(kind) != "interface_in_out")
+    if (std::string(kind) != "interface_in_out") {
       EXPECT_LT(t.lookup(kind, f1), t.lookup(kind, dsp)) << kind;
+    }
   }
 }
 

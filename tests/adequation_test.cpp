@@ -124,7 +124,9 @@ TEST(Adequation, SelectionPicksAlternative) {
   options.selection["m"] = "alt_b";
   const Schedule s = adequation.run(options);
   for (const auto& item : s.items)
-    if (item.kind == ItemKind::Compute && item.variant != "") EXPECT_EQ(item.variant, "alt_b");
+    if (item.kind == ItemKind::Compute && item.variant != "") {
+      EXPECT_EQ(item.variant, "alt_b");
+    }
 }
 
 TEST(Adequation, UnknownSelectionThrows) {

@@ -95,7 +95,9 @@ TEST_P(FrameMapDeviceTest, BramPositionsInsideArray) {
   for (std::size_t i = 0; i < positions.size(); ++i) {
     EXPECT_GE(positions[i], 0);
     EXPECT_LT(positions[i], d.clb_cols);
-    if (i > 0) EXPECT_GT(positions[i], positions[i - 1]);  // strictly increasing
+    if (i > 0) {
+      EXPECT_GT(positions[i], positions[i - 1]);  // strictly increasing
+    }
   }
 }
 

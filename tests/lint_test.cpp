@@ -1,0 +1,410 @@
+// pdr::lint coverage: every rule code fires on a crafted-bad input, and
+// every shipped example checks clean.
+//
+// Constraints-family rules (PDR000..PDR017) are driven from the fixture
+// files under tests/fixtures/lint/ — the same files the CI `pdrflow
+// check` job runs — so the files and the library are tested as one.
+// Floorplan, schedule and executive rules are driven from hand-built bad
+// objects: the real flow never produces them, which is the point.
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aaa/adequation.hpp"
+#include "aaa/constraints.hpp"
+#include "aaa/macrocode.hpp"
+#include "fabric/device.hpp"
+#include "lint/lint.hpp"
+#include "synth/flow.hpp"
+#include "util/error.hpp"
+
+namespace pdr::lint {
+namespace {
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+Report check_fixture(const std::string& name) {
+  return check_text(read_file(std::filesystem::path(PDR_FIXTURES_DIR) / name));
+}
+
+// ---------------------------------------------------------------- examples
+
+TEST(LintExamples, AllShippedExamplesAreClean) {
+  std::size_t seen = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(PDR_EXAMPLES_DIR)) {
+    const auto ext = entry.path().extension();
+    if (ext != ".constraints" && ext != ".project") continue;
+    ++seen;
+    const Report report = check_text(read_file(entry.path()));
+    EXPECT_TRUE(report.empty()) << entry.path() << ":\n" << report.to_text();
+  }
+  EXPECT_GE(seen, 2u) << "expected shipped .constraints/.project examples";
+}
+
+TEST(LintExamples, CaseStudyConstraintsAreClean) {
+  // The textual example stays lint-clean end to end, like `pdrflow simulate`.
+  const Report report =
+      check_text(read_file(std::filesystem::path(PDR_EXAMPLES_DIR) / "mccdma.constraints"));
+  EXPECT_TRUE(report.empty()) << report.to_text();
+}
+
+// ------------------------------------------------- constraints (fixtures)
+
+struct FixtureCase {
+  const char* file;
+  Rule rule;
+};
+
+class LintFixture : public ::testing::TestWithParam<FixtureCase> {};
+
+TEST_P(LintFixture, FiresItsRuleCode) {
+  const FixtureCase& fc = GetParam();
+  const Report report = check_fixture(fc.file);
+  EXPECT_TRUE(report.has(fc.rule))
+      << fc.file << " must fire " << rule_id(fc.rule) << "; got:\n"
+      << report.to_text();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConstraintsFamily, LintFixture,
+    ::testing::Values(
+        FixtureCase{"pdr000_parse_error.constraints", Rule::ParseError},
+        FixtureCase{"pdr000_parse_error.project", Rule::ParseError},
+        FixtureCase{"pdr001_duplicate_region.constraints", Rule::DuplicateRegion},
+        FixtureCase{"pdr002_invalid_region_width.constraints", Rule::InvalidRegionWidth},
+        FixtureCase{"pdr003_negative_region_margin.constraints", Rule::NegativeRegionMargin},
+        FixtureCase{"pdr004_duplicate_module.constraints", Rule::DuplicateModule},
+        FixtureCase{"pdr005_undeclared_region.constraints", Rule::UndeclaredRegion},
+        FixtureCase{"pdr006_missing_module_kind.constraints", Rule::MissingModuleKind},
+        FixtureCase{"pdr007_empty_region.constraints", Rule::EmptyRegion},
+        FixtureCase{"pdr008_exclusion_unknown_module.constraints",
+                    Rule::ExclusionUnknownModule},
+        FixtureCase{"pdr009_self_exclusion.constraints", Rule::SelfExclusion},
+        FixtureCase{"pdr010_duplicate_exclusion.constraints", Rule::DuplicateExclusion},
+        FixtureCase{"pdr012_relation_unknown_module.constraints",
+                    Rule::RelationUnknownModule},
+        FixtureCase{"pdr013_self_relation.constraints", Rule::SelfRelation},
+        FixtureCase{"pdr014_duplicate_relation.constraints", Rule::DuplicateRelation},
+        FixtureCase{"pdr015_contradictory_policy.constraints", Rule::ContradictoryPolicy},
+        FixtureCase{"pdr016_unknown_device.constraints", Rule::UnknownDevice},
+        FixtureCase{"pdr017_unknown_operator_kind.constraints",
+                    Rule::UnknownOperatorKind}),
+    [](const ::testing::TestParamInfo<FixtureCase>& info) {
+      std::string name = info.param.file;
+      for (char& c : name)
+        if (c == '.' || c == '/') c = '_';
+      return name;
+    });
+
+TEST(LintConstraints, ValidateReportsEveryViolationAtOnce) {
+  // Satellite: ConstraintSet::validate() throws once, listing ALL errors
+  // with their rule codes, instead of stopping at the first.
+  const std::string text = R"(
+    device XC9999
+    region D1 { width 0 }
+    dynamic qpsk { region D2 kind qpsk_mapper }
+  )";
+  try {
+    (void)aaa::parse_constraints(text);
+    FAIL() << "validate() must throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("PDR016"), std::string::npos) << what;  // unknown device
+    EXPECT_NE(what.find("PDR002"), std::string::npos) << what;  // width 0
+    EXPECT_NE(what.find("PDR005"), std::string::npos) << what;  // undeclared region
+  }
+}
+
+TEST(LintConstraints, SniffInputClassifiesBothKinds) {
+  EXPECT_EQ(sniff_input("# comment\nproject x\n"), InputKind::Project);
+  EXPECT_EQ(sniff_input("device XC2V2000\n"), InputKind::Constraints);
+  EXPECT_EQ(sniff_input(""), InputKind::Constraints);
+}
+
+TEST(LintReport, JsonExportCarriesCodesAndCounts) {
+  const Report report = check_fixture("pdr001_duplicate_region.constraints");
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"PDR001\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"errors\""), std::string::npos) << json;
+}
+
+// ------------------------------------------------------------- floorplan
+
+fabric::Region make_region(const std::string& name, int lo, int hi) {
+  fabric::Region r;
+  r.name = name;
+  r.col_lo = lo;
+  r.col_hi = hi;
+  r.reconfigurable = true;
+  return r;
+}
+
+TEST(LintFloorplan, Pdr020RegionOverlap) {
+  const auto device = fabric::device_by_name("XC2V1000");
+  const Report report =
+      check_floorplan(device, {make_region("D1", 0, 3), make_region("D2", 2, 5)});
+  EXPECT_TRUE(report.has(Rule::RegionOverlap)) << report.to_text();
+}
+
+TEST(LintFloorplan, Pdr021RegionTooNarrow) {
+  const auto device = fabric::device_by_name("XC2V1000");
+  const Report report = check_floorplan(device, {make_region("D1", 4, 4)});
+  EXPECT_TRUE(report.has(Rule::RegionTooNarrow)) << report.to_text();
+}
+
+TEST(LintFloorplan, Pdr022RegionOutOfBounds) {
+  const auto device = fabric::device_by_name("XC2V1000");
+  const Report report =
+      check_floorplan(device, {make_region("D1", device.clb_cols - 1, device.clb_cols + 2)});
+  EXPECT_TRUE(report.has(Rule::RegionOutOfBounds)) << report.to_text();
+}
+
+TEST(LintFloorplan, Pdr023BusMacroOffBoundary) {
+  const auto device = fabric::device_by_name("XC2V1000");
+  fabric::Region r = make_region("D1", 4, 7);
+  fabric::BusMacro bm;
+  bm.name = "bm_mid";
+  bm.boundary_col = 6;  // interior of the region, not an edge
+  r.bus_macros.push_back(bm);
+  const Report report = check_floorplan(device, {r});
+  EXPECT_TRUE(report.has(Rule::BusMacroOffBoundary)) << report.to_text();
+}
+
+synth::DesignBundle small_bundle() {
+  synth::ModularDesignFlow flow(fabric::device_by_name("XC2V1000"));
+  flow.add_region("D1", {synth::ModuleSpec{"qpsk", "qpsk_mapper", {}}});
+  return flow.run();
+}
+
+TEST(LintFloorplan, Pdr024VariantOverflow) {
+  synth::DesignBundle bundle = small_bundle();
+  ASSERT_TRUE(check_bundle(bundle).empty());
+  bundle.dynamic_variants.at("D1").front().usage.slices =
+      bundle.device.total_slices() + 1;
+  EXPECT_TRUE(check_bundle(bundle).has(Rule::VariantOverflow));
+}
+
+TEST(LintFloorplan, Pdr025StaticOverflow) {
+  synth::DesignBundle bundle = small_bundle();
+  synth::ModuleArtifact oversized;
+  oversized.name = "giant_static";
+  oversized.usage.slices = bundle.device.total_slices() + 1;
+  bundle.static_modules.push_back(oversized);
+  EXPECT_TRUE(check_bundle(bundle).has(Rule::StaticOverflow));
+}
+
+// -------------------------------------------------------------- schedule
+
+using aaa::ItemKind;
+using aaa::ScheduledItem;
+
+ScheduledItem item(ItemKind kind, const std::string& label, const std::string& resource,
+                   TimeNs start, TimeNs end) {
+  ScheduledItem it;
+  it.kind = kind;
+  it.label = label;
+  it.resource = resource;
+  it.start = start;
+  it.end = end;
+  return it;
+}
+
+aaa::ArchitectureGraph region_arch() {
+  aaa::ArchitectureGraph arch;
+  arch.add_operator({"CPU", aaa::OperatorKind::Processor, 1.0, "", ""});
+  arch.add_operator({"D1", aaa::OperatorKind::FpgaRegion, 1.0, "XC2V2000", "D1"});
+  arch.add_operator({"D2", aaa::OperatorKind::FpgaRegion, 1.0, "XC2V2000", "D2"});
+  return arch;
+}
+
+Report check(const aaa::Schedule& schedule, const aaa::AlgorithmGraph& algorithm,
+             const aaa::ConstraintSet* constraints = nullptr) {
+  const aaa::ArchitectureGraph arch = region_arch();
+  return check_schedule(schedule, algorithm, arch, constraints);
+}
+
+TEST(LintSchedule, Pdr040ResourceOverlap) {
+  aaa::Schedule s;
+  s.items.push_back(item(ItemKind::Compute, "a", "CPU", 0, 100));
+  s.items.push_back(item(ItemKind::Compute, "b", "CPU", 50, 150));
+  EXPECT_TRUE(check(s, {}).has(Rule::ResourceOverlap));
+}
+
+TEST(LintSchedule, Pdr041DependencyViolation) {
+  aaa::AlgorithmGraph g;
+  const auto a = g.add_sensor("a");
+  const auto b = g.add_actuator("b");
+  g.add_dependency(a, b, 0);
+  aaa::Schedule s;
+  ScheduledItem ia = item(ItemKind::Compute, "a", "CPU", 100, 200);
+  ia.op = a;
+  ScheduledItem ib = item(ItemKind::Compute, "b", "CPU", 0, 50);
+  ib.op = b;
+  s.items.push_back(ia);
+  s.items.push_back(ib);
+  EXPECT_TRUE(check(s, g).has(Rule::DependencyViolation));
+}
+
+TEST(LintSchedule, Pdr042WrongModuleLoaded) {
+  aaa::Schedule s;
+  ScheduledItem load = item(ItemKind::Reconfig, "load qpsk", "D1", 0, 100);
+  load.module = "qpsk";
+  ScheduledItem run = item(ItemKind::Compute, "mod", "D1", 200, 300);
+  run.variant = "qam16";
+  s.items.push_back(load);
+  s.items.push_back(run);
+  EXPECT_TRUE(check(s, {}).has(Rule::WrongModuleLoaded));
+}
+
+TEST(LintSchedule, Pdr043ComputeDuringReconfig) {
+  aaa::Schedule s;
+  ScheduledItem load = item(ItemKind::Reconfig, "load qpsk", "D1", 0, 100);
+  load.module = "qpsk";
+  ScheduledItem run = item(ItemKind::Compute, "mod", "D1", 50, 80);
+  run.variant = "qpsk";
+  s.items.push_back(load);
+  s.items.push_back(run);
+  EXPECT_TRUE(check(s, {}).has(Rule::ComputeDuringReconfig));
+}
+
+TEST(LintSchedule, Pdr044ExclusionOverlap) {
+  aaa::ConstraintSet constraints;
+  constraints.exclusions.emplace_back("qpsk", "qam16");
+  aaa::Schedule s;
+  ScheduledItem l1 = item(ItemKind::Reconfig, "load qpsk", "D1", 0, 10);
+  l1.module = "qpsk";
+  ScheduledItem l2 = item(ItemKind::Reconfig, "load qam16", "D2", 20, 30);
+  l2.module = "qam16";
+  s.items.push_back(l1);
+  s.items.push_back(l2);
+  s.makespan = 100;  // both stay resident to the end
+  EXPECT_TRUE(check(s, {}, &constraints).has(Rule::ExclusionOverlap));
+}
+
+TEST(LintSchedule, Pdr045PrefetchIntoBusyRegion) {
+  aaa::Schedule s;
+  ScheduledItem run = item(ItemKind::Compute, "mod", "D1", 0, 100);
+  run.variant = "qpsk";
+  ScheduledItem load = item(ItemKind::Reconfig, "load qam16", "D1", 50, 150);
+  load.module = "qam16";
+  s.items.push_back(run);
+  s.items.push_back(load);
+  EXPECT_TRUE(check(s, {}).has(Rule::PrefetchIntoBusyRegion));
+}
+
+TEST(LintSchedule, Pdr046PortOverlap) {
+  aaa::Schedule s;
+  ScheduledItem l1 = item(ItemKind::Reconfig, "load qpsk", "D1", 0, 100);
+  l1.module = "qpsk";
+  ScheduledItem l2 = item(ItemKind::Reconfig, "load qam16", "D2", 50, 150);
+  l2.module = "qam16";
+  s.items.push_back(l1);
+  s.items.push_back(l2);
+  EXPECT_TRUE(check(s, {}).has(Rule::PortOverlap));
+}
+
+TEST(LintSchedule, Pdr047NegativeDuration) {
+  aaa::Schedule s;
+  s.items.push_back(item(ItemKind::Compute, "a", "CPU", 100, 50));
+  EXPECT_TRUE(check(s, {}).has(Rule::NegativeDuration));
+}
+
+TEST(LintSchedule, CleanScheduleHasNoDiagnostics) {
+  aaa::Schedule s;
+  ScheduledItem load = item(ItemKind::Reconfig, "load qpsk", "D1", 0, 100);
+  load.module = "qpsk";
+  ScheduledItem run = item(ItemKind::Compute, "mod", "D1", 100, 200);
+  run.variant = "qpsk";
+  s.items.push_back(load);
+  s.items.push_back(run);
+  s.makespan = 200;
+  const Report report = check(s, {});
+  EXPECT_TRUE(report.empty()) << report.to_text();
+}
+
+// ------------------------------------------------------------- executive
+
+aaa::MacroInstr instr(aaa::MacroOp op, const std::string& what, const std::string& with,
+                      TimeNs at) {
+  aaa::MacroInstr mi;
+  mi.op = op;
+  mi.what = what;
+  mi.with = with;
+  mi.at = at;
+  return mi;
+}
+
+TEST(LintExecutive, Pdr060SendWithoutRecv) {
+  aaa::Executive e;
+  e.programs.push_back({"CPU", false, {instr(aaa::MacroOp::Send, "buf", "BUS", 0)}});
+  EXPECT_TRUE(check_executive(e).has(Rule::SendWithoutRecv));
+}
+
+TEST(LintExecutive, Pdr061RecvWithoutSend) {
+  aaa::Executive e;
+  e.programs.push_back({"F1", false, {instr(aaa::MacroOp::Recv, "buf", "BUS", 0)}});
+  EXPECT_TRUE(check_executive(e).has(Rule::RecvWithoutSend));
+}
+
+TEST(LintExecutive, Pdr062OrphanMove) {
+  aaa::Executive e;
+  e.programs.push_back({"BUS", true, {instr(aaa::MacroOp::Move, "ghost", "CPU", 0)}});
+  const Report report = check_executive(e);
+  EXPECT_TRUE(report.has(Rule::OrphanMove));
+  EXPECT_EQ(report.errors(), 0u) << report.to_text();  // a warning, not an error
+}
+
+TEST(LintExecutive, Pdr063SyncCycle) {
+  // A waits for x before sending y; B waits for y before sending x.
+  aaa::Executive e;
+  e.programs.push_back({"A",
+                        false,
+                        {instr(aaa::MacroOp::Recv, "x", "BUS", 0),
+                         instr(aaa::MacroOp::Send, "y", "BUS", 0)}});
+  e.programs.push_back({"B",
+                        false,
+                        {instr(aaa::MacroOp::Recv, "y", "BUS", 0),
+                         instr(aaa::MacroOp::Send, "x", "BUS", 0)}});
+  EXPECT_TRUE(check_executive(e).has(Rule::SyncCycle));
+}
+
+TEST(LintExecutive, Pdr064RecvBeforeSend) {
+  aaa::Executive e;
+  e.programs.push_back({"A", false, {instr(aaa::MacroOp::Recv, "x", "BUS", 0)}});
+  e.programs.push_back({"B", false, {instr(aaa::MacroOp::Send, "x", "BUS", 10)}});
+  EXPECT_TRUE(check_executive(e).has(Rule::RecvBeforeSend));
+}
+
+TEST(LintExecutive, Pdr065BufferOverwrite) {
+  aaa::Executive e;
+  e.programs.push_back({"A",
+                        false,
+                        {instr(aaa::MacroOp::Send, "x", "BUS", 0),
+                         instr(aaa::MacroOp::Send, "x", "BUS", 5)}});
+  e.programs.push_back({"B",
+                        false,
+                        {instr(aaa::MacroOp::Recv, "x", "BUS", 10),
+                         instr(aaa::MacroOp::Recv, "x", "BUS", 20)}});
+  EXPECT_TRUE(check_executive(e).has(Rule::BufferOverwrite));
+}
+
+TEST(LintExecutive, CleanHandshakeHasNoDiagnostics) {
+  aaa::Executive e;
+  e.programs.push_back({"A", false, {instr(aaa::MacroOp::Send, "x", "BUS", 0)}});
+  e.programs.push_back({"B", false, {instr(aaa::MacroOp::Recv, "x", "BUS", 10)}});
+  const Report report = check_executive(e);
+  EXPECT_TRUE(report.empty()) << report.to_text();
+}
+
+}  // namespace
+}  // namespace pdr::lint

@@ -4,6 +4,9 @@
 //   pdrflow build <constraints-file> [--out DIR]
 //       Parse a constraints file, run the Modular Design flow and write
 //       floorplan report + partial bitstreams (+ blank bitstreams).
+//   pdrflow check <constraints-or-project-file> [--json] [--werror]
+//       Run the static design-rule checker (pdr::lint) and print the
+//       diagnostics; exits 1 if any error (or, with --werror, warning).
 //   pdrflow inspect <bitstream.bit> --device NAME
 //       Validate a bitstream and print its packet structure.
 //   pdrflow devices
@@ -16,11 +19,17 @@
 // `build`, `adequation` and `simulate` accept `--trace-out FILE`
 // (Chrome trace-event JSON, open in https://ui.perfetto.dev) and
 // `--metrics-out FILE` (metrics registry JSON dump).
+//
+// Unknown commands and flags are hard errors: a typo like `--prefech`
+// aborts with the list of valid flags instead of being silently ignored.
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <initializer_list>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -31,6 +40,7 @@
 #include "aaa/macrocode.hpp"
 #include "aaa/project_io.hpp"
 #include "fabric/bitstream.hpp"
+#include "lint/lint.hpp"
 #include "mccdma/case_study.hpp"
 #include "mccdma/system.hpp"
 #include "obs/metrics.hpp"
@@ -49,6 +59,7 @@ int usage() {
   std::fputs(
       "usage:\n"
       "  pdrflow build <constraints-file> [--out DIR]\n"
+      "  pdrflow check <constraints-or-project-file> [--json] [--werror]\n"
       "  pdrflow inspect <bitstream.bit> --device NAME\n"
       "  pdrflow latency <constraints-file> [--bandwidth BYTES_PER_S]\n"
       "  pdrflow adequation <project-file> [--no-prefetch] [--reconfig-ms N]\n"
@@ -60,9 +71,102 @@ int usage() {
   return 2;
 }
 
+/// Throws a pdr::Error whose message is printed verbatim (after one
+/// "pdrflow: " prefix) by main's catch block.
+[[noreturn]] void fail(const std::string& message) { throw Error(message); }
+
+/// One flag a command accepts.
+struct FlagSpec {
+  const char* name;      ///< "--out"
+  bool takes_value;      ///< consumes the following argv entry
+};
+
+/// Strict argument parser: every `--flag` must be declared in the
+/// command's spec (unknown flags and missing values are errors, not
+/// silently skipped), everything else is a positional.
+class Args {
+ public:
+  Args(const char* command, int argc, char** argv, std::initializer_list<FlagSpec> specs,
+       std::size_t positionals_required)
+      : command_(command), specs_(specs) {
+    for (int i = 0; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positionals_.push_back(arg);
+        continue;
+      }
+      const FlagSpec* spec = nullptr;
+      for (const FlagSpec& s : specs_)
+        if (arg == s.name) spec = &s;
+      if (spec == nullptr)
+        fail("unknown flag '" + arg + "' for '" + command_ + "'" + valid_flags());
+      if (spec->takes_value) {
+        if (i + 1 >= argc)
+          fail(std::string("flag '") + spec->name + "' needs a value");
+        values_.emplace_back(spec->name, argv[++i]);
+      } else {
+        values_.emplace_back(spec->name, "");
+      }
+    }
+    if (positionals_.size() != positionals_required)
+      fail(strprintf("'%s' takes %zu positional argument(s), got %zu", command_.c_str(),
+                     positionals_required, positionals_.size()));
+  }
+
+  bool has(const char* name) const { return find(name) != nullptr; }
+
+  /// Value of a value-taking flag, or nullptr if absent.
+  const std::string* value(const char* name) const { return find(name); }
+
+  const std::string& positional(std::size_t i) const { return positionals_.at(i); }
+
+  /// Strictly-parsed unsigned integer flag ("12abc" is an error, not 12).
+  std::uint64_t uint_or(const char* name, std::uint64_t fallback) const {
+    const std::string* v = find(name);
+    if (v == nullptr) return fallback;
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long parsed = std::strtoull(v->c_str(), &end, 10);
+    if (errno != 0 || end == v->c_str() || *end != '\0')
+      fail(std::string("flag '") + name + "' needs an unsigned integer, got '" + *v + "'");
+    return parsed;
+  }
+
+  /// Strictly-parsed floating-point flag.
+  double double_or(const char* name, double fallback) const {
+    const std::string* v = find(name);
+    if (v == nullptr) return fallback;
+    char* end = nullptr;
+    errno = 0;
+    const double parsed = std::strtod(v->c_str(), &end);
+    if (errno != 0 || end == v->c_str() || *end != '\0')
+      fail(std::string("flag '") + name + "' needs a number, got '" + *v + "'");
+    return parsed;
+  }
+
+ private:
+  const std::string* find(const char* name) const {
+    for (const auto& [flag, value] : values_)
+      if (flag == name) return &value;
+    return nullptr;
+  }
+
+  std::string valid_flags() const {
+    if (specs_.size() == 0) return "; it takes no flags";
+    std::string out = "; valid flags:";
+    for (const FlagSpec& s : specs_) out += std::string(" ") + s.name;
+    return out;
+  }
+
+  std::string command_;
+  std::vector<FlagSpec> specs_;
+  std::vector<std::string> positionals_;
+  std::vector<std::pair<std::string, std::string>> values_;
+};
+
 std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  PDR_CHECK(in.good(), "pdrflow", "cannot open '" + path + "'");
+  if (!in.good()) fail("cannot open '" + path + "'");
   std::ostringstream ss;
   ss << in.rdbuf();
   return ss.str();
@@ -74,27 +178,38 @@ void write_file(const std::filesystem::path& path, std::span<const std::uint8_t>
   std::printf("  wrote %-40s (%s)\n", path.c_str(), human_bytes(data.size()).c_str());
 }
 
-const char* find_flag(int argc, char** argv, const char* flag) {
-  for (int i = 0; i + 1 < argc; ++i)
-    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
-  return nullptr;
-}
-
 /// Writes the tracer/metrics to the paths given by --trace-out /
 /// --metrics-out, if present.
-void write_observability(int argc, char** argv, const obs::Tracer& tracer,
+void write_observability(const Args& args, const obs::Tracer& tracer,
                          const obs::MetricsRegistry& metrics) {
-  if (const char* path = find_flag(argc, argv, "--trace-out")) {
-    tracer.write_chrome_json(path);
-    std::printf("  wrote trace with %zu events to %s\n", tracer.size(), path);
+  if (const std::string* path = args.value("--trace-out")) {
+    tracer.write_chrome_json(*path);
+    std::printf("  wrote trace with %zu events to %s\n", tracer.size(), path->c_str());
   }
-  if (const char* path = find_flag(argc, argv, "--metrics-out")) {
-    metrics.write_json(path);
-    std::printf("  wrote %zu metrics to %s\n", metrics.names().size(), path);
+  if (const std::string* path = args.value("--metrics-out")) {
+    metrics.write_json(*path);
+    std::printf("  wrote %zu metrics to %s\n", metrics.names().size(), path->c_str());
   }
 }
 
-int cmd_devices() {
+/// Prints a lint report (if non-empty) and returns true when it should
+/// abort the command (any error).
+bool report_blocks(const lint::Report& report, const char* what) {
+  if (!report.empty()) std::fputs(report.to_text().c_str(), stderr);
+  if (report.errors() == 0) return false;
+  std::fprintf(stderr, "pdrflow: %s failed the design-rule check\n", what);
+  return true;
+}
+
+aaa::PrefetchChoice parse_prefetch_flag(const std::string& s) {
+  if (s == "none") return aaa::PrefetchChoice::None;
+  if (s == "schedule") return aaa::PrefetchChoice::Schedule;
+  if (s == "history") return aaa::PrefetchChoice::History;
+  fail("flag '--prefetch' must be none|schedule|history, got '" + s + "'");
+}
+
+int cmd_devices(int argc, char** argv) {
+  const Args args("devices", argc, argv, {}, 0);
   Table t({"device", "CLB array", "slices", "BRAM18", "MULT18", "frame bytes", "full bitstream"});
   for (const char* name : {"XC2V1000", "XC2V2000", "XC2V3000", "XC2V6000"}) {
     const fabric::DeviceModel d = fabric::device_by_name(name);
@@ -111,11 +226,31 @@ int cmd_devices() {
   return 0;
 }
 
+int cmd_check(int argc, char** argv) {
+  const Args args("check", argc, argv, {{"--json", false}, {"--werror", false}}, 1);
+  const lint::Report report = lint::check_text(read_file(args.positional(0)));
+  if (args.has("--json")) {
+    std::fputs(report.to_json().c_str(), stdout);
+  } else if (report.empty()) {
+    std::printf("%s: clean (0 diagnostics)\n", args.positional(0).c_str());
+  } else {
+    std::fputs(report.to_text().c_str(), stdout);
+  }
+  const bool failing = report.errors() > 0 || (args.has("--werror") && report.warnings() > 0);
+  return failing ? 1 : 0;
+}
+
 int cmd_build(int argc, char** argv) {
-  if (argc < 1) return usage();
-  const aaa::ConstraintSet constraints = aaa::parse_constraints(read_file(argv[0]));
-  const char* out_flag = find_flag(argc, argv, "--out");
-  const std::filesystem::path out_dir = out_flag ? out_flag : "pdrflow_out";
+  const Args args("build", argc, argv,
+                  {{"--out", true}, {"--trace-out", true}, {"--metrics-out", true}}, 1);
+  // Cheap constraint rules run first so a broken file reports every
+  // violation (not just the first) before the flow spends time on it.
+  const aaa::ConstraintSet constraints =
+      aaa::parse_constraints(read_file(args.positional(0)), /*validate=*/false);
+  if (report_blocks(lint::check_constraints(constraints), "constraints file")) return 1;
+
+  const std::string* out_flag = args.value("--out");
+  const std::filesystem::path out_dir = out_flag ? *out_flag : "pdrflow_out";
   std::filesystem::create_directories(out_dir);
 
   obs::Tracer tracer;
@@ -139,17 +274,17 @@ int cmd_build(int argc, char** argv) {
   }
   t.print();
   write_file(out_dir / "initial_full.bit", bundle.initial_bitstream);
-  write_observability(argc, argv, tracer, metrics);
+  write_observability(args, tracer, metrics);
   return 0;
 }
 
 int cmd_inspect(int argc, char** argv) {
-  if (argc < 1) return usage();
-  const char* device_name = find_flag(argc, argv, "--device");
-  if (device_name == nullptr) return usage();
-  const fabric::DeviceModel device = fabric::device_by_name(device_name);
+  const Args args("inspect", argc, argv, {{"--device", true}}, 1);
+  const std::string* device_name = args.value("--device");
+  if (device_name == nullptr) fail("'inspect' requires --device NAME");
+  const fabric::DeviceModel device = fabric::device_by_name(*device_name);
 
-  const std::string blob = read_file(argv[0]);
+  const std::string blob = read_file(args.positional(0));
   const std::vector<std::uint8_t> stream(blob.begin(), blob.end());
   std::puts(fabric::describe_bitstream(device, stream).c_str());
 
@@ -175,10 +310,9 @@ int cmd_inspect(int argc, char** argv) {
 }
 
 int cmd_latency(int argc, char** argv) {
-  if (argc < 1) return usage();
-  const aaa::ConstraintSet constraints = aaa::parse_constraints(read_file(argv[0]));
-  const char* bw_flag = find_flag(argc, argv, "--bandwidth");
-  const double bandwidth = bw_flag ? std::stod(bw_flag) : mccdma::kCaseStudyStoreBandwidth;
+  const Args args("latency", argc, argv, {{"--bandwidth", true}}, 1);
+  const aaa::ConstraintSet constraints = aaa::parse_constraints(read_file(args.positional(0)));
+  const double bandwidth = args.double_or("--bandwidth", mccdma::kCaseStudyStoreBandwidth);
 
   const synth::DesignBundle bundle = mccdma::run_flow_from_constraints(constraints, {});
   rtr::BitstreamStore store(bandwidth, mccdma::kCaseStudyStoreLatency);
@@ -208,29 +342,38 @@ int cmd_latency(int argc, char** argv) {
 }
 
 int cmd_adequation(int argc, char** argv) {
-  if (argc < 1) return usage();
-  const aaa::Project project = aaa::parse_project(read_file(argv[0]));
+  const Args args("adequation", argc, argv,
+                  {{"--no-prefetch", false},
+                   {"--reconfig-ms", true},
+                   {"--trace-out", true},
+                   {"--metrics-out", true}},
+                  1);
+  const aaa::Project project = aaa::parse_project(read_file(args.positional(0)));
 
   aaa::Adequation adequation(project.algorithm, project.architecture, project.durations);
-  const char* ms_flag = find_flag(argc, argv, "--reconfig-ms");
-  const TimeNs reconfig = ms_flag ? static_cast<TimeNs>(std::stod(ms_flag) * 1e6) : 4'000'000;
+  const TimeNs reconfig = static_cast<TimeNs>(args.double_or("--reconfig-ms", 4.0) * 1e6);
   adequation.set_reconfig_cost(
       [reconfig](const std::string&, const std::string&) { return reconfig; });
 
   aaa::AdequationOptions options;
-  for (int i = 0; i < argc; ++i)
-    if (std::strcmp(argv[i], "--no-prefetch") == 0) options.prefetch = false;
+  if (args.has("--no-prefetch")) options.prefetch = false;
 
   const aaa::Schedule schedule = adequation.run(options);
-  aaa::validate_schedule(schedule, project.algorithm, project.architecture);
+  const aaa::Executive executive =
+      aaa::generate_executive(schedule, project.algorithm, project.architecture);
+
+  // The schedule and executive rule families are cheap; run them before
+  // printing anything so a hazardous schedule never looks authoritative.
+  lint::Report report = lint::check_schedule(schedule, project.algorithm, project.architecture);
+  report.merge(lint::check_executive(executive));
+  if (report_blocks(report, "schedule/executive")) return 1;
+
   std::printf("project '%s': %zu operations on %zu operators\n\n", project.name.c_str(),
               project.algorithm.size(), project.architecture.operators().size());
   std::fputs(schedule.to_string().c_str(), stdout);
   std::puts("");
   std::fputs(schedule.gantt().c_str(), stdout);
   std::puts("\nsynchronized executive:");
-  const aaa::Executive executive =
-      aaa::generate_executive(schedule, project.algorithm, project.architecture);
   std::fputs(executive.to_string().c_str(), stdout);
 
   obs::Tracer tracer;
@@ -239,31 +382,38 @@ int cmd_adequation(int argc, char** argv) {
   metrics.counter("adequation.reconfigs").add(schedule.reconfig_count);
   metrics.gauge("adequation.makespan_ns").set(static_cast<double>(schedule.makespan));
   metrics.gauge("adequation.reconfig_exposed_ns").set(static_cast<double>(schedule.reconfig_exposed));
-  write_observability(argc, argv, tracer, metrics);
+  write_observability(args, tracer, metrics);
   return 0;
 }
 
 int cmd_simulate(int argc, char** argv) {
-  const char* symbols_flag = find_flag(argc, argv, "--symbols");
-  const std::size_t n_symbols = symbols_flag ? std::stoul(symbols_flag) : 4096;
+  const Args args("simulate", argc, argv,
+                  {{"--symbols", true},
+                   {"--seed", true},
+                   {"--prefetch", true},
+                   {"--cache", true},
+                   {"--scrub-ms", true},
+                   {"--trace-out", true},
+                   {"--metrics-out", true}},
+                  0);
+  const std::size_t n_symbols = static_cast<std::size_t>(args.uint_or("--symbols", 4096));
+
+  // The case study's own constraints pass through the linter first — the
+  // cheap rule families guard every simulation entry point.
+  const aaa::ConstraintSet case_constraints =
+      aaa::parse_constraints(mccdma::case_study_constraints_text(), /*validate=*/false);
+  if (report_blocks(lint::check_constraints(case_constraints), "case-study constraints"))
+    return 1;
 
   mccdma::SystemConfig config;
   config.manager = rtr::sundance_manager_config();
-  if (const char* seed = find_flag(argc, argv, "--seed")) config.seed = std::stoull(seed);
-  if (const char* cache = find_flag(argc, argv, "--cache"))
-    config.manager.cache_capacity = static_cast<Bytes>(std::stoull(cache));
-  if (const char* scrub = find_flag(argc, argv, "--scrub-ms"))
-    config.scrub_period = static_cast<TimeNs>(std::stod(scrub) * 1e6);
-  if (const char* prefetch = find_flag(argc, argv, "--prefetch")) {
-    if (std::strcmp(prefetch, "none") == 0)
-      config.prefetch = aaa::PrefetchChoice::None;
-    else if (std::strcmp(prefetch, "schedule") == 0)
-      config.prefetch = aaa::PrefetchChoice::Schedule;
-    else if (std::strcmp(prefetch, "history") == 0)
-      config.prefetch = aaa::PrefetchChoice::History;
-    else
-      return usage();
-  }
+  config.seed = args.uint_or("--seed", config.seed);
+  if (args.has("--cache"))
+    config.manager.cache_capacity = static_cast<Bytes>(args.uint_or("--cache", 0));
+  if (args.has("--scrub-ms"))
+    config.scrub_period = static_cast<TimeNs>(args.double_or("--scrub-ms", 0.0) * 1e6);
+  if (const std::string* prefetch = args.value("--prefetch"))
+    config.prefetch = parse_prefetch_flag(*prefetch);
 
   obs::Tracer tracer;
   obs::MetricsRegistry metrics;
@@ -302,7 +452,7 @@ int cmd_simulate(int argc, char** argv) {
   mt.row().add("bytes loaded").add(human_bytes(m.bytes_loaded));
   mt.print();
 
-  write_observability(argc, argv, tracer, metrics);
+  write_observability(args, tracer, metrics);
   return 0;
 }
 
@@ -312,8 +462,9 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
-    if (cmd == "devices") return cmd_devices();
+    if (cmd == "devices") return cmd_devices(argc - 2, argv + 2);
     if (cmd == "build") return cmd_build(argc - 2, argv + 2);
+    if (cmd == "check") return cmd_check(argc - 2, argv + 2);
     if (cmd == "inspect") return cmd_inspect(argc - 2, argv + 2);
     if (cmd == "latency") return cmd_latency(argc - 2, argv + 2);
     if (cmd == "adequation") return cmd_adequation(argc - 2, argv + 2);
@@ -322,5 +473,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "pdrflow: %s\n", e.what());
     return 1;
   }
+  std::fprintf(stderr, "pdrflow: unknown command '%s'\n", cmd.c_str());
   return usage();
 }
