@@ -8,16 +8,19 @@
 //   - mean time to repair vs. scrub period, under a Poisson SEU process,
 //   - the port-time tax scrubbing levies on the transmitter,
 //   - readback-verification cost.
+//
+// The sweep runs on the fault-injection framework (src/fault): each row
+// is one seeded campaign — same spec + seed = bit-identical results.
 
 #include <benchmark/benchmark.h>
 
-#include <cmath>
 #include <cstdio>
 
 #include "bench_obs.hpp"
+#include "fault/campaign.hpp"
+#include "fault/fault_spec.hpp"
 #include "mccdma/case_study.hpp"
 #include "rtr/manager.hpp"
-#include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -32,84 +35,42 @@ const mccdma::CaseStudy& case_study() {
   return cs;
 }
 
-struct ScrubResult {
-  double mean_exposure_ms = 0;  ///< mean time a corrupted frame stays corrupted
-  double port_busy_fraction = 0;
-  int seus = 0;
-  int scrubs = 0;
-};
+/// One scrub-period campaign: Poisson SEUs on D1, no demand traffic, no
+/// port/fetch faults — isolates the scrubbing trade-off.
+fault::CampaignReport run_scrub_campaign(TimeNs period, double seu_rate_hz, TimeNs horizon,
+                                         std::uint64_t seed, benchutil::ObsSinks* sinks) {
+  fault::FaultSpec spec;
+  spec.seed = seed;
+  spec.horizon = horizon;
+  spec.seus.push_back(fault::SeuProcess{"D1", seu_rate_hz});
 
-/// Simulates `horizon` of run time with SEUs arriving as a Poisson
-/// process (`seu_rate_hz`) and periodic scrubbing every `period` (0 = no
-/// scrubbing; exposure then runs to the horizon).
-ScrubResult simulate(TimeNs period, double seu_rate_hz, TimeNs horizon, std::uint64_t seed,
-                     benchutil::ObsSinks* sinks = nullptr) {
+  fault::CampaignConfig config;
+  config.manager = rtr::sundance_manager_config();
+  config.recovery = false;   // pure scrub measurement: no retry/fallback/drain
+  config.scrub_period = period;
+  config.demand_period = 0;  // no adaptive-modulation traffic
+
   const auto& cs = case_study();
   rtr::BitstreamStore store = mccdma::make_case_study_store();
-  rtr::NonePrefetch policy;
-  rtr::ReconfigManager manager(cs.bundle, rtr::sundance_manager_config(), store, policy);
-  if (sinks != nullptr) manager.set_observability(&sinks->tracer, &sinks->metrics);
-  manager.set_resident("D1", "qpsk");
-  const auto frames = cs.bundle.floorplan.region_frames("D1");
-
-  Rng rng(seed);
-  ScrubResult result;
-  TimeNs scrub_busy = 0;
-  double exposure_ms = 0;
-
-  // Event-stepped loop: next SEU vs next scrub tick.
-  TimeNs now = 0;
-  TimeNs next_scrub = period > 0 ? period : horizon + 1;
-  // Exponential inter-arrival times.
-  auto next_interval = [&]() {
-    return static_cast<TimeNs>(-std::log(1.0 - rng.uniform01()) / seu_rate_hz * 1e9);
-  };
-  TimeNs next_seu = next_interval();
-  std::vector<TimeNs> pending_corruptions;  // times of unrepaired SEUs
-
-  while (now < horizon) {
-    if (next_seu <= next_scrub) {
-      now = next_seu;
-      if (now >= horizon) break;
-      const auto& addr = frames[static_cast<std::size_t>(
-          rng.uniform_int(0, static_cast<std::int64_t>(frames.size()) - 1))];
-      const_cast<fabric::ConfigMemory&>(manager.memory())
-          .flip_bit(addr, static_cast<int>(rng.uniform_int(0, 100)),
-                    static_cast<int>(rng.uniform_int(0, 7)));
-      pending_corruptions.push_back(now);
-      ++result.seus;
-      next_seu = now + next_interval();
-    } else {
-      now = next_scrub;
-      if (now >= horizon) break;
-      const TimeNs done = manager.scrub("D1", now);
-      scrub_busy += done - now;
-      for (const TimeNs t : pending_corruptions) exposure_ms += to_ms(done - t);
-      pending_corruptions.clear();
-      next_scrub = now + period;
-    }
-  }
-  // Unrepaired corruption at the horizon counts as exposed until then.
-  for (const TimeNs t : pending_corruptions) exposure_ms += to_ms(horizon - t);
-
-  result.mean_exposure_ms = result.seus > 0 ? exposure_ms / result.seus : 0.0;
-  result.port_busy_fraction = static_cast<double>(scrub_busy) / static_cast<double>(horizon);
-  result.scrubs = manager.stats().scrubs;
-  return result;
+  return fault::run_campaign(cs.bundle, store, spec, config,
+                             sinks != nullptr ? &sinks->tracer : nullptr,
+                             sinks != nullptr ? &sinks->metrics : nullptr);
 }
 
 void print_scrub_table(benchutil::ObsSinks* sinks) {
   std::puts("=== scrub period vs. SEU exposure (Poisson SEUs at 50/s, 2 s run) ===");
   std::puts("(exaggerated upset rate so one run shows the trade-off)\n");
-  Table t({"scrub period (ms)", "scrubs", "SEUs", "mean exposure (ms)", "port busy (%)"});
+  Table t({"scrub period (ms)", "scrubs", "SEUs", "frames repaired", "mean exposure (ms)",
+           "port busy (%)"});
   const TimeNs horizon = 2_s;
   for (TimeNs period : {TimeNs{0}, 500_ms, 200_ms, 100_ms, 50_ms, 20_ms}) {
-    const ScrubResult r = simulate(period, 50.0, horizon, 42, sinks);
+    const fault::CampaignReport r = run_scrub_campaign(period, 50.0, horizon, 42, sinks);
     t.row()
         .add(period == 0 ? std::string("off") : strprintf("%.0f", to_ms(period)))
-        .add(r.scrubs)
-        .add(r.seus)
-        .add(r.mean_exposure_ms, 1)
+        .add(r.scrub.scrubs)
+        .add(r.seus_injected)
+        .add(r.scrub.frames_repaired)
+        .add(r.mean_seu_exposure_ms, 1)
         .add(100.0 * r.port_busy_fraction, 2);
   }
   t.print();
@@ -127,7 +88,7 @@ void print_verify_cost() {
   printf("region D1 clean frames check: %d corrupted (expect 0)\n",
          manager.verify_resident("D1"));
   const auto frames = cs.bundle.floorplan.region_frames("D1");
-  const_cast<fabric::ConfigMemory&>(manager.memory()).flip_bit(frames[7], 3, 1);
+  manager.memory().flip_bit(frames[7], 3, 1);
   printf("after one injected SEU:      %d corrupted (expect 1)\n\n",
          manager.verify_resident("D1"));
 }
@@ -152,6 +113,24 @@ void BM_Scrub(benchmark::State& state) {
   for (auto _ : state) now = manager.scrub("D1", now);
 }
 BENCHMARK(BM_Scrub)->Unit(benchmark::kMicrosecond);
+
+/// One full fault campaign per iteration — the end-to-end cost of the
+/// injection + recovery machinery itself.
+void BM_FaultCampaign(benchmark::State& state) {
+  fault::FaultSpec spec;
+  spec.seed = 7;
+  spec.horizon = 100_ms;
+  spec.seus.push_back(fault::SeuProcess{"D1", 200.0});
+  spec.port_abort_prob = 0.05;
+  fault::CampaignConfig config;
+  config.manager = rtr::sundance_manager_config();
+  const auto& cs = case_study();
+  for (auto _ : state) {
+    rtr::BitstreamStore store = mccdma::make_case_study_store();
+    benchmark::DoNotOptimize(fault::run_campaign(cs.bundle, store, spec, config));
+  }
+}
+BENCHMARK(BM_FaultCampaign)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

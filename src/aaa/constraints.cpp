@@ -198,6 +198,9 @@ class Parser {
         r.width = (v == "auto") ? -1 : parse_int(v);
       } else if (key == "margin") {
         r.margin = parse_int(next("margin <cols>"));
+      } else if (key == "seu_budget") {
+        r.seu_budget_ms = parse_int(next("seu_budget <ms>"));
+        fail_unless(r.seu_budget_ms > 0, "seu_budget must be positive");
       } else {
         fail("unknown region attribute '" + key + "'");
       }
@@ -266,6 +269,7 @@ std::string write_constraints(const ConstraintSet& set) {
     out += "\nregion " + r.name + " {\n";
     out += "  width " + (r.width == -1 ? std::string("auto") : std::to_string(r.width)) + "\n";
     if (r.margin != 0) out += "  margin " + std::to_string(r.margin) + "\n";
+    if (r.seu_budget_ms >= 0) out += "  seu_budget " + std::to_string(r.seu_budget_ms) + "\n";
     out += "}\n";
   }
   for (const auto& m : set.modules) {

@@ -55,6 +55,10 @@ struct RegionConstraint {
   std::string name;
   int width = -1;  ///< CLB columns; -1 = auto (sized from widest variant)
   int margin = 0;  ///< extra CLB columns beyond the widest variant
+  /// SEU-exposure budget in ms: the longest the region may go without a
+  /// rewrite (scrub or reconfiguration) in its radiation environment;
+  /// -1 = no budget. Checked against schedules by lint rule PDR048.
+  int seu_budget_ms = -1;
 };
 
 /// Declaration of one dynamic module (a region variant).

@@ -34,6 +34,7 @@ void ConfigMemory::flip_bit(const FrameAddress& addr, int byte_index, int bit) {
   PDR_CHECK(bit >= 0 && bit < 8, "ConfigMemory::flip_bit", "bit index out of range");
   const auto i = static_cast<std::size_t>(map_.linear_index(addr));
   frames_[i][static_cast<std::size_t>(byte_index)] ^= static_cast<std::uint8_t>(1u << bit);
+  ++upsets_;
 }
 
 bool ConfigMemory::region_owned_by(std::span<const FrameAddress> addrs, const std::string& tag) const {

@@ -44,8 +44,12 @@ class ConfigMemory : public BitstreamReader::Sink {
 
   /// Flips one bit of a stored frame — a single-event upset (SEU) model
   /// for scrubbing experiments. The owner tag is unchanged: corruption is
-  /// invisible to bookkeeping, only to payload verification.
+  /// invisible to bookkeeping, only to payload verification. Throws
+  /// pdr::Error on an invalid address, byte_index or bit.
   void flip_bit(const FrameAddress& addr, int byte_index, int bit);
+
+  /// Number of bits ever flipped through flip_bit().
+  int upsets() const { return upsets_; }
 
  private:
   DeviceModel device_;
@@ -54,6 +58,7 @@ class ConfigMemory : public BitstreamReader::Sink {
   std::vector<std::string> owners_;
   std::string writer_tag_;
   int frames_written_ = 0;
+  int upsets_ = 0;
 };
 
 }  // namespace pdr::fabric

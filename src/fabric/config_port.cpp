@@ -1,6 +1,9 @@
 #include "fabric/config_port.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
+#include "util/strings.hpp"
 
 namespace pdr::fabric {
 
@@ -39,7 +42,43 @@ double ConfigPort::bandwidth_bytes_per_s() const {
   return timing_.clock_hz * static_cast<double>(timing_.width_bits) / 8.0;
 }
 
+void ConfigPort::abort_load(std::span<const std::uint8_t> stream, const std::string& module_tag,
+                            double fraction) {
+  // Cut on a word boundary strictly inside the stream: at least one word
+  // goes through (the port accepted the sync sequence before dying), and
+  // the DESYNC word never arrives, so the parse below always throws.
+  const std::size_t words = stream.size() / 4;
+  const std::size_t keep =
+      std::clamp<std::size_t>(static_cast<std::size_t>(fraction * static_cast<double>(words)), 1,
+                              words - 1);
+  const auto prefix = stream.first(keep * 4);
+
+  memory_.set_writer_tag(module_tag);
+  BitstreamReader reader(memory_.device(), memory_);
+  const int frames_before = memory_.frames_written();
+  try {
+    reader.parse(prefix);
+  } catch (const Error&) {
+    // Expected: a truncated stream cannot end cleanly. The frames fed
+    // before the cut are already committed to configuration memory.
+  }
+
+  ++loads_;
+  ++aborted_loads_;
+  total_busy_ += transfer_time(prefix.size());
+  total_bytes_ += prefix.size();
+  raise("ConfigPort",
+        strprintf("load of '%s' aborted after %zu of %zu bytes (%d frames committed)",
+                  module_tag.c_str(), prefix.size(), stream.size(),
+                  memory_.frames_written() - frames_before));
+}
+
 LoadReport ConfigPort::load(std::span<const std::uint8_t> stream, const std::string& module_tag) {
+  if (fault_hook_) {
+    const double fraction = fault_hook_(stream.size(), module_tag);
+    if (fraction > 0.0 && fraction < 1.0 && stream.size() / 4 > 1)
+      abort_load(stream, module_tag, fraction);
+  }
   memory_.set_writer_tag(module_tag);
   BitstreamReader reader(memory_.device(), memory_);
   const ParseResult parsed = reader.parse(stream);

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 
@@ -65,16 +66,31 @@ class ConfigPort {
   /// (exactly like real hardware after an aborted load).
   LoadReport load(std::span<const std::uint8_t> stream, const std::string& module_tag);
 
+  /// Fault hook consulted at the start of every load: return a value in
+  /// (0, 1) to cut the transfer after that fraction of the stream's words
+  /// (the frames delivered before the cut stay written — real hardware
+  /// after a dropped port clock — and load() throws pdr::Error); any
+  /// other value lets the load proceed normally.
+  using FaultHook = std::function<double(Bytes stream_bytes, const std::string& module_tag)>;
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
   // Cumulative accounting across loads.
   int loads() const { return loads_; }
+  int aborted_loads() const { return aborted_loads_; }
   TimeNs total_busy() const { return total_busy_; }
   Bytes total_bytes() const { return total_bytes_; }
 
  private:
+  /// Feeds only `fraction` of the stream, then throws the abort error.
+  [[noreturn]] void abort_load(std::span<const std::uint8_t> stream,
+                               const std::string& module_tag, double fraction);
+
   PortKind kind_;
   PortTiming timing_;
   ConfigMemory& memory_;
+  FaultHook fault_hook_;
   int loads_ = 0;
+  int aborted_loads_ = 0;
   TimeNs total_busy_ = 0;
   Bytes total_bytes_ = 0;
 };

@@ -1,0 +1,166 @@
+#include "fault/fault_spec.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace pdr::fault {
+
+const SeuProcess* FaultSpec::find_seu(const std::string& region) const {
+  for (const auto& s : seus)
+    if (s.region == region) return &s;
+  return nullptr;
+}
+
+const FetchFault* FaultSpec::find_fetch_fault(const std::string& module) const {
+  for (const auto& f : fetch_faults)
+    if (f.module == module) return &f;
+  return nullptr;
+}
+
+namespace {
+
+/// Same token-stream shape as the constraints parser: '#' comments,
+/// whitespace-separated words, errors carrying the source line.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) { tokenize(text); }
+
+  FaultSpec parse() {
+    while (!at_end()) {
+      const std::string head = next("directive");
+      if (head == "seed") {
+        spec_.seed = parse_u64(next("seed <n>"));
+      } else if (head == "horizon_ms") {
+        spec_.horizon = parse_ms(next("horizon_ms <ms>"));
+        fail_unless(spec_.horizon > 0, "horizon must be positive");
+      } else if (head == "seu") {
+        SeuProcess s;
+        s.region = next("seu <region> rate <per_s>");
+        fail_unless(next("seu <region> rate <per_s>") == "rate", "expected 'rate' in seu");
+        s.rate_hz = parse_double(next("seu <region> rate <per_s>"));
+        fail_unless(s.rate_hz > 0, "seu rate must be positive");
+        fail_unless(spec_.find_seu(s.region) == nullptr,
+                    "duplicate seu process for region '" + s.region + "'");
+        spec_.seus.push_back(std::move(s));
+      } else if (head == "port") {
+        fail_unless(next("port abort_prob <p>") == "abort_prob", "expected 'abort_prob' in port");
+        spec_.port_abort_prob = parse_prob(next("port abort_prob <p>"));
+      } else if (head == "fetch") {
+        fail_unless(next("fetch corrupt <module> prob <p>") == "corrupt",
+                    "expected 'corrupt' in fetch");
+        FetchFault f;
+        f.module = next("fetch corrupt <module> prob <p>");
+        fail_unless(next("fetch corrupt <module> prob <p>") == "prob", "expected 'prob' in fetch");
+        f.prob = parse_prob(next("fetch corrupt <module> prob <p>"));
+        fail_unless(spec_.find_fetch_fault(f.module) == nullptr,
+                    "duplicate fetch fault for module '" + f.module + "'");
+        spec_.fetch_faults.push_back(std::move(f));
+      } else if (head == "store") {
+        fail_unless(next("store damage <module> at_ms <t>") == "damage",
+                    "expected 'damage' in store");
+        StoreDamage d;
+        d.module = next("store damage <module> at_ms <t>");
+        fail_unless(next("store damage <module> at_ms <t>") == "at_ms", "expected 'at_ms' in store");
+        d.at = parse_ms(next("store damage <module> at_ms <t>"));
+        fail_unless(d.at >= 0, "store damage time must be non-negative");
+        spec_.store_damages.push_back(std::move(d));
+      } else {
+        fail("unknown directive '" + head + "'");
+      }
+    }
+    return std::move(spec_);
+  }
+
+ private:
+  struct Token {
+    std::string text;
+    std::size_t line;
+  };
+
+  void tokenize(const std::string& text) {
+    const auto lines = split(text, '\n');
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      std::string raw = lines[i];
+      const auto hash = raw.find('#');
+      if (hash != std::string::npos) raw.resize(hash);
+      for (const std::string& word : split_ws(raw)) tokens_.push_back(Token{word, i + 1});
+    }
+  }
+
+  bool at_end() const { return pos_ >= tokens_.size(); }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    const std::size_t line = pos_ > 0 && pos_ <= tokens_.size()
+                                 ? tokens_[pos_ - 1].line
+                                 : (tokens_.empty() ? 0 : tokens_.back().line);
+    raise("fault_spec", "line " + std::to_string(line) + ": " + msg);
+  }
+  void fail_unless(bool cond, const std::string& msg) const {
+    if (!cond) fail(msg);
+  }
+
+  std::string next(const std::string& usage) {
+    if (at_end()) fail("missing token; usage: " + usage);
+    return tokens_[pos_++].text;
+  }
+
+  double parse_double(const std::string& s) const {
+    try {
+      std::size_t idx = 0;
+      const double v = std::stod(s, &idx);
+      if (idx != s.size()) fail("trailing characters in number '" + s + "'");
+      return v;
+    } catch (const Error&) {
+      throw;
+    } catch (const std::exception&) {
+      fail("expected a number, got '" + s + "'");
+    }
+  }
+
+  double parse_prob(const std::string& s) const {
+    const double p = parse_double(s);
+    fail_unless(p >= 0.0 && p <= 1.0, "probability must be in [0, 1], got '" + s + "'");
+    return p;
+  }
+
+  TimeNs parse_ms(const std::string& s) const {
+    return static_cast<TimeNs>(parse_double(s) * 1e6);
+  }
+
+  std::uint64_t parse_u64(const std::string& s) const {
+    try {
+      std::size_t idx = 0;
+      const unsigned long long v = std::stoull(s, &idx);
+      if (idx != s.size()) fail("trailing characters in integer '" + s + "'");
+      return v;
+    } catch (const Error&) {
+      throw;
+    } catch (const std::exception&) {
+      fail("expected an unsigned integer, got '" + s + "'");
+    }
+  }
+
+  FaultSpec spec_;
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+FaultSpec parse_fault_spec(const std::string& text) { return Parser(text).parse(); }
+
+std::string write_fault_spec(const FaultSpec& spec) {
+  std::string out;
+  out += strprintf("seed %llu\n", static_cast<unsigned long long>(spec.seed));
+  out += strprintf("horizon_ms %g\n", to_ms(spec.horizon));
+  for (const auto& s : spec.seus)
+    out += strprintf("seu %s rate %g\n", s.region.c_str(), s.rate_hz);
+  if (spec.port_abort_prob > 0) out += strprintf("port abort_prob %g\n", spec.port_abort_prob);
+  for (const auto& f : spec.fetch_faults)
+    out += strprintf("fetch corrupt %s prob %g\n", f.module.c_str(), f.prob);
+  for (const auto& d : spec.store_damages)
+    out += strprintf("store damage %s at_ms %g\n", d.module.c_str(), to_ms(d.at));
+  return out;
+}
+
+}  // namespace pdr::fault

@@ -1,0 +1,67 @@
+// Fault-specification files.
+//
+// A fault spec declares the radiation / hardware environment a campaign
+// subjects the reconfigurable system to, in the same token-stream DSL the
+// constraints files use (comments with '#', line-numbered parse errors):
+//
+//   seed 7                      # default campaign seed
+//   horizon_ms 120              # simulated campaign length
+//   seu D1 rate 400             # Poisson upsets per second over D1's frames
+//   port abort_prob 0.08        # each port load dies mid-stream with p
+//   fetch corrupt qam16 prob 0.3   # a fetch of qam16 arrives corrupted
+//   store damage qam16 at_ms 60    # the stored image is damaged for good
+//
+// Three fault classes, mirroring the hardware:
+//  - `seu`: single-event upsets flip bits of configuration frames already
+//    on the device (scrubbing territory).
+//  - `port abort_prob` / `fetch corrupt`: transients — one transfer dies,
+//    the next may succeed (retry territory).
+//  - `store damage`: permanent external-memory corruption, CRC record
+//    included — every later fetch fails (safe-module fallback territory).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace pdr::fault {
+
+/// Poisson SEU process over one region's configuration frames.
+struct SeuProcess {
+  std::string region;
+  double rate_hz = 0;  ///< expected upsets per simulated second
+};
+
+/// Transient fetch corruption of one module's stream.
+struct FetchFault {
+  std::string module;
+  double prob = 0;  ///< probability one fetch arrives corrupted
+};
+
+/// Permanent damage to one module's stored image.
+struct StoreDamage {
+  std::string module;
+  TimeNs at = 0;  ///< when the damage lands
+};
+
+struct FaultSpec {
+  std::uint64_t seed = 1;
+  TimeNs horizon = 100'000'000;  ///< 100 ms
+  std::vector<SeuProcess> seus;
+  double port_abort_prob = 0;
+  std::vector<FetchFault> fetch_faults;
+  std::vector<StoreDamage> store_damages;
+
+  const SeuProcess* find_seu(const std::string& region) const;
+  const FetchFault* find_fetch_fault(const std::string& module) const;
+};
+
+/// Parses a fault spec; throws pdr::Error with the offending line number.
+FaultSpec parse_fault_spec(const std::string& text);
+
+/// Writes a spec back to its file form (round-trips through the parser).
+std::string write_fault_spec(const FaultSpec& spec);
+
+}  // namespace pdr::fault

@@ -1,0 +1,32 @@
+#include "fault/scrub_scheduler.hpp"
+
+#include "util/error.hpp"
+
+namespace pdr::fault {
+
+ScrubScheduler::ScrubScheduler(sim::EventQueue& queue, rtr::ReconfigManager& manager,
+                               std::vector<std::string> regions, TimeNs period, Mode mode)
+    : queue_(queue), manager_(manager), regions_(std::move(regions)), period_(period), mode_(mode) {
+  PDR_CHECK(period_ > 0, "ScrubScheduler", "scrub period must be positive");
+  PDR_CHECK(!regions_.empty(), "ScrubScheduler", "no regions to scrub");
+}
+
+void ScrubScheduler::start() {
+  queue_.schedule_in(period_, "scrub tick", [this](TimeNs now) { tick(now); });
+}
+
+void ScrubScheduler::tick(TimeNs now) {
+  ++stats_.ticks;
+  for (const auto& region : regions_) {
+    if (manager_.loaded(region).empty()) continue;  // blank or failed: nothing to rewrite
+    const int corrupted = manager_.check_health(region, now);
+    if (mode_ == Mode::ReadbackTriggered && corrupted == 0) continue;
+    const TimeNs done = manager_.scrub(region, now);
+    ++stats_.scrubs;
+    stats_.frames_repaired += corrupted;
+    if (on_scrub_) on_scrub_(region, done, corrupted);
+  }
+  queue_.schedule(now + period_, "scrub tick", [this](TimeNs at) { tick(at); });
+}
+
+}  // namespace pdr::fault

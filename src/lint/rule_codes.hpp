@@ -73,6 +73,7 @@ enum class Rule : std::uint16_t {
   PrefetchIntoBusyRegion = 45,///< reconfiguration starts while region computes
   PortOverlap = 46,           ///< two reconfigurations share the config port
   NegativeDuration = 47,      ///< item ends before it starts
+  ScrubPeriodExceedsBudget = 48, ///< region unscrubbed longer than its SEU budget
 
   // Executive family.
   SendWithoutRecv = 60,       ///< no matching recv on the same medium
@@ -117,6 +118,7 @@ inline const char* rule_id(Rule rule) {
     case Rule::PrefetchIntoBusyRegion: return "PDR045";
     case Rule::PortOverlap: return "PDR046";
     case Rule::NegativeDuration: return "PDR047";
+    case Rule::ScrubPeriodExceedsBudget: return "PDR048";
     case Rule::SendWithoutRecv: return "PDR060";
     case Rule::RecvWithoutSend: return "PDR061";
     case Rule::OrphanMove: return "PDR062";

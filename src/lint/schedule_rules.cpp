@@ -197,6 +197,45 @@ Report check_schedule(const aaa::Schedule& schedule, const aaa::AlgorithmGraph& 
     }
   }
 
+  // PDR048: a region with an SEU-exposure budget must be rewritten (by a
+  // scheduled reconfiguration, which rewrites every frame and thus acts
+  // as a scrub) at least once per budget interval over the whole
+  // schedule. A longer gap leaves upsets unrepaired past the budget.
+  if (constraints != nullptr) {
+    for (const auto& rc : constraints->regions) {
+      if (rc.seu_budget_ms < 0) continue;
+      const TimeNs budget = static_cast<TimeNs>(rc.seu_budget_ms) * 1'000'000;
+      std::vector<TimeNs> rewrites;
+      const auto it = per_resource.find(rc.name);
+      if (it != per_resource.end())
+        for (const ScheduledItem* item : it->second)
+          if (item->kind == ItemKind::Reconfig) rewrites.push_back(item->end);
+      std::sort(rewrites.begin(), rewrites.end());
+      TimeNs last = 0;
+      TimeNs worst = 0;
+      TimeNs worst_from = 0;
+      for (const TimeNs t : rewrites) {
+        if (t - last > worst) {
+          worst = t - last;
+          worst_from = last;
+        }
+        last = std::max(last, t);
+      }
+      const TimeNs horizon = std::max(schedule.makespan, last);
+      if (horizon - last > worst) {
+        worst = horizon - last;
+        worst_from = last;
+      }
+      if (worst > budget)
+        report.add(Rule::ScrubPeriodExceedsBudget, Severity::Warning, "region " + rc.name,
+                   strprintf("region '%s' goes %.3f ms without a rewrite (starting at "
+                             "%lld ns); its SEU-exposure budget is %d ms",
+                             rc.name.c_str(), static_cast<double>(worst) / 1e6,
+                             static_cast<long long>(worst_from), rc.seu_budget_ms),
+                   "shorten the scrub period or schedule a reconfiguration inside the window");
+    }
+  }
+
   return report;
 }
 

@@ -16,6 +16,18 @@ void BitstreamStore::add(const std::string& module, std::vector<std::uint8_t> bi
   streams_[module] = std::move(bitstream);
 }
 
+void BitstreamStore::corrupt(const std::string& module, std::size_t byte_index,
+                             std::uint8_t xor_mask) {
+  const auto it = streams_.find(module);
+  PDR_CHECK(it != streams_.end(), "BitstreamStore::corrupt",
+            "no bitstream for module '" + module + "'");
+  PDR_CHECK(byte_index < it->second.size(), "BitstreamStore::corrupt",
+            "byte index out of range for '" + module + "'");
+  PDR_CHECK(xor_mask != 0, "BitstreamStore::corrupt", "xor mask must flip at least one bit");
+  it->second[byte_index] ^= xor_mask;
+  ++corruptions_;
+}
+
 bool BitstreamStore::contains(const std::string& module) const { return streams_.count(module) > 0; }
 
 std::span<const std::uint8_t> BitstreamStore::get(const std::string& module) const {

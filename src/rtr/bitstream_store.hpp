@@ -25,6 +25,15 @@ class BitstreamStore {
   /// Registers a module's partial bitstream. Re-registering replaces it.
   void add(const std::string& module, std::vector<std::uint8_t> bitstream);
 
+  /// Damages one byte of a stored image in place — an external-memory
+  /// fault, with the CRC record as likely a victim as any payload word.
+  /// Every later get()/fetch returns the damaged image until add()
+  /// re-registers a clean copy. `xor_mask` must flip at least one bit.
+  void corrupt(const std::string& module, std::size_t byte_index, std::uint8_t xor_mask = 0xFF);
+
+  /// Number of bytes ever damaged through corrupt().
+  int corruptions() const { return corruptions_; }
+
   bool contains(const std::string& module) const;
   std::span<const std::uint8_t> get(const std::string& module) const;
   Bytes size_of(const std::string& module) const;
@@ -41,6 +50,7 @@ class BitstreamStore {
   double bandwidth_;
   TimeNs latency_;
   std::map<std::string, std::vector<std::uint8_t>> streams_;
+  int corruptions_ = 0;
 };
 
 }  // namespace pdr::rtr

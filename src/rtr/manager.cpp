@@ -4,6 +4,7 @@
 
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/strings.hpp"
 
 namespace pdr::rtr {
 
@@ -18,12 +19,54 @@ const char* request_kind_name(RequestKind kind) {
   return "?";
 }
 
+const char* region_health_name(RegionHealth health) {
+  switch (health) {
+    case RegionHealth::Healthy: return "healthy";
+    case RegionHealth::Degraded: return "degraded";
+    case RegionHealth::Failed: return "failed";
+  }
+  return "?";
+}
+
+std::string ManagerStats::to_string() const {
+  std::string out;
+  const auto row = [&out](const char* name, long long value) {
+    out += strprintf("  %-20s %lld\n", name, value);
+  };
+  row("requests", requests);
+  row("already_loaded", already_loaded);
+  row("prefetch_hits", prefetch_hits);
+  row("prefetch_inflight", prefetch_inflight);
+  row("cache_hits", cache_hits);
+  row("misses", misses);
+  row("prefetches_issued", prefetches_issued);
+  row("prefetches_wasted", prefetches_wasted);
+  row("scrubs", scrubs);
+  row("blanks", blanks);
+  row("load_failures", load_failures);
+  row("crc_rejects", crc_rejects);
+  row("port_aborts", port_aborts);
+  row("readback_failures", readback_failures);
+  row("retries", retries);
+  row("fallbacks", fallbacks);
+  row("scrub_repairs", scrub_repairs);
+  row("health_transitions", health_transitions);
+  out += strprintf("  %-20s %.3f ms\n", "total_stall", to_ms(total_stall));
+  out += strprintf("  %-20s %.3f ms\n", "total_load_time", to_ms(total_load_time));
+  row("bytes_loaded", static_cast<long long>(bytes_loaded));
+  for (const auto& [region, health] : region_health)
+    out += strprintf("  health %-13s %s\n", region.c_str(), region_health_name(health));
+  return out;
+}
+
 namespace {
 
 // Tracer track names: port occupancy vs the off-critical-path staging
-// engine render as two lanes in the exported Chrome trace.
+// engine render as two lanes in the exported Chrome trace; health
+// transitions get their own sparse lane.
 constexpr const char* kPortTrack = "cfg_port";
 constexpr const char* kStagingTrack = "staging";
+constexpr const char* kHealthTrack = "health";
 
 }  // namespace
 
@@ -52,6 +95,7 @@ ReconfigManager::ReconfigManager(const synth::DesignBundle& bundle, ManagerConfi
   // Register every dynamic variant's bitstream with the external store.
   for (const auto& [region, variants] : bundle_.dynamic_variants) {
     loaded_.emplace(region, "");
+    stats_.region_health.emplace(region, RegionHealth::Healthy);
     for (const auto& v : variants)
       if (!store_.contains(v.name)) store_.add(v.name, v.bitstream);
   }
@@ -111,8 +155,16 @@ TimeNs ReconfigManager::cold_load_latency(const std::string& module) const {
   return latency;
 }
 
+std::vector<std::uint8_t> ReconfigManager::fetch_stream(const std::string& module) {
+  const auto stored = store_.get(module);
+  std::vector<std::uint8_t> raw(stored.begin(), stored.end());
+  if (fetch_fault_hook_) fetch_fault_hook_(module, raw);
+  return raw;
+}
+
 void ReconfigManager::apply_load(const std::string& region, const std::string& module) {
-  const BuildResult built = builder_.build(bundle_.device, store_.get(module));
+  const std::vector<std::uint8_t> raw = fetch_stream(module);
+  const BuildResult built = builder_.build(bundle_.device, raw);
   port_.load(built.stream, module);
   if (config_.verify_loads) {
     const auto frames = bundle_.floorplan.region_frames(region);
@@ -120,8 +172,159 @@ void ReconfigManager::apply_load(const std::string& region, const std::string& m
               "after loading '" + module + "', region '" + region +
                   "' frames are not all owned by it");
   }
-  stats_.bytes_loaded += store_.size_of(module);
-  bump("bytes_loaded", static_cast<double>(store_.size_of(module)));
+  stats_.bytes_loaded += raw.size();
+  bump("bytes_loaded", static_cast<double>(raw.size()));
+}
+
+ReconfigManager::LoadFailure ReconfigManager::attempt_load(const std::string& region,
+                                                           const std::string& module) {
+  const std::vector<std::uint8_t> raw = fetch_stream(module);
+  // CRC / framing check before the stream ever reaches the port: a
+  // corrupted image is rejected while the region still holds its previous
+  // (intact) configuration.
+  try {
+    fabric::BitstreamReader::validate(bundle_.device, raw);
+  } catch (const Error&) {
+    ++stats_.crc_rejects;
+    bump("crc_rejects");
+    return LoadFailure::CrcReject;
+  }
+  const BuildResult built = builder_.build(bundle_.device, raw);
+  try {
+    port_.load(built.stream, module);
+  } catch (const Error&) {
+    // The port died mid-transfer; part of the region is now foreign.
+    ++stats_.port_aborts;
+    bump("port_aborts");
+    return LoadFailure::PortAbort;
+  }
+  if (config_.verify_loads) {
+    const auto frames = bundle_.floorplan.region_frames(region);
+    if (!memory_.region_owned_by(frames, module)) {
+      ++stats_.readback_failures;
+      bump("readback_failures");
+      return LoadFailure::ReadbackMismatch;
+    }
+  }
+  stats_.bytes_loaded += raw.size();
+  bump("bytes_loaded", static_cast<double>(raw.size()));
+  return LoadFailure::None;
+}
+
+void ReconfigManager::set_health(const std::string& region, RegionHealth health, TimeNs now,
+                                 const std::string& why) {
+  auto& current = stats_.region_health.at(region);
+  if (current == health) return;
+  current = health;
+  ++stats_.health_transitions;
+  bump("health_transitions");
+  if (metrics_ != nullptr)
+    metrics_->gauge("rtr.manager.health." + region)
+        .set(static_cast<double>(static_cast<int>(health)));
+  if (tracer_ != nullptr)
+    tracer_->instant(kHealthTrack, region + " -> " + region_health_name(health), "health", now,
+                     {{"region", region}, {"why", why}});
+  PDR_DEBUG("rtr") << "health " << region << " -> " << region_health_name(health) << " (" << why
+                   << ")";
+}
+
+RegionHealth ReconfigManager::health(const std::string& region) const {
+  const auto it = stats_.region_health.find(region);
+  PDR_CHECK(it != stats_.region_health.end(), "ReconfigManager::health",
+            "unknown region '" + region + "'");
+  return it->second;
+}
+
+void ReconfigManager::set_safe_module(const std::string& region, const std::string& module) {
+  PDR_CHECK(loaded_.count(region) > 0, "ReconfigManager::set_safe_module",
+            "unknown region '" + region + "'");
+  config_.safe_modules[region] = module;
+}
+
+ReconfigManager::LoadResult ReconfigManager::perform_load(const std::string& region,
+                                                          const std::string& module,
+                                                          const char* category, TimeNs now,
+                                                          bool allow_fallback) {
+  LoadResult result;
+  result.resident = module;
+  if (!config_.recovery.enabled) {
+    apply_load(region, module);  // throws on any failure, as it always did
+    return result;
+  }
+
+  TimeNs backoff = config_.recovery.retry_backoff;
+  for (int attempt = 0;; ++attempt) {
+    const LoadFailure failure = attempt_load(region, module);
+    if (failure == LoadFailure::None) {
+      // A clean verified load rewrote the whole region: whatever state it
+      // was in (degraded readback, earlier failure), it is healthy now.
+      set_health(region, RegionHealth::Healthy, now,
+                 attempt > 0 ? "retry succeeded" : "load verified");
+      return result;
+    }
+    ++stats_.load_failures;
+    bump("load_failures");
+    set_health(region, RegionHealth::Degraded,
+               now, std::string(category) + " of '" + module + "' failed");
+    if (attempt >= config_.recovery.max_retries) break;
+    // Requeue the whole fetch+build+load pipeline after the backoff.
+    ++stats_.retries;
+    bump("retries");
+    result.extra += backoff + cold_load_latency(module);
+    backoff = static_cast<TimeNs>(static_cast<double>(backoff) * config_.recovery.backoff_factor);
+  }
+
+  if (!allow_fallback) {
+    result.resident.clear();
+    result.failed = true;
+    set_health(region, RegionHealth::Failed, now, "retry budget exhausted");
+    return result;
+  }
+
+  // Retry budget exhausted: clear the region, then bring up the
+  // designated safe personality. Both are port loads themselves and get
+  // one bounded round each.
+  ++stats_.fallbacks;
+  bump("fallbacks");
+  result.fell_back = true;
+  const std::string blank_name = ensure_blank_stream(region);
+  bool blanked = false;
+  for (int i = 0; i <= config_.recovery.max_retries && !blanked; ++i) {
+    result.extra += cold_load_latency(blank_name);
+    blanked = attempt_load(region, blank_name) == LoadFailure::None;
+    if (!blanked) {
+      ++stats_.load_failures;
+      bump("load_failures");
+    }
+  }
+  if (blanked) {
+    ++stats_.blanks;
+    bump("blanks");
+  }
+  const auto safe = config_.safe_modules.find(region);
+  const bool have_safe =
+      blanked && safe != config_.safe_modules.end() && safe->second != module;
+  bool safe_loaded = false;
+  if (have_safe) {
+    for (int i = 0; i <= config_.recovery.max_retries && !safe_loaded; ++i) {
+      result.extra += cold_load_latency(safe->second);
+      safe_loaded = attempt_load(region, safe->second) == LoadFailure::None;
+      if (!safe_loaded) {
+        ++stats_.load_failures;
+        bump("load_failures");
+      }
+    }
+  }
+  if (safe_loaded) {
+    result.resident = safe->second;
+    set_health(region, RegionHealth::Healthy, now, "fell back to safe module '" + safe->second + "'");
+  } else {
+    result.resident.clear();
+    result.failed = true;
+    set_health(region, RegionHealth::Failed, now,
+               blanked ? "no loadable safe module" : "blank failed");
+  }
+  return result;
 }
 
 RequestOutcome ReconfigManager::request(const std::string& region, const std::string& module,
@@ -187,12 +390,15 @@ RequestOutcome ReconfigManager::request(const std::string& region, const std::st
     }
     out.ready_at = std::max(now, port_free_) + latency_paid;
   }
+  const LoadResult lr = perform_load(region, module, "load", now);
+  latency_paid += lr.extra;
+  out.ready_at += lr.extra;
   stats_.total_load_time += latency_paid;
   port_free_ = out.ready_at;
 
-  apply_load(region, module);
-  if (cache_.capacity() > 0) cache_.insert(module, store_.size_of(module));
-  loaded_[region] = module;
+  if (!lr.failed && !lr.fell_back && cache_.capacity() > 0)
+    cache_.insert(module, store_.size_of(module));
+  loaded_[region] = lr.resident;
 
   out.stall = std::max<TimeNs>(0, out.ready_at - now);
   stats_.total_stall += out.stall;
@@ -256,8 +462,7 @@ void ReconfigManager::set_resident(const std::string& region, const std::string&
   loaded_[region] = module;
 }
 
-TimeNs ReconfigManager::blank(const std::string& region, TimeNs now) {
-  PDR_CHECK(loaded_.count(region) > 0, "ReconfigManager::blank", "unknown region '" + region + "'");
+std::string ReconfigManager::ensure_blank_stream(const std::string& region) {
   const std::string blank_name = "__blank_" + region;
   if (!store_.contains(blank_name)) {
     // Blanking streams are MFWR-compressed: one zero frame + a 4-word
@@ -265,13 +470,21 @@ TimeNs ReconfigManager::blank(const std::string& region, TimeNs now) {
     const auto frames = bundle_.floorplan.region_frames(region);
     store_.add(blank_name, synth::generate_uniform_bitstream(bundle_.device, frames, 0));
   }
-  const TimeNs latency = cold_load_latency(blank_name);
-  const TimeNs done = std::max(now, port_free_) + latency;
-  port_free_ = done;
+  return blank_name;
+}
+
+TimeNs ReconfigManager::blank(const std::string& region, TimeNs now) {
+  PDR_CHECK(loaded_.count(region) > 0, "ReconfigManager::blank", "unknown region '" + region + "'");
+  const std::string blank_name = ensure_blank_stream(region);
+  TimeNs latency = cold_load_latency(blank_name);
   // An eager unload is a load like any other: the same build + port path,
   // the same readback verification (against the blank stream's ownership)
-  // and the same byte accounting.
-  apply_load(region, blank_name);
+  // and the same byte accounting — and, under recovery, the same bounded
+  // retry (though a blank has nothing to fall back to).
+  const LoadResult lr = perform_load(region, blank_name, "blank", now, /*allow_fallback=*/false);
+  latency += lr.extra;
+  const TimeNs done = std::max(now, port_free_) + latency;
+  port_free_ = done;
   loaded_[region] = "";
   staged_.erase(region);
   ++stats_.blanks;
@@ -303,14 +516,36 @@ TimeNs ReconfigManager::scrub(const std::string& region, TimeNs now) {
   const std::string module = loaded(region);
   PDR_CHECK(!module.empty(), "ReconfigManager::scrub",
             "region '" + region + "' has no resident module to scrub");
-  const TimeNs latency = cold_load_latency(module);
+  const int corrupted_before = verify_resident(region);
+  TimeNs latency = cold_load_latency(module);
+  const LoadResult lr = perform_load(region, module, "scrub", now);
+  latency += lr.extra;
   const TimeNs done = std::max(now, port_free_) + latency;
   port_free_ = done;
-  apply_load(region, module);
+  loaded_[region] = lr.resident;
   ++stats_.scrubs;
   bump("scrubs");
+  if (!lr.failed && corrupted_before > 0) {
+    stats_.scrub_repairs += corrupted_before;
+    bump("scrub_repairs", corrupted_before);
+  }
   note_port_load(region, module, "scrub", latency, done);
   return done;
+}
+
+int ReconfigManager::check_health(const std::string& region, TimeNs now) {
+  const auto it = loaded_.find(region);
+  PDR_CHECK(it != loaded_.end(), "ReconfigManager::check_health",
+            "unknown region '" + region + "'");
+  if (it->second.empty()) return 0;
+  const int corrupted = verify_resident(region);
+  if (corrupted > 0) {
+    set_health(region, RegionHealth::Degraded,
+               now, std::to_string(corrupted) + " corrupted frame(s) on readback");
+  } else if (health(region) == RegionHealth::Degraded) {
+    set_health(region, RegionHealth::Healthy, now, "readback clean");
+  }
+  return corrupted;
 }
 
 }  // namespace pdr::rtr

@@ -31,9 +31,11 @@
 // to software framing throughput.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "aaa/constraints.hpp"
 #include "fabric/config_memory.hpp"
@@ -49,6 +51,15 @@
 
 namespace pdr::rtr {
 
+/// Self-healing policy knobs (all off by default: a failed load then
+/// throws exactly as before the fault framework existed).
+struct RecoveryConfig {
+  bool enabled = false;       ///< catch failed loads and repair instead of throwing
+  int max_retries = 3;        ///< failed attempts retried before falling back
+  TimeNs retry_backoff = 200'000;  ///< wait before the first retry (200 us)
+  double backoff_factor = 2.0;     ///< backoff multiplier per further retry
+};
+
 struct ManagerConfig {
   aaa::Placement manager = aaa::Placement::Fpga;  ///< 'M' placement
   aaa::Placement builder = aaa::Placement::Fpga;  ///< 'P' placement
@@ -60,6 +71,10 @@ struct ManagerConfig {
   double fpga_builder_bytes_per_s = 1e9;
   Bytes cache_capacity = 0;          ///< on-chip bitstream cache (0 = off)
   bool verify_loads = true;          ///< readback-verify region ownership
+  RecoveryConfig recovery;           ///< retry / fallback policy
+  /// Region -> module loaded (after a blank) when the retry budget for a
+  /// demanded module is exhausted — the known-good fallback personality.
+  std::map<std::string, std::string> safe_modules;
 };
 
 /// Case-study configuration (paper §6): self reconfiguration through
@@ -79,6 +94,16 @@ enum class RequestKind : std::uint8_t {
 
 const char* request_kind_name(RequestKind kind);
 
+/// Per-region health as the self-healing manager sees it.
+///  - Healthy: last load verified, no corruption detected since.
+///  - Degraded: corruption detected (or a load failed) and repair is
+///    still pending — retries in flight or a scrub not yet run.
+///  - Failed: retry and fallback budgets exhausted; the region holds no
+///    usable module until an explicit reload succeeds.
+enum class RegionHealth : std::uint8_t { Healthy, Degraded, Failed };
+
+const char* region_health_name(RegionHealth health);
+
 struct RequestOutcome {
   RequestKind kind = RequestKind::Miss;
   TimeNs ready_at = 0;  ///< when the module is usable
@@ -96,9 +121,23 @@ struct ManagerStats {
   int prefetches_wasted = 0;  ///< staged streams replaced before any demand
   int scrubs = 0;
   int blanks = 0;
+  // Self-healing accounting (all zero unless faults are injected).
+  int load_failures = 0;      ///< failed load attempts, any cause
+  int crc_rejects = 0;        ///< streams rejected by CRC before the port transfer
+  int port_aborts = 0;        ///< transfers the port cut mid-stream
+  int readback_failures = 0;  ///< post-load readback found foreign frames
+  int retries = 0;            ///< failed attempts retried with backoff
+  int fallbacks = 0;          ///< retry budget exhausted: blank + safe module
+  int scrub_repairs = 0;      ///< corrupted frames repaired by scrub()
+  int health_transitions = 0; ///< region health state changes
+  std::map<std::string, RegionHealth> region_health;
   TimeNs total_stall = 0;
   TimeNs total_load_time = 0;
   Bytes bytes_loaded = 0;
+
+  /// Human-readable "name  value" table of every counter plus the final
+  /// per-region health (the `pdrflow simulate` stats block).
+  std::string to_string() const;
 };
 
 class ReconfigManager {
@@ -143,6 +182,27 @@ class ReconfigManager {
   /// Returns completion time.
   TimeNs scrub(const std::string& region, TimeNs now);
 
+  /// Readback health check: verifies the resident payload and updates the
+  /// region's health (Degraded when corruption is found, back to Healthy
+  /// when a previously degraded region reads back clean). Returns the
+  /// corrupted-frame count; a region with nothing resident reports 0 and
+  /// keeps its current health. Does not occupy the port.
+  int check_health(const std::string& region, TimeNs now);
+
+  /// Current health of a region.
+  RegionHealth health(const std::string& region) const;
+
+  /// Designates the fallback personality loaded after the retry budget
+  /// for a demanded module is exhausted (overrides config.safe_modules).
+  void set_safe_module(const std::string& region, const std::string& module);
+
+  /// Fault hook consulted on every external-memory fetch: may mutate the
+  /// fetched copy (transient bus corruption) and returns true if it did.
+  /// Permanent store damage goes through BitstreamStore::corrupt instead.
+  using FetchFaultHook = std::function<bool(const std::string& module,
+                                            std::vector<std::uint8_t>& bytes)>;
+  void set_fetch_fault_hook(FetchFaultHook hook) { fetch_fault_hook_ = std::move(hook); }
+
   /// Module resident in a region ("" if never configured).
   const std::string& loaded(const std::string& region) const;
 
@@ -165,6 +225,9 @@ class ReconfigManager {
   const ManagerStats& stats() const { return stats_; }
   const fabric::ConfigMemory& memory() const { return memory_; }
   const fabric::ConfigPort& port() const { return port_; }
+  /// Mutable fabric access for fault injection (SEU flips, port hooks).
+  fabric::ConfigMemory& memory() { return memory_; }
+  fabric::ConfigPort& port() { return port_; }
   const BitstreamCache& cache() const { return cache_; }
   TimeNs port_free_at() const { return port_free_; }
 
@@ -174,8 +237,41 @@ class ReconfigManager {
     TimeNs ready = 0;  ///< when fetch+build completes
   };
 
-  /// Applies the physical load through builder + port.
+  /// Why one load attempt failed.
+  enum class LoadFailure : std::uint8_t { None, CrcReject, PortAbort, ReadbackMismatch };
+
+  /// Outcome of a (possibly retried) physical load.
+  struct LoadResult {
+    std::string resident;   ///< module actually in the region ("" on failure)
+    TimeNs extra = 0;       ///< retry/backoff/fallback time beyond the first attempt
+    bool fell_back = false;
+    bool failed = false;
+  };
+
+  /// Streams `module` out of the external store (the fetch fault hook may
+  /// corrupt the copy in flight).
+  std::vector<std::uint8_t> fetch_stream(const std::string& module);
+
+  /// Applies the physical load through builder + port, throwing on any
+  /// failure (the legacy non-recovering path).
   void apply_load(const std::string& region, const std::string& module);
+
+  /// One recovering load attempt: CRC pre-check, port transfer, readback
+  /// verification — classified instead of thrown.
+  LoadFailure attempt_load(const std::string& region, const std::string& module);
+
+  /// Full self-healing load: attempt, bounded retry with backoff, then
+  /// blank + safe-module fallback. With recovery disabled, delegates to
+  /// apply_load (and so throws on failure).
+  LoadResult perform_load(const std::string& region, const std::string& module,
+                          const char* category, TimeNs now, bool allow_fallback = true);
+
+  /// Registers (once) and names the region's MFWR-compressed blank stream.
+  std::string ensure_blank_stream(const std::string& region);
+
+  /// Records a health transition (stats, gauge and trace instant).
+  void set_health(const std::string& region, RegionHealth health, TimeNs now,
+                  const std::string& why);
 
   /// Increments metrics counter "rtr.manager.<name>" if a sink is set.
   void bump(const char* name, double delta = 1.0);
@@ -200,6 +296,7 @@ class ReconfigManager {
   TimeNs port_free_ = 0;
   TimeNs staging_free_ = 0;  ///< the staging engine handles one fetch at a time
   ManagerStats stats_;
+  FetchFaultHook fetch_fault_hook_;
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
 };

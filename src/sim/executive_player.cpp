@@ -26,6 +26,10 @@ void ExecutivePlayer::set_variant_selector(VariantSelector selector) {
   selector_ = std::move(selector);
 }
 
+void ExecutivePlayer::set_survive_reconfig_failures(bool survive) {
+  survive_reconfig_failures_ = survive;
+}
+
 PlayResult ExecutivePlayer::run(int iterations) {
   PDR_CHECK(iterations > 0, "ExecutivePlayer::run", "iterations must be positive");
 
@@ -114,7 +118,20 @@ PlayResult ExecutivePlayer::run(int iterations) {
               advanced = true;
               break;
             }
-            const TimeNs cost = reconfig_cost_(st.prog->resource, module);
+            TimeNs cost = 0;
+            if (survive_reconfig_failures_) {
+              try {
+                cost = reconfig_cost_(st.prog->resource, module);
+              } catch (const Error&) {
+                // The load failed past recovery; keep the previous
+                // resident module and let the program continue.
+                ++result.reconfigs_failed;
+                advanced = true;
+                break;
+              }
+            } else {
+              cost = reconfig_cost_(st.prog->resource, module);
+            }
             const TimeNs start = std::max(st.time, port_free);
             const TimeNs end = start + cost;
             port_free = end;
@@ -162,6 +179,7 @@ PlayResult ExecutivePlayer::run(int iterations) {
     metrics_->counter("sim.player.runs").add();
     metrics_->counter("sim.player.reconfigs").add(result.reconfigs);
     metrics_->counter("sim.player.reconfigs_skipped").add(result.reconfigs_skipped);
+    metrics_->counter("sim.player.reconfigs_failed").add(result.reconfigs_failed);
     metrics_->gauge("sim.player.makespan_ns").set(static_cast<double>(result.makespan));
     metrics_->gauge("sim.player.iteration_period_ns")
         .set(static_cast<double>(result.iteration_period));

@@ -32,6 +32,7 @@ struct PlayResult {
   Timeline timeline;
   int reconfigs = 0;
   int reconfigs_skipped = 0;  ///< region already held the selected module
+  int reconfigs_failed = 0;   ///< cost callback threw and the player survived
 };
 
 class ExecutivePlayer {
@@ -54,6 +55,14 @@ class ExecutivePlayer {
                                                     const std::string& scheduled)>;
   void set_variant_selector(VariantSelector selector);
 
+  /// With survival on, a reconfig-cost callback that throws pdr::Error
+  /// (e.g. a ReconfigManager load that exhausted its retry budget) no
+  /// longer aborts the run: the instruction is counted in
+  /// `PlayResult::reconfigs_failed`, the region keeps its previous
+  /// module, and the program continues — the degraded-mode semantics of
+  /// a self-healing executive. Off (the default) the error propagates.
+  void set_survive_reconfig_failures(bool survive);
+
   /// Attaches an observability sink: every executed instruction's span is
   /// exported to `tracer` (categories "exec_compute" / "exec_transfer" /
   /// "exec_reconfig") and run totals land in `metrics` under "sim.player.".
@@ -71,6 +80,7 @@ class ExecutivePlayer {
   const aaa::ArchitectureGraph& architecture_;
   ReconfigCost reconfig_cost_;
   VariantSelector selector_;
+  bool survive_reconfig_failures_ = false;
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
 };

@@ -17,6 +17,7 @@ prefetch history
 region D1 {
   width 5
   margin 1
+  seu_budget 20
 }
 region D2 {
   width auto
@@ -55,7 +56,9 @@ TEST(Constraints, ParsesFullExample) {
   ASSERT_EQ(set.regions.size(), 2u);
   EXPECT_EQ(set.regions[0].width, 5);
   EXPECT_EQ(set.regions[0].margin, 1);
+  EXPECT_EQ(set.regions[0].seu_budget_ms, 20);
   EXPECT_EQ(set.regions[1].width, -1);
+  EXPECT_EQ(set.regions[1].seu_budget_ms, -1);  // no budget by default
   ASSERT_EQ(set.modules.size(), 3u);
   EXPECT_EQ(set.modules[0].load, LoadPolicy::Startup);
   EXPECT_EQ(set.modules[0].unload, UnloadPolicy::Eager);
@@ -84,6 +87,7 @@ TEST(Constraints, WriteParseRoundTrip) {
   EXPECT_EQ(b.manager, a.manager);
   EXPECT_EQ(b.prefetch, a.prefetch);
   EXPECT_EQ(b.regions.size(), a.regions.size());
+  EXPECT_EQ(b.regions[0].seu_budget_ms, a.regions[0].seu_budget_ms);
   EXPECT_EQ(b.modules.size(), a.modules.size());
   EXPECT_EQ(b.modules[1].params, a.modules[1].params);
   EXPECT_EQ(b.exclusions, a.exclusions);
@@ -125,6 +129,10 @@ INSTANTIATE_TEST_SUITE_P(
         BadCase{"unterminated_block", "region D1 {\n  width 2\n"},
         BadCase{"missing_brace", "region D1\n"},
         BadCase{"bad_int", "region D1 {\n  width five\n}\ndynamic m { region D1\n kind fir }\n"},
+        BadCase{"zero_seu_budget",
+                "region D1 {\n  width 2\n  seu_budget 0\n}\ndynamic m { region D1\n kind fir }\n"},
+        BadCase{"negative_seu_budget",
+                "region D1 {\n  width 2\n  seu_budget -5\n}\ndynamic m { region D1\n kind fir }\n"},
         BadCase{"bad_load", "region D1 { width 2 }\ndynamic m {\n region D1\n kind fir\n load maybe\n}\n"},
         BadCase{"bad_relation_keyword",
                 "region D1 { width 2 }\ndynamic a { region D1\n kind fir }\n"

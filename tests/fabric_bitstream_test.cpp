@@ -173,6 +173,26 @@ TEST(ConfigMemory, RejectsWrongFrameSize) {
   EXPECT_THROW(mem.write_frame(FrameAddress{BlockType::Clb, 0, 0}, tiny), pdr::Error);
 }
 
+TEST(ConfigMemory, FlipBitBoundsChecked) {
+  // Regression: out-of-range byte/bit indices must throw pdr::Error, not
+  // write past the frame buffer (the fault injector leans on this).
+  const DeviceModel d = xc2v2000();
+  ConfigMemory mem(d);
+  const FrameAddress a{BlockType::Clb, 0, 0};
+  EXPECT_THROW(mem.flip_bit(a, -1, 0), pdr::Error);
+  EXPECT_THROW(mem.flip_bit(a, d.frame_bytes(), 0), pdr::Error);
+  EXPECT_THROW(mem.flip_bit(a, 0, -1), pdr::Error);
+  EXPECT_THROW(mem.flip_bit(a, 0, 8), pdr::Error);
+  EXPECT_EQ(mem.upsets(), 0);  // failed flips never count
+
+  const std::uint8_t before = mem.read_frame(a)[10];
+  mem.flip_bit(a, 10, 3);
+  EXPECT_EQ(mem.read_frame(a)[10], before ^ (1u << 3));
+  mem.flip_bit(a, 10, 3);  // a second flip restores the bit
+  EXPECT_EQ(mem.read_frame(a)[10], before);
+  EXPECT_EQ(mem.upsets(), 2);
+}
+
 // --- config port -----------------------------------------------------------------
 
 TEST(ConfigPort, DefaultTimings) {
@@ -216,6 +236,43 @@ TEST(ConfigPort, LoadRejectsCorruptStream) {
   auto stream = small_stream(d);
   stream[20] ^= 0xff;
   EXPECT_THROW(port.load(stream, "bad"), pdr::Error);
+}
+
+TEST(ConfigPort, FaultHookAbortsMidStream) {
+  // A fault hook returning a fraction in (0,1) cuts the transfer there:
+  // the load throws, the complete FDRI bursts before the cut stay
+  // committed, and both the abort and its bytes are accounted. Two
+  // non-adjacent columns give the stream two bursts, so a cut past the
+  // midpoint lands inside the second one.
+  const DeviceModel d = xc2v2000();
+  const FrameMap map(d);
+  auto frames = map.clb_column_frames(3);
+  const auto second = map.clb_column_frames(10);
+  frames.insert(frames.end(), second.begin(), second.end());
+  const auto stream = synth::generate_partial_bitstream(d, frames, 11);
+
+  ConfigMemory mem(d);
+  ConfigPort port(PortKind::Icap, ConfigPort::default_timing(PortKind::Icap), mem);
+  int calls = 0;
+  port.set_fault_hook([&calls](Bytes, const std::string&) {
+    return ++calls == 1 ? 0.6 : -1.0;
+  });
+  EXPECT_THROW(port.load(stream, "mod"), pdr::Error);
+  EXPECT_EQ(port.aborted_loads(), 1);
+  EXPECT_EQ(port.loads(), 1);
+  // Roughly half the stream went through before the cut.
+  EXPECT_GT(port.total_bytes(), 0u);
+  EXPECT_LT(port.total_bytes(), stream.size());
+  const int committed = mem.frames_written();
+  EXPECT_GT(committed, 0);
+  EXPECT_LT(committed, static_cast<int>(frames.size()));
+
+  // The hook passed (-1): the retry succeeds and repairs the region.
+  const auto report = port.load(stream, "mod");
+  EXPECT_EQ(report.frames_written, static_cast<int>(frames.size()));
+  EXPECT_TRUE(mem.region_owned_by(frames, "mod"));
+  EXPECT_EQ(port.aborted_loads(), 1);
+  EXPECT_EQ(port.loads(), 2);
 }
 
 // --- multi-frame writes (compression) ----------------------------------------------

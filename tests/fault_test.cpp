@@ -1,0 +1,425 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/campaign.hpp"
+#include "fault/fault_spec.hpp"
+#include "fault/injector.hpp"
+#include "fault/scrub_scheduler.hpp"
+#include "rtr/manager.hpp"
+#include "sim/event_queue.hpp"
+#include "synth/flow.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace pdr::fault {
+namespace {
+
+using namespace pdr::literals;
+
+synth::DesignBundle test_bundle() {
+  synth::ModularDesignFlow flow(fabric::xc2v2000());
+  flow.add_static("ifft", "ifft", {{"n", 64}});
+  flow.add_region("D1", {{"qpsk", "qpsk_mapper", {}}, {"qam16", "qam16_mapper", {}}});
+  return flow.run();
+}
+
+rtr::ManagerConfig recovering_config() {
+  rtr::ManagerConfig cfg;
+  cfg.recovery.enabled = true;
+  cfg.recovery.max_retries = 3;
+  return cfg;
+}
+
+// --- fault spec ------------------------------------------------------------------
+
+TEST(FaultSpec, ParsesEveryDirective) {
+  const FaultSpec spec = parse_fault_spec(
+      "# campaign\n"
+      "seed 7\n"
+      "horizon_ms 120\n"
+      "seu D1 rate 400\n"
+      "port abort_prob 0.08\n"
+      "fetch corrupt qam16 prob 0.3\n"
+      "store damage qam16 at_ms 60\n");
+  EXPECT_EQ(spec.seed, 7u);
+  EXPECT_EQ(spec.horizon, 120_ms);
+  ASSERT_EQ(spec.seus.size(), 1u);
+  EXPECT_EQ(spec.seus[0].region, "D1");
+  EXPECT_DOUBLE_EQ(spec.seus[0].rate_hz, 400.0);
+  EXPECT_DOUBLE_EQ(spec.port_abort_prob, 0.08);
+  ASSERT_NE(spec.find_fetch_fault("qam16"), nullptr);
+  EXPECT_DOUBLE_EQ(spec.find_fetch_fault("qam16")->prob, 0.3);
+  ASSERT_EQ(spec.store_damages.size(), 1u);
+  EXPECT_EQ(spec.store_damages[0].at, 60_ms);
+  EXPECT_EQ(spec.find_seu("D2"), nullptr);
+}
+
+TEST(FaultSpec, DefaultsWithEmptyText) {
+  const FaultSpec spec = parse_fault_spec("");
+  EXPECT_EQ(spec.seed, 1u);
+  EXPECT_EQ(spec.horizon, 100_ms);
+  EXPECT_TRUE(spec.seus.empty());
+  EXPECT_DOUBLE_EQ(spec.port_abort_prob, 0.0);
+}
+
+TEST(FaultSpec, RejectsBadInput) {
+  EXPECT_THROW(parse_fault_spec("frobnicate\n"), pdr::Error);
+  EXPECT_THROW(parse_fault_spec("seu D1 rate 0\n"), pdr::Error);
+  EXPECT_THROW(parse_fault_spec("seu D1 rate -3\n"), pdr::Error);
+  EXPECT_THROW(parse_fault_spec("port abort_prob 1.5\n"), pdr::Error);
+  EXPECT_THROW(parse_fault_spec("fetch corrupt m prob nan-ish\n"), pdr::Error);
+  EXPECT_THROW(parse_fault_spec("horizon_ms 0\n"), pdr::Error);
+  EXPECT_THROW(parse_fault_spec("seu D1 rate 10\nseu D1 rate 20\n"), pdr::Error);
+  EXPECT_THROW(parse_fault_spec("fetch corrupt m prob 0.1\nfetch corrupt m prob 0.2\n"),
+               pdr::Error);
+  // Errors carry the offending line.
+  try {
+    parse_fault_spec("seed 1\nbogus\n");
+    FAIL() << "expected pdr::Error";
+  } catch (const pdr::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+  }
+}
+
+TEST(FaultSpec, WriteParseRoundTrip) {
+  FaultSpec spec;
+  spec.seed = 99;
+  spec.horizon = 250_ms;
+  spec.seus.push_back(SeuProcess{"D1", 123.5});
+  spec.port_abort_prob = 0.25;
+  spec.fetch_faults.push_back(FetchFault{"qam16", 0.125});
+  spec.store_damages.push_back(StoreDamage{"qpsk", 30_ms});
+  const FaultSpec back = parse_fault_spec(write_fault_spec(spec));
+  EXPECT_EQ(back.seed, spec.seed);
+  EXPECT_EQ(back.horizon, spec.horizon);
+  ASSERT_EQ(back.seus.size(), 1u);
+  EXPECT_DOUBLE_EQ(back.seus[0].rate_hz, 123.5);
+  EXPECT_DOUBLE_EQ(back.port_abort_prob, 0.25);
+  ASSERT_EQ(back.fetch_faults.size(), 1u);
+  EXPECT_DOUBLE_EQ(back.fetch_faults[0].prob, 0.125);
+  ASSERT_EQ(back.store_damages.size(), 1u);
+  EXPECT_EQ(back.store_damages[0].at, 30_ms);
+}
+
+// --- injector --------------------------------------------------------------------
+
+TEST(FaultInjector, SeuTimelineIsPoissonLikeAndDeterministic) {
+  FaultSpec spec;
+  spec.horizon = 1_s;
+  spec.seus.push_back(SeuProcess{"D1", 100.0});
+  const FaultInjector a(spec, 42);
+  const FaultInjector b(spec, 42);
+  const auto ta = a.seu_timeline("D1", 50, 100);
+  const auto tb = b.seu_timeline("D1", 50, 100);
+  ASSERT_FALSE(ta.empty());
+  // ~100 events expected over 1 s at 100/s; allow wide slack.
+  EXPECT_GT(ta.size(), 50u);
+  EXPECT_LT(ta.size(), 200u);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].at, tb[i].at);
+    EXPECT_EQ(ta[i].frame_offset, tb[i].frame_offset);
+    EXPECT_EQ(ta[i].byte_index, tb[i].byte_index);
+    EXPECT_EQ(ta[i].bit, tb[i].bit);
+    EXPECT_LT(ta[i].at, spec.horizon);
+    EXPECT_LT(ta[i].frame_offset, 50u);
+    EXPECT_LT(ta[i].byte_index, 100);
+    EXPECT_GE(ta[i].bit, 0);
+    EXPECT_LE(ta[i].bit, 7);
+    if (i > 0) {
+      EXPECT_GE(ta[i].at, ta[i - 1].at);
+    }
+  }
+  // A different seed moves the timeline.
+  const FaultInjector c(spec, 43);
+  const auto tc = c.seu_timeline("D1", 50, 100);
+  EXPECT_TRUE(tc.size() != ta.size() || tc[0].at != ta[0].at);
+  // No `seu` directive for the region -> empty timeline.
+  EXPECT_TRUE(a.seu_timeline("D2", 50, 100).empty());
+}
+
+TEST(FaultInjector, StreamsAreIndependentPerFaultKind) {
+  FaultSpec spec;
+  spec.horizon = 500_ms;
+  spec.seus.push_back(SeuProcess{"D1", 50.0});
+  FaultSpec wider = spec;
+  wider.port_abort_prob = 0.5;
+  wider.fetch_faults.push_back(FetchFault{"qam16", 0.5});
+  // Adding port/fetch faults must not move a single SEU.
+  const auto base = FaultInjector(spec, 7).seu_timeline("D1", 20, 80);
+  const auto with = FaultInjector(wider, 7).seu_timeline("D1", 20, 80);
+  ASSERT_EQ(base.size(), with.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(base[i].at, with[i].at);
+    EXPECT_EQ(base[i].frame_offset, with[i].frame_offset);
+  }
+}
+
+TEST(FaultInjector, PortAbortDrawsRespectProbability) {
+  FaultSpec never;
+  FaultInjector off(never, 1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(off.next_port_abort(), -1.0);
+  EXPECT_EQ(off.port_aborts_armed(), 0);
+
+  FaultSpec always;
+  always.port_abort_prob = 1.0;
+  FaultInjector on(always, 1);
+  for (int i = 0; i < 100; ++i) {
+    const double f = on.next_port_abort();
+    EXPECT_GT(f, 0.0);
+    EXPECT_LT(f, 1.0);
+  }
+  EXPECT_EQ(on.port_aborts_armed(), 100);
+}
+
+TEST(FaultInjector, FetchCorruptionFlipsExactlyOneByte) {
+  FaultSpec spec;
+  spec.fetch_faults.push_back(FetchFault{"m", 1.0});
+  FaultInjector inj(spec, 5);
+  std::vector<std::uint8_t> bytes(256, 0xAB);
+  ASSERT_TRUE(inj.maybe_corrupt_fetch("m", bytes));
+  int changed = 0;
+  for (const std::uint8_t b : bytes) changed += b != 0xAB;
+  EXPECT_EQ(changed, 1);
+  EXPECT_EQ(inj.fetch_corruptions(), 1);
+  // Unlisted module: never corrupted.
+  std::vector<std::uint8_t> other(64, 1);
+  EXPECT_FALSE(inj.maybe_corrupt_fetch("other", other));
+  EXPECT_EQ(other, std::vector<std::uint8_t>(64, 1));
+}
+
+// --- self-healing manager --------------------------------------------------------
+
+TEST(SelfHealing, RetriesTransientFetchCorruption) {
+  const synth::DesignBundle bundle = test_bundle();
+  rtr::BitstreamStore store(100e6, 0);
+  rtr::NonePrefetch policy;
+  rtr::ReconfigManager manager(bundle, recovering_config(), store, policy);
+  // First fetch arrives corrupted (CRC reject), every later one is clean.
+  int fetches = 0;
+  manager.set_fetch_fault_hook([&fetches](const std::string&, std::vector<std::uint8_t>& bytes) {
+    if (++fetches == 1) {
+      bytes[bytes.size() / 2] ^= 0xFF;
+      return true;
+    }
+    return false;
+  });
+  const auto out = manager.request("D1", "qpsk", 0);
+  EXPECT_EQ(manager.loaded("D1"), "qpsk");
+  EXPECT_EQ(manager.verify_resident("D1"), 0);
+  EXPECT_EQ(manager.health("D1"), rtr::RegionHealth::Healthy);
+  EXPECT_EQ(manager.stats().crc_rejects, 1);
+  EXPECT_EQ(manager.stats().retries, 1);
+  EXPECT_EQ(manager.stats().fallbacks, 0);
+  // The retry costs extra time beyond one cold load.
+  EXPECT_GT(out.stall, manager.cold_load_latency("qpsk"));
+}
+
+TEST(SelfHealing, RetriesTransientPortAbort) {
+  const synth::DesignBundle bundle = test_bundle();
+  rtr::BitstreamStore store(100e6, 0);
+  rtr::NonePrefetch policy;
+  rtr::ReconfigManager manager(bundle, recovering_config(), store, policy);
+  int loads = 0;
+  manager.port().set_fault_hook([&loads](Bytes, const std::string&) {
+    return ++loads == 1 ? 0.5 : -1.0;  // first transfer dies halfway
+  });
+  manager.request("D1", "qam16", 0);
+  EXPECT_EQ(manager.loaded("D1"), "qam16");
+  EXPECT_EQ(manager.verify_resident("D1"), 0);
+  EXPECT_EQ(manager.stats().port_aborts, 1);
+  EXPECT_EQ(manager.port().aborted_loads(), 1);
+  EXPECT_EQ(manager.stats().retries, 1);
+  EXPECT_EQ(manager.health("D1"), rtr::RegionHealth::Healthy);
+}
+
+TEST(SelfHealing, FallsBackToSafeModuleOnPermanentDamage) {
+  const synth::DesignBundle bundle = test_bundle();
+  rtr::BitstreamStore store(100e6, 0);
+  rtr::NonePrefetch policy;
+  rtr::ManagerConfig cfg = recovering_config();
+  cfg.recovery.max_retries = 2;
+  rtr::ReconfigManager manager(bundle, cfg, store, policy);
+  manager.set_safe_module("D1", "qpsk");
+  // Permanent store damage: every fetch of qam16 fails CRC forever.
+  store.corrupt("qam16", store.size_of("qam16") / 2);
+  const auto out = manager.request("D1", "qam16", 0);
+  EXPECT_EQ(manager.loaded("D1"), "qpsk");  // the safe personality
+  EXPECT_EQ(manager.verify_resident("D1"), 0);
+  EXPECT_EQ(manager.stats().fallbacks, 1);
+  EXPECT_EQ(manager.stats().retries, 2);
+  EXPECT_GE(manager.stats().blanks, 1);
+  EXPECT_EQ(manager.health("D1"), rtr::RegionHealth::Healthy);
+  EXPECT_GT(out.stall, 0);
+}
+
+TEST(SelfHealing, FailsRegionWhenNoSafeModuleWorks) {
+  const synth::DesignBundle bundle = test_bundle();
+  rtr::BitstreamStore store(100e6, 0);
+  rtr::NonePrefetch policy;
+  rtr::ManagerConfig cfg = recovering_config();
+  cfg.recovery.max_retries = 1;
+  rtr::ReconfigManager manager(bundle, cfg, store, policy);
+  manager.set_safe_module("D1", "qpsk");
+  store.corrupt("qpsk", 100);
+  store.corrupt("qam16", 100);
+  manager.request("D1", "qam16", 0);
+  EXPECT_EQ(manager.health("D1"), rtr::RegionHealth::Failed);
+  EXPECT_TRUE(manager.loaded("D1").empty());
+  EXPECT_GE(manager.stats().fallbacks, 1);
+}
+
+TEST(SelfHealing, RecoveryDisabledStillThrows) {
+  const synth::DesignBundle bundle = test_bundle();
+  rtr::BitstreamStore store(100e6, 0);
+  rtr::NonePrefetch policy;
+  rtr::ReconfigManager manager(bundle, rtr::ManagerConfig{}, store, policy);
+  store.corrupt("qam16", 100);
+  EXPECT_THROW(manager.request("D1", "qam16", 0), pdr::Error);
+  EXPECT_TRUE(manager.loaded("D1").empty());
+  EXPECT_EQ(manager.stats().retries, 0);
+  EXPECT_EQ(manager.stats().fallbacks, 0);
+}
+
+TEST(SelfHealing, CheckHealthTracksCorruptionAndRepair) {
+  const synth::DesignBundle bundle = test_bundle();
+  rtr::BitstreamStore store(100e6, 0);
+  rtr::NonePrefetch policy;
+  rtr::ReconfigManager manager(bundle, recovering_config(), store, policy);
+  manager.set_resident("D1", "qpsk");
+  EXPECT_EQ(manager.check_health("D1", 0), 0);
+  EXPECT_EQ(manager.health("D1"), rtr::RegionHealth::Healthy);
+
+  const auto frames = bundle.floorplan.region_frames("D1");
+  manager.memory().flip_bit(frames[3], 5, 2);
+  EXPECT_EQ(manager.check_health("D1", 1_ms), 1);
+  EXPECT_EQ(manager.health("D1"), rtr::RegionHealth::Degraded);
+
+  manager.scrub("D1", 2_ms);
+  EXPECT_EQ(manager.stats().scrub_repairs, 1);
+  EXPECT_EQ(manager.check_health("D1", 3_ms), 0);
+  EXPECT_EQ(manager.health("D1"), rtr::RegionHealth::Healthy);
+  EXPECT_GE(manager.stats().health_transitions, 2);
+  EXPECT_THROW(manager.check_health("ghost", 0), pdr::Error);
+}
+
+// --- scrub scheduler -------------------------------------------------------------
+
+TEST(ScrubSchedulerTest, BlindModeRepairsInjectedUpsets) {
+  const synth::DesignBundle bundle = test_bundle();
+  rtr::BitstreamStore store(100e6, 0);
+  rtr::NonePrefetch policy;
+  rtr::ReconfigManager manager(bundle, recovering_config(), store, policy);
+  manager.set_resident("D1", "qpsk");
+  const auto frames = bundle.floorplan.region_frames("D1");
+
+  sim::EventQueue queue;
+  ScrubScheduler scrubber(queue, manager, {"D1"}, 1_ms);
+  scrubber.start();
+  queue.schedule(500_us, "seu", [&](TimeNs) { manager.memory().flip_bit(frames[0], 1, 1); });
+  queue.schedule(2'500_us, "seu", [&](TimeNs) { manager.memory().flip_bit(frames[1], 2, 2); });
+  queue.run(10_ms);
+  EXPECT_EQ(scrubber.stats().ticks, 10);
+  EXPECT_EQ(scrubber.stats().scrubs, 10);  // blind: every tick rewrites
+  EXPECT_EQ(scrubber.stats().frames_repaired, 2);
+  EXPECT_EQ(manager.verify_resident("D1"), 0);
+}
+
+TEST(ScrubSchedulerTest, ReadbackModeSkipsCleanRegions) {
+  const synth::DesignBundle bundle = test_bundle();
+  rtr::BitstreamStore store(100e6, 0);
+  rtr::NonePrefetch policy;
+  rtr::ReconfigManager manager(bundle, recovering_config(), store, policy);
+  manager.set_resident("D1", "qpsk");
+  const auto frames = bundle.floorplan.region_frames("D1");
+
+  sim::EventQueue queue;
+  ScrubScheduler scrubber(queue, manager, {"D1"}, 1_ms, ScrubScheduler::Mode::ReadbackTriggered);
+  scrubber.start();
+  queue.schedule(4'500_us, "seu", [&](TimeNs) { manager.memory().flip_bit(frames[0], 1, 1); });
+  queue.run(10_ms);
+  EXPECT_EQ(scrubber.stats().ticks, 10);
+  EXPECT_EQ(scrubber.stats().scrubs, 1);  // only the dirty tick rewrites
+  EXPECT_EQ(scrubber.stats().frames_repaired, 1);
+  EXPECT_EQ(manager.verify_resident("D1"), 0);
+
+  EXPECT_THROW(ScrubScheduler(queue, manager, {"D1"}, 0), pdr::Error);
+  EXPECT_THROW(ScrubScheduler(queue, manager, {}, 1_ms), pdr::Error);
+}
+
+// --- campaign acceptance ---------------------------------------------------------
+
+FaultSpec acceptance_spec() {
+  FaultSpec spec;
+  spec.seed = 7;
+  spec.horizon = 80_ms;
+  spec.seus.push_back(SeuProcess{"D1", 500.0});
+  spec.port_abort_prob = 0.1;
+  spec.fetch_faults.push_back(FetchFault{"qam16", 0.3});
+  spec.store_damages.push_back(StoreDamage{"qam16", 40_ms});
+  return spec;
+}
+
+TEST(Campaign, RecoveryEndsWithEveryRegionHealthyAndClean) {
+  const synth::DesignBundle bundle = test_bundle();
+  rtr::BitstreamStore store(100e6, 0);
+  CampaignConfig config;
+  config.recovery = true;
+  const CampaignReport report = run_campaign(bundle, store, acceptance_spec(), config);
+  EXPECT_GT(report.seus_injected, 0);
+  EXPECT_GT(report.demands, 0);
+  EXPECT_EQ(report.unrecovered_errors, 0);
+  // The acceptance bar: zero silent corruption at the horizon.
+  EXPECT_TRUE(report.all_healthy());
+  ASSERT_FALSE(report.regions.empty());
+  for (const RegionOutcome& r : report.regions) {
+    EXPECT_EQ(r.health, rtr::RegionHealth::Healthy) << r.region;
+    EXPECT_EQ(r.corrupted_frames, 0) << r.region;
+    EXPECT_FALSE(r.resident.empty()) << r.region;
+  }
+  EXPECT_EQ(report.total_corrupted_frames(), 0);
+}
+
+TEST(Campaign, NoRecoveryNoScrubLeavesCorruptedFrames) {
+  const synth::DesignBundle bundle = test_bundle();
+  rtr::BitstreamStore store(100e6, 0);
+  CampaignConfig config;
+  config.recovery = false;
+  config.scrub_period = 0;
+  const CampaignReport report = run_campaign(bundle, store, acceptance_spec(), config);
+  EXPECT_GT(report.seus_injected, 0);
+  EXPECT_GT(report.total_corrupted_frames(), 0);
+}
+
+TEST(Campaign, SameSeedSameReportBitForBit) {
+  const synth::DesignBundle bundle = test_bundle();
+  CampaignConfig config;
+  rtr::BitstreamStore store_a(100e6, 0);
+  rtr::BitstreamStore store_b(100e6, 0);
+  const CampaignReport a = run_campaign(bundle, store_a, acceptance_spec(), config);
+  const CampaignReport b = run_campaign(bundle, store_b, acceptance_spec(), config);
+  EXPECT_EQ(a.to_string(), b.to_string());
+  // An explicit config seed overrides the spec's and changes the run.
+  CampaignConfig reseeded = config;
+  reseeded.seed = 12345;
+  rtr::BitstreamStore store_c(100e6, 0);
+  const CampaignReport c = run_campaign(bundle, store_c, acceptance_spec(), reseeded);
+  EXPECT_EQ(c.seed, 12345u);
+  EXPECT_NE(c.to_string(), a.to_string());
+}
+
+TEST(Campaign, RejectsSpecNamingUnknownTargets) {
+  const synth::DesignBundle bundle = test_bundle();
+  rtr::BitstreamStore store(100e6, 0);
+  CampaignConfig config;
+  FaultSpec bad_region;
+  bad_region.seus.push_back(SeuProcess{"D9", 10.0});
+  EXPECT_THROW(run_campaign(bundle, store, bad_region, config), pdr::Error);
+  FaultSpec bad_module;
+  bad_module.store_damages.push_back(StoreDamage{"ghost", 1_ms});
+  EXPECT_THROW(run_campaign(bundle, store, bad_module, config), pdr::Error);
+}
+
+}  // namespace
+}  // namespace pdr::fault

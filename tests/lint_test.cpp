@@ -319,6 +319,43 @@ TEST(LintSchedule, Pdr047NegativeDuration) {
   EXPECT_TRUE(check(s, {}).has(Rule::NegativeDuration));
 }
 
+TEST(LintSchedule, Pdr048ScrubPeriodExceedsBudget) {
+  aaa::ConstraintSet constraints;
+  aaa::RegionConstraint region;
+  region.name = "D1";
+  region.seu_budget_ms = 10;
+  constraints.regions.push_back(region);
+
+  // Rewrites at 5 ms and 12 ms over a 30 ms makespan: the tail gap
+  // (12 ms .. 30 ms) is 18 ms, past the 10 ms budget.
+  aaa::Schedule s;
+  ScheduledItem l1 = item(ItemKind::Reconfig, "load qpsk", "D1", 4'000'000, 5'000'000);
+  l1.module = "qpsk";
+  ScheduledItem l2 = item(ItemKind::Reconfig, "load qam16", "D1", 11'000'000, 12'000'000);
+  l2.module = "qam16";
+  s.items.push_back(l1);
+  s.items.push_back(l2);
+  s.makespan = 30'000'000;
+  const Report r = check(s, {}, &constraints);
+  EXPECT_TRUE(r.has(Rule::ScrubPeriodExceedsBudget));
+  // Warning severity: the budget is advisory, not a hard hazard.
+  EXPECT_EQ(r.errors(), 0u);
+
+  // A third rewrite inside the tail brings every gap under budget.
+  ScheduledItem l3 = item(ItemKind::Reconfig, "load qpsk", "D1", 20'000'000, 21'000'000);
+  l3.module = "qpsk";
+  s.items.push_back(l3);
+  EXPECT_FALSE(check(s, {}, &constraints).has(Rule::ScrubPeriodExceedsBudget));
+
+  // A budgeted region with no rewrite at all is one long exposure window.
+  aaa::Schedule idle;
+  idle.makespan = 30'000'000;
+  EXPECT_TRUE(check(idle, {}, &constraints).has(Rule::ScrubPeriodExceedsBudget));
+  // No budget declared -> never flagged.
+  constraints.regions[0].seu_budget_ms = -1;
+  EXPECT_FALSE(check(idle, {}, &constraints).has(Rule::ScrubPeriodExceedsBudget));
+}
+
 TEST(LintSchedule, CleanScheduleHasNoDiagnostics) {
   aaa::Schedule s;
   ScheduledItem load = item(ItemKind::Reconfig, "load qpsk", "D1", 0, 100);

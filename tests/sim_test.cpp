@@ -294,6 +294,36 @@ TEST(ExecutivePlayer, AlternatingSelectionPaysEveryIteration) {
   EXPECT_EQ(r.timeline.total(SpanKind::Reconfig), 10 * 100_us);
 }
 
+TEST(ExecutivePlayer, SurvivesFailedReconfigs) {
+  const ConditionedFixture f;
+  ExecutivePlayer player(f.executive, f.arch);
+  int calls = 0;
+  player.set_reconfig_cost([&calls](const std::string&, const std::string&) -> TimeNs {
+    if (++calls == 1) raise("test", "injected load failure");
+    return 100_us;
+  });
+  player.set_variant_selector([](int iteration, const std::string&, const std::string&) {
+    return iteration % 2 == 0 ? std::string("qpsk") : std::string("qam16");
+  });
+  player.set_survive_reconfig_failures(true);
+  const PlayResult r = player.run(4);
+  // Iteration 0's load fails and is absorbed; the region stays empty, so the
+  // three remaining iterations each pay a real reconfiguration.
+  EXPECT_EQ(r.reconfigs_failed, 1);
+  EXPECT_EQ(r.reconfigs, 3);
+  EXPECT_EQ(r.reconfigs_skipped, 0);
+  EXPECT_EQ(r.timeline.total(SpanKind::Reconfig), 3 * 100_us);
+}
+
+TEST(ExecutivePlayer, FailedReconfigThrowsByDefault) {
+  const ConditionedFixture f;
+  ExecutivePlayer player(f.executive, f.arch);
+  player.set_reconfig_cost([](const std::string&, const std::string&) -> TimeNs {
+    raise("test", "injected load failure");
+  });
+  EXPECT_THROW(player.run(1), pdr::Error);
+}
+
 TEST(ExecutivePlayer, StickySelectionBeatsStaticReplay) {
   // Static replay reloads the scheduled module every iteration; sticky
   // runtime selection amortizes it — the run is strictly shorter.

@@ -40,6 +40,8 @@
 #include "aaa/macrocode.hpp"
 #include "aaa/project_io.hpp"
 #include "fabric/bitstream.hpp"
+#include "fault/campaign.hpp"
+#include "fault/fault_spec.hpp"
 #include "lint/lint.hpp"
 #include "mccdma/case_study.hpp"
 #include "mccdma/system.hpp"
@@ -65,6 +67,8 @@ int usage() {
       "  pdrflow adequation <project-file> [--no-prefetch] [--reconfig-ms N]\n"
       "  pdrflow simulate [--symbols N] [--seed S] [--prefetch none|schedule|history]\n"
       "                   [--cache BYTES] [--scrub-ms N]\n"
+      "  pdrflow simulate --faults <spec-file> [--seed S] [--no-recovery]\n"
+      "                   [--scrub-ms N] [--scrub-mode blind|readback] [--cache BYTES]\n"
       "  pdrflow devices\n"
       "build/adequation/simulate also accept --trace-out FILE --metrics-out FILE\n",
       stderr);
@@ -386,6 +390,42 @@ int cmd_adequation(int argc, char** argv) {
   return 0;
 }
 
+/// `simulate --faults`: a seeded fault-injection campaign on the case
+/// study's design bundle instead of the symbol-level transmitter run.
+/// The printed report is bit-identical for the same (spec, seed) pair.
+int simulate_faults(const Args& args) {
+  const std::string* spec_path = args.value("--faults");
+  const fault::FaultSpec spec = fault::parse_fault_spec(read_file(*spec_path));
+
+  fault::CampaignConfig config;
+  config.seed = args.uint_or("--seed", 0);  // 0 = the spec's own seed
+  config.recovery = !args.has("--no-recovery");
+  config.manager = rtr::sundance_manager_config();
+  if (args.has("--cache"))
+    config.manager.cache_capacity = static_cast<Bytes>(args.uint_or("--cache", 0));
+  if (args.has("--scrub-ms"))
+    config.scrub_period = static_cast<TimeNs>(args.double_or("--scrub-ms", 0.0) * 1e6);
+  if (const std::string* mode = args.value("--scrub-mode")) {
+    if (*mode == "blind")
+      config.scrub_mode = fault::ScrubScheduler::Mode::Blind;
+    else if (*mode == "readback")
+      config.scrub_mode = fault::ScrubScheduler::Mode::ReadbackTriggered;
+    else
+      fail("flag '--scrub-mode' must be blind|readback, got '" + *mode + "'");
+  }
+
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  const mccdma::CaseStudy cs = mccdma::build_case_study();
+  rtr::BitstreamStore store = mccdma::make_case_study_store();
+  const fault::CampaignReport report =
+      fault::run_campaign(cs.bundle, store, spec, config, &tracer, &metrics);
+  std::fputs(report.to_string().c_str(), stdout);
+  write_observability(args, tracer, metrics);
+  // With recovery on, any region left unhealthy is a failed campaign.
+  return config.recovery && !report.all_healthy() ? 1 : 0;
+}
+
 int cmd_simulate(int argc, char** argv) {
   const Args args("simulate", argc, argv,
                   {{"--symbols", true},
@@ -393,9 +433,15 @@ int cmd_simulate(int argc, char** argv) {
                    {"--prefetch", true},
                    {"--cache", true},
                    {"--scrub-ms", true},
+                   {"--scrub-mode", true},
+                   {"--faults", true},
+                   {"--no-recovery", false},
                    {"--trace-out", true},
                    {"--metrics-out", true}},
                   0);
+  if (args.has("--faults")) return simulate_faults(args);
+  if (args.has("--no-recovery") || args.has("--scrub-mode"))
+    fail("flags '--no-recovery' and '--scrub-mode' require '--faults <spec-file>'");
   const std::size_t n_symbols = static_cast<std::size_t>(args.uint_or("--symbols", 4096));
 
   // The case study's own constraints pass through the linter first — the
@@ -448,6 +494,10 @@ int cmd_simulate(int argc, char** argv) {
   mt.row().add("prefetches wasted").add(m.prefetches_wasted);
   mt.row().add("scrubs").add(m.scrubs);
   mt.row().add("blanks").add(m.blanks);
+  mt.row().add("load failures").add(m.load_failures);
+  mt.row().add("retries").add(m.retries);
+  mt.row().add("fallbacks").add(m.fallbacks);
+  mt.row().add("scrub repairs").add(m.scrub_repairs);
   mt.row().add("total load time (ms)").add(to_ms(m.total_load_time), 3);
   mt.row().add("bytes loaded").add(human_bytes(m.bytes_loaded));
   mt.print();
