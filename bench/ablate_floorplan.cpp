@@ -8,13 +8,17 @@
 //    to every variant.
 //  - Device family sweep: the same 5-column module on different
 //    Virtex-II parts (frame size grows with device height).
+//
+// The width and device sweeps run their rows as ScenarioRunner scenarios
+// (parallel under --jobs N) writing index-owned row slots; tables render
+// in row order afterwards, so output is identical for any --jobs value.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 
-#include "bench_obs.hpp"
 #include "fabric/bus_macro.hpp"
+#include "flow/scenario.hpp"
 #include "mccdma/case_study.hpp"
 #include "rtr/manager.hpp"
 #include "synth/flow.hpp"
@@ -26,28 +30,57 @@ using namespace pdr;
 
 namespace {
 
-void print_width_sweep(benchutil::ObsSinks* sinks) {
+/// One rendered row of the width/device sweeps, computed inside a
+/// scenario body.
+struct SweepRow {
+  std::uint64_t slices = 0;
+  std::uint64_t frame_bytes = 0;
+  double fraction = 0;
+  std::string partial;
+  double cold_ms = 0;
+  std::string full;
+};
+
+void print_width_sweep(const flow::ObsSinks& io, int jobs) {
   std::puts("=== region width sweep (XC2V2000, case-study memory) ===\n");
+  const int widths[] = {2, 3, 4, 5, 6, 8, 12, 16, 24, 32};
+
+  std::vector<SweepRow> slots(std::size(widths));
+  std::vector<flow::Scenario> scenarios;
+  for (std::size_t i = 0; i < std::size(widths); ++i) {
+    scenarios.push_back(
+        {strprintf("width=%d", widths[i]), [&widths, &slots, i](flow::ObsSinks& sinks) {
+           synth::ModularDesignFlow flow(fabric::xc2v2000());
+           flow.set_observability(&sinks.tracer, &sinks.metrics);
+           flow.add_region("D1", {{"mod", "qam16_mapper", {}}}, 0, widths[i]);
+           const synth::DesignBundle bundle = flow.run();
+           rtr::BitstreamStore store = mccdma::make_case_study_store();
+           rtr::NonePrefetch policy;
+           rtr::ReconfigManager manager(bundle, rtr::sundance_manager_config(), store, policy);
+           SweepRow& row = slots[i];
+           row.slices = bundle.floorplan.region_slices("D1");
+           row.fraction = bundle.floorplan.region_fraction("D1");
+           row.partial = human_bytes(bundle.variant("D1", "mod").bitstream.size());
+           row.cold_ms = to_ms(manager.cold_load_latency("mod"));
+           return std::string();
+         }});
+  }
+  const flow::SweepResult sweep = flow::ScenarioRunner(jobs).run(scenarios);
+
   Table t({"width (CLB cols)", "slice budget", "% of device", "partial bitstream",
            "cold reconfig (ms)"});
-  for (int width : {2, 3, 4, 5, 6, 8, 12, 16, 24, 32}) {
-    synth::ModularDesignFlow flow(fabric::xc2v2000());
-    flow.set_observability(&sinks->tracer, &sinks->metrics);
-    flow.add_region("D1", {{"mod", "qam16_mapper", {}}}, 0, width);
-    const synth::DesignBundle bundle = flow.run();
-    rtr::BitstreamStore store = mccdma::make_case_study_store();
-    rtr::NonePrefetch policy;
-    rtr::ReconfigManager manager(bundle, rtr::sundance_manager_config(), store, policy);
+  for (std::size_t i = 0; i < std::size(widths); ++i) {
     t.row()
-        .add(width)
-        .add(bundle.floorplan.region_slices("D1"))
-        .add(100.0 * bundle.floorplan.region_fraction("D1"), 1)
-        .add(human_bytes(bundle.variant("D1", "mod").bitstream.size()))
-        .add(to_ms(manager.cold_load_latency("mod")), 2);
+        .add(widths[i])
+        .add(slots[i].slices)
+        .add(100.0 * slots[i].fraction, 1)
+        .add(slots[i].partial)
+        .add(slots[i].cold_ms, 2);
   }
   t.print();
   std::puts("\n(reconfiguration time scales linearly with region width: partial");
   std::puts(" bitstreams are full-height column sets)\n");
+  sweep.write_obs(io.trace_path, io.metrics_path);
 }
 
 void print_bus_macro_sweep() {
@@ -67,24 +100,43 @@ void print_bus_macro_sweep() {
   std::puts("");
 }
 
-void print_device_sweep() {
+void print_device_sweep(int jobs) {
   std::puts("=== device family sweep: same 5-column module on each part ===\n");
+  const char* devices[] = {"XC2V1000", "XC2V2000", "XC2V3000", "XC2V6000"};
+
+  std::vector<SweepRow> slots(std::size(devices));
+  std::vector<flow::Scenario> scenarios;
+  for (std::size_t i = 0; i < std::size(devices); ++i) {
+    scenarios.push_back({devices[i], [&devices, &slots, i](flow::ObsSinks&) {
+                           synth::ModularDesignFlow flow(fabric::device_by_name(devices[i]));
+                           flow.add_region("D1", {{"mod", "qam16_mapper", {}}}, 0, 5);
+                           const synth::DesignBundle bundle = flow.run();
+                           rtr::BitstreamStore store = mccdma::make_case_study_store();
+                           rtr::NonePrefetch policy;
+                           rtr::ReconfigManager manager(bundle, rtr::sundance_manager_config(),
+                                                        store, policy);
+                           SweepRow& row = slots[i];
+                           row.slices = static_cast<std::uint64_t>(bundle.device.total_slices());
+                           row.frame_bytes =
+                               static_cast<std::uint64_t>(bundle.device.frame_bytes());
+                           row.partial = human_bytes(bundle.variant("D1", "mod").bitstream.size());
+                           row.cold_ms = to_ms(manager.cold_load_latency("mod"));
+                           row.full = human_bytes(bundle.initial_bitstream.size());
+                           return std::string();
+                         }});
+  }
+  flow::ScenarioRunner(jobs).run(scenarios);
+
   Table t({"device", "slices", "frame bytes", "partial bitstream", "cold reconfig (ms)",
            "full bitstream"});
-  for (const char* name : {"XC2V1000", "XC2V2000", "XC2V3000", "XC2V6000"}) {
-    synth::ModularDesignFlow flow(fabric::device_by_name(name));
-    flow.add_region("D1", {{"mod", "qam16_mapper", {}}}, 0, 5);
-    const synth::DesignBundle bundle = flow.run();
-    rtr::BitstreamStore store = mccdma::make_case_study_store();
-    rtr::NonePrefetch policy;
-    rtr::ReconfigManager manager(bundle, rtr::sundance_manager_config(), store, policy);
+  for (std::size_t i = 0; i < std::size(devices); ++i) {
     t.row()
-        .add(name)
-        .add(bundle.device.total_slices())
-        .add(bundle.device.frame_bytes())
-        .add(human_bytes(bundle.variant("D1", "mod").bitstream.size()))
-        .add(to_ms(manager.cold_load_latency("mod")), 2)
-        .add(human_bytes(bundle.initial_bitstream.size()));
+        .add(devices[i])
+        .add(slots[i].slices)
+        .add(slots[i].frame_bytes)
+        .add(slots[i].partial)
+        .add(slots[i].cold_ms, 2)
+        .add(slots[i].full);
   }
   t.print();
   std::puts("\n(full-height frames mean taller devices pay more per column — the");
@@ -130,11 +182,11 @@ BENCHMARK(BM_FloorplanValidation);
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchutil::ObsSinks sinks = benchutil::parse_obs_flags(argc, argv);
-  print_width_sweep(&sinks);
+  const flow::ObsSinks io = flow::obs_sinks_from_argv(argc, argv);
+  const int jobs = flow::jobs_from_argv(argc, argv, 1);
+  print_width_sweep(io, jobs);
   print_bus_macro_sweep();
-  print_device_sweep();
-  sinks.write();
+  print_device_sweep(jobs);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -9,12 +9,17 @@
 //   - history:  a first-order Markov predictor stages the likely next
 //               module right after every switch.
 // Plus the on-chip bitstream cache as an orthogonal knob.
+//
+// Each table row runs as one ScenarioRunner scenario (its seeds serial
+// inside the body, rows in parallel under --jobs N); rows write into
+// index-owned slots and the tables are rendered in row order afterwards,
+// so the printed output is identical for any --jobs value.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 
-#include "bench_obs.hpp"
+#include "flow/scenario.hpp"
 #include "mccdma/case_study.hpp"
 #include "mccdma/system.hpp"
 #include "util/stats.hpp"
@@ -27,11 +32,6 @@ using namespace pdr::literals;
 
 namespace {
 
-const mccdma::CaseStudy& case_study() {
-  static const mccdma::CaseStudy cs = mccdma::build_case_study();
-  return cs;
-}
-
 struct Accum {
   Stats stall_ms;        ///< per-trace stall
   double elapsed_ms = 0;
@@ -43,8 +43,7 @@ struct Accum {
   int wasted = 0;
 };
 
-Accum run_policy(aaa::PrefetchChoice policy, Bytes cache, int seeds,
-                 benchutil::ObsSinks* sinks = nullptr) {
+Accum run_policy(aaa::PrefetchChoice policy, Bytes cache, int seeds, flow::ObsSinks& sinks) {
   Accum acc;
   for (int seed = 0; seed < seeds; ++seed) {
     mccdma::SystemConfig config;
@@ -52,11 +51,9 @@ Accum run_policy(aaa::PrefetchChoice policy, Bytes cache, int seeds,
     config.prefetch = policy;
     config.manager.cache_capacity = cache;
     config.ber_sample_every = 0;
-    if (sinks != nullptr) {
-      config.tracer = &sinks->tracer;
-      config.metrics = &sinks->metrics;
-    }
-    mccdma::TransmitterSystem system(case_study(), config);
+    config.tracer = &sinks.tracer;
+    config.metrics = &sinks.metrics;
+    mccdma::TransmitterSystem system(mccdma::shared_case_study(), config);
     const auto r = system.run(30'000);
     acc.stall_ms.add(to_ms(r.stall_total));
     acc.elapsed_ms += to_ms(r.elapsed);
@@ -70,11 +67,9 @@ Accum run_policy(aaa::PrefetchChoice policy, Bytes cache, int seeds,
   return acc;
 }
 
-void print_policy_table(benchutil::ObsSinks* sinks) {
+void print_policy_table(const flow::ObsSinks& io, int jobs) {
   const int seeds = 6;
   std::printf("=== prefetch policy ablation (%d fading traces x 30k symbols) ===\n\n", seeds);
-  Table t({"policy", "cache", "switches", "stall (ms)", "stall/switch (ms)", "hits", "in-flight",
-           "cache hits", "misses", "wasted"});
   struct Row {
     const char* label;
     aaa::PrefetchChoice policy;
@@ -87,12 +82,25 @@ void print_policy_table(benchutil::ObsSinks* sinks) {
       {"none + 256 KiB cache", aaa::PrefetchChoice::None, 256_KiB},
       {"schedule + 256 KiB cache", aaa::PrefetchChoice::Schedule, 256_KiB},
   };
-  for (const auto& row : rows) {
-    const Accum a = run_policy(row.policy, row.cache, seeds, sinks);
+
+  std::vector<Accum> slots(std::size(rows));
+  std::vector<flow::Scenario> scenarios;
+  for (std::size_t i = 0; i < std::size(rows); ++i) {
+    scenarios.push_back({rows[i].label, [&rows, &slots, i, seeds](flow::ObsSinks& sinks) {
+                           slots[i] = run_policy(rows[i].policy, rows[i].cache, seeds, sinks);
+                           return std::string();
+                         }});
+  }
+  const flow::SweepResult sweep = flow::ScenarioRunner(jobs).run(scenarios);
+
+  Table t({"policy", "cache", "switches", "stall (ms)", "stall/switch (ms)", "hits", "in-flight",
+           "cache hits", "misses", "wasted"});
+  for (std::size_t i = 0; i < std::size(rows); ++i) {
+    const Accum& a = slots[i];
     const double total_stall = a.stall_ms.mean() * static_cast<double>(a.stall_ms.count());
     t.row()
-        .add(row.label)
-        .add(row.cache == 0 ? "off" : "on")
+        .add(rows[i].label)
+        .add(rows[i].cache == 0 ? "off" : "on")
         .add(a.switches)
         .add(strprintf("%.1f (sd %.1f/trace)", total_stall, a.stall_ms.stddev()))
         .add(a.switches > 0 ? total_stall / a.switches : 0.0, 2)
@@ -107,28 +115,45 @@ void print_policy_table(benchutil::ObsSinks* sinks) {
   std::puts(" the Markov predictor stages instantly after each switch, so with only");
   std::puts(" two modules it converts every later switch into a staged load; the");
   std::puts(" cache removes the external fetch for modules seen before)\n");
+  sweep.write_obs(io.trace_path, io.metrics_path);
 }
 
-void print_guard_sweep() {
+void print_guard_sweep(int jobs) {
   std::puts("=== guard-band width sweep (schedule policy) ===\n");
+  const double guards[] = {0.0, 0.5, 1.0, 2.0, 4.0, 6.0};
+
+  std::vector<Accum> slots(std::size(guards));
+  std::vector<flow::Scenario> scenarios;
+  for (std::size_t i = 0; i < std::size(guards); ++i) {
+    scenarios.push_back(
+        {strprintf("guard=%.1f", guards[i]), [&guards, &slots, i](flow::ObsSinks& sinks) {
+           Accum acc;
+           for (int seed = 0; seed < 6; ++seed) {
+             mccdma::SystemConfig config;
+             config.seed = 2000 + static_cast<std::uint64_t>(seed);
+             config.adaptive.guard_db = guards[i];
+             config.ber_sample_every = 0;
+             config.tracer = &sinks.tracer;
+             config.metrics = &sinks.metrics;
+             mccdma::TransmitterSystem system(mccdma::shared_case_study(), config);
+             const auto r = system.run(30'000);
+             acc.stall_ms.add(to_ms(r.stall_total));
+             acc.hits += r.manager.prefetch_hits;
+             acc.inflight += r.manager.prefetch_inflight;
+             acc.misses += r.manager.misses;
+             acc.wasted += r.manager.prefetches_wasted;
+           }
+           slots[i] = acc;
+           return std::string();
+         }});
+  }
+  flow::ScenarioRunner(jobs).run(scenarios);
+
   Table t({"guard (dB)", "stall (ms)", "hits", "in-flight", "misses", "wasted"});
-  for (double guard : {0.0, 0.5, 1.0, 2.0, 4.0, 6.0}) {
-    Accum acc;
-    for (int seed = 0; seed < 6; ++seed) {
-      mccdma::SystemConfig config;
-      config.seed = 2000 + static_cast<std::uint64_t>(seed);
-      config.adaptive.guard_db = guard;
-      config.ber_sample_every = 0;
-      mccdma::TransmitterSystem system(case_study(), config);
-      const auto r = system.run(30'000);
-      acc.stall_ms.add(to_ms(r.stall_total));
-      acc.hits += r.manager.prefetch_hits;
-      acc.inflight += r.manager.prefetch_inflight;
-      acc.misses += r.manager.misses;
-      acc.wasted += r.manager.prefetches_wasted;
-    }
+  for (std::size_t i = 0; i < std::size(guards); ++i) {
+    const Accum& acc = slots[i];
     t.row()
-        .add(guard, 1)
+        .add(guards[i], 1)
         .add(acc.stall_ms.mean() * static_cast<double>(acc.stall_ms.count()), 2)
         .add(acc.hits)
         .add(acc.inflight)
@@ -145,7 +170,7 @@ void BM_SystemPrefetchOn(benchmark::State& state) {
   config.seed = 9;
   config.ber_sample_every = 0;
   for (auto _ : state) {
-    mccdma::TransmitterSystem system(case_study(), config);
+    mccdma::TransmitterSystem system(mccdma::shared_case_study(), config);
     benchmark::DoNotOptimize(system.run(2000));
   }
 }
@@ -157,7 +182,7 @@ void BM_SystemPrefetchOff(benchmark::State& state) {
   config.prefetch = aaa::PrefetchChoice::None;
   config.ber_sample_every = 0;
   for (auto _ : state) {
-    mccdma::TransmitterSystem system(case_study(), config);
+    mccdma::TransmitterSystem system(mccdma::shared_case_study(), config);
     benchmark::DoNotOptimize(system.run(2000));
   }
 }
@@ -166,10 +191,11 @@ BENCHMARK(BM_SystemPrefetchOff)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchutil::ObsSinks sinks = benchutil::parse_obs_flags(argc, argv);
-  print_policy_table(&sinks);
-  print_guard_sweep();
-  sinks.write();
+  const flow::ObsSinks io = flow::obs_sinks_from_argv(argc, argv);
+  const int jobs = flow::jobs_from_argv(argc, argv, 1);
+  mccdma::shared_case_study();  // warm the bundle before the thread pool
+  print_policy_table(io, jobs);
+  print_guard_sweep(jobs);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -10,15 +10,17 @@
 //   - readback-verification cost.
 //
 // The sweep runs on the fault-injection framework (src/fault): each row
-// is one seeded campaign — same spec + seed = bit-identical results.
+// is one seeded campaign — same spec + seed = bit-identical results —
+// run as a ScenarioRunner scenario into an index-owned slot, so the
+// table is identical for any --jobs value.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 
-#include "bench_obs.hpp"
 #include "fault/campaign.hpp"
 #include "fault/fault_spec.hpp"
+#include "flow/scenario.hpp"
 #include "mccdma/case_study.hpp"
 #include "rtr/manager.hpp"
 #include "util/strings.hpp"
@@ -30,15 +32,10 @@ using namespace pdr::literals;
 
 namespace {
 
-const mccdma::CaseStudy& case_study() {
-  static const mccdma::CaseStudy cs = mccdma::build_case_study();
-  return cs;
-}
-
 /// One scrub-period campaign: Poisson SEUs on D1, no demand traffic, no
 /// port/fetch faults — isolates the scrubbing trade-off.
 fault::CampaignReport run_scrub_campaign(TimeNs period, double seu_rate_hz, TimeNs horizon,
-                                         std::uint64_t seed, benchutil::ObsSinks* sinks) {
+                                         std::uint64_t seed, flow::ObsSinks& sinks) {
   fault::FaultSpec spec;
   spec.seed = seed;
   spec.horizon = horizon;
@@ -50,23 +47,34 @@ fault::CampaignReport run_scrub_campaign(TimeNs period, double seu_rate_hz, Time
   config.scrub_period = period;
   config.demand_period = 0;  // no adaptive-modulation traffic
 
-  const auto& cs = case_study();
   rtr::BitstreamStore store = mccdma::make_case_study_store();
-  return fault::run_campaign(cs.bundle, store, spec, config,
-                             sinks != nullptr ? &sinks->tracer : nullptr,
-                             sinks != nullptr ? &sinks->metrics : nullptr);
+  return fault::run_campaign(mccdma::shared_case_study().bundle, store, spec, config,
+                             &sinks.tracer, &sinks.metrics);
 }
 
-void print_scrub_table(benchutil::ObsSinks* sinks) {
+void print_scrub_table(const flow::ObsSinks& io, int jobs) {
   std::puts("=== scrub period vs. SEU exposure (Poisson SEUs at 50/s, 2 s run) ===");
   std::puts("(exaggerated upset rate so one run shows the trade-off)\n");
+  const TimeNs horizon = 2_s;
+  const TimeNs periods[] = {TimeNs{0}, 500_ms, 200_ms, 100_ms, 50_ms, 20_ms};
+
+  std::vector<fault::CampaignReport> slots(std::size(periods));
+  std::vector<flow::Scenario> scenarios;
+  for (std::size_t i = 0; i < std::size(periods); ++i) {
+    scenarios.push_back({strprintf("scrub=%.0fms", to_ms(periods[i])),
+                         [&periods, &slots, i, horizon](flow::ObsSinks& sinks) {
+                           slots[i] = run_scrub_campaign(periods[i], 50.0, horizon, 42, sinks);
+                           return std::string();
+                         }});
+  }
+  const flow::SweepResult sweep = flow::ScenarioRunner(jobs).run(scenarios);
+
   Table t({"scrub period (ms)", "scrubs", "SEUs", "frames repaired", "mean exposure (ms)",
            "port busy (%)"});
-  const TimeNs horizon = 2_s;
-  for (TimeNs period : {TimeNs{0}, 500_ms, 200_ms, 100_ms, 50_ms, 20_ms}) {
-    const fault::CampaignReport r = run_scrub_campaign(period, 50.0, horizon, 42, sinks);
+  for (std::size_t i = 0; i < std::size(periods); ++i) {
+    const fault::CampaignReport& r = slots[i];
     t.row()
-        .add(period == 0 ? std::string("off") : strprintf("%.0f", to_ms(period)))
+        .add(periods[i] == 0 ? std::string("off") : strprintf("%.0f", to_ms(periods[i])))
         .add(r.scrub.scrubs)
         .add(r.seus_injected)
         .add(r.scrub.frames_repaired)
@@ -76,11 +84,12 @@ void print_scrub_table(benchutil::ObsSinks* sinks) {
   t.print();
   std::puts("\n(faster scrubbing shortens the corruption window but eats the very");
   std::puts(" port the adaptive modulation needs for its reconfigurations)\n");
+  sweep.write_obs(io.trace_path, io.metrics_path);
 }
 
 void print_verify_cost() {
   std::puts("=== readback verification ===\n");
-  const auto& cs = case_study();
+  const auto& cs = mccdma::shared_case_study();
   rtr::BitstreamStore store = mccdma::make_case_study_store();
   rtr::NonePrefetch policy;
   rtr::ReconfigManager manager(cs.bundle, rtr::sundance_manager_config(), store, policy);
@@ -94,7 +103,7 @@ void print_verify_cost() {
 }
 
 void BM_VerifyResident(benchmark::State& state) {
-  const auto& cs = case_study();
+  const auto& cs = mccdma::shared_case_study();
   rtr::BitstreamStore store = mccdma::make_case_study_store();
   rtr::NonePrefetch policy;
   rtr::ReconfigManager manager(cs.bundle, rtr::sundance_manager_config(), store, policy);
@@ -104,7 +113,7 @@ void BM_VerifyResident(benchmark::State& state) {
 BENCHMARK(BM_VerifyResident)->Unit(benchmark::kMicrosecond);
 
 void BM_Scrub(benchmark::State& state) {
-  const auto& cs = case_study();
+  const auto& cs = mccdma::shared_case_study();
   rtr::BitstreamStore store = mccdma::make_case_study_store();
   rtr::NonePrefetch policy;
   rtr::ReconfigManager manager(cs.bundle, rtr::sundance_manager_config(), store, policy);
@@ -124,7 +133,7 @@ void BM_FaultCampaign(benchmark::State& state) {
   spec.port_abort_prob = 0.05;
   fault::CampaignConfig config;
   config.manager = rtr::sundance_manager_config();
-  const auto& cs = case_study();
+  const auto& cs = mccdma::shared_case_study();
   for (auto _ : state) {
     rtr::BitstreamStore store = mccdma::make_case_study_store();
     benchmark::DoNotOptimize(fault::run_campaign(cs.bundle, store, spec, config));
@@ -135,10 +144,11 @@ BENCHMARK(BM_FaultCampaign)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchutil::ObsSinks sinks = benchutil::parse_obs_flags(argc, argv);
-  print_scrub_table(&sinks);
+  const flow::ObsSinks io = flow::obs_sinks_from_argv(argc, argv);
+  const int jobs = flow::jobs_from_argv(argc, argv, 1);
+  mccdma::shared_case_study();  // warm the bundle before the thread pool
+  print_scrub_table(io, jobs);
   print_verify_cost();
-  sinks.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -5,6 +5,9 @@
 // regenerates the BER-vs-SNR curves for QPSK and QAM-16 through the full
 // MC-CDMA chain (spreading + OFDM), over AWGN and over an equalized
 // multipath channel, against the Gray-coding theory curves.
+//
+// Each Eb/N0 point runs as one ScenarioRunner scenario; --jobs N
+// parallelizes the grid without changing the printed tables.
 
 #include <benchmark/benchmark.h>
 
@@ -12,6 +15,7 @@
 #include <cstdio>
 
 #include "dsp/convcode.hpp"
+#include "flow/scenario.hpp"
 #include "mccdma/channel.hpp"
 #include "mccdma/modulation.hpp"
 #include "mccdma/receiver.hpp"
@@ -58,22 +62,43 @@ double measure_ber(const std::string& modulation, double ebn0_db, bool multipath
   return report.ber();
 }
 
-void print_waterfall() {
+void print_waterfall(int jobs) {
   std::puts("=== BER waterfall: MC-CDMA chain vs Gray-coding theory ===");
   std::puts("(AWGN column should track theory; the equalized 8-tap multipath");
   std::puts(" channel pays an SNR penalty on faded subcarriers)\n");
+  // One Eb/N0 point per scenario (each seeded measurement is pure), rows
+  // rendered in point order afterwards — --jobs N leaves stdout unchanged.
+  const double points[] = {0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0};
+  struct Row {
+    std::string qpsk_awgn, qpsk_multi, qam16_awgn, qam16_multi;
+  };
+  std::vector<Row> slots(std::size(points));
+  std::vector<flow::Scenario> scenarios;
+  for (std::size_t i = 0; i < std::size(points); ++i) {
+    scenarios.push_back(
+        {strprintf("ebn0=%.0f", points[i]), [&points, &slots, i](flow::ObsSinks&) {
+           const int symbols = 400;
+           const double ebn0 = points[i];
+           slots[i] = Row{strprintf("%.1e", measure_ber("qpsk", ebn0, false, 100, symbols)),
+                          strprintf("%.1e", measure_ber("qpsk", ebn0, true, 200, symbols)),
+                          strprintf("%.1e", measure_ber("qam16", ebn0, false, 300, symbols)),
+                          strprintf("%.1e", measure_ber("qam16", ebn0, true, 400, symbols))};
+           return std::string();
+         }});
+  }
+  flow::ScenarioRunner(jobs).run(scenarios);
+
   Table t({"Eb/N0 (dB)", "qpsk theory", "qpsk awgn", "qpsk multipath", "qam16 theory",
            "qam16 awgn", "qam16 multipath"});
-  for (double ebn0 : {0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0}) {
-    const int symbols = 400;
+  for (std::size_t i = 0; i < std::size(points); ++i) {
     t.row()
-        .add(ebn0, 0)
-        .add(strprintf("%.1e", mccdma::theoretical_ber("qpsk", ebn0)))
-        .add(strprintf("%.1e", measure_ber("qpsk", ebn0, false, 100, symbols)))
-        .add(strprintf("%.1e", measure_ber("qpsk", ebn0, true, 200, symbols)))
-        .add(strprintf("%.1e", mccdma::theoretical_ber("qam16", ebn0)))
-        .add(strprintf("%.1e", measure_ber("qam16", ebn0, false, 300, symbols)))
-        .add(strprintf("%.1e", measure_ber("qam16", ebn0, true, 400, symbols)));
+        .add(points[i], 0)
+        .add(strprintf("%.1e", mccdma::theoretical_ber("qpsk", points[i])))
+        .add(slots[i].qpsk_awgn)
+        .add(slots[i].qpsk_multi)
+        .add(strprintf("%.1e", mccdma::theoretical_ber("qam16", points[i])))
+        .add(slots[i].qam16_awgn)
+        .add(slots[i].qam16_multi);
   }
   t.print();
   std::puts("\n(the ~4 dB gap between the qpsk and qam16 curves is what the");
@@ -133,15 +158,27 @@ double measure_coded_ber(const std::string& modulation, double ebn0_db, std::uin
   return static_cast<double>(errors) / static_cast<double>(total);
 }
 
-void print_coding_gain() {
+void print_coding_gain(int jobs) {
   std::puts("=== coding gain: K=7 rate-1/2 convolutional + Viterbi, QPSK chain ===\n");
-  Table t({"Eb/N0 (dB)", "uncoded", "coded (hard Viterbi)"});
-  for (double ebn0 : {2.0, 4.0, 6.0, 8.0}) {
-    t.row()
-        .add(ebn0, 0)
-        .add(strprintf("%.1e", measure_ber("qpsk", ebn0, false, 500, 400)))
-        .add(strprintf("%.1e", measure_coded_ber("qpsk", ebn0, 600, 12)));
+  const double points[] = {2.0, 4.0, 6.0, 8.0};
+  struct Row {
+    std::string uncoded, coded;
+  };
+  std::vector<Row> slots(std::size(points));
+  std::vector<flow::Scenario> scenarios;
+  for (std::size_t i = 0; i < std::size(points); ++i) {
+    scenarios.push_back(
+        {strprintf("coded/ebn0=%.0f", points[i]), [&points, &slots, i](flow::ObsSinks&) {
+           slots[i] = Row{strprintf("%.1e", measure_ber("qpsk", points[i], false, 500, 400)),
+                          strprintf("%.1e", measure_coded_ber("qpsk", points[i], 600, 12))};
+           return std::string();
+         }});
   }
+  flow::ScenarioRunner(jobs).run(scenarios);
+
+  Table t({"Eb/N0 (dB)", "uncoded", "coded (hard Viterbi)"});
+  for (std::size_t i = 0; i < std::size(points); ++i)
+    t.row().add(points[i], 0).add(slots[i].uncoded).add(slots[i].coded);
   t.print();
   std::puts("\n(hard-decision Viterbi buys ~3 dB at moderate SNR despite the");
   std::puts(" halved information rate already being charged to Eb/N0)\n");
@@ -162,8 +199,9 @@ BENCHMARK(BM_BerPointMultipath)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_waterfall();
-  print_coding_gain();
+  const int jobs = flow::jobs_from_argv(argc, argv, 1);
+  print_waterfall(jobs);
+  print_coding_gain(jobs);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -5,5 +5,8 @@ divert(0)dnl
 processor_(D1, fpga_region)dnl
 main_
   loop_
+    recv_(interleave_to_modulation, LIO, 32)
+    compute_(modulation_qpsk_, 1000)
+    send_(modulation_to_spread, LIO, 64)
   endloop_
 endmain_

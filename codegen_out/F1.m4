@@ -9,7 +9,8 @@ main_
     compute_(scramble, 800)
     compute_(conv_code, 1000)
     compute_(interleave, 1000)
-    compute_(modulation_qpsk_, 1000)
+    send_(interleave_to_modulation, LIO, 32)
+    recv_(modulation_to_spread, LIO, 64)
     compute_(spread, 2000)
     compute_(ifft, 3200)
     compute_(cyclic_prefix, 800)

@@ -5,5 +5,7 @@ divert(0)dnl
 media_(LIO)dnl
 main_
   loop_
+    move_(interleave_to_modulation, 32)
+    move_(modulation_to_spread, 64)
   endloop_
 endmain_

@@ -2,17 +2,19 @@
 // adequation -> constraints file + VHDL generation -> Modular Design
 // (placement, bitstreams). Writes every artifact into ./codegen_out/ the
 // way SynDEx + the Xilinx flow would populate a project directory.
+//
+// All of it runs through the mccdma::case_study_pipeline() preset: the
+// adequation, codegen and Modular Design stages are cached artifacts, so
+// a second run of this example (in the same process) would rebuild
+// nothing.
 
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 
-#include "aaa/adequation.hpp"
-#include "aaa/codegen_c.hpp"
-#include "aaa/codegen_m4.hpp"
-#include "aaa/codegen_vhdl.hpp"
-#include "aaa/macrocode.hpp"
+#include "flow/pipeline.hpp"
 #include "mccdma/case_study.hpp"
+#include "mccdma/flow_presets.hpp"
 #include "sim/executive_player.hpp"
 #include "util/strings.hpp"
 
@@ -32,75 +34,49 @@ int main() {
   const std::filesystem::path out_dir = "codegen_out";
   std::filesystem::create_directories(out_dir);
 
+  flow::Pipeline pipeline = mccdma::case_study_pipeline();
+  const mccdma::CaseStudy& cs = mccdma::shared_case_study();
+
   std::puts("[1/5] modelisation: algorithm + architecture graphs");
-  const mccdma::CaseStudy cs = mccdma::build_case_study();
   write_file(out_dir / "algorithm.dot", cs.algorithm.to_dot());
   write_file(out_dir / "architecture.dot", cs.architecture.to_dot());
 
   std::puts("[2/5] constraints file (dynamic modules, exclusions, relations)");
-  write_file(out_dir / "design.constraints", aaa::write_constraints(cs.constraints));
+  write_file(out_dir / "design.constraints", pipeline.options().constraints_text);
 
   std::puts("[3/5] adequation: mapping + scheduling");
-  aaa::Adequation adequation(cs.algorithm, cs.architecture, cs.durations);
-  adequation.set_reconfig_cost(mccdma::case_study_reconfig_cost(cs.bundle));
-  aaa::AdequationOptions options;
-  options.preloaded["D1"] = "qpsk";  // 'load startup' constraint of module qpsk
-  const aaa::Schedule schedule = adequation.run(options);
-  aaa::validate_schedule(schedule, cs.algorithm, cs.architecture);
-  write_file(out_dir / "schedule.txt", schedule.to_string() + "\n" + schedule.gantt());
+  const std::shared_ptr<const flow::AdequationArtifacts> adeq = pipeline.adequation();
+  write_file(out_dir / "schedule.txt",
+             adeq->schedule.to_string() + "\n" + adeq->schedule.gantt());
 
   std::puts("[4/5] macro-code translation: VHDL for FPGA parts, C for the DSP");
-  const aaa::Executive executive = aaa::generate_executive(schedule, cs.algorithm, cs.architecture);
-  write_file(out_dir / "executive.txt", executive.to_string());
-  write_file(out_dir / "pdr_executive_pkg.vhd", aaa::generate_vhdl_package());
-  for (aaa::NodeId n : cs.architecture.operators()) {
-    const aaa::OperatorNode& op = cs.architecture.op(n);
-    const aaa::MacroProgram& program = executive.program(op.name);
-    if (op.kind == aaa::OperatorKind::Processor) {
-      write_file(out_dir / (identifier(op.name) + "_executive.c"),
-                 aaa::generate_c_executive(program, op, cs.constraints));
-    } else {
-      aaa::VhdlOptions vhdl;
-      vhdl.embed_reconfig_manager = op.kind == aaa::OperatorKind::FpgaStatic &&
-                                    cs.constraints.manager == aaa::Placement::Fpga;
-      if (op.kind == aaa::OperatorKind::FpgaRegion)
-        vhdl.bus_macro_count =
-            static_cast<int>(cs.bundle.floorplan.region(op.region).bus_macros.size());
-      write_file(out_dir / (identifier(op.name) + ".vhd"),
-                 aaa::generate_vhdl_entity(program, op, vhdl));
-    }
-  }
-  write_file(out_dir / "design_top.vhd",
-             aaa::generate_vhdl_top(executive, cs.architecture, cs.constraints));
-  // SynDEx's native macro-code form: one m4 file per vertex + the index.
-  for (const auto& program : executive.programs)
-    write_file(out_dir / (identifier(program.resource) + ".m4"),
-               aaa::generate_m4_macrocode(program, cs.architecture));
-  write_file(out_dir / "application.m4",
-             aaa::generate_m4_application(executive, cs.architecture, "mccdma_tx"));
+  write_file(out_dir / "executive.txt", adeq->executive.to_string());
+  const std::shared_ptr<const flow::CodegenArtifacts> gen = pipeline.codegen();
+  for (const auto& [name, content] : gen->files) write_file(out_dir / name, content);
 
   // Execute the generated executive and render its timeline as SVG.
   {
-    sim::ExecutivePlayer player(executive, cs.architecture);
+    sim::ExecutivePlayer player(adeq->executive, cs.architecture);
     player.set_reconfig_cost(mccdma::case_study_reconfig_cost(cs.bundle));
     const sim::PlayResult played = player.run(8);
     write_file(out_dir / "executive_timeline.svg", played.timeline.to_svg());
   }
 
   std::puts("[5/5] Modular Design back-end: floorplan + partial bitstreams");
-  write_file(out_dir / "floorplan.txt", cs.bundle.floorplan.render());
-  for (const auto& name : cs.bundle.variant_names("D1")) {
-    const auto& variant = cs.bundle.variant("D1", name);
+  const std::shared_ptr<const synth::DesignBundle> bundle = pipeline.bundle();
+  write_file(out_dir / "floorplan.txt", bundle->floorplan.render());
+  for (const auto& name : bundle->variant_names("D1")) {
+    const auto& variant = bundle->variant("D1", name);
     std::string blob(variant.bitstream.begin(), variant.bitstream.end());
     write_file(out_dir / (name + "_partial.bit"), blob);
   }
-  std::string full(cs.bundle.initial_bitstream.begin(), cs.bundle.initial_bitstream.end());
+  std::string full(bundle->initial_bitstream.begin(), bundle->initial_bitstream.end());
   write_file(out_dir / "initial_full.bit", full);
 
   printf("\nflow timings: elaborate %.0f us, map %.0f us, place %.0f us, bitgen %.0f us\n",
-         cs.bundle.report.elaborate_us, cs.bundle.report.map_us, cs.bundle.report.place_us,
-         cs.bundle.report.bitgen_us);
-  printf("done; %d modules, %s of bitstreams in %s/\n", cs.bundle.report.modules,
-         human_bytes(cs.bundle.report.total_bitstream_bytes).c_str(), out_dir.c_str());
+         bundle->report.elaborate_us, bundle->report.map_us, bundle->report.place_us,
+         bundle->report.bitgen_us);
+  printf("done; %d modules, %s of bitstreams in %s/\n", bundle->report.modules,
+         human_bytes(bundle->report.total_bitstream_bytes).c_str(), out_dir.c_str());
   return 0;
 }

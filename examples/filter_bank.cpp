@@ -12,7 +12,9 @@
 
 #include "dsp/fft.hpp"
 #include "dsp/fir.hpp"
+#include "flow/pipeline.hpp"
 #include "mccdma/case_study.hpp"
+#include "mccdma/flow_presets.hpp"
 #include "rtr/manager.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -58,11 +60,14 @@ double high_band_fraction(std::span<const double> block) {
 
 int main() {
   const aaa::ConstraintSet constraints = aaa::parse_constraints(kConstraints);
-  const synth::DesignBundle bundle = mccdma::run_flow_from_constraints(
-      constraints, {{"spectrum_monitor", "ifft", {{"n", 256}}},
-                    {"iface", "interface_in_out", {}},
-                    {"cfg", "config_manager", {}},
-                    {"pb", "protocol_builder", {}}});
+  // Parse + lint + Modular Design through the flow pipeline preset.
+  flow::Pipeline pipeline =
+      mccdma::constraints_pipeline(kConstraints, {{"spectrum_monitor", "ifft", {{"n", 256}}},
+                                                  {"iface", "interface_in_out", {}},
+                                                  {"cfg", "config_manager", {}},
+                                                  {"pb", "protocol_builder", {}}});
+  const std::shared_ptr<const synth::DesignBundle> bundle_ptr = pipeline.bundle();
+  const synth::DesignBundle& bundle = *bundle_ptr;
   std::fputs(bundle.floorplan.render().c_str(), stdout);
 
   rtr::BitstreamStore store = mccdma::make_case_study_store();

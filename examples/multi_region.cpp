@@ -11,7 +11,9 @@
 #include <cstdio>
 
 #include "aaa/adequation.hpp"
+#include "flow/pipeline.hpp"
 #include "mccdma/case_study.hpp"
+#include "mccdma/flow_presets.hpp"
 #include "rtr/manager.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -48,11 +50,15 @@ relation rate34 then rate12
 
 int main() {
   const aaa::ConstraintSet constraints = aaa::parse_constraints(kConstraints);
-  const synth::DesignBundle bundle = mccdma::run_flow_from_constraints(
-      constraints, {{"ifft", "ifft", {{"n", 64}}},
-                    {"iface", "interface_in_out", {}},
-                    {"cfg", "config_manager", {}},
-                    {"pb", "protocol_builder", {}}});
+  // The Synth stage through the flow pipeline: parsed + linted + built
+  // once, then served from the process-wide artifact cache.
+  flow::Pipeline pipeline =
+      mccdma::constraints_pipeline(kConstraints, {{"ifft", "ifft", {{"n", 64}}},
+                                                  {"iface", "interface_in_out", {}},
+                                                  {"cfg", "config_manager", {}},
+                                                  {"pb", "protocol_builder", {}}});
+  const std::shared_ptr<const synth::DesignBundle> bundle_ptr = pipeline.bundle();
+  const synth::DesignBundle& bundle = *bundle_ptr;
 
   std::puts("=== floorplan with two dynamic parts ===");
   std::fputs(bundle.floorplan.render().c_str(), stdout);

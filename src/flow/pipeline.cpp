@@ -1,0 +1,230 @@
+#include "flow/pipeline.hpp"
+
+#include <utility>
+
+#include "aaa/codegen_c.hpp"
+#include "aaa/codegen_m4.hpp"
+#include "aaa/codegen_vhdl.hpp"
+#include "fabric/device.hpp"
+#include "lint/constraint_rules.hpp"
+#include "lint/executive_rules.hpp"
+#include "lint/schedule_rules.hpp"
+#include "rtr/bitstream_store.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace pdr::flow {
+
+Fingerprint fingerprint_statics(const std::vector<synth::ModuleSpec>& statics) {
+  Fingerprint fp;
+  fp.mix(std::uint64_t{statics.size()});
+  for (const auto& s : statics) {
+    fp.mix(s.name).mix(s.kind).mix(std::uint64_t{s.params.size()});
+    for (const auto& [key, value] : s.params)
+      fp.mix(key).mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(value)));
+  }
+  return fp;
+}
+
+Pipeline::Pipeline(PipelineOptions options, std::shared_ptr<ArtifactStore> store)
+    : options_(std::move(options)), store_(std::move(store)) {
+  PDR_CHECK(store_ != nullptr, "Pipeline", "null artifact store");
+  PDR_CHECK(!options_.reconfig_cost_fn || !options_.reconfig_cost_tag.empty(), "Pipeline",
+            "a reconfig_cost_fn needs a reconfig_cost_tag to key the cache");
+}
+
+void Pipeline::set_observability(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  metrics_ = metrics;
+}
+
+Fingerprint Pipeline::constraints_key() const { return fingerprint_of(options_.constraints_text); }
+
+Fingerprint Pipeline::synth_key() const {
+  Fingerprint fp = constraints_key();
+  fp.mix(fingerprint_statics(options_.statics));
+  return fp;
+}
+
+Fingerprint Pipeline::project_key() const { return fingerprint_of(options_.project_text); }
+
+Fingerprint Pipeline::adequation_key() const {
+  Fingerprint fp = project_key();
+  fp.mix(static_cast<std::uint64_t>(options_.reconfig_cost))
+      .mix(options_.reconfig_cost_tag)
+      .mix(options_.prefetch)
+      .mix(std::uint64_t{options_.preloaded.size()});
+  for (const auto& [region, module] : options_.preloaded) fp.mix(region).mix(module);
+  if (options_.apply_constraints) fp.mix(constraints_key());
+  return fp;
+}
+
+void Pipeline::note_stage(const char* stage, bool ran) {
+  if (tracer_ != nullptr && !ran)
+    tracer_->instant("flow", std::string(stage) + " (cached)", "flow_cache", 0);
+  if (metrics_ != nullptr) store_->export_metrics(*metrics_);
+}
+
+std::shared_ptr<const aaa::ConstraintSet> Pipeline::constraints() {
+  PDR_CHECK(!options_.constraints_text.empty(), "Pipeline::constraints",
+            "no constraints_text input");
+  const std::uint64_t runs_before = store_->runs(stage::kParseConstraints);
+  auto artifact = store_->get_or_build<aaa::ConstraintSet>(
+      stage::kParseConstraints, constraints_key(),
+      [&] { return aaa::parse_constraints(options_.constraints_text, /*validate=*/false); });
+  note_stage(stage::kParseConstraints, store_->runs(stage::kParseConstraints) != runs_before);
+  return artifact;
+}
+
+std::shared_ptr<const lint::Report> Pipeline::lint_report() {
+  auto parsed = constraints();
+  const std::uint64_t runs_before = store_->runs(stage::kLint);
+  auto artifact = store_->get_or_build<lint::Report>(
+      stage::kLint, constraints_key(), [&] { return lint::check_constraints(*parsed); });
+  note_stage(stage::kLint, store_->runs(stage::kLint) != runs_before);
+  return artifact;
+}
+
+std::shared_ptr<const synth::DesignBundle> Pipeline::bundle() {
+  auto parsed = constraints();
+  if (options_.lint_gate) {
+    auto report = lint_report();
+    if (report->errors() > 0)
+      throw Error("constraints failed the design-rule check:\n" + report->to_text());
+  }
+  const std::uint64_t runs_before = store_->runs(stage::kSynth);
+  auto artifact = store_->get_or_build<synth::DesignBundle>(stage::kSynth, synth_key(), [&] {
+    synth::ModularDesignFlow flow(fabric::device_by_name(parsed->device));
+    flow.set_observability(tracer_, metrics_);
+    for (const auto& s : options_.statics) flow.add_static(s.name, s.kind, s.params);
+    for (const auto& region : parsed->regions) {
+      std::vector<synth::ModuleSpec> variants;
+      for (const auto* m : parsed->modules_of(region.name))
+        variants.push_back(synth::ModuleSpec{m->name, m->kind, m->params});
+      flow.add_region(region.name, std::move(variants), region.margin,
+                      region.width);  // width -1 = auto
+    }
+    return flow.run();
+  });
+  note_stage(stage::kSynth, store_->runs(stage::kSynth) != runs_before);
+  return artifact;
+}
+
+std::shared_ptr<const aaa::Project> Pipeline::project() {
+  PDR_CHECK(!options_.project_text.empty(), "Pipeline::project", "no project_text input");
+  const std::uint64_t runs_before = store_->runs(stage::kParseProject);
+  auto artifact = store_->get_or_build<aaa::Project>(
+      stage::kParseProject, project_key(), [&] { return aaa::parse_project(options_.project_text); });
+  note_stage(stage::kParseProject, store_->runs(stage::kParseProject) != runs_before);
+  return artifact;
+}
+
+std::shared_ptr<const AdequationArtifacts> Pipeline::adequation() {
+  auto proj = project();
+  const std::uint64_t runs_before = store_->runs(stage::kAdequation);
+  auto artifact =
+      store_->get_or_build<AdequationArtifacts>(stage::kAdequation, adequation_key(), [&] {
+        aaa::Adequation adequation(proj->algorithm, proj->architecture, proj->durations);
+        if (options_.apply_constraints) adequation.apply_constraints(*constraints());
+        if (options_.reconfig_cost_fn) {
+          adequation.set_reconfig_cost(options_.reconfig_cost_fn);
+        } else {
+          const TimeNs cost = options_.reconfig_cost;
+          adequation.set_reconfig_cost(
+              [cost](const std::string&, const std::string&) { return cost; });
+        }
+        aaa::AdequationOptions opts;
+        opts.prefetch = options_.prefetch;
+        opts.preloaded = options_.preloaded;
+        const aaa::Schedule schedule = adequation.run(opts);
+        const aaa::Executive executive =
+            aaa::generate_executive(schedule, proj->algorithm, proj->architecture);
+        lint::Report report =
+            lint::check_schedule(schedule, proj->algorithm, proj->architecture);
+        report.merge(lint::check_executive(executive));
+        if (options_.lint_gate && report.errors() > 0)
+          throw Error("schedule/executive failed the design-rule check:\n" + report.to_text());
+        return AdequationArtifacts{schedule, executive, std::move(report)};
+      });
+  note_stage(stage::kAdequation, store_->runs(stage::kAdequation) != runs_before);
+  return artifact;
+}
+
+std::shared_ptr<const CodegenArtifacts> Pipeline::codegen() {
+  auto proj = project();
+  auto adeq = adequation();
+  const bool with_constraints = !options_.constraints_text.empty();
+  // The generated manager/top wiring depends on the constraints (port,
+  // manager/builder placement) and, for region operators, on the synth
+  // floorplan's bus-macro provisioning — fold both into the key.
+  Fingerprint key = adequation_key();
+  if (with_constraints) key.mix(synth_key());
+  const std::uint64_t runs_before = store_->runs(stage::kCodegen);
+  auto artifact = store_->get_or_build<CodegenArtifacts>(stage::kCodegen, key, [&] {
+    const aaa::ConstraintSet fallback;
+    const aaa::ConstraintSet& cset = with_constraints ? *constraints() : fallback;
+    const synth::DesignBundle* bun = with_constraints ? bundle().get() : nullptr;
+    CodegenArtifacts out;
+    out.files["pdr_executive_pkg.vhd"] = aaa::generate_vhdl_package();
+    for (aaa::NodeId n : proj->architecture.operators()) {
+      const aaa::OperatorNode& op = proj->architecture.op(n);
+      const aaa::MacroProgram& program = adeq->executive.program(op.name);
+      if (op.kind == aaa::OperatorKind::Processor) {
+        out.files[identifier(op.name) + "_executive.c"] =
+            aaa::generate_c_executive(program, op, cset);
+      } else {
+        aaa::VhdlOptions vhdl;
+        vhdl.embed_reconfig_manager =
+            op.kind == aaa::OperatorKind::FpgaStatic && cset.manager == aaa::Placement::Fpga;
+        if (op.kind == aaa::OperatorKind::FpgaRegion && bun != nullptr) {
+          if (const fabric::Region* region = bun->floorplan.find_region(op.region))
+            vhdl.bus_macro_count = static_cast<int>(region->bus_macros.size());
+        }
+        out.files[identifier(op.name) + ".vhd"] = aaa::generate_vhdl_entity(program, op, vhdl);
+      }
+    }
+    out.files["design_top.vhd"] =
+        aaa::generate_vhdl_top(adeq->executive, proj->architecture, cset);
+    for (const auto& program : adeq->executive.programs)
+      out.files[identifier(program.resource) + ".m4"] =
+          aaa::generate_m4_macrocode(program, proj->architecture);
+    out.files["application.m4"] =
+        aaa::generate_m4_application(adeq->executive, proj->architecture, proj->name);
+    return out;
+  });
+  note_stage(stage::kCodegen, store_->runs(stage::kCodegen) != runs_before);
+  return artifact;
+}
+
+std::shared_ptr<const fault::CampaignReport> Pipeline::fault_campaign(
+    const std::string& spec_text, const FaultCampaignOptions& opts) {
+  auto bun = bundle();
+  Fingerprint key = synth_key();
+  key.mix(spec_text)
+      .mix(opts.seed)
+      .mix(opts.recovery)
+      .mix(static_cast<std::uint64_t>(opts.scrub_period))
+      .mix(std::uint64_t{static_cast<unsigned>(opts.scrub_mode)})
+      .mix(static_cast<std::uint64_t>(opts.demand_period))
+      .mix(opts.manager_tag)
+      .mix(opts.store_bandwidth)
+      .mix(static_cast<std::uint64_t>(opts.store_latency));
+  const std::uint64_t runs_before = store_->runs(stage::kFaultCampaign);
+  auto artifact =
+      store_->get_or_build<fault::CampaignReport>(stage::kFaultCampaign, key, [&] {
+        const fault::FaultSpec spec = fault::parse_fault_spec(spec_text);
+        fault::CampaignConfig config;
+        config.seed = opts.seed;
+        config.recovery = opts.recovery;
+        config.scrub_period = opts.scrub_period;
+        config.scrub_mode = opts.scrub_mode;
+        config.demand_period = opts.demand_period;
+        config.manager = opts.manager;
+        rtr::BitstreamStore store(opts.store_bandwidth, opts.store_latency);
+        return fault::run_campaign(*bun, store, spec, config, tracer_, metrics_);
+      });
+  note_stage(stage::kFaultCampaign, store_->runs(stage::kFaultCampaign) != runs_before);
+  return artifact;
+}
+
+}  // namespace pdr::flow

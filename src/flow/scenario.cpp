@@ -1,0 +1,124 @@
+#include "flow/scenario.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <thread>
+
+#include "util/arg_parser.hpp"
+#include "util/error.hpp"
+
+namespace pdr::flow {
+
+namespace {
+
+double elapsed_ms(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+void ObsSinks::write() const {
+  if (!trace_path.empty()) {
+    tracer.write_chrome_json(trace_path);
+    std::printf("wrote trace with %zu events to %s\n", tracer.size(), trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    metrics.write_json(metrics_path);
+    std::printf("wrote %zu metrics to %s\n", metrics.names().size(), metrics_path.c_str());
+  }
+}
+
+std::string SweepResult::combined_report() const {
+  std::string out;
+  for (const ScenarioResult& r : results) {
+    out += "=== " + r.name + " ===\n";
+    out += r.ok() ? r.report : "ERROR: " + r.error + "\n";
+  }
+  return out;
+}
+
+void SweepResult::write_obs(const std::string& trace_path,
+                            const std::string& metrics_path) const {
+  if (!trace_path.empty()) {
+    trace.write_chrome_json(trace_path);
+    std::printf("wrote trace with %zu events to %s\n", trace.size(), trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    metrics.write_json(metrics_path);
+    std::printf("wrote %zu metrics to %s\n", metrics.names().size(), metrics_path.c_str());
+  }
+}
+
+std::size_t SweepResult::failures() const {
+  std::size_t n = 0;
+  for (const ScenarioResult& r : results)
+    if (!r.ok()) ++n;
+  return n;
+}
+
+ScenarioRunner::ScenarioRunner(int jobs) : jobs_(jobs < 1 ? 1 : jobs) {}
+
+SweepResult ScenarioRunner::run(const std::vector<Scenario>& scenarios) const {
+  const auto sweep_start = std::chrono::steady_clock::now();
+  const std::size_t n = scenarios.size();
+
+  // Per-scenario isolation: each worker touches only index-owned slots.
+  std::vector<ObsSinks> sinks(n);
+  std::vector<ScenarioResult> results(n);
+  for (std::size_t i = 0; i < n; ++i) results[i].name = scenarios[i].name;
+
+  const auto run_one = [&](std::size_t i) {
+    PDR_CHECK(scenarios[i].body != nullptr, "ScenarioRunner", "scenario without a body");
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      results[i].report = scenarios[i].body(sinks[i]);
+    } catch (const std::exception& e) {
+      results[i].error = e.what();
+    }
+    results[i].wall_ms = elapsed_ms(start);
+  };
+
+  if (jobs_ <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) run_one(i);
+  } else {
+    std::atomic<std::size_t> next{0};
+    const std::size_t workers = std::min<std::size_t>(static_cast<std::size_t>(jobs_), n);
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) run_one(i);
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Deterministic merge: strictly scenario-list order, after the barrier.
+  SweepResult sweep;
+  sweep.results = std::move(results);
+  for (std::size_t i = 0; i < n; ++i) {
+    sweep.trace.append(sinks[i].tracer, scenarios[i].name + "/");
+    sweep.metrics.merge(sinks[i].metrics);
+  }
+  sweep.wall_ms = elapsed_ms(sweep_start);
+  return sweep;
+}
+
+ObsSinks obs_sinks_from_argv(int& argc, char** argv) {
+  const util::ArgParser args = util::ArgParser::extract(
+      "obs", argc, argv, {{"--trace-out", true}, {"--metrics-out", true}});
+  ObsSinks sinks;
+  sinks.trace_path = args.string_or("--trace-out", "");
+  sinks.metrics_path = args.string_or("--metrics-out", "");
+  return sinks;
+}
+
+int jobs_from_argv(int& argc, char** argv, int fallback) {
+  const util::ArgParser args = util::ArgParser::extract("jobs", argc, argv, {{"--jobs", true}});
+  return static_cast<int>(args.uint_or("--jobs", static_cast<std::uint64_t>(fallback)));
+}
+
+}  // namespace pdr::flow

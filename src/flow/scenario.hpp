@@ -1,0 +1,97 @@
+// ScenarioRunner: N independent pipeline/simulation instances on a
+// fixed-size thread pool, with per-scenario observability sinks merged
+// deterministically.
+//
+// The determinism contract: for the same scenario list (same seeds, same
+// bodies), the merged SweepResult — per-scenario report strings, merged
+// tracer, merged metrics — is byte-identical whatever `jobs` is, 1 or 16.
+// Three properties combine to give that:
+//  - every scenario body is a pure function of its inputs (all the
+//    simulations are seed-driven; sim::EventQueue's FIFO tie-break keeps
+//    them so),
+//  - each scenario writes only to its own Tracer/MetricsRegistry and its
+//    own result slot (no shared mutable state between bodies),
+//  - merging happens after the barrier, serially, in scenario-list order
+//    (never completion order).
+// Wall-clock timings are recorded per scenario but deliberately kept out
+// of the report strings; print them to stderr, not stdout.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace pdr::flow {
+
+/// Per-scenario observability sinks, handed to the body. Also the shared
+/// --trace-out/--metrics-out plumbing for the bench/CLI binaries (the
+/// successor of the deleted bench/bench_obs.hpp).
+struct ObsSinks {
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  std::string trace_path;    ///< "" = do not write
+  std::string metrics_path;  ///< "" = do not write
+
+  /// Writes whichever outputs have a path, logging one line each.
+  void write() const;
+};
+
+struct Scenario {
+  /// Unique label; prefixes the scenario's tracks in the merged trace.
+  std::string name;
+  /// Runs the scenario, recording into `sinks`, and returns the
+  /// deterministic report text (simulated-time numbers only — no
+  /// wall-clock, or serial-vs-parallel byte-identity breaks).
+  std::function<std::string(ObsSinks& sinks)> body;
+};
+
+struct ScenarioResult {
+  std::string name;
+  std::string report;   ///< body's return value ("" when it threw)
+  std::string error;    ///< exception message ("" on success)
+  double wall_ms = 0;   ///< body wall-clock (excluded from determinism)
+  bool ok() const { return error.empty(); }
+};
+
+struct SweepResult {
+  std::vector<ScenarioResult> results;  ///< scenario-list order
+  obs::Tracer trace;                    ///< tracks prefixed "<name>/"
+  obs::MetricsRegistry metrics;         ///< counters summed, index order
+  double wall_ms = 0;                   ///< whole sweep, wall-clock
+
+  /// Concatenated per-scenario reports, each under a "=== name ==="
+  /// header — the sweep's canonical byte-comparable output.
+  std::string combined_report() const;
+  std::size_t failures() const;
+
+  /// Writes the merged trace/metrics to the given paths ("" = skip),
+  /// logging one line each — the post-sweep counterpart of
+  /// ObsSinks::write().
+  void write_obs(const std::string& trace_path, const std::string& metrics_path) const;
+};
+
+class ScenarioRunner {
+ public:
+  /// `jobs` <= 1 runs scenarios inline on the calling thread.
+  explicit ScenarioRunner(int jobs);
+
+  /// Runs every scenario, blocks until all finish, merges in list order.
+  SweepResult run(const std::vector<Scenario>& scenarios) const;
+
+  int jobs() const { return jobs_; }
+
+ private:
+  int jobs_;
+};
+
+/// Parses (and strips from argv) --trace-out/--metrics-out into an
+/// ObsSinks, the pre-benchmark::Initialize idiom the ablations use.
+ObsSinks obs_sinks_from_argv(int& argc, char** argv);
+
+/// Parses (and strips) a --jobs N flag; `fallback` when absent.
+int jobs_from_argv(int& argc, char** argv, int fallback = 1);
+
+}  // namespace pdr::flow

@@ -1,6 +1,7 @@
 #include "mccdma/case_study.hpp"
 
 #include "fabric/config_port.hpp"
+#include "flow/pipeline.hpp"
 #include "util/error.hpp"
 
 namespace pdr::mccdma {
@@ -77,25 +78,21 @@ aaa::AlgorithmGraph make_transmitter_algorithm(const McCdmaParams& params) {
 synth::DesignBundle run_flow_from_constraints(const aaa::ConstraintSet& constraints,
                                               const std::vector<synth::ModuleSpec>& statics,
                                               obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
-  constraints.validate();
-  synth::ModularDesignFlow flow(fabric::device_by_name(constraints.device));
-  flow.set_observability(tracer, metrics);
-  for (const auto& s : statics) flow.add_static(s.name, s.kind, s.params);
-  for (const auto& region : constraints.regions) {
-    std::vector<synth::ModuleSpec> variants;
-    for (const auto* m : constraints.modules_of(region.name))
-      variants.push_back(synth::ModuleSpec{m->name, m->kind, m->params});
-    flow.add_region(region.name, std::move(variants), region.margin,
-                    region.width);  // width -1 = auto
-  }
-  return flow.run();
+  constraints.validate();  // keep the legacy contract: invalid sets throw here
+  flow::PipelineOptions options;
+  options.constraints_text = aaa::write_constraints(constraints);
+  options.statics = statics;
+  options.lint_gate = false;  // validate() above is the gate; lint stays advisory
+  flow::Pipeline pipeline(std::move(options));
+  pipeline.set_observability(tracer, metrics);
+  return *pipeline.bundle();
 }
 
-CaseStudy build_case_study() {
+std::vector<synth::ModuleSpec> case_study_statics() {
   const McCdmaParams params{};
   const auto n = static_cast<int>(params.n_subcarriers);
   const auto cp = static_cast<int>(params.cyclic_prefix);
-  const std::vector<synth::ModuleSpec> statics = {
+  return {
       {"interface_in_out", "interface_in_out", {}},
       {"scrambler", "scrambler", {}},
       {"conv_encoder", "conv_encoder", {{"k", 7}}},
@@ -110,12 +107,20 @@ CaseStudy build_case_study() {
       {"config_manager", "config_manager", {}},
       {"protocol_builder", "protocol_builder", {}},
   };
+}
 
+CaseStudy build_case_study() {
+  const McCdmaParams params{};
   aaa::ConstraintSet constraints = aaa::parse_constraints(case_study_constraints_text());
-  synth::DesignBundle bundle = run_flow_from_constraints(constraints, statics);
+  synth::DesignBundle bundle = run_flow_from_constraints(constraints, case_study_statics());
   return CaseStudy{std::move(constraints), make_transmitter_algorithm(params),
                    aaa::make_sundance_architecture(), aaa::mccdma_durations(), std::move(bundle),
                    params};
+}
+
+const CaseStudy& shared_case_study() {
+  static const CaseStudy cs = build_case_study();
+  return cs;
 }
 
 rtr::BitstreamStore make_case_study_store() {

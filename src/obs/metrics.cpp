@@ -53,6 +53,21 @@ double Histogram::quantile(double q) const {
   return max_;
 }
 
+void Histogram::merge_from(const Histogram& other) {
+  PDR_CHECK(bounds_ == other.bounds_, "Histogram::merge_from", "bucket bounds differ");
+  if (other.count_ == 0) return;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) buckets_[b] += other.buckets_[b];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 std::vector<double> exponential_buckets(double start, double factor, int count) {
   PDR_CHECK(start > 0.0 && factor > 1.0 && count > 0, "exponential_buckets",
             "need start > 0, factor > 1, count > 0");
@@ -106,6 +121,18 @@ Histogram& MetricsRegistry::histogram(const std::string& name, std::vector<doubl
     e.help = help;
   }
   return *e.histogram;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, e] : other.entries_) {
+    if (e.counter) {
+      counter(name, e.help).add(e.counter->value());
+    } else if (e.gauge) {
+      gauge(name, e.help).set(e.gauge->value());
+    } else if (e.histogram) {
+      histogram(name, e.histogram->bounds(), e.help).merge_from(*e.histogram);
+    }
+  }
 }
 
 std::vector<std::string> MetricsRegistry::names() const {

@@ -63,6 +63,10 @@ class Histogram {
   /// containing bucket; the overflow bucket reports the observed max.
   double quantile(double q) const;
 
+  /// Adds `other`'s observations to this histogram. Throws pdr::Error if
+  /// the bucket bounds differ.
+  void merge_from(const Histogram& other);
+
  private:
   std::vector<double> bounds_;
   std::vector<std::uint64_t> buckets_;
@@ -95,6 +99,14 @@ class MetricsRegistry {
 
   /// All registered names, sorted.
   std::vector<std::string> names() const;
+
+  /// Folds `other` into this registry: counters add, gauges take
+  /// `other`'s value (last merge wins), histograms merge bucket counts.
+  /// Merging the same sequence of registries in the same order always
+  /// produces an identical registry — the determinism the parallel
+  /// scenario runner relies on. Throws pdr::Error on instrument-kind or
+  /// histogram-bound mismatches.
+  void merge(const MetricsRegistry& other);
 
   /// {"name": {"type": ..., "value"/"count"/"sum"/...}, ...}
   std::string to_json() const;

@@ -45,6 +45,15 @@ void Tracer::counter(std::string track, std::string name, TimeNs at, double valu
   events_.push_back(std::move(ev));
 }
 
+void Tracer::append(const Tracer& other, const std::string& track_prefix) {
+  events_.reserve(events_.size() + other.events_.size());
+  for (const TraceEvent& ev : other.events_) {
+    TraceEvent copy = ev;
+    copy.track = track_prefix + copy.track;
+    events_.push_back(std::move(copy));
+  }
+}
+
 TimeNs Tracer::total_duration(const std::string& category) const {
   TimeNs total = 0;
   for (const auto& ev : events_)

@@ -56,6 +56,13 @@ class Tracer {
   /// Records a sampled value (rendered as a step plot).
   void counter(std::string track, std::string name, TimeNs at, double value);
 
+  /// Appends every event of `other`, optionally namespacing its tracks
+  /// under `track_prefix` ("scn0/" turns track "port" into "scn0/port").
+  /// Appending the same tracers in the same order always yields the same
+  /// event sequence — how the scenario runner merges per-scenario traces
+  /// deterministically.
+  void append(const Tracer& other, const std::string& track_prefix = "");
+
   const std::vector<TraceEvent>& events() const { return events_; }
   std::size_t size() const { return events_.size(); }
   bool empty() const { return events_.empty(); }

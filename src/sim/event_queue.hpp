@@ -1,5 +1,23 @@
 // Discrete-event core: a time-ordered event queue with stable FIFO
 // ordering of simultaneous events.
+//
+// ## Tie-breaking invariant (load-bearing, do not weaken)
+//
+// Events scheduled for the same timestamp pop in *insertion order*: every
+// schedule() call takes a monotonically increasing sequence number, and
+// the queue orders by (timestamp, sequence). This also covers events an
+// executing action schedules at the current timestamp — they run after
+// everything already queued for that instant, in the order they were
+// scheduled.
+//
+// This is not a convenience: it is the foundation of the repo-wide
+// determinism guarantee. Every seeded simulation (fault campaigns, the
+// MC-CDMA transmitter, scrub scheduling) promises bit-identical output
+// for the same seed, and flow::ScenarioRunner promises that a parallel
+// sweep is byte-identical to a serial one — both reduce to "a simulation
+// is a pure function of its inputs", which an unstable same-timestamp
+// order would silently break. The invariant is pinned by the
+// EventQueue.SameTimestamp* tests in tests/sim_test.cpp.
 #pragma once
 
 #include <cstdint>

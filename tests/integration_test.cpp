@@ -9,7 +9,9 @@
 #include "aaa/project_io.hpp"
 #include "fabric/context.hpp"
 #include "fabric/relocate.hpp"
+#include "flow/pipeline.hpp"
 #include "mccdma/case_study.hpp"
+#include "mccdma/flow_presets.hpp"
 #include "mccdma/system.hpp"
 #include "rtr/arbiter.hpp"
 #include "rtr/manager.hpp"
@@ -21,9 +23,25 @@ namespace {
 
 using namespace pdr::literals;
 
-const mccdma::CaseStudy& case_study() {
-  static const mccdma::CaseStudy cs = mccdma::build_case_study();
-  return cs;
+// The process-wide case study: built once through the flow pipeline's
+// cached Synth stage, shared with every preset and sweep scenario.
+const mccdma::CaseStudy& case_study() { return mccdma::shared_case_study(); }
+
+TEST(Integration, PipelinePresetServesCachedCaseStudyBundle) {
+  const auto store = flow::default_store();
+  flow::Pipeline first = mccdma::case_study_pipeline();
+  const auto b1 = first.bundle();
+  const std::uint64_t runs_after_first = store->runs(flow::stage::kSynth);
+
+  // Assembling the preset again and asking for its bundle must not re-run
+  // the Modular Design flow — identical inputs, the cached artifact.
+  flow::Pipeline second = mccdma::case_study_pipeline();
+  const auto b2 = second.bundle();
+  EXPECT_EQ(store->runs(flow::stage::kSynth), runs_after_first);
+  EXPECT_GE(store->hits(flow::stage::kSynth), 1u);
+  EXPECT_EQ(b1.get(), b2.get());  // literally the same shared artifact
+  EXPECT_EQ(b1->floorplan.region("D1").col_lo,
+            case_study().bundle.floorplan.region("D1").col_lo);
 }
 
 TEST(Integration, ConstraintsRoundTripDrivesIdenticalFlow) {

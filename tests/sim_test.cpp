@@ -35,6 +35,52 @@ TEST(EventQueue, SimultaneousEventsFifo) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
+// The EventQueue.SameTimestamp* family pins the documented tie-breaking
+// invariant (event_queue.hpp): same-timestamp events pop in insertion
+// order. The repo-wide seeded-determinism guarantee (and the scenario
+// runner's serial-vs-parallel byte-identity) rests on it — do not weaken.
+
+TEST(EventQueue, SameTimestampPopsInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  // Interleave two timestamps so the heap must order by (at, seq), not
+  // just by insertion position.
+  q.schedule(20, [&](TimeNs) { order.push_back(20); });
+  q.schedule(10, [&](TimeNs) { order.push_back(100); });
+  q.schedule(20, [&](TimeNs) { order.push_back(21); });
+  q.schedule(10, [&](TimeNs) { order.push_back(101); });
+  q.schedule(20, [&](TimeNs) { order.push_back(22); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{100, 101, 20, 21, 22}));
+}
+
+TEST(EventQueue, SameTimestampSelfScheduledRunsAfterAlreadyQueued) {
+  EventQueue q;
+  std::vector<std::string> order;
+  q.schedule(10, [&](TimeNs now) {
+    order.push_back("first");
+    // Scheduled *at the current timestamp* while executing: runs after
+    // everything already queued for t=10, in scheduling order.
+    q.schedule(now, [&](TimeNs) { order.push_back("spawned-a"); });
+    q.schedule(now, [&](TimeNs) { order.push_back("spawned-b"); });
+  });
+  q.schedule(10, [&](TimeNs) { order.push_back("second"); });
+  q.run();
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"first", "second", "spawned-a", "spawned-b"}));
+  EXPECT_EQ(q.now(), 10);
+}
+
+TEST(EventQueue, SameTimestampStableAcrossLabeledAndUnlabeled) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(5, "labeled", [&](TimeNs) { order.push_back(0); });
+  q.schedule(5, [&](TimeNs) { order.push_back(1); });
+  q.schedule(5, "labeled-too", [&](TimeNs) { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
 TEST(EventQueue, EventsCanScheduleEvents) {
   EventQueue q;
   int fired = 0;

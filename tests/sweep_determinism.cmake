@@ -1,0 +1,21 @@
+# Black-box check of the ScenarioRunner determinism contract: the same
+# sweep run serially and on 4 workers must print byte-identical stdout.
+# Invoked by the cli_sweep_determinism ctest entry with -DPDRFLOW=<path>.
+execute_process(COMMAND ${PDRFLOW} sweep --symbols 512 --jobs 1
+                OUTPUT_VARIABLE serial_out RESULT_VARIABLE serial_rc
+                ERROR_VARIABLE serial_err)
+execute_process(COMMAND ${PDRFLOW} sweep --symbols 512 --jobs 4
+                OUTPUT_VARIABLE parallel_out RESULT_VARIABLE parallel_rc
+                ERROR_VARIABLE parallel_err)
+if(NOT serial_rc EQUAL 0)
+  message(FATAL_ERROR "serial sweep failed (exit ${serial_rc}):\n${serial_err}")
+endif()
+if(NOT parallel_rc EQUAL 0)
+  message(FATAL_ERROR "parallel sweep failed (exit ${parallel_rc}):\n${parallel_err}")
+endif()
+if(NOT serial_out STREQUAL parallel_out)
+  message(FATAL_ERROR "sweep --jobs 4 stdout differs from --jobs 1:\n"
+                      "--- serial ---\n${serial_out}\n--- parallel ---\n${parallel_out}")
+endif()
+message(STATUS "sweep stdout byte-identical at jobs=1 and jobs=4 "
+               "(${serial_rc}/${parallel_rc})")

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <set>
 
+#include "util/arg_parser.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -259,6 +260,80 @@ TEST(Stats, MatchesDirectComputationOnRandomData) {
   var /= static_cast<double>(samples.size() - 1);
   EXPECT_NEAR(s.mean(), mean, 1e-9);
   EXPECT_NEAR(s.variance(), var, 1e-9);
+}
+
+// --- arg parser ------------------------------------------------------------
+
+/// Builds a mutable argv from literals (ArgParser::extract compacts it).
+struct Argv {
+  explicit Argv(std::vector<std::string> args) : storage(std::move(args)) {
+    for (auto& s : storage) ptrs.push_back(s.data());
+    argc = static_cast<int>(ptrs.size());
+  }
+  std::vector<std::string> storage;
+  std::vector<char*> ptrs;
+  int argc = 0;
+  char** data() { return ptrs.data(); }
+};
+
+TEST(ArgParser, StrictParsesFlagsAndPositionals) {
+  Argv a({"design.constraints", "--out", "dir", "--verbose"});
+  const util::ArgParser args("build", a.argc, a.data(),
+                             {{"--out", true}, {"--verbose", false}}, 1);
+  EXPECT_EQ(args.positional_count(), 1u);
+  EXPECT_EQ(args.positional(0), "design.constraints");
+  EXPECT_EQ(args.string_or("--out", ""), "dir");
+  EXPECT_TRUE(args.has("--verbose"));
+  EXPECT_FALSE(args.has("--quiet"));
+}
+
+TEST(ArgParser, StrictRejectsUnknownFlag) {
+  Argv a({"--bogus"});
+  EXPECT_THROW(util::ArgParser("build", a.argc, a.data(), {{"--out", true}}, 0), Error);
+}
+
+TEST(ArgParser, StrictRejectsMissingValueAndPositionalMismatch) {
+  Argv missing_value({"--out"});
+  EXPECT_THROW(
+      util::ArgParser("build", missing_value.argc, missing_value.data(), {{"--out", true}}, 0),
+      Error);
+  Argv too_few({"--out", "dir"});
+  EXPECT_THROW(util::ArgParser("build", too_few.argc, too_few.data(), {{"--out", true}}, 1),
+               Error);
+}
+
+TEST(ArgParser, StrictNumericParsing) {
+  Argv a({"--jobs", "12abc", "--rate", "1.5"});
+  const util::ArgParser args("sweep", a.argc, a.data(), {{"--jobs", true}, {"--rate", true}}, 0);
+  EXPECT_THROW(args.uint_or("--jobs", 1), Error);  // "12abc" is an error, not 12
+  EXPECT_DOUBLE_EQ(args.double_or("--rate", 0.0), 1.5);
+  EXPECT_EQ(args.uint_or("--absent", 7), 7u);
+}
+
+TEST(ArgParser, ListOrSplitsOnCommas) {
+  Argv a({"--seeds", "1,2,3"});
+  const util::ArgParser args("sweep", a.argc, a.data(), {{"--seeds", true}}, 0);
+  EXPECT_EQ(args.list_or("--seeds", {}), (std::vector<std::string>{"1", "2", "3"}));
+  EXPECT_EQ(args.list_or("--absent", {"x"}), (std::vector<std::string>{"x"}));
+}
+
+TEST(ArgParser, ExtractConsumesDeclaredFlagsAndCompactsArgv) {
+  Argv a({"bench", "--trace-out", "t.json", "--benchmark_filter=BM_x", "--jobs", "4"});
+  const util::ArgParser args =
+      util::ArgParser::extract("bench", a.argc, a.data(), {{"--trace-out", true}, {"--jobs", true}});
+  EXPECT_EQ(args.string_or("--trace-out", ""), "t.json");
+  EXPECT_EQ(args.uint_or("--jobs", 1), 4u);
+  // argv compacted in place: argv[0] and the unknown flag survive.
+  ASSERT_EQ(a.argc, 2);
+  EXPECT_STREQ(a.data()[0], "bench");
+  EXPECT_STREQ(a.data()[1], "--benchmark_filter=BM_x");
+}
+
+TEST(ArgParser, ExtractLeavesUndeclaredArgvAlone) {
+  Argv a({"bench", "positional", "--other"});
+  const util::ArgParser args = util::ArgParser::extract("bench", a.argc, a.data(), {{"--jobs", true}});
+  EXPECT_FALSE(args.has("--jobs"));
+  EXPECT_EQ(a.argc, 3);
 }
 
 }  // namespace

@@ -15,8 +15,20 @@
 //       Print per-module cold/staged reconfiguration latencies.
 //   pdrflow simulate [--symbols N] [--prefetch none|schedule|history] ...
 //       Run the MC-CDMA transmitter case study under the runtime manager.
+//   pdrflow sweep [--jobs N] ...
+//       Run a prefetch-policy × seed sweep (or, with --faults, a
+//       fault-campaign seed sweep) through the parallel ScenarioRunner.
 //
-// `build`, `adequation` and `simulate` accept `--trace-out FILE`
+// Every command is a thin layer of argument parsing over the pdr::flow
+// pipeline presets: parsing, linting, synthesis, adequation and fault
+// campaigns all run as cached pipeline stages, so e.g. `sweep` reuses one
+// Modular Design bundle across all scenarios.
+//
+// `--jobs N` is accepted (and stripped) anywhere on the command line; it
+// sizes the sweep's thread pool. Sweep output is byte-identical whatever
+// N is — merging is deterministic and wall-clock goes to stderr only.
+//
+// `build`, `adequation`, `simulate` and `sweep` accept `--trace-out FILE`
 // (Chrome trace-event JSON, open in https://ui.perfetto.dev) and
 // `--metrics-out FILE` (metrics registry JSON dump).
 //
@@ -26,34 +38,33 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <filesystem>
 #include <fstream>
-#include <initializer_list>
-#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "aaa/adequation.hpp"
 #include "aaa/constraints.hpp"
-#include "aaa/macrocode.hpp"
-#include "aaa/project_io.hpp"
 #include "fabric/bitstream.hpp"
 #include "fault/campaign.hpp"
-#include "fault/fault_spec.hpp"
+#include "flow/pipeline.hpp"
+#include "flow/scenario.hpp"
 #include "lint/lint.hpp"
 #include "mccdma/case_study.hpp"
+#include "mccdma/flow_presets.hpp"
 #include "mccdma/system.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rtr/manager.hpp"
+#include "util/arg_parser.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
 using namespace pdr;
+using util::ArgParser;
 
 namespace {
 
@@ -69,8 +80,11 @@ int usage() {
       "                   [--cache BYTES] [--scrub-ms N]\n"
       "  pdrflow simulate --faults <spec-file> [--seed S] [--no-recovery]\n"
       "                   [--scrub-ms N] [--scrub-mode blind|readback] [--cache BYTES]\n"
+      "  pdrflow sweep [--symbols N] [--seeds A,B,C] [--prefetch LIST]\n"
+      "  pdrflow sweep --faults <spec-file> [--seeds A,B,C] [--no-recovery] [--scrub-ms N]\n"
       "  pdrflow devices\n"
-      "build/adequation/simulate also accept --trace-out FILE --metrics-out FILE\n",
+      "--jobs N (anywhere) sizes the sweep thread pool; output is identical for any N\n"
+      "build/adequation/simulate/sweep also accept --trace-out FILE --metrics-out FILE\n",
       stderr);
   return 2;
 }
@@ -78,95 +92,6 @@ int usage() {
 /// Throws a pdr::Error whose message is printed verbatim (after one
 /// "pdrflow: " prefix) by main's catch block.
 [[noreturn]] void fail(const std::string& message) { throw Error(message); }
-
-/// One flag a command accepts.
-struct FlagSpec {
-  const char* name;      ///< "--out"
-  bool takes_value;      ///< consumes the following argv entry
-};
-
-/// Strict argument parser: every `--flag` must be declared in the
-/// command's spec (unknown flags and missing values are errors, not
-/// silently skipped), everything else is a positional.
-class Args {
- public:
-  Args(const char* command, int argc, char** argv, std::initializer_list<FlagSpec> specs,
-       std::size_t positionals_required)
-      : command_(command), specs_(specs) {
-    for (int i = 0; i < argc; ++i) {
-      const std::string arg = argv[i];
-      if (arg.rfind("--", 0) != 0) {
-        positionals_.push_back(arg);
-        continue;
-      }
-      const FlagSpec* spec = nullptr;
-      for (const FlagSpec& s : specs_)
-        if (arg == s.name) spec = &s;
-      if (spec == nullptr)
-        fail("unknown flag '" + arg + "' for '" + command_ + "'" + valid_flags());
-      if (spec->takes_value) {
-        if (i + 1 >= argc)
-          fail(std::string("flag '") + spec->name + "' needs a value");
-        values_.emplace_back(spec->name, argv[++i]);
-      } else {
-        values_.emplace_back(spec->name, "");
-      }
-    }
-    if (positionals_.size() != positionals_required)
-      fail(strprintf("'%s' takes %zu positional argument(s), got %zu", command_.c_str(),
-                     positionals_required, positionals_.size()));
-  }
-
-  bool has(const char* name) const { return find(name) != nullptr; }
-
-  /// Value of a value-taking flag, or nullptr if absent.
-  const std::string* value(const char* name) const { return find(name); }
-
-  const std::string& positional(std::size_t i) const { return positionals_.at(i); }
-
-  /// Strictly-parsed unsigned integer flag ("12abc" is an error, not 12).
-  std::uint64_t uint_or(const char* name, std::uint64_t fallback) const {
-    const std::string* v = find(name);
-    if (v == nullptr) return fallback;
-    char* end = nullptr;
-    errno = 0;
-    const unsigned long long parsed = std::strtoull(v->c_str(), &end, 10);
-    if (errno != 0 || end == v->c_str() || *end != '\0')
-      fail(std::string("flag '") + name + "' needs an unsigned integer, got '" + *v + "'");
-    return parsed;
-  }
-
-  /// Strictly-parsed floating-point flag.
-  double double_or(const char* name, double fallback) const {
-    const std::string* v = find(name);
-    if (v == nullptr) return fallback;
-    char* end = nullptr;
-    errno = 0;
-    const double parsed = std::strtod(v->c_str(), &end);
-    if (errno != 0 || end == v->c_str() || *end != '\0')
-      fail(std::string("flag '") + name + "' needs a number, got '" + *v + "'");
-    return parsed;
-  }
-
- private:
-  const std::string* find(const char* name) const {
-    for (const auto& [flag, value] : values_)
-      if (flag == name) return &value;
-    return nullptr;
-  }
-
-  std::string valid_flags() const {
-    if (specs_.size() == 0) return "; it takes no flags";
-    std::string out = "; valid flags:";
-    for (const FlagSpec& s : specs_) out += std::string(" ") + s.name;
-    return out;
-  }
-
-  std::string command_;
-  std::vector<FlagSpec> specs_;
-  std::vector<std::string> positionals_;
-  std::vector<std::pair<std::string, std::string>> values_;
-};
 
 std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -184,7 +109,7 @@ void write_file(const std::filesystem::path& path, std::span<const std::uint8_t>
 
 /// Writes the tracer/metrics to the paths given by --trace-out /
 /// --metrics-out, if present.
-void write_observability(const Args& args, const obs::Tracer& tracer,
+void write_observability(const ArgParser& args, const obs::Tracer& tracer,
                          const obs::MetricsRegistry& metrics) {
   if (const std::string* path = args.value("--trace-out")) {
     tracer.write_chrome_json(*path);
@@ -212,8 +137,18 @@ aaa::PrefetchChoice parse_prefetch_flag(const std::string& s) {
   fail("flag '--prefetch' must be none|schedule|history, got '" + s + "'");
 }
 
+/// Strictly-parsed element of a --seeds list.
+std::uint64_t parse_seed(const std::string& s) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end == s.c_str() || *end != '\0')
+    fail("'--seeds' needs unsigned integers, got '" + s + "'");
+  return parsed;
+}
+
 int cmd_devices(int argc, char** argv) {
-  const Args args("devices", argc, argv, {}, 0);
+  const ArgParser args("devices", argc, argv, {}, 0);
   Table t({"device", "CLB array", "slices", "BRAM18", "MULT18", "frame bytes", "full bitstream"});
   for (const char* name : {"XC2V1000", "XC2V2000", "XC2V3000", "XC2V6000"}) {
     const fabric::DeviceModel d = fabric::device_by_name(name);
@@ -231,7 +166,7 @@ int cmd_devices(int argc, char** argv) {
 }
 
 int cmd_check(int argc, char** argv) {
-  const Args args("check", argc, argv, {{"--json", false}, {"--werror", false}}, 1);
+  const ArgParser args("check", argc, argv, {{"--json", false}, {"--werror", false}}, 1);
   const lint::Report report = lint::check_text(read_file(args.positional(0)));
   if (args.has("--json")) {
     std::fputs(report.to_json().c_str(), stdout);
@@ -245,26 +180,26 @@ int cmd_check(int argc, char** argv) {
 }
 
 int cmd_build(int argc, char** argv) {
-  const Args args("build", argc, argv,
-                  {{"--out", true}, {"--trace-out", true}, {"--metrics-out", true}}, 1);
+  const ArgParser args("build", argc, argv,
+                       {{"--out", true}, {"--trace-out", true}, {"--metrics-out", true}}, 1);
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  flow::Pipeline pipeline = mccdma::constraints_pipeline(read_file(args.positional(0)));
+  pipeline.set_observability(&tracer, &metrics);
+
   // Cheap constraint rules run first so a broken file reports every
   // violation (not just the first) before the flow spends time on it.
-  const aaa::ConstraintSet constraints =
-      aaa::parse_constraints(read_file(args.positional(0)), /*validate=*/false);
-  if (report_blocks(lint::check_constraints(constraints), "constraints file")) return 1;
+  if (report_blocks(*pipeline.lint_report(), "constraints file")) return 1;
 
   const std::string* out_flag = args.value("--out");
   const std::filesystem::path out_dir = out_flag ? *out_flag : "pdrflow_out";
   std::filesystem::create_directories(out_dir);
 
-  obs::Tracer tracer;
-  obs::MetricsRegistry metrics;
-  const synth::DesignBundle bundle =
-      mccdma::run_flow_from_constraints(constraints, {}, &tracer, &metrics);
-  std::fputs(bundle.floorplan.render().c_str(), stdout);
+  const std::shared_ptr<const synth::DesignBundle> bundle = pipeline.bundle();
+  std::fputs(bundle->floorplan.render().c_str(), stdout);
 
   Table t({"region", "variant", "slices", "fmax (MHz)", "bitstream", "% of device"});
-  for (const auto& [region, variants] : bundle.dynamic_variants) {
+  for (const auto& [region, variants] : bundle->dynamic_variants) {
     for (const auto& v : variants) {
       t.row()
           .add(region)
@@ -272,18 +207,18 @@ int cmd_build(int argc, char** argv) {
           .add(v.usage.slices)
           .add(v.timing.fmax_mhz, 0)
           .add(human_bytes(v.bitstream.size()))
-          .add(100.0 * bundle.floorplan.region_fraction(region), 1);
+          .add(100.0 * bundle->floorplan.region_fraction(region), 1);
       write_file(out_dir / (v.name + "_partial.bit"), v.bitstream);
     }
   }
   t.print();
-  write_file(out_dir / "initial_full.bit", bundle.initial_bitstream);
+  write_file(out_dir / "initial_full.bit", bundle->initial_bitstream);
   write_observability(args, tracer, metrics);
   return 0;
 }
 
 int cmd_inspect(int argc, char** argv) {
-  const Args args("inspect", argc, argv, {{"--device", true}}, 1);
+  const ArgParser args("inspect", argc, argv, {{"--device", true}}, 1);
   const std::string* device_name = args.value("--device");
   if (device_name == nullptr) fail("'inspect' requires --device NAME");
   const fabric::DeviceModel device = fabric::device_by_name(*device_name);
@@ -314,26 +249,27 @@ int cmd_inspect(int argc, char** argv) {
 }
 
 int cmd_latency(int argc, char** argv) {
-  const Args args("latency", argc, argv, {{"--bandwidth", true}}, 1);
-  const aaa::ConstraintSet constraints = aaa::parse_constraints(read_file(args.positional(0)));
+  const ArgParser args("latency", argc, argv, {{"--bandwidth", true}}, 1);
   const double bandwidth = args.double_or("--bandwidth", mccdma::kCaseStudyStoreBandwidth);
 
-  const synth::DesignBundle bundle = mccdma::run_flow_from_constraints(constraints, {});
+  flow::Pipeline pipeline = mccdma::constraints_pipeline(read_file(args.positional(0)));
+  const std::shared_ptr<const aaa::ConstraintSet> constraints = pipeline.constraints();
+  const std::shared_ptr<const synth::DesignBundle> bundle = pipeline.bundle();
   rtr::BitstreamStore store(bandwidth, mccdma::kCaseStudyStoreLatency);
   rtr::NonePrefetch policy;
   rtr::ManagerConfig cfg;
   cfg.manager =
-      constraints.manager == aaa::Placement::Cpu ? aaa::Placement::Cpu : aaa::Placement::Fpga;
-  cfg.builder = constraints.builder;
-  cfg.port_kind = constraints.port == aaa::PortChoice::Icap        ? fabric::PortKind::Icap
-                  : constraints.port == aaa::PortChoice::SelectMap ? fabric::PortKind::SelectMap
-                                                                   : fabric::PortKind::Jtag;
-  rtr::ReconfigManager manager(bundle, cfg, store, policy);
+      constraints->manager == aaa::Placement::Cpu ? aaa::Placement::Cpu : aaa::Placement::Fpga;
+  cfg.builder = constraints->builder;
+  cfg.port_kind = constraints->port == aaa::PortChoice::Icap        ? fabric::PortKind::Icap
+                  : constraints->port == aaa::PortChoice::SelectMap ? fabric::PortKind::SelectMap
+                                                                    : fabric::PortKind::Jtag;
+  rtr::ReconfigManager manager(*bundle, cfg, store, policy);
 
   std::printf("memory bandwidth %.1f MB/s, port %s\n\n", bandwidth / 1e6,
               fabric::port_kind_name(cfg.port_kind));
   Table t({"region", "module", "cold (ms)", "staged (ms)", "staging (ms)"});
-  for (const auto& [region, variants] : bundle.dynamic_variants)
+  for (const auto& [region, variants] : bundle->dynamic_variants)
     for (const auto& v : variants)
       t.row()
           .add(region)
@@ -346,99 +282,103 @@ int cmd_latency(int argc, char** argv) {
 }
 
 int cmd_adequation(int argc, char** argv) {
-  const Args args("adequation", argc, argv,
-                  {{"--no-prefetch", false},
-                   {"--reconfig-ms", true},
-                   {"--trace-out", true},
-                   {"--metrics-out", true}},
-                  1);
-  const aaa::Project project = aaa::parse_project(read_file(args.positional(0)));
+  const ArgParser args("adequation", argc, argv,
+                       {{"--no-prefetch", false},
+                        {"--reconfig-ms", true},
+                        {"--trace-out", true},
+                        {"--metrics-out", true}},
+                       1);
+  flow::PipelineOptions options;
+  options.project_text = read_file(args.positional(0));
+  options.reconfig_cost = static_cast<TimeNs>(args.double_or("--reconfig-ms", 4.0) * 1e6);
+  options.prefetch = !args.has("--no-prefetch");
+  options.lint_gate = false;  // the CLI prints the report itself and decides
+  flow::Pipeline pipeline(std::move(options));
 
-  aaa::Adequation adequation(project.algorithm, project.architecture, project.durations);
-  const TimeNs reconfig = static_cast<TimeNs>(args.double_or("--reconfig-ms", 4.0) * 1e6);
-  adequation.set_reconfig_cost(
-      [reconfig](const std::string&, const std::string&) { return reconfig; });
+  const std::shared_ptr<const aaa::Project> project = pipeline.project();
+  const std::shared_ptr<const flow::AdequationArtifacts> adeq = pipeline.adequation();
 
-  aaa::AdequationOptions options;
-  if (args.has("--no-prefetch")) options.prefetch = false;
+  // The schedule and executive rule families are cheap; the pipeline ran
+  // them with the stage — print before anything looks authoritative.
+  if (report_blocks(adeq->report, "schedule/executive")) return 1;
 
-  const aaa::Schedule schedule = adequation.run(options);
-  const aaa::Executive executive =
-      aaa::generate_executive(schedule, project.algorithm, project.architecture);
-
-  // The schedule and executive rule families are cheap; run them before
-  // printing anything so a hazardous schedule never looks authoritative.
-  lint::Report report = lint::check_schedule(schedule, project.algorithm, project.architecture);
-  report.merge(lint::check_executive(executive));
-  if (report_blocks(report, "schedule/executive")) return 1;
-
-  std::printf("project '%s': %zu operations on %zu operators\n\n", project.name.c_str(),
-              project.algorithm.size(), project.architecture.operators().size());
-  std::fputs(schedule.to_string().c_str(), stdout);
+  std::printf("project '%s': %zu operations on %zu operators\n\n", project->name.c_str(),
+              project->algorithm.size(), project->architecture.operators().size());
+  std::fputs(adeq->schedule.to_string().c_str(), stdout);
   std::puts("");
-  std::fputs(schedule.gantt().c_str(), stdout);
+  std::fputs(adeq->schedule.gantt().c_str(), stdout);
   std::puts("\nsynchronized executive:");
-  std::fputs(executive.to_string().c_str(), stdout);
+  std::fputs(adeq->executive.to_string().c_str(), stdout);
 
   obs::Tracer tracer;
   obs::MetricsRegistry metrics;
-  aaa::export_schedule(schedule, tracer);
-  metrics.counter("adequation.reconfigs").add(schedule.reconfig_count);
-  metrics.gauge("adequation.makespan_ns").set(static_cast<double>(schedule.makespan));
-  metrics.gauge("adequation.reconfig_exposed_ns").set(static_cast<double>(schedule.reconfig_exposed));
+  aaa::export_schedule(adeq->schedule, tracer);
+  metrics.counter("adequation.reconfigs").add(adeq->schedule.reconfig_count);
+  metrics.gauge("adequation.makespan_ns").set(static_cast<double>(adeq->schedule.makespan));
+  metrics.gauge("adequation.reconfig_exposed_ns")
+      .set(static_cast<double>(adeq->schedule.reconfig_exposed));
   write_observability(args, tracer, metrics);
   return 0;
+}
+
+/// Maps the simulate/sweep fault flags onto pipeline FaultCampaignOptions.
+/// The manager_tag keys the opaque ManagerConfig for the artifact cache.
+flow::FaultCampaignOptions fault_options_from(const ArgParser& args) {
+  flow::FaultCampaignOptions opts;
+  opts.seed = args.uint_or("--seed", 0);  // 0 = the spec's own seed
+  opts.recovery = !args.has("--no-recovery");
+  opts.manager = rtr::sundance_manager_config();
+  opts.manager_tag = "sundance";
+  if (args.has("--cache")) {
+    opts.manager.cache_capacity = static_cast<Bytes>(args.uint_or("--cache", 0));
+    opts.manager_tag += strprintf("/cache=%llu",
+                                  static_cast<unsigned long long>(opts.manager.cache_capacity));
+  }
+  if (args.has("--scrub-ms"))
+    opts.scrub_period = static_cast<TimeNs>(args.double_or("--scrub-ms", 0.0) * 1e6);
+  if (const std::string* mode = args.value("--scrub-mode")) {
+    if (*mode == "blind")
+      opts.scrub_mode = fault::ScrubScheduler::Mode::Blind;
+    else if (*mode == "readback")
+      opts.scrub_mode = fault::ScrubScheduler::Mode::ReadbackTriggered;
+    else
+      fail("flag '--scrub-mode' must be blind|readback, got '" + *mode + "'");
+  }
+  return opts;
 }
 
 /// `simulate --faults`: a seeded fault-injection campaign on the case
 /// study's design bundle instead of the symbol-level transmitter run.
 /// The printed report is bit-identical for the same (spec, seed) pair.
-int simulate_faults(const Args& args) {
-  const std::string* spec_path = args.value("--faults");
-  const fault::FaultSpec spec = fault::parse_fault_spec(read_file(*spec_path));
-
-  fault::CampaignConfig config;
-  config.seed = args.uint_or("--seed", 0);  // 0 = the spec's own seed
-  config.recovery = !args.has("--no-recovery");
-  config.manager = rtr::sundance_manager_config();
-  if (args.has("--cache"))
-    config.manager.cache_capacity = static_cast<Bytes>(args.uint_or("--cache", 0));
-  if (args.has("--scrub-ms"))
-    config.scrub_period = static_cast<TimeNs>(args.double_or("--scrub-ms", 0.0) * 1e6);
-  if (const std::string* mode = args.value("--scrub-mode")) {
-    if (*mode == "blind")
-      config.scrub_mode = fault::ScrubScheduler::Mode::Blind;
-    else if (*mode == "readback")
-      config.scrub_mode = fault::ScrubScheduler::Mode::ReadbackTriggered;
-    else
-      fail("flag '--scrub-mode' must be blind|readback, got '" + *mode + "'");
-  }
+int simulate_faults(const ArgParser& args) {
+  const flow::FaultCampaignOptions opts = fault_options_from(args);
 
   obs::Tracer tracer;
   obs::MetricsRegistry metrics;
-  const mccdma::CaseStudy cs = mccdma::build_case_study();
-  rtr::BitstreamStore store = mccdma::make_case_study_store();
-  const fault::CampaignReport report =
-      fault::run_campaign(cs.bundle, store, spec, config, &tracer, &metrics);
-  std::fputs(report.to_string().c_str(), stdout);
+  flow::Pipeline pipeline = mccdma::constraints_pipeline(mccdma::case_study_constraints_text(),
+                                                         mccdma::case_study_statics());
+  pipeline.set_observability(&tracer, &metrics);
+  const std::shared_ptr<const fault::CampaignReport> report =
+      pipeline.fault_campaign(read_file(*args.value("--faults")), opts);
+  std::fputs(report->to_string().c_str(), stdout);
   write_observability(args, tracer, metrics);
   // With recovery on, any region left unhealthy is a failed campaign.
-  return config.recovery && !report.all_healthy() ? 1 : 0;
+  return opts.recovery && !report->all_healthy() ? 1 : 0;
 }
 
 int cmd_simulate(int argc, char** argv) {
-  const Args args("simulate", argc, argv,
-                  {{"--symbols", true},
-                   {"--seed", true},
-                   {"--prefetch", true},
-                   {"--cache", true},
-                   {"--scrub-ms", true},
-                   {"--scrub-mode", true},
-                   {"--faults", true},
-                   {"--no-recovery", false},
-                   {"--trace-out", true},
-                   {"--metrics-out", true}},
-                  0);
+  const ArgParser args("simulate", argc, argv,
+                       {{"--symbols", true},
+                        {"--seed", true},
+                        {"--prefetch", true},
+                        {"--cache", true},
+                        {"--scrub-ms", true},
+                        {"--scrub-mode", true},
+                        {"--faults", true},
+                        {"--no-recovery", false},
+                        {"--trace-out", true},
+                        {"--metrics-out", true}},
+                       0);
   if (args.has("--faults")) return simulate_faults(args);
   if (args.has("--no-recovery") || args.has("--scrub-mode"))
     fail("flags '--no-recovery' and '--scrub-mode' require '--faults <spec-file>'");
@@ -446,10 +386,8 @@ int cmd_simulate(int argc, char** argv) {
 
   // The case study's own constraints pass through the linter first — the
   // cheap rule families guard every simulation entry point.
-  const aaa::ConstraintSet case_constraints =
-      aaa::parse_constraints(mccdma::case_study_constraints_text(), /*validate=*/false);
-  if (report_blocks(lint::check_constraints(case_constraints), "case-study constraints"))
-    return 1;
+  flow::Pipeline gate = mccdma::constraints_pipeline(mccdma::case_study_constraints_text());
+  if (report_blocks(*gate.lint_report(), "case-study constraints")) return 1;
 
   mccdma::SystemConfig config;
   config.manager = rtr::sundance_manager_config();
@@ -466,52 +404,85 @@ int cmd_simulate(int argc, char** argv) {
   config.tracer = &tracer;
   config.metrics = &metrics;
 
-  const mccdma::CaseStudy cs = mccdma::build_case_study();
-  mccdma::TransmitterSystem system(cs, config);
+  mccdma::TransmitterSystem system(mccdma::shared_case_study(), config);
   const mccdma::SystemReport report = system.run(n_symbols);
-
-  std::printf("MC-CDMA transmitter, %zu symbols, prefetch=%s\n\n", report.symbols,
-              aaa::to_keyword(config.prefetch));
-  Table t({"metric", "value"});
-  t.row().add("elapsed (ms)").add(to_ms(report.elapsed), 3);
-  t.row().add("stall (ms)").add(to_ms(report.stall_total), 3);
-  t.row().add("stall fraction (%)").add(100.0 * report.stall_fraction(), 2);
-  t.row().add("throughput (Mb/s)").add(report.throughput_bps() / 1e6, 2);
-  t.row().add("modulation switches").add(report.switches);
-  t.row().add("mean SNR (dB)").add(report.mean_snr_db, 1);
-  t.print();
-
-  const rtr::ManagerStats& m = report.manager;
-  std::puts("\nreconfiguration manager:");
-  Table mt({"stat", "value"});
-  mt.row().add("requests").add(m.requests);
-  mt.row().add("already loaded").add(m.already_loaded);
-  mt.row().add("prefetch hits").add(m.prefetch_hits);
-  mt.row().add("prefetch in-flight").add(m.prefetch_inflight);
-  mt.row().add("cache hits").add(m.cache_hits);
-  mt.row().add("misses").add(m.misses);
-  mt.row().add("prefetches issued").add(m.prefetches_issued);
-  mt.row().add("prefetches wasted").add(m.prefetches_wasted);
-  mt.row().add("scrubs").add(m.scrubs);
-  mt.row().add("blanks").add(m.blanks);
-  mt.row().add("load failures").add(m.load_failures);
-  mt.row().add("retries").add(m.retries);
-  mt.row().add("fallbacks").add(m.fallbacks);
-  mt.row().add("scrub repairs").add(m.scrub_repairs);
-  mt.row().add("total load time (ms)").add(to_ms(m.total_load_time), 3);
-  mt.row().add("bytes loaded").add(human_bytes(m.bytes_loaded));
-  mt.print();
+  std::fputs(mccdma::format_system_report(report, config).c_str(), stdout);
 
   write_observability(args, tracer, metrics);
   return 0;
 }
 
+/// `sweep`: N independent scenarios through the parallel ScenarioRunner.
+/// Default: prefetch {none,schedule,history} × seeds {42,43,44} — nine
+/// transmitter runs. With --faults, one campaign per seed instead.
+/// stdout (the combined report) is byte-identical for any --jobs value.
+int cmd_sweep(int argc, char** argv, int jobs) {
+  const ArgParser args("sweep", argc, argv,
+                       {{"--symbols", true},
+                        {"--seeds", true},
+                        {"--prefetch", true},
+                        {"--faults", true},
+                        {"--no-recovery", false},
+                        {"--scrub-ms", true},
+                        {"--scrub-mode", true},
+                        {"--cache", true},
+                        {"--trace-out", true},
+                        {"--metrics-out", true}},
+                       0);
+  std::vector<std::uint64_t> seeds;
+  for (const std::string& s : args.list_or("--seeds", {"42", "43", "44"}))
+    seeds.push_back(parse_seed(s));
+
+  std::vector<flow::Scenario> scenarios;
+  if (const std::string* spec_path = args.value("--faults")) {
+    const std::string spec_text = read_file(*spec_path);
+    flow::FaultCampaignOptions opts = fault_options_from(args);
+    for (const std::uint64_t seed : seeds) {
+      opts.seed = seed;
+      scenarios.push_back(mccdma::campaign_scenario(
+          strprintf("faults/seed=%llu", static_cast<unsigned long long>(seed)), spec_text, opts));
+    }
+  } else {
+    if (args.has("--no-recovery") || args.has("--scrub-mode") || args.has("--cache"))
+      fail("flags '--no-recovery', '--scrub-mode' and '--cache' require '--faults <spec-file>'");
+    const auto symbols = static_cast<std::size_t>(args.uint_or("--symbols", 2048));
+    const std::vector<std::string> policies =
+        args.list_or("--prefetch", {"none", "schedule", "history"});
+    for (const std::string& policy : policies) {
+      for (const std::uint64_t seed : seeds) {
+        mccdma::SystemConfig config =
+            mccdma::sweep_system_config(parse_prefetch_flag(policy), seed);
+        if (args.has("--scrub-ms"))
+          config.scrub_period = static_cast<TimeNs>(args.double_or("--scrub-ms", 0.0) * 1e6);
+        scenarios.push_back(mccdma::transmitter_scenario(
+            strprintf("prefetch=%s/seed=%llu", policy.c_str(),
+                      static_cast<unsigned long long>(seed)),
+            config, symbols));
+      }
+    }
+  }
+
+  // Warm the shared bundle once, on this thread, so the workers start
+  // from a hot artifact cache instead of serializing on the first build.
+  mccdma::shared_case_study();
+
+  const flow::ScenarioRunner runner(jobs);
+  const flow::SweepResult sweep = runner.run(scenarios);
+  std::fputs(sweep.combined_report().c_str(), stdout);
+  std::fprintf(stderr, "sweep: %zu scenarios, jobs=%d, %.0f ms wall, %zu failed\n",
+               sweep.results.size(), runner.jobs(), sweep.wall_ms, sweep.failures());
+  write_observability(args, sweep.trace, sweep.metrics);
+  return sweep.failures() == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
   try {
+    // Global flag, stripped before command dispatch.
+    const int jobs = flow::jobs_from_argv(argc, argv, 1);
+    if (argc < 2) return usage();
+    const std::string cmd = argv[1];
     if (cmd == "devices") return cmd_devices(argc - 2, argv + 2);
     if (cmd == "build") return cmd_build(argc - 2, argv + 2);
     if (cmd == "check") return cmd_check(argc - 2, argv + 2);
@@ -519,10 +490,11 @@ int main(int argc, char** argv) {
     if (cmd == "latency") return cmd_latency(argc - 2, argv + 2);
     if (cmd == "adequation") return cmd_adequation(argc - 2, argv + 2);
     if (cmd == "simulate") return cmd_simulate(argc - 2, argv + 2);
+    if (cmd == "sweep") return cmd_sweep(argc - 2, argv + 2, jobs);
+    std::fprintf(stderr, "pdrflow: unknown command '%s'\n", cmd.c_str());
   } catch (const pdr::Error& e) {
     std::fprintf(stderr, "pdrflow: %s\n", e.what());
     return 1;
   }
-  std::fprintf(stderr, "pdrflow: unknown command '%s'\n", cmd.c_str());
   return usage();
 }
