@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <map>
+#include <queue>
 #include <set>
+
+#include "graph/ready.hpp"
 
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -87,8 +90,10 @@ std::string Schedule::gantt(int width) const {
       const char mark = item.kind == ItemKind::Compute   ? '#'
                         : item.kind == ItemKind::Transfer ? '='
                                                           : 'R';
-      for (std::size_t i = pos(item.start); i <= pos(item.end > 0 ? item.end - 1 : 0); ++i)
-        bar[i] = mark;
+      // Zero-duration items still get one mark cell so they stay visible.
+      const std::size_t lo = pos(item.start);
+      const std::size_t hi = std::max(lo, item.end > item.start ? pos(item.end - 1) : lo);
+      for (std::size_t i = lo; i <= hi; ++i) bar[i] = mark;
     }
     out += strprintf("%-10s |%s|\n", res.c_str(), bar.c_str());
   }
@@ -128,10 +133,17 @@ void validate_schedule(const Schedule& schedule, const AlgorithmGraph& algorithm
     }
   }
 
-  // 2. Dependencies respected.
+  // 2. Dependencies respected. Transfers are matched by edge identity —
+  //    two parallel edges between the same producer/consumer pair must
+  //    each have their own transfer chain; a (src,dst) name match alone
+  //    would let them validate against each other's items.
   std::map<graph::NodeId, const ScheduledItem*> compute_of;
   for (const auto& item : schedule.items)
     if (item.kind == ItemKind::Compute) compute_of[item.op] = &item;
+  std::vector<const ScheduledItem*> transfer_items;
+  for (const auto& item : schedule.items)
+    if (item.kind == ItemKind::Transfer) transfer_items.push_back(&item);
+  std::set<const ScheduledItem*> consumed;
   const auto& g = algorithm.digraph();
   for (graph::EdgeId e : g.edge_ids()) {
     const graph::NodeId p = g.edge_from(e);
@@ -143,19 +155,35 @@ void validate_schedule(const Schedule& schedule, const AlgorithmGraph& algorithm
     PDR_CHECK(ic->second->start >= ip->second->end, "validate_schedule",
               "operation '" + g[c].name + "' starts before its input '" + g[p].name + "' finishes");
     if (ip->second->resource != ic->second->resource && g.edge(e).bytes > 0) {
-      // A transfer chain must exist, lying between producer end and
-      // consumer start.
-      bool found = false;
-      for (const auto& item : schedule.items) {
-        if (item.kind == ItemKind::Transfer && item.src == g[p].name && item.dst == g[c].name) {
-          found = true;
-          PDR_CHECK(item.start >= ip->second->end && item.end <= ic->second->start,
-                    "validate_schedule",
-                    "transfer '" + item.label + "' not between producer and consumer");
-        }
+      // Prefer exact edge identity. Hand-built schedules without edge ids
+      // fall back to an unconsumed (src,dst,bytes) match — consumption
+      // keeps a single item from standing in for two distinct edges.
+      std::vector<const ScheduledItem*> chain;
+      for (const ScheduledItem* item : transfer_items)
+        if (item->edge == e) chain.push_back(item);
+      if (chain.empty()) {
+        // One chain = at most one item per medium (the earliest unconsumed
+        // match), so parallel edges each claim their own items.
+        std::map<std::string, const ScheduledItem*> per_medium;
+        for (const ScheduledItem* item : transfer_items)
+          if (item->edge == graph::kNoEdge && consumed.count(item) == 0 &&
+              item->src == g[p].name && item->dst == g[c].name &&
+              item->bytes == g.edge(e).bytes) {
+            const ScheduledItem*& slot = per_medium[item->resource];
+            if (slot == nullptr || item->start < slot->start) slot = item;
+          }
+        for (const auto& [medium, item] : per_medium) chain.push_back(item);
       }
-      PDR_CHECK(found, "validate_schedule",
+      PDR_CHECK(!chain.empty(), "validate_schedule",
                 "missing transfer for dependency '" + g[p].name + "' -> '" + g[c].name + "'");
+      for (const ScheduledItem* item : chain) {
+        consumed.insert(item);
+        PDR_CHECK(item->bytes == g.edge(e).bytes, "validate_schedule",
+                  "transfer '" + item->label + "' carries the wrong payload for its edge");
+        PDR_CHECK(item->start >= ip->second->end && item->end <= ic->second->start,
+                  "validate_schedule",
+                  "transfer '" + item->label + "' not between producer and consumer");
+      }
     }
   }
 
@@ -236,7 +264,7 @@ void Adequation::apply_constraints(const ConstraintSet& constraints) {
 
 namespace {
 
-/// Mutable scheduling state shared by evaluation and commit.
+/// Mutable scheduling state: written only by commit().
 struct State {
   std::map<std::string, TimeNs> operator_free;
   std::map<std::string, TimeNs> medium_free;
@@ -246,24 +274,26 @@ struct State {
   std::map<graph::NodeId, NodeId> placed_on;  // op -> architecture operator node
 };
 
-/// Outcome of evaluating one (operation, operator) candidate.
+/// A fully evaluated placement plan: every schedule item it would emit and
+/// every state write commit() would perform. evaluate() builds it against a
+/// read-only State — reserving shared media in a local scratch view across
+/// the operation's own in-edges — and commit() replays it verbatim. One
+/// code path produces all the numbers, so a non-commit estimate and the
+/// committed schedule cannot diverge.
 struct Candidate {
   NodeId target = graph::kNoNode;
+  std::string target_name;
   TimeNs data_avail = 0;
+  bool needs_reconfig = false;
   TimeNs reconfig_start = 0;
   TimeNs reconfig_end = 0;
-  bool needs_reconfig = false;
+  TimeNs reconfig_duration = 0;
+  TimeNs exposed_stall = 0;
   TimeNs start = 0;
   TimeNs end = 0;
-  TimeNs exposed = 0;
   std::string variant;
   std::string exec_kind;
-  struct Hop {
-    graph::NodeId pred;
-    std::vector<NodeId> media;
-    Bytes bytes;
-  };
-  std::vector<Hop> transfers;
+  std::vector<ScheduledItem> transfers;  ///< fully timed, in emit order
 };
 
 }  // namespace
@@ -293,33 +323,39 @@ Schedule Adequation::run(const AdequationOptions& options) const {
   }
   for (NodeId m : architecture_.media()) st.medium_free[architecture_.medium(m).name] = 0;
 
-  // Evaluates placing `n` on operator `w` against state `st`. When
-  // `commit` is set, reserves media and emits items into `schedule`.
-  Schedule schedule;
-  auto evaluate = [&](graph::NodeId n, NodeId w, bool commit) -> Candidate {
+  // Resolves which alternative/kind a vertex executes: the selected
+  // alternative for conditioned vertices (first one when unselected), the
+  // operation's own kind otherwise. Resolved once per use so feasibility
+  // and evaluation always agree on the kind.
+  auto resolve = [&](const Operation& op) -> std::pair<std::string, std::string> {
+    if (!op.conditioned()) return {"", op.kind};
+    const auto sel = options.selection.find(op.name);
+    if (sel == options.selection.end())
+      return {op.alternatives.front().name, op.alternatives.front().kind};
+    for (const auto& a : op.alternatives)
+      if (a.name == sel->second) return {a.name, a.kind};
+    throw Error("Adequation: selection '" + sel->second + "' is not an alternative of '" +
+                op.name + "'");
+  };
+
+  // Evaluates placing `n` on operator `w` against `st`, without mutating
+  // it. Media this operation's own transfers occupy are reserved in a
+  // scratch view, so two in-edges sharing a medium serialize in the
+  // estimate exactly as they will in the committed schedule.
+  auto evaluate = [&](graph::NodeId n, NodeId w) -> Candidate {
     const Operation& op = g[n];
     const OperatorNode& target = architecture_.op(w);
     Candidate cand;
     cand.target = w;
-
-    // Which executable kind / variant runs here?
-    if (op.conditioned()) {
-      const auto sel = options.selection.find(op.name);
-      const Alternative* alt = &op.alternatives.front();
-      if (sel != options.selection.end()) {
-        alt = nullptr;
-        for (const auto& a : op.alternatives)
-          if (a.name == sel->second) alt = &a;
-        PDR_CHECK(alt != nullptr, "Adequation",
-                  "selection '" + sel->second + "' is not an alternative of '" + op.name + "'");
-      }
-      cand.variant = alt->name;
-      cand.exec_kind = alt->kind;
-    } else {
-      cand.exec_kind = op.kind;
-    }
+    cand.target_name = target.name;
+    std::tie(cand.variant, cand.exec_kind) = resolve(op);
 
     // Data availability: route each incoming dependency.
+    std::map<std::string, TimeNs> reserved;
+    const auto medium_free = [&](const std::string& name) {
+      const auto it = reserved.find(name);
+      return it != reserved.end() ? it->second : st.medium_free.at(name);
+    };
     TimeNs data_avail = 0;
     for (graph::EdgeId e : g.in_edges(n)) {
       const graph::NodeId p = g.edge_from(e);
@@ -327,89 +363,103 @@ Schedule Adequation::run(const AdequationOptions& options) const {
       TimeNs t = st.finish.at(p);
       const NodeId src_w = st.placed_on.at(p);
       if (src_w != w && bytes > 0) {
-        Candidate::Hop hop{p, architecture_.route(src_w, w), bytes};
-        for (NodeId m : hop.media) {
+        for (NodeId m : architecture_.route(src_w, w)) {
           const MediumNode& medium = architecture_.medium(m);
-          const TimeNs tstart = std::max(t, st.medium_free.at(medium.name));
+          const TimeNs tstart = std::max(t, medium_free(medium.name));
           const TimeNs tend = tstart + medium.transfer_time(bytes);
-          if (commit) {
-            st.medium_free[medium.name] = tend;
-            ScheduledItem item;
-            item.kind = ItemKind::Transfer;
-            item.label = g[p].name + "->" + op.name;
-            item.resource = medium.name;
-            item.start = tstart;
-            item.end = tend;
-            item.src = g[p].name;
-            item.dst = op.name;
-            item.bytes = bytes;
-            schedule.items.push_back(std::move(item));
-          }
+          reserved[medium.name] = tend;
+          ScheduledItem item;
+          item.kind = ItemKind::Transfer;
+          item.label = g[p].name + "->" + op.name;
+          item.resource = medium.name;
+          item.start = tstart;
+          item.end = tend;
+          item.src = g[p].name;
+          item.dst = op.name;
+          item.bytes = bytes;
+          item.edge = e;
+          cand.transfers.push_back(std::move(item));
           t = tend;
         }
-        cand.transfers.push_back(std::move(hop));
       }
       data_avail = std::max(data_avail, t);
     }
     cand.data_avail = data_avail;
 
     // Reconfiguration, when targeting a region holding a different module.
-    TimeNs region_ready = st.operator_free.at(target.name);
-    const TimeNs free_before = region_ready;
+    const TimeNs free_before = st.operator_free.at(target.name);
+    TimeNs region_ready = free_before;
     if (target.kind == OperatorKind::FpgaRegion && !cand.variant.empty() &&
         st.region_loaded.at(target.name) != cand.variant) {
       cand.needs_reconfig = true;
-      const TimeNs rd = reconfig_cost_(target.name, cand.variant);
+      cand.reconfig_duration = reconfig_cost_(target.name, cand.variant);
       const TimeNs earliest = std::max(st.port_free, free_before);
       cand.reconfig_start = options.prefetch ? earliest : std::max(earliest, data_avail);
-      cand.reconfig_end = cand.reconfig_start + rd;
+      cand.reconfig_end = cand.reconfig_start + cand.reconfig_duration;
       region_ready = cand.reconfig_end;
-      if (commit) {
-        st.port_free = cand.reconfig_end;
-        st.region_loaded[target.name] = cand.variant;
-        ScheduledItem item;
-        item.kind = ItemKind::Reconfig;
-        item.label = "load " + cand.variant;
-        item.resource = target.name;
-        item.start = cand.reconfig_start;
-        item.end = cand.reconfig_end;
-        item.module = cand.variant;
-        // Exposure: how much later the compute starts because of this
-        // reconfiguration, vs. a region already holding the module.
-        const TimeNs would_start = std::max(data_avail, free_before);
-        const TimeNs with_reconfig = std::max(data_avail, cand.reconfig_end);
-        item.exposed_stall = std::max<TimeNs>(0, with_reconfig - would_start);
-        schedule.reconfig_exposed += item.exposed_stall;
-        schedule.reconfig_total += rd;
-        ++schedule.reconfig_count;
-        schedule.items.push_back(std::move(item));
-      }
+      // Exposure: how much later the compute starts because of this
+      // reconfiguration, vs. a region already holding the module.
+      const TimeNs would_start = std::max(data_avail, free_before);
+      const TimeNs with_reconfig = std::max(data_avail, cand.reconfig_end);
+      cand.exposed_stall = std::max<TimeNs>(0, with_reconfig - would_start);
     }
 
     cand.start = std::max(data_avail, region_ready);
     cand.end = cand.start + durations_.lookup(cand.exec_kind, target);
-
-    if (commit) {
-      st.operator_free[target.name] = cand.end;
-      st.finish[n] = cand.end;
-      st.placed_on[n] = w;
-      ScheduledItem item;
-      item.kind = ItemKind::Compute;
-      item.label = op.name + (cand.variant.empty() ? "" : "(" + cand.variant + ")");
-      item.resource = target.name;
-      item.start = cand.start;
-      item.end = cand.end;
-      item.op = n;
-      item.variant = cand.variant;
-      schedule.items.push_back(std::move(item));
-      schedule.placement[n] = target.name;
-    }
+    if (options.eval_log != nullptr)
+      options.eval_log->push_back({n, target.name, cand.end, false});
     return cand;
   };
 
-  // Candidate operators for an operation.
+  // Applies a candidate: replays its planned items into the schedule and
+  // its state writes into `st`. No number is recomputed here.
+  Schedule schedule;
+  auto commit = [&](graph::NodeId n, const Candidate& cand) {
+    const Operation& op = g[n];
+    for (const ScheduledItem& t : cand.transfers) {
+      st.medium_free[t.resource] = t.end;  // per medium, transfers are planned in time order
+      schedule.items.push_back(t);
+    }
+    if (cand.needs_reconfig) {
+      st.port_free = cand.reconfig_end;
+      st.region_loaded[cand.target_name] = cand.variant;
+      ScheduledItem item;
+      item.kind = ItemKind::Reconfig;
+      item.label = "load " + cand.variant;
+      item.resource = cand.target_name;
+      item.start = cand.reconfig_start;
+      item.end = cand.reconfig_end;
+      item.module = cand.variant;
+      item.exposed_stall = cand.exposed_stall;
+      schedule.reconfig_exposed += cand.exposed_stall;
+      schedule.reconfig_total += cand.reconfig_duration;
+      ++schedule.reconfig_count;
+      schedule.items.push_back(std::move(item));
+    }
+    st.operator_free[cand.target_name] = cand.end;
+    st.finish[n] = cand.end;
+    st.placed_on[n] = cand.target;
+    ScheduledItem item;
+    item.kind = ItemKind::Compute;
+    item.label = op.name + (cand.variant.empty() ? "" : "(" + cand.variant + ")");
+    item.resource = cand.target_name;
+    item.start = cand.start;
+    item.end = cand.end;
+    item.op = n;
+    item.variant = cand.variant;
+    schedule.items.push_back(std::move(item));
+    schedule.placement[n] = cand.target_name;
+    if (options.eval_log != nullptr)
+      options.eval_log->push_back({n, cand.target_name, cand.end, true});
+  };
+
+  // Candidate operators for an operation. Feasibility is checked against
+  // the kind of the *resolved* variant, so a selected alternative the
+  // target cannot execute is filtered out here instead of throwing from
+  // the duration lookup mid-schedule.
   auto candidates = [&](graph::NodeId n) {
     const Operation& op = g[n];
+    const std::string kind = resolve(op).second;
     std::vector<NodeId> out;
     const auto pin_it = pins_.find(op.name);
     for (NodeId w : architecture_.operators()) {
@@ -417,7 +467,6 @@ Schedule Adequation::run(const AdequationOptions& options) const {
       if (pin_it != pins_.end() && target.name != pin_it->second) continue;
       // Regions host only conditioned vertices (dynamic modules).
       if (target.kind == OperatorKind::FpgaRegion && !op.conditioned()) continue;
-      const std::string kind = op.conditioned() ? op.alternatives.front().kind : op.kind;
       if (!durations_.supports(kind, target)) continue;
       out.push_back(w);
     }
@@ -427,57 +476,78 @@ Schedule Adequation::run(const AdequationOptions& options) const {
     return out;
   };
 
-  // Greedy list scheduling (or a deliberately naive baseline strategy).
-  std::set<graph::NodeId> done;
-  std::vector<graph::NodeId> pending = g.node_ids();
+  // Picks the operator for `n` per the mapping strategy and returns the
+  // evaluated candidate to commit.
   std::size_t round_robin_cursor = 0;
-  while (!pending.empty()) {
-    // Ready = all predecessors scheduled. The SynDEx strategy picks the
-    // ready op with the largest critical-path remainder; the baselines
-    // take the first ready op in id order.
-    graph::NodeId best_op = graph::kNoNode;
-    double best_prio = -1;
-    for (graph::NodeId n : pending) {
-      bool ready = true;
-      for (graph::NodeId p : g.predecessors(n))
-        if (!done.count(p)) ready = false;
-      if (!ready) continue;
-      if (options.strategy != MappingStrategy::SynDExList) {
-        best_op = n;
-        break;
-      }
-      if (remainder[n] > best_prio) {
-        best_prio = remainder[n];
-        best_op = n;
-      }
-    }
-    PDR_CHECK(best_op != graph::kNoNode, "Adequation", "no ready operation (cycle?)");
-
-    const auto cands = candidates(best_op);
-    NodeId best_w = graph::kNoNode;
+  auto pick = [&](graph::NodeId n) -> Candidate {
+    const auto cands = candidates(n);
     switch (options.strategy) {
-      case MappingStrategy::SynDExList: {
-        TimeNs best_end = 0;
-        for (NodeId w : cands) {
-          const Candidate c = evaluate(best_op, w, /*commit=*/false);
-          if (best_w == graph::kNoNode || c.end < best_end) {
-            best_w = w;
-            best_end = c.end;
-          }
-        }
-        break;
-      }
       case MappingStrategy::RoundRobin:
-        best_w = cands[round_robin_cursor++ % cands.size()];
-        break;
+        return evaluate(n, cands[round_robin_cursor++ % cands.size()]);
       case MappingStrategy::FirstFeasible:
-        best_w = cands.front();
+        return evaluate(n, cands.front());
+      case MappingStrategy::SynDExList:
         break;
     }
-    evaluate(best_op, best_w, /*commit=*/true);
+    Candidate best;
+    bool have = false;
+    for (NodeId w : cands) {
+      Candidate c = evaluate(n, w);
+      if (!have || c.end < best.end) {
+        best = std::move(c);
+        have = true;
+      }
+    }
+    return best;
+  };
 
-    done.insert(best_op);
-    pending.erase(std::remove(pending.begin(), pending.end(), best_op), pending.end());
+  if (options.ready_policy == ReadyPolicy::IndexedHeap) {
+    // Indexed ready-queue: indegree counters surface operations the
+    // instant their last predecessor commits; a heap orders them by
+    // critical-path remainder (SynDEx) or node id (the naive baselines'
+    // "first ready in id order"). Ties break on node id either way, so
+    // the result is deterministic and identical to the rescanning loop.
+    const bool by_priority = options.strategy == MappingStrategy::SynDExList;
+    const auto after = [&](graph::NodeId a, graph::NodeId b) {
+      if (by_priority && remainder[a] != remainder[b]) return remainder[a] < remainder[b];
+      return a > b;
+    };
+    std::priority_queue<graph::NodeId, std::vector<graph::NodeId>, decltype(after)> ready(after);
+    graph::ReadyTracker tracker(g);
+    for (graph::NodeId n : tracker.initial()) ready.push(n);
+    while (!ready.empty()) {
+      const graph::NodeId n = ready.top();
+      ready.pop();
+      commit(n, pick(n));
+      for (graph::NodeId s : tracker.complete(n)) ready.push(s);
+    }
+    PDR_CHECK(tracker.done(), "Adequation", "no ready operation (cycle?)");
+  } else {
+    // Reference engine: rescan all pending operations every round.
+    std::set<graph::NodeId> done;
+    std::vector<graph::NodeId> pending = g.node_ids();
+    while (!pending.empty()) {
+      graph::NodeId best_op = graph::kNoNode;
+      double best_prio = -1;
+      for (graph::NodeId n : pending) {
+        bool is_ready = true;
+        for (graph::NodeId p : g.predecessors(n))
+          if (done.count(p) == 0) is_ready = false;
+        if (!is_ready) continue;
+        if (options.strategy != MappingStrategy::SynDExList) {
+          best_op = n;
+          break;
+        }
+        if (remainder[n] > best_prio) {
+          best_prio = remainder[n];
+          best_op = n;
+        }
+      }
+      PDR_CHECK(best_op != graph::kNoNode, "Adequation", "no ready operation (cycle?)");
+      commit(best_op, pick(best_op));
+      done.insert(best_op);
+      pending.erase(std::remove(pending.begin(), pending.end(), best_op), pending.end());
+    }
   }
 
   // Finalize.

@@ -53,6 +53,7 @@ struct ScheduledItem {
   std::string src;
   std::string dst;
   Bytes bytes = 0;
+  graph::EdgeId edge = graph::kNoEdge;  ///< algorithm-graph edge this transfer carries
 
   // Reconfig items.
   std::string module;       ///< module loaded into `resource` (a region)
@@ -119,8 +120,32 @@ enum class MappingStrategy : std::uint8_t {
 
 const char* mapping_strategy_name(MappingStrategy strategy);
 
+/// Ready-operation selection engine. IndexedHeap is the production path:
+/// per-node indegree counters feed a priority heap, so each round pops the
+/// next operation in O(log V) instead of rescanning every pending
+/// operation (O(V) per round, O(V^2 * deg) per schedule). RescanReference
+/// keeps the old loop alive purely as a benchmark/equivalence baseline —
+/// both engines share the same candidate evaluation and commit code and
+/// produce byte-identical schedules.
+enum class ReadyPolicy : std::uint8_t { IndexedHeap, RescanReference };
+
+/// One candidate evaluation the heuristic performed, for tests and
+/// tooling: `predicted_end` is the non-commit estimate; when `committed`
+/// is set this exact candidate was applied, and the resulting compute
+/// item's end equals `predicted_end` (estimates are transactional — they
+/// run the same code commit replays).
+struct CandidateEval {
+  graph::NodeId op = graph::kNoNode;
+  std::string operator_name;
+  TimeNs predicted_end = 0;
+  bool committed = false;
+};
+
 struct AdequationOptions {
   MappingStrategy strategy = MappingStrategy::SynDExList;
+  ReadyPolicy ready_policy = ReadyPolicy::IndexedHeap;
+  /// When non-null, every candidate evaluation is appended here.
+  std::vector<CandidateEval>* eval_log = nullptr;
   /// Hoist reconfiguration ahead of data availability (paper's prefetch).
   bool prefetch = true;
   /// Chosen alternative per conditioned vertex name; missing entries use

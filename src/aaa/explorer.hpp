@@ -1,0 +1,92 @@
+// Design-space enumeration for the adequation: the scheduling axes the
+// explorer sweeps and the scoring/Pareto machinery.
+//
+// Related PDR work treats scheduling + placement as a search over many
+// candidate solutions rather than a single heuristic run (Chen et al.,
+// arXiv:1803.03748; Ding et al., arXiv:2212.05397). This header owns the
+// pure, serial parts of that search: a DesignPoint is one complete
+// AdequationOptions assignment, an ExplorationSpace enumerates the cross
+// product of the axes, and pareto_front() keeps the outcomes no other
+// point beats on both makespan and reconfiguration exposure. The parallel
+// runner lives in flow::DesignSpaceExplorer, one layer up.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "aaa/adequation.hpp"
+#include "aaa/project_io.hpp"
+
+namespace pdr::aaa {
+
+/// One point of the schedule design space: a complete assignment of the
+/// explorer's axes (mapping strategy x prefetch x preloaded modules x
+/// variant selections).
+struct DesignPoint {
+  MappingStrategy strategy = MappingStrategy::SynDExList;
+  bool prefetch = true;
+  /// Module assumed resident per region at t=0 ("" = region empty).
+  std::map<std::string, std::string> preloaded;
+  /// Chosen alternative per conditioned vertex.
+  std::map<std::string, std::string> selection;
+
+  /// The AdequationOptions this point schedules with.
+  AdequationOptions to_options() const;
+
+  /// Stable display name, e.g.
+  /// "syndex_list/prefetch=on/preload[D1=qpsk]/sel[mod=qam16]".
+  std::string name() const;
+};
+
+/// The enumerable axes of the design space.
+struct ExplorationSpace {
+  std::vector<MappingStrategy> strategies;
+  std::vector<bool> prefetch;
+  /// Per FpgaRegion operator name: candidate preloaded modules. "" means
+  /// the region starts empty.
+  std::vector<std::pair<std::string, std::vector<std::string>>> preloads;
+  /// Per conditioned vertex name: selectable alternative names.
+  std::vector<std::pair<std::string, std::vector<std::string>>> selections;
+
+  /// Derives the full space from a project: all three strategies, both
+  /// prefetch settings, per region every alternative the region's duration
+  /// entries support (plus empty), per conditioned vertex every
+  /// alternative.
+  static ExplorationSpace from_project(const Project& project);
+
+  /// Cross product of all axes, in a stable enumeration order.
+  std::vector<DesignPoint> enumerate() const;
+
+  /// Size of the cross product without materializing it.
+  std::size_t point_count() const;
+
+  /// One-line axis summary, e.g.
+  /// "3 strategies x 2 prefetch x 3 preloads[D1] x 2 selections[mod]".
+  std::string describe() const;
+};
+
+/// Scheduling result of one design point.
+struct ExplorationOutcome {
+  TimeNs makespan = 0;
+  TimeNs reconfig_exposed = 0;
+  int reconfig_count = 0;
+  bool ok = false;
+  std::string error;  ///< non-empty when scheduling this point failed
+};
+
+/// Schedules one point and validates the result. Never throws: infeasible
+/// points (e.g. a selected variant no operator supports) come back with
+/// ok = false and the error message.
+ExplorationOutcome run_design_point(const Project& project, const DesignPoint& point,
+                                    const Adequation::ReconfigCost& reconfig_cost);
+
+/// Indices of the Pareto-optimal outcomes, minimizing
+/// (makespan, reconfig_exposed): a point survives iff no other successful
+/// point is at least as good on both axes and strictly better on one.
+/// Sorted by makespan, then exposure, then index. Failed outcomes never
+/// appear.
+std::vector<std::size_t> pareto_front(const std::vector<ExplorationOutcome>& outcomes);
+
+}  // namespace pdr::aaa

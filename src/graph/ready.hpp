@@ -1,0 +1,73 @@
+// Indegree / ready-set utilities for list schedulers.
+//
+// A list scheduler repeatedly asks "which nodes have every predecessor
+// finished?". Rescanning all pending nodes each round costs O(V^2 * deg)
+// over a whole schedule; ReadyTracker answers it incrementally: snapshot
+// the indegrees once, then each complete() decrements the counters of the
+// node's successors and hands back exactly the nodes that just became
+// ready — O(V + E) total across the run.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "util/error.hpp"
+
+namespace pdr::graph {
+
+/// Live-edge indegree of every node, indexed by NodeId (dead slots 0).
+template <typename V, typename E>
+std::vector<std::size_t> indegree_counts(const Digraph<V, E>& g) {
+  std::vector<std::size_t> indeg;
+  for (NodeId n : g.node_ids()) {
+    if (n >= indeg.size()) indeg.resize(n + 1, 0);
+    indeg[n] = g.in_edges(n).size();
+  }
+  return indeg;
+}
+
+/// Incremental ready-set over a DAG snapshot. Construction captures
+/// indegrees and successor lists; complete(n) returns the successors whose
+/// last outstanding predecessor was n. Completing every node exactly once
+/// visits each edge exactly once.
+class ReadyTracker {
+ public:
+  template <typename V, typename E>
+  explicit ReadyTracker(const Digraph<V, E>& g) : indeg_(indegree_counts(g)) {
+    successors_.resize(indeg_.size());
+    for (NodeId n : g.node_ids()) successors_[n] = g.successors(n);
+    for (NodeId n : g.node_ids())
+      if (indeg_[n] == 0) initial_.push_back(n);
+    remaining_ = g.node_count();
+  }
+
+  /// Nodes ready before any completion (indegree 0), in id order.
+  const std::vector<NodeId>& initial() const { return initial_; }
+
+  /// Marks `n` complete; returns the successors that just became ready.
+  /// Each node must be completed at most once.
+  std::vector<NodeId> complete(NodeId n) {
+    PDR_CHECK(n < indeg_.size(), "ReadyTracker::complete", "node does not exist");
+    PDR_CHECK(remaining_ > 0, "ReadyTracker::complete", "all nodes already completed");
+    --remaining_;
+    std::vector<NodeId> newly_ready;
+    for (NodeId s : successors_[n]) {
+      PDR_CHECK(indeg_[s] > 0, "ReadyTracker::complete",
+                "successor completed before its predecessor");
+      if (--indeg_[s] == 0) newly_ready.push_back(s);
+    }
+    return newly_ready;
+  }
+
+  /// Nodes not yet completed.
+  std::size_t remaining() const { return remaining_; }
+  bool done() const { return remaining_ == 0; }
+
+ private:
+  std::vector<std::size_t> indeg_;
+  std::vector<std::vector<NodeId>> successors_;
+  std::vector<NodeId> initial_;
+  std::size_t remaining_ = 0;
+};
+
+}  // namespace pdr::graph

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "aaa/adequation.hpp"
 #include "aaa/durations.hpp"
 #include "util/error.hpp"
@@ -310,6 +312,227 @@ TEST(Adequation, StrategyNames) {
   EXPECT_STREQ(mapping_strategy_name(MappingStrategy::SynDExList), "syndex_list");
   EXPECT_STREQ(mapping_strategy_name(MappingStrategy::RoundRobin), "round_robin");
   EXPECT_STREQ(mapping_strategy_name(MappingStrategy::FirstFeasible), "first_feasible");
+}
+
+TEST(Adequation, SelectionKindDrivesFeasibility) {
+  // The selected alternative's kind, not the first alternative's, decides
+  // operator feasibility. A's kind runs only on the CPU, B's only on F1:
+  // selecting B must land on F1 (the pre-fix candidate filter checked
+  // support for A's kind and then blew up looking B's duration up on CPU).
+  AlgorithmGraph g;
+  g.add_operation({"a", "src", {}, OpClass::Sensor, {}});
+  g.add_conditioned("m", {{"A", "ka", {}}, {"B", "kb", {}}});
+  g.add_dependency("a", "m", 100);
+
+  DurationTable t;
+  t.set("src", OperatorKind::FpgaStatic, 2'000);
+  t.set("ka", OperatorKind::Processor, 10'000);
+  t.set("kb", OperatorKind::FpgaStatic, 2'000);
+
+  const ArchitectureGraph arch = small_arch();
+  AdequationOptions options;
+  options.selection["m"] = "B";
+  const Schedule s = Adequation(g, arch, t).run(options);
+  validate_schedule(s, g, arch);
+  EXPECT_EQ(s.placement.at(g.by_name("m")), "F1");
+
+  options.selection["m"] = "A";
+  const Schedule sa = Adequation(g, arch, t).run(options);
+  validate_schedule(sa, g, arch);
+  EXPECT_EQ(sa.placement.at(g.by_name("m")), "CPU");
+}
+
+TEST(Adequation, SharedMediumEstimateMatchesCommitAndFlipsChoice) {
+  // p1 and p2 run sequentially on F1 (finish 1/2 us); join j's two
+  // in-edges each need 10 us on the shared BUS when j lands on the CPU.
+  // The pre-fix estimator let both transfers start at the bus's committed
+  // free time, predicting CPU at 17 us and picking it over F1's 22 us —
+  // the committed CPU schedule actually ends at 26 us. The transactional
+  // estimator reserves the bus across the op's own in-edges, so the
+  // estimate is 26 us and F1 wins.
+  AlgorithmGraph g;
+  g.add_operation({"p1", "src", {}, OpClass::Sensor, {}});
+  g.add_operation({"p2", "src", {}, OpClass::Sensor, {}});
+  g.add_operation({"j", "join", {}, OpClass::Actuator, {}});
+  g.add_dependency("p1", "j", 1'000);
+  g.add_dependency("p2", "j", 1'000);
+
+  DurationTable t;
+  t.set("src", OperatorKind::FpgaStatic, 1'000);
+  t.set("join", OperatorKind::Processor, 5'000);
+  t.set("join", OperatorKind::FpgaStatic, 20'000);
+
+  ArchitectureGraph arch;
+  arch.add_operator(OperatorNode{"CPU", OperatorKind::Processor, 1.0, "", ""});
+  arch.add_operator(OperatorNode{"F1", OperatorKind::FpgaStatic, 1.0, "XC2V2000", ""});
+  arch.add_medium(MediumNode{"BUS", 100e6, 0});
+  arch.connect("CPU", "BUS");
+  arch.connect("F1", "BUS");
+
+  std::vector<CandidateEval> evals;
+  AdequationOptions options;
+  options.eval_log = &evals;
+  const Schedule s = Adequation(g, arch, t).run(options);
+  validate_schedule(s, g, arch);
+  EXPECT_EQ(s.placement.at(g.by_name("j")), "F1");
+  EXPECT_EQ(s.makespan, 22'000);
+
+  // The rejected CPU estimate accounts for the serialized bus.
+  bool saw_cpu = false;
+  for (const auto& ev : evals)
+    if (ev.op == g.by_name("j") && ev.operator_name == "CPU") {
+      EXPECT_EQ(ev.predicted_end, 26'000);
+      saw_cpu = true;
+    }
+  EXPECT_TRUE(saw_cpu);
+
+  // Estimates are transactional: every committed candidate matches an
+  // earlier non-commit estimate for the same (op, operator) pair exactly,
+  // and matches the compute item's actual end.
+  for (const auto& ev : evals) {
+    if (!ev.committed) continue;
+    bool estimated = false;
+    for (const auto& prior : evals)
+      if (!prior.committed && prior.op == ev.op && prior.operator_name == ev.operator_name) {
+        EXPECT_EQ(prior.predicted_end, ev.predicted_end);
+        estimated = true;
+      }
+    EXPECT_TRUE(estimated);
+    for (const auto& item : s.items)
+      if (item.kind == ItemKind::Compute && item.op == ev.op) {
+        EXPECT_EQ(item.end, ev.predicted_end);
+      }
+  }
+}
+
+TEST(Schedule, GanttRendersZeroDurationItems) {
+  Schedule s;
+  ScheduledItem pulse;
+  pulse.kind = ItemKind::Compute;
+  pulse.label = "pulse";
+  pulse.resource = "CPU";
+  pulse.start = 5'000;
+  pulse.end = 5'000;  // zero duration
+  ScheduledItem work;
+  work.kind = ItemKind::Compute;
+  work.label = "work";
+  work.resource = "F1";
+  work.start = 0;
+  work.end = 10'000;
+  s.items = {work, pulse};
+  s.makespan = 10'000;
+
+  const std::string chart = s.gantt();
+  const std::size_t line_start = chart.find("CPU");
+  ASSERT_NE(line_start, std::string::npos);
+  const std::size_t line_end = chart.find('\n', line_start);
+  // Zero-duration items still paint one mark cell.
+  EXPECT_NE(chart.substr(line_start, line_end - line_start).find('#'), std::string::npos);
+}
+
+TEST(ValidateSchedule, MultiEdgeTransfersNeedOneChainPerEdge) {
+  // Two parallel a->b edges with the same payload: one transfer item must
+  // not validate both (the pre-fix matcher keyed on (src,dst) names and
+  // let it).
+  AlgorithmGraph g;
+  g.add_operation({"a", "src", {}, OpClass::Sensor, {}});
+  g.add_operation({"b", "sink", {}, OpClass::Actuator, {}});
+  g.add_dependency("a", "b", 100);
+  g.add_dependency("a", "b", 100);
+  const ArchitectureGraph arch = small_arch();
+
+  ScheduledItem ca;
+  ca.kind = ItemKind::Compute;
+  ca.label = "a";
+  ca.resource = "F1";
+  ca.start = 0;
+  ca.end = 1'000;
+  ca.op = g.by_name("a");
+  ScheduledItem cb = ca;
+  cb.label = "b";
+  cb.resource = "CPU";
+  cb.start = 4'000;
+  cb.end = 5'000;
+  cb.op = g.by_name("b");
+  ScheduledItem t1;
+  t1.kind = ItemKind::Transfer;
+  t1.label = "a->b";
+  t1.resource = "BUS";
+  t1.start = 1'000;
+  t1.end = 2'000;
+  t1.src = "a";
+  t1.dst = "b";
+  t1.bytes = 100;  // edge defaults to kNoEdge: the (src,dst,bytes) fallback
+
+  Schedule missing;
+  missing.items = {ca, t1, cb};
+  EXPECT_THROW(validate_schedule(missing, g, arch), pdr::Error);
+
+  ScheduledItem t2 = t1;
+  t2.start = 2'000;
+  t2.end = 3'000;
+  Schedule complete;
+  complete.items = {ca, t1, t2, cb};
+  EXPECT_NO_THROW(validate_schedule(complete, g, arch));
+}
+
+TEST(Adequation, ParallelEdgesScheduleOneTransferEach) {
+  AlgorithmGraph g;
+  g.add_operation({"a", "src", {}, OpClass::Sensor, {}});
+  g.add_operation({"b", "sink", {}, OpClass::Actuator, {}});
+  g.add_dependency("a", "b", 100);
+  g.add_dependency("a", "b", 200);
+  const ArchitectureGraph arch = small_arch();
+  const DurationTable t = simple_durations();
+  Adequation adequation(g, arch, t);
+  adequation.pin("a", "F1");
+  adequation.pin("b", "CPU");
+  const Schedule s = adequation.run();
+  validate_schedule(s, g, arch);
+
+  std::set<graph::EdgeId> edges;
+  for (const auto& item : s.items)
+    if (item.kind == ItemKind::Transfer) edges.insert(item.edge);
+  EXPECT_EQ(edges.size(), 2u);  // distinct edge ids, one chain per edge
+  EXPECT_EQ(edges.count(graph::kNoEdge), 0u);
+}
+
+TEST(Adequation, EnginesProduceByteIdenticalSchedules) {
+  // The indexed ready-queue is an index, not a heuristic change: across
+  // strategies it must reproduce the rescanning reference exactly.
+  Rng rng(99);
+  AlgorithmGraph g;
+  const int layers = 5;
+  const int per_layer = 4;
+  std::vector<std::vector<std::string>> names(layers);
+  for (int l = 0; l < layers; ++l)
+    for (int i = 0; i < per_layer; ++i) {
+      const std::string name = "op_" + std::to_string(l) + "_" + std::to_string(i);
+      names[l].push_back(name);
+      if (l == 0)
+        g.add_operation({name, "src", {}, OpClass::Sensor, {}});
+      else
+        g.add_compute(name, "work");
+    }
+  for (int l = 1; l < layers; ++l)
+    for (int i = 0; i < per_layer; ++i)
+      g.add_dependency(names[l - 1][static_cast<std::size_t>(rng.uniform_int(0, per_layer - 1))],
+                       names[l][static_cast<std::size_t>(i)],
+                       static_cast<Bytes>(rng.uniform_int(16, 256)));
+
+  const ArchitectureGraph arch = small_arch();
+  const DurationTable t = simple_durations();
+  const Adequation adequation(g, arch, t);
+  for (const auto strategy :
+       {MappingStrategy::SynDExList, MappingStrategy::RoundRobin, MappingStrategy::FirstFeasible}) {
+    AdequationOptions heap;
+    heap.strategy = strategy;
+    heap.ready_policy = ReadyPolicy::IndexedHeap;
+    AdequationOptions rescan = heap;
+    rescan.ready_policy = ReadyPolicy::RescanReference;
+    EXPECT_EQ(adequation.run(heap).to_csv(), adequation.run(rescan).to_csv())
+        << mapping_strategy_name(strategy);
+  }
 }
 
 /// Property: random layered DAGs on the small platform always produce

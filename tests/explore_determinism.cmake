@@ -1,0 +1,21 @@
+# Black-box check of the explorer determinism contract: the same design
+# space explored serially and on 8 workers must print byte-identical
+# stdout. Invoked by the cli_explore_determinism ctest entry with
+# -DPDRFLOW=<path> -DPROJECT=<project-file>.
+execute_process(COMMAND ${PDRFLOW} explore ${PROJECT} --jobs 1
+                OUTPUT_VARIABLE serial_out RESULT_VARIABLE serial_rc
+                ERROR_VARIABLE serial_err)
+execute_process(COMMAND ${PDRFLOW} explore ${PROJECT} --jobs 8
+                OUTPUT_VARIABLE parallel_out RESULT_VARIABLE parallel_rc
+                ERROR_VARIABLE parallel_err)
+if(NOT serial_rc EQUAL 0)
+  message(FATAL_ERROR "serial explore failed (exit ${serial_rc}):\n${serial_err}")
+endif()
+if(NOT parallel_rc EQUAL 0)
+  message(FATAL_ERROR "parallel explore failed (exit ${parallel_rc}):\n${parallel_err}")
+endif()
+if(NOT serial_out STREQUAL parallel_out)
+  message(FATAL_ERROR "explore --jobs 8 stdout differs from --jobs 1:\n"
+                      "--- serial ---\n${serial_out}\n--- parallel ---\n${parallel_out}")
+endif()
+message(STATUS "explore stdout byte-identical at jobs=1 and jobs=8")

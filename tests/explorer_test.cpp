@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "aaa/explorer.hpp"
+#include "flow/explorer.hpp"
+#include "util/error.hpp"
+
+namespace pdr {
+namespace {
+
+using namespace pdr::literals;
+
+/// Small project with one dynamic region and one conditioned vertex: a
+/// 3 strategies x 2 prefetch x 3 preloads x 2 selections = 36-point space.
+aaa::Project tiny_project() {
+  aaa::Project project;
+  project.name = "tiny";
+
+  project.algorithm.add_operation({"a", "src", {}, aaa::OpClass::Sensor, {}});
+  project.algorithm.add_conditioned("m", {{"qpsk", "qpsk_k", {}}, {"qam16", "qam16_k", {}}});
+  project.algorithm.add_operation({"c", "sink", {}, aaa::OpClass::Actuator, {}});
+  project.algorithm.add_dependency("a", "m", 100);
+  project.algorithm.add_dependency("m", "c", 100);
+
+  project.architecture.add_operator(aaa::OperatorNode{"CPU", aaa::OperatorKind::Processor, 1.0, "", ""});
+  project.architecture.add_operator(
+      aaa::OperatorNode{"D1", aaa::OperatorKind::FpgaRegion, 1.0, "XC2V2000", "D1"});
+  project.architecture.add_medium(aaa::MediumNode{"BUS", 100e6, 100});
+  project.architecture.connect("CPU", "BUS");
+  project.architecture.connect("D1", "BUS");
+
+  for (const char* kind : {"src", "sink"}) project.durations.set(kind, aaa::OperatorKind::Processor, 1'000);
+  for (const char* kind : {"qpsk_k", "qam16_k"}) {
+    project.durations.set(kind, aaa::OperatorKind::Processor, 50'000);
+    project.durations.set(kind, aaa::OperatorKind::FpgaRegion, 2'000);
+  }
+  return project;
+}
+
+TEST(ExplorationSpace, FromProjectEnumeratesAllAxes) {
+  const aaa::Project project = tiny_project();
+  const aaa::ExplorationSpace space = aaa::ExplorationSpace::from_project(project);
+  EXPECT_EQ(space.strategies.size(), 3u);
+  EXPECT_EQ(space.prefetch.size(), 2u);
+  ASSERT_EQ(space.preloads.size(), 1u);
+  EXPECT_EQ(space.preloads[0].first, "D1");
+  // Empty region + the two region-capable alternatives.
+  EXPECT_EQ(space.preloads[0].second.size(), 3u);
+  ASSERT_EQ(space.selections.size(), 1u);
+  EXPECT_EQ(space.selections[0].first, "m");
+  EXPECT_EQ(space.selections[0].second.size(), 2u);
+
+  EXPECT_EQ(space.point_count(), 36u);
+  const auto points = space.enumerate();
+  EXPECT_EQ(points.size(), 36u);
+  std::set<std::string> names;
+  for (const auto& point : points) names.insert(point.name());
+  EXPECT_EQ(names.size(), 36u);  // point names are unique
+}
+
+TEST(ExplorationSpace, EnumerationOrderIsStable) {
+  const aaa::ExplorationSpace space =
+      aaa::ExplorationSpace::from_project(tiny_project());
+  const auto a = space.enumerate();
+  const auto b = space.enumerate();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].name(), b[i].name());
+}
+
+TEST(RunDesignPoint, InfeasiblePointReportsErrorInsteadOfThrowing) {
+  aaa::Project project = tiny_project();
+  aaa::DesignPoint point;
+  point.selection["m"] = "no_such_alternative";
+  const auto outcome = aaa::run_design_point(
+      project, point, [](const std::string&, const std::string&) { return 1_ms; });
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_NE(outcome.error.find("no_such_alternative"), std::string::npos);
+}
+
+TEST(ParetoFront, KeepsOnlyUndominatedOutcomes) {
+  std::vector<aaa::ExplorationOutcome> outcomes(4);
+  outcomes[0] = {10'000, 0, 0, true, ""};      // best makespan
+  outcomes[1] = {12'000, 0, 1, true, ""};      // dominated by 0
+  outcomes[2] = {11'000, 0, 0, true, ""};      // dominated by 0
+  outcomes[3] = {9'000, 5'000, 1, true, ""};   // faster but exposed: survives
+  const auto front = aaa::pareto_front(outcomes);
+  EXPECT_EQ(front, (std::vector<std::size_t>{3, 0}));  // sorted by makespan
+}
+
+TEST(ParetoFront, IdenticalOutcomesKeepEarliestIndex) {
+  std::vector<aaa::ExplorationOutcome> outcomes(3);
+  outcomes[0] = {10'000, 0, 0, true, ""};
+  outcomes[1] = {10'000, 0, 0, true, ""};  // twin of 0: dropped
+  outcomes[2] = {10'000, 0, 0, false, "boom"};  // failed: never on the front
+  const auto front = aaa::pareto_front(outcomes);
+  EXPECT_EQ(front, (std::vector<std::size_t>{0}));
+}
+
+TEST(DesignSpaceExplorer, RunsWholeSpaceAndFindsPareto) {
+  const aaa::Project project = tiny_project();
+  flow::ExplorerOptions options;
+  options.jobs = 2;
+  options.reconfig_cost = 1_ms;
+  const flow::DesignSpaceExplorer explorer(
+      project, aaa::ExplorationSpace::from_project(project), options);
+  const flow::ExplorationReport report = explorer.run();
+
+  EXPECT_EQ(report.points.size(), 36u);
+  EXPECT_EQ(report.outcomes.size(), 36u);
+  EXPECT_EQ(report.failed_points(), 0u);
+  ASSERT_FALSE(report.pareto.empty());
+
+  // The front's best point beats or ties every successful outcome.
+  const auto& best = report.outcomes[report.pareto.front()];
+  for (const auto& outcome : report.outcomes) EXPECT_LE(best.makespan, outcome.makespan);
+
+  // A preloaded region with the selected module avoids every
+  // reconfiguration: the front must contain a zero-exposure point.
+  EXPECT_EQ(report.outcomes[report.pareto.front()].reconfig_exposed, 0);
+
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("pareto front:"), std::string::npos);
+  EXPECT_NE(text.find("makespan"), std::string::npos);
+}
+
+TEST(DesignSpaceExplorer, ParallelRunIsByteIdenticalToSerial) {
+  const aaa::Project project = tiny_project();
+  const aaa::ExplorationSpace space = aaa::ExplorationSpace::from_project(project);
+
+  flow::ExplorerOptions serial;
+  serial.jobs = 1;
+  serial.reconfig_cost = 1_ms;
+  flow::ExplorerOptions parallel = serial;
+  parallel.jobs = 8;
+
+  const flow::ExplorationReport a = flow::DesignSpaceExplorer(project, space, serial).run();
+  const flow::ExplorationReport b = flow::DesignSpaceExplorer(project, space, parallel).run();
+
+  EXPECT_EQ(a.to_string(), b.to_string());
+  EXPECT_EQ(a.sweep.combined_report(), b.sweep.combined_report());
+  EXPECT_EQ(a.pareto, b.pareto);
+  EXPECT_EQ(a.sweep.metrics.to_json(), b.sweep.metrics.to_json());
+}
+
+TEST(DesignSpaceExplorer, RefusesOversizedSpace) {
+  const aaa::Project project = tiny_project();
+  flow::ExplorerOptions options;
+  options.max_points = 10;  // space has 36
+  const flow::DesignSpaceExplorer explorer(
+      project, aaa::ExplorationSpace::from_project(project), options);
+  EXPECT_THROW(explorer.run(), pdr::Error);
+}
+
+TEST(DesignPoint, ToOptionsDropsEmptyPreloads) {
+  aaa::DesignPoint point;
+  point.preloaded["D1"] = "";
+  point.preloaded["D2"] = "qpsk";
+  point.selection["m"] = "qam16";
+  const aaa::AdequationOptions options = point.to_options();
+  EXPECT_EQ(options.preloaded.count("D1"), 0u);  // "" = empty region
+  EXPECT_EQ(options.preloaded.at("D2"), "qpsk");
+  EXPECT_EQ(options.selection.at("m"), "qam16");
+}
+
+}  // namespace
+}  // namespace pdr

@@ -4,6 +4,7 @@
 
 #include "graph/digraph.hpp"
 #include "graph/dot.hpp"
+#include "graph/ready.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -167,6 +168,77 @@ TEST_P(RandomDagTest, TopologicalOrderConsistent) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagTest, ::testing::Range(0, 12));
+
+TEST(ReadyTracker, DiamondCompletesInDependencyOrder) {
+  const G g = diamond();
+  ReadyTracker tracker(g);
+  ASSERT_EQ(tracker.initial().size(), 1u);
+  EXPECT_EQ(tracker.initial()[0], 0u);
+  EXPECT_EQ(tracker.remaining(), 4u);
+
+  auto ready = tracker.complete(0);  // unlocks both branches
+  EXPECT_EQ(ready, (std::vector<NodeId>{1, 2}));
+  EXPECT_TRUE(tracker.complete(1).empty());  // 3 still waits on 2
+  EXPECT_EQ(tracker.complete(2), (std::vector<NodeId>{3}));
+  EXPECT_TRUE(tracker.complete(3).empty());
+  EXPECT_TRUE(tracker.done());
+}
+
+TEST(ReadyTracker, ParallelEdgesCountAsSeparatePredecessors) {
+  G g;
+  const NodeId a = g.add_node(0);
+  const NodeId b = g.add_node(1);
+  g.add_edge(a, b, 0);
+  g.add_edge(a, b, 0);  // duplicate in-edge: indegree 2, one completer
+  ReadyTracker tracker(g);
+  const auto indeg = indegree_counts(g);
+  EXPECT_EQ(indeg[b], 2u);
+  // a's successor list yields b twice; both decrements happen in one
+  // complete(), so b becomes ready exactly once.
+  const auto ready = tracker.complete(a);
+  EXPECT_EQ(ready, (std::vector<NodeId>{b}));
+}
+
+TEST(ReadyTracker, RefusesOverCompletion) {
+  G g;
+  const NodeId a = g.add_node(0);
+  const NodeId b = g.add_node(1);
+  g.add_edge(a, b, 0);
+  ReadyTracker tracker(g);
+  tracker.complete(a);
+  // A second completion would decrement b's already-zero counter.
+  EXPECT_THROW(tracker.complete(a), pdr::Error);
+}
+
+TEST(ReadyTracker, MatchesRescanOnRandomDags) {
+  // Property: driving the tracker to exhaustion visits every node exactly
+  // once, and a node only surfaces after all its predecessors.
+  Rng rng(321);
+  for (int trial = 0; trial < 10; ++trial) {
+    G g;
+    const int n = 30;
+    for (int i = 0; i < n; ++i) g.add_node(i);
+    for (int i = 0; i < n; ++i)
+      for (int j = i + 1; j < n; ++j)
+        if (rng.chance(0.08)) g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j), 0);
+
+    ReadyTracker tracker(g);
+    std::vector<NodeId> queue = tracker.initial();
+    std::vector<bool> seen(n, false);
+    std::size_t completed = 0;
+    while (!queue.empty()) {
+      const NodeId x = queue.back();
+      queue.pop_back();
+      EXPECT_FALSE(seen[x]);
+      for (EdgeId e : g.in_edges(x)) EXPECT_TRUE(seen[g.edge_from(e)] || g.edge_from(e) == x);
+      seen[x] = true;
+      ++completed;
+      for (NodeId s : tracker.complete(x)) queue.push_back(s);
+    }
+    EXPECT_EQ(completed, g.node_count());
+    EXPECT_TRUE(tracker.done());
+  }
+}
 
 TEST(Dot, RendersNodesAndEdges) {
   const std::string dot = to_dot("g", {{"a", "A", "box", ""}, {"b", "B", "ellipse", "red"}},

@@ -18,6 +18,11 @@
 //   pdrflow sweep [--jobs N] ...
 //       Run a prefetch-policy × seed sweep (or, with --faults, a
 //       fault-campaign seed sweep) through the parallel ScenarioRunner.
+//   pdrflow explore <project-file> [--jobs N] [--top K]
+//       Enumerate the schedule design space (mapping strategy × prefetch
+//       × preloaded modules × variant selections), run every point
+//       through the parallel ScenarioRunner and print the Pareto front
+//       on (makespan, reconfiguration exposure).
 //
 // Every command is a thin layer of argument parsing over the pdr::flow
 // pipeline presets: parsing, linting, synthesis, adequation and fault
@@ -47,7 +52,9 @@
 #include "aaa/adequation.hpp"
 #include "aaa/constraints.hpp"
 #include "fabric/bitstream.hpp"
+#include "aaa/explorer.hpp"
 #include "fault/campaign.hpp"
+#include "flow/explorer.hpp"
 #include "flow/pipeline.hpp"
 #include "flow/scenario.hpp"
 #include "lint/lint.hpp"
@@ -76,6 +83,7 @@ int usage() {
       "  pdrflow inspect <bitstream.bit> --device NAME\n"
       "  pdrflow latency <constraints-file> [--bandwidth BYTES_PER_S]\n"
       "  pdrflow adequation <project-file> [--no-prefetch] [--reconfig-ms N]\n"
+      "  pdrflow explore <project-file> [--top K] [--reconfig-ms N] [--max-points N]\n"
       "  pdrflow simulate [--symbols N] [--seed S] [--prefetch none|schedule|history]\n"
       "                   [--cache BYTES] [--scrub-ms N]\n"
       "  pdrflow simulate --faults <spec-file> [--seed S] [--no-recovery]\n"
@@ -83,8 +91,8 @@ int usage() {
       "  pdrflow sweep [--symbols N] [--seeds A,B,C] [--prefetch LIST]\n"
       "  pdrflow sweep --faults <spec-file> [--seeds A,B,C] [--no-recovery] [--scrub-ms N]\n"
       "  pdrflow devices\n"
-      "--jobs N (anywhere) sizes the sweep thread pool; output is identical for any N\n"
-      "build/adequation/simulate/sweep also accept --trace-out FILE --metrics-out FILE\n",
+      "--jobs N (anywhere) sizes the sweep/explore thread pool; output is identical for any N\n"
+      "build/adequation/explore/simulate/sweep also accept --trace-out FILE --metrics-out FILE\n",
       stderr);
   return 2;
 }
@@ -321,6 +329,44 @@ int cmd_adequation(int argc, char** argv) {
   return 0;
 }
 
+/// `explore`: enumerate the schedule design space of a project file and
+/// print the Pareto front on (makespan, reconfiguration exposure). The
+/// per-point bodies run on the ScenarioRunner pool; stdout is
+/// byte-identical for any --jobs value.
+int cmd_explore(int argc, char** argv, int jobs) {
+  const ArgParser args("explore", argc, argv,
+                       {{"--top", true},
+                        {"--reconfig-ms", true},
+                        {"--max-points", true},
+                        {"--trace-out", true},
+                        {"--metrics-out", true}},
+                       1);
+  flow::PipelineOptions options;
+  options.project_text = read_file(args.positional(0));
+  flow::Pipeline pipeline(std::move(options));
+  const std::shared_ptr<const aaa::Project> project = pipeline.project();
+
+  flow::ExplorerOptions explorer_options;
+  explorer_options.jobs = jobs;
+  explorer_options.reconfig_cost = static_cast<TimeNs>(args.double_or("--reconfig-ms", 4.0) * 1e6);
+  explorer_options.max_points =
+      static_cast<std::size_t>(args.uint_or("--max-points", explorer_options.max_points));
+
+  const flow::DesignSpaceExplorer explorer(*project, aaa::ExplorationSpace::from_project(*project),
+                                           explorer_options);
+  const flow::ExplorationReport report = explorer.run();
+
+  std::printf("project '%s': %zu operations on %zu operators\n", project->name.c_str(),
+              project->algorithm.size(), project->architecture.operators().size());
+  std::fputs(report.to_string(static_cast<std::size_t>(args.uint_or("--top", 0))).c_str(), stdout);
+  std::fprintf(stderr, "explore: %zu points, jobs=%d, %.0f ms wall, %zu failed\n",
+               report.points.size(), jobs, report.sweep.wall_ms, report.failed_points());
+  write_observability(args, report.sweep.trace, report.sweep.metrics);
+  // Infeasible points are expected (the space is exhaustive); an empty
+  // front means nothing scheduled at all — that is the failure.
+  return report.pareto.empty() ? 1 : 0;
+}
+
 /// Maps the simulate/sweep fault flags onto pipeline FaultCampaignOptions.
 /// The manager_tag keys the opaque ManagerConfig for the artifact cache.
 flow::FaultCampaignOptions fault_options_from(const ArgParser& args) {
@@ -489,6 +535,7 @@ int main(int argc, char** argv) {
     if (cmd == "inspect") return cmd_inspect(argc - 2, argv + 2);
     if (cmd == "latency") return cmd_latency(argc - 2, argv + 2);
     if (cmd == "adequation") return cmd_adequation(argc - 2, argv + 2);
+    if (cmd == "explore") return cmd_explore(argc - 2, argv + 2, jobs);
     if (cmd == "simulate") return cmd_simulate(argc - 2, argv + 2);
     if (cmd == "sweep") return cmd_sweep(argc - 2, argv + 2, jobs);
     std::fprintf(stderr, "pdrflow: unknown command '%s'\n", cmd.c_str());
