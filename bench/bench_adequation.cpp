@@ -1,5 +1,8 @@
 // Adequation scaling benchmark: the indexed ready-queue engine against
-// the retained rescanning reference loop, on synthetic layered DAGs.
+// the retained rescanning reference loop, on synthetic layered DAGs from
+// the shared pdr::bench generators (bench_suite measures the same
+// workloads into BENCH_adequation.json; this binary is the quick
+// pass/fail equivalence gate).
 //
 // For each graph size the two engines schedule the same project and the
 // run asserts the schedules are byte-identical (the ready-queue is an
@@ -18,9 +21,7 @@
 #include <vector>
 
 #include "aaa/adequation.hpp"
-#include "aaa/architecture_graph.hpp"
-#include "aaa/durations.hpp"
-#include "util/rng.hpp"
+#include "bench/generators.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
@@ -29,58 +30,7 @@ using namespace pdr::literals;
 
 namespace {
 
-aaa::DurationTable bench_durations() {
-  aaa::DurationTable t;
-  for (const char* kind : {"src", "work"}) {
-    t.set(kind, aaa::OperatorKind::Processor, 20'000);
-    t.set(kind, aaa::OperatorKind::FpgaStatic, 4'000);
-  }
-  for (const char* kind : {"alt_a", "alt_b"}) {
-    t.set(kind, aaa::OperatorKind::Processor, 40'000);
-    t.set(kind, aaa::OperatorKind::FpgaRegion, 4'000);
-  }
-  return t;
-}
-
-/// Random layered DAG: `width` operations per layer, every 5th a
-/// conditioned vertex, 1-2 in-edges per non-source operation. Wide layers
-/// keep the ready set large, which is exactly where the rescanning loop
-/// hurts.
-aaa::AlgorithmGraph layered_graph(int n_ops, int width, std::uint64_t seed) {
-  Rng rng(seed);
-  aaa::AlgorithmGraph g;
-  std::vector<std::string> prev_layer;
-  std::vector<std::string> layer;
-  int made = 0;
-  int layer_index = 0;
-  while (made < n_ops) {
-    layer.clear();
-    for (int i = 0; i < width && made < n_ops; ++i, ++made) {
-      const std::string name = "op" + std::to_string(made);
-      if (layer_index == 0) {
-        g.add_operation({name, "src", {}, aaa::OpClass::Sensor, {}});
-      } else if (made % 5 == 0) {
-        g.add_conditioned(name, {{"filt_a", "alt_a", {}}, {"filt_b", "alt_b", {}}});
-      } else {
-        g.add_compute(name, "work");
-      }
-      if (layer_index > 0) {
-        const int fan_in = 1 + static_cast<int>(rng.uniform_int(0, 1));
-        for (int e = 0; e < fan_in; ++e) {
-          const auto& from = prev_layer[static_cast<std::size_t>(
-              rng.uniform_int(0, static_cast<std::int64_t>(prev_layer.size()) - 1))];
-          g.add_dependency(from, name, 128);
-        }
-      }
-      layer.push_back(name);
-    }
-    prev_layer = layer;
-    ++layer_index;
-  }
-  return g;
-}
-
-double time_run_ms(aaa::Adequation& adequation, const aaa::AdequationOptions& options) {
+double time_run_ms(const aaa::Adequation& adequation, const aaa::AdequationOptions& options) {
   const auto t0 = std::chrono::steady_clock::now();
   const aaa::Schedule s = adequation.run(options);
   const auto t1 = std::chrono::steady_clock::now();
@@ -96,17 +46,19 @@ int main(int argc, char** argv) {
                                        : std::vector<int>{100, 1000, 5000};
 
   std::puts("=== adequation engines: indexed ready-queue vs rescanning reference ===\n");
-  const aaa::DurationTable durations = bench_durations();
+  const aaa::DurationTable durations = bench::bench_durations();
+  const aaa::ArchitectureGraph arch = bench::bench_architecture(2, 1);
   Table t({"operations", "heap (ms)", "rescan (ms)", "speedup", "identical"});
 
   bool all_identical = true;
   double largest_heap_ms = 0;
   double largest_rescan_ms = 0;
   for (const int n : sizes) {
-    aaa::ArchitectureGraph arch = aaa::make_figure1_architecture(2, 200e6);
-    arch.add_operator(aaa::OperatorNode{"CPU", aaa::OperatorKind::Processor, 1.0, "", ""});
-    arch.connect("CPU", "IL");
-    const aaa::AlgorithmGraph g = layered_graph(n, 20, 17);
+    bench::GeneratorConfig cfg;
+    cfg.shape = bench::GraphShape::Layered;
+    cfg.n_ops = n;
+    cfg.width = 20;
+    const aaa::AlgorithmGraph g = bench::generate_graph(cfg);
     aaa::Adequation adequation(g, arch, durations);
     adequation.set_reconfig_cost([](const std::string&, const std::string&) { return 1_ms; });
 

@@ -1,0 +1,349 @@
+// The canonical perf harness: one binary, three BENCH_*.json documents.
+//
+//   bench_suite                    full tier (1k/10k/100k/1M-op adequation,
+//                                  216-point explorer sweep, fault
+//                                  campaigns, cold/warm pipeline)
+//   bench_suite --smoke            CI tier: same suites, CI-sized inputs
+//   bench_suite --out-dir <dir>    where BENCH_*.json land (default ".")
+//   bench_suite --repeats <n>      override the per-record repeat count
+//
+// Each suite writes BENCH_<suite>.json (schema in src/bench/report.hpp:
+// git sha, per-record config, warm-up reported separately from the
+// Welford mean/stddev/min/max of the timed repeats) and prints the human
+// table. Workloads come from the seeded generators in src/bench — every
+// record's input is a pure function of its printed config.
+//
+// The adequation suite doubles as the scheduler acceptance oracle: at
+// each equivalence size the indexed ready-queue engine and the retained
+// rescanning reference must produce byte-identical schedules (compared
+// via Schedule::to_csv), and the binary exits non-zero when they do not.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "aaa/adequation.hpp"
+#include "aaa/explorer.hpp"
+#include "aaa/project_io.hpp"
+#include "bench/generators.hpp"
+#include "bench/report.hpp"
+#include "fault/campaign.hpp"
+#include "fault/fault_spec.hpp"
+#include "flow/artifact_store.hpp"
+#include "flow/explorer.hpp"
+#include "flow/pipeline.hpp"
+#include "mccdma/case_study.hpp"
+#include "mccdma/flow_presets.hpp"
+#include "util/arg_parser.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+using namespace pdr;
+using bench::BenchRecord;
+using bench::GeneratorConfig;
+using bench::GraphShape;
+
+namespace {
+
+struct SuiteOptions {
+  bool smoke = false;
+  std::string out_dir = ".";
+  int repeats = 0;  ///< 0 = tier default
+};
+
+int default_repeats(const SuiteOptions& opts) { return opts.repeats > 0 ? opts.repeats : (opts.smoke ? 1 : 3); }
+int default_warmup(const SuiteOptions& opts) { return opts.smoke ? 0 : 1; }
+
+void push_generator_config(BenchRecord& rec, const GeneratorConfig& cfg, int regions, int cpus) {
+  rec.config.emplace_back("shape", bench::graph_shape_name(cfg.shape));
+  rec.config.emplace_back("n_ops", std::to_string(cfg.n_ops));
+  rec.config.emplace_back("width", std::to_string(cfg.width));
+  rec.config.emplace_back("fanout", std::to_string(cfg.fanout));
+  rec.config.emplace_back("seed", std::to_string(cfg.seed));
+  rec.config.emplace_back("regions", std::to_string(regions));
+  rec.config.emplace_back("cpus", std::to_string(cpus));
+}
+
+// --- suite: adequation ----------------------------------------------------
+
+/// Workload sizes per tier. The full tier walks the roadmap ladder
+/// (1k/10k/100k/1M); smoke keeps CI under a couple of seconds per record.
+std::vector<GeneratorConfig> adequation_configs(bool smoke) {
+  std::vector<GeneratorConfig> configs;
+  const std::vector<int> layered_sizes =
+      smoke ? std::vector<int>{1'000, 5'000}
+            : std::vector<int>{1'000, 10'000, 100'000, 1'000'000};
+  for (const int n : layered_sizes) {
+    GeneratorConfig cfg;
+    cfg.shape = GraphShape::Layered;
+    cfg.n_ops = n;
+    cfg.width = 20;
+    configs.push_back(cfg);
+  }
+  for (const GraphShape shape : {GraphShape::Random, GraphShape::Streaming}) {
+    GeneratorConfig cfg;
+    cfg.shape = shape;
+    cfg.n_ops = smoke ? 1'000 : 10'000;
+    cfg.width = shape == GraphShape::Streaming ? 8 : 20;
+    configs.push_back(cfg);
+  }
+  return configs;
+}
+
+std::vector<BenchRecord> run_adequation_suite(const SuiteOptions& opts, bool& identical_ok) {
+  const int regions = 4;
+  const int cpus = 2;
+  const aaa::ArchitectureGraph arch = bench::bench_architecture(regions, cpus);
+  const aaa::DurationTable durations = bench::bench_durations();
+  std::vector<BenchRecord> records;
+
+  for (const GeneratorConfig& cfg : adequation_configs(opts.smoke)) {
+    std::printf("  generating %s ...\n", cfg.name().c_str());
+    const aaa::AlgorithmGraph g = bench::generate_graph(cfg);
+    const aaa::Adequation adequation(g, arch, durations);
+    aaa::AdequationOptions run_opts;
+    run_opts.ready_policy = aaa::ReadyPolicy::IndexedHeap;
+    aaa::Schedule last;
+    BenchRecord rec =
+        bench::measure("adequation/" + cfg.name(), default_warmup(opts), default_repeats(opts),
+                       [&] { last = adequation.run(run_opts); });
+    push_generator_config(rec, cfg, regions, cpus);
+    rec.config.emplace_back("ready_policy", "indexed_heap");
+    if (const auto mean = rec.wall_ms.opt_mean(); mean && *mean > 0)
+      rec.extra.emplace_back("ops_per_sec", cfg.n_ops / (*mean / 1e3));
+    rec.extra.emplace_back("schedule_items", static_cast<double>(last.items.size()));
+    rec.extra.emplace_back("makespan_ms", static_cast<double>(last.makespan) / 1e6);
+    records.push_back(std::move(rec));
+    std::printf("  %-34s mean %.2f ms\n", records.back().name.c_str(),
+                records.back().wall_ms.mean());
+  }
+
+  // Equivalence oracle: indexed engine vs the rescanning reference, byte
+  // for byte, at a small and a large size. The large full-tier point
+  // (100k ops) is the acceptance criterion for the hot-path work.
+  const std::vector<int> equiv_sizes =
+      opts.smoke ? std::vector<int>{1'000, 5'000} : std::vector<int>{1'000, 100'000};
+  for (const int n : equiv_sizes) {
+    GeneratorConfig cfg;
+    cfg.shape = GraphShape::Layered;
+    cfg.n_ops = n;
+    cfg.width = 20;
+    std::printf("  equivalence check at %d ops ...\n", n);
+    const aaa::AlgorithmGraph g = bench::generate_graph(cfg);
+    const aaa::Adequation adequation(g, arch, durations);
+    aaa::AdequationOptions heap_opts;
+    heap_opts.ready_policy = aaa::ReadyPolicy::IndexedHeap;
+    aaa::AdequationOptions rescan_opts;
+    rescan_opts.ready_policy = aaa::ReadyPolicy::RescanReference;
+
+    std::string heap_csv;
+    std::string rescan_csv;
+    BenchRecord heap_rec = bench::measure("adequation/equiv-heap/" + cfg.name(), 0, 1,
+                                          [&] { heap_csv = adequation.run(heap_opts).to_csv(); });
+    BenchRecord rescan_rec =
+        bench::measure("adequation/equiv-rescan/" + cfg.name(), 0, 1,
+                       [&] { rescan_csv = adequation.run(rescan_opts).to_csv(); });
+    const bool identical = heap_csv == rescan_csv;
+    identical_ok = identical_ok && identical;
+
+    push_generator_config(heap_rec, cfg, regions, cpus);
+    heap_rec.config.emplace_back("ready_policy", "indexed_heap");
+    push_generator_config(rescan_rec, cfg, regions, cpus);
+    rescan_rec.config.emplace_back("ready_policy", "rescan_reference");
+    const double heap_ms = heap_rec.wall_ms.mean();
+    const double rescan_ms = rescan_rec.wall_ms.mean();
+    heap_rec.extra.emplace_back("identical", identical ? 1.0 : 0.0);
+    if (heap_ms > 0) heap_rec.extra.emplace_back("speedup_vs_rescan", rescan_ms / heap_ms);
+    rescan_rec.extra.emplace_back("identical", identical ? 1.0 : 0.0);
+    records.push_back(std::move(heap_rec));
+    records.push_back(std::move(rescan_rec));
+    std::printf("  equiv %-28s heap %.2f ms  rescan %.2f ms  %s\n", cfg.name().c_str(), heap_ms,
+                rescan_ms, identical ? "identical" : "DIFFERENT");
+  }
+  return records;
+}
+
+// --- suite: explore -------------------------------------------------------
+
+std::vector<BenchRecord> run_explore_suite(const SuiteOptions& opts) {
+  const int regions = 2;
+  const int cpus = 2;
+  GeneratorConfig cfg;
+  cfg.shape = GraphShape::Layered;
+  cfg.n_ops = opts.smoke ? 100 : 200;
+  cfg.width = 10;
+
+  aaa::Project project;
+  project.name = "bench-explore";
+  project.algorithm = bench::generate_graph(cfg);
+  project.architecture = bench::bench_architecture(regions, cpus);
+  project.durations = bench::bench_durations();
+
+  // First conditioned vertices of the generated graph, in id order — the
+  // selection axis. (ExplorationSpace::from_project would put EVERY
+  // conditioned vertex on the axis and the cross product explodes; the
+  // bench pins the axis width so the point count is a config constant.)
+  std::vector<std::string> conditioned;
+  for (const graph::NodeId n : project.algorithm.digraph().node_ids()) {
+    if (project.algorithm.op(n).conditioned()) conditioned.push_back(project.algorithm.op(n).name);
+    if (conditioned.size() == 2) break;
+  }
+  PDR_CHECK(conditioned.size() == 2, "bench_suite", "generated graph lacks conditioned vertices");
+
+  aaa::ExplorationSpace space;
+  space.strategies = opts.smoke
+                         ? std::vector<aaa::MappingStrategy>{aaa::MappingStrategy::SynDExList}
+                         : std::vector<aaa::MappingStrategy>{aaa::MappingStrategy::SynDExList,
+                                                             aaa::MappingStrategy::RoundRobin,
+                                                             aaa::MappingStrategy::FirstFeasible};
+  space.prefetch = {true, false};
+  space.preloads = {{"D1", {"", "filt_a", "filt_b"}}};
+  if (!opts.smoke) space.preloads.push_back({"D2", {"", "filt_a", "filt_b"}});
+  space.selections = {{conditioned[0], {"filt_a", "filt_b"}},
+                      {conditioned[1], {"filt_a", "filt_b"}}};
+  const std::size_t points = space.point_count();
+
+  flow::ExplorerOptions explorer_opts;
+  explorer_opts.jobs = 1;  // serial: points/sec per core is the tracked figure
+  const flow::DesignSpaceExplorer explorer(project, space, explorer_opts);
+
+  std::size_t pareto = 0;
+  std::size_t failed = 0;
+  BenchRecord rec = bench::measure(
+      strprintf("explore/%s/points%zu", cfg.name().c_str(), points), default_warmup(opts),
+      default_repeats(opts), [&] {
+        const flow::ExplorationReport report = explorer.run();
+        pareto = report.pareto.size();
+        failed = report.failed_points();
+      });
+  push_generator_config(rec, cfg, regions, cpus);
+  rec.config.emplace_back("points", std::to_string(points));
+  rec.config.emplace_back("jobs", "1");
+  if (const auto mean = rec.wall_ms.opt_mean(); mean && *mean > 0)
+    rec.extra.emplace_back("points_per_sec", static_cast<double>(points) / (*mean / 1e3));
+  rec.extra.emplace_back("pareto_points", static_cast<double>(pareto));
+  rec.extra.emplace_back("failed_points", static_cast<double>(failed));
+  std::printf("  %-34s mean %.2f ms (%zu points)\n", rec.name.c_str(), rec.wall_ms.mean(), points);
+  return {std::move(rec)};
+}
+
+// --- suite: flow (pipeline + fault campaigns) -----------------------------
+
+std::vector<BenchRecord> run_flow_suite(const SuiteOptions& opts) {
+  std::vector<BenchRecord> records;
+  const flow::PipelineOptions pipeline_opts = mccdma::case_study_pipeline().options();
+  const auto drive = [](flow::Pipeline& p) {
+    p.bundle();
+    p.adequation();
+    p.codegen();
+  };
+
+  // Cold: every repeat starts from an empty artifact store, so each run
+  // pays constraints parse + Modular Design flow + adequation + codegen.
+  {
+    BenchRecord rec =
+        bench::measure("flow/pipeline-cold", 0, default_repeats(opts), [&] {
+          auto store = std::make_shared<flow::ArtifactStore>();
+          flow::Pipeline pipeline(pipeline_opts, store);
+          drive(pipeline);
+        });
+    rec.config.emplace_back("pipeline", "case_study");
+    rec.config.emplace_back("store", "cold");
+    std::printf("  %-34s mean %.2f ms\n", rec.name.c_str(), rec.wall_ms.mean());
+    records.push_back(std::move(rec));
+  }
+
+  // Warm: one shared store; the single warm-up run populates it and the
+  // timed repeats measure pure cache service.
+  {
+    auto store = std::make_shared<flow::ArtifactStore>();
+    BenchRecord rec = bench::measure("flow/pipeline-warm", 1, default_repeats(opts), [&] {
+      flow::Pipeline pipeline(pipeline_opts, store);
+      drive(pipeline);
+    });
+    rec.config.emplace_back("pipeline", "case_study");
+    rec.config.emplace_back("store", "warm");
+    std::printf("  %-34s mean %.2f ms\n", rec.name.c_str(), rec.wall_ms.mean());
+    records.push_back(std::move(rec));
+  }
+
+  // Fault campaigns: seeded end-to-end runs on the case-study bundle.
+  {
+    const int horizon_ms = opts.smoke ? 20 : 100;
+    const int campaigns_per_repeat = opts.smoke ? 2 : 4;
+    const std::string spec_text = strprintf(
+        "seed 7\n"
+        "horizon_ms %d\n"
+        "seu D1 rate 200\n"
+        "port abort_prob 0.05\n"
+        "fetch corrupt qam16 prob 0.2\n",
+        horizon_ms);
+    const fault::FaultSpec spec = fault::parse_fault_spec(spec_text);
+    const synth::DesignBundle& bundle = mccdma::shared_case_study().bundle;
+    BenchRecord rec = bench::measure(
+        strprintf("flow/fault-campaigns/h%dms", horizon_ms), default_warmup(opts),
+        default_repeats(opts), [&] {
+          for (int s = 0; s < campaigns_per_repeat; ++s) {
+            rtr::BitstreamStore store = mccdma::make_case_study_store();
+            fault::CampaignConfig config;
+            config.seed = static_cast<std::uint64_t>(s + 1);
+            (void)fault::run_campaign(bundle, store, spec, config);
+          }
+        });
+    rec.config.emplace_back("horizon_ms", std::to_string(horizon_ms));
+    rec.config.emplace_back("campaigns_per_repeat", std::to_string(campaigns_per_repeat));
+    rec.config.emplace_back("recovery", "on");
+    if (const auto mean = rec.wall_ms.opt_mean(); mean && *mean > 0)
+      rec.extra.emplace_back("campaigns_per_sec", campaigns_per_repeat / (*mean / 1e3));
+    std::printf("  %-34s mean %.2f ms\n", rec.name.c_str(), rec.wall_ms.mean());
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+void write_suite(const SuiteOptions& opts, const std::string& suite,
+                 const std::vector<BenchRecord>& records) {
+  std::printf("\n%s\n", bench::bench_table(records).c_str());
+  bench::write_bench_json(opts.out_dir + "/BENCH_" + suite + ".json", suite, opts.smoke, records);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Line-buffered even when redirected, so CI logs show per-record
+  // progress while the full tier's multi-minute records run.
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  try {
+    const util::ArgParser args("bench_suite", argc - 1, argv + 1,
+                               {{"--smoke", false}, {"--out-dir", true}, {"--repeats", true}}, 0);
+    SuiteOptions opts;
+    opts.smoke = args.has("--smoke");
+    opts.out_dir = args.string_or("--out-dir", ".");
+    opts.repeats = static_cast<int>(args.uint_or("--repeats", 0));
+
+    std::printf("=== bench_suite (%s tier, %d repeats, git %s) ===\n",
+                opts.smoke ? "smoke" : "full", default_repeats(opts), bench::git_sha().c_str());
+
+    std::printf("\n--- adequation ---\n");
+    bool identical_ok = true;
+    write_suite(opts, "adequation", run_adequation_suite(opts, identical_ok));
+
+    std::printf("\n--- explore ---\n");
+    write_suite(opts, "explore", run_explore_suite(opts));
+
+    std::printf("\n--- flow ---\n");
+    write_suite(opts, "flow", run_flow_suite(opts));
+
+    if (!identical_ok) {
+      std::fputs("\nFAIL: indexed and rescanning engines disagree on a schedule\n", stderr);
+      return 1;
+    }
+    std::puts("\nall schedules byte-identical across engines");
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "bench_suite: %s\n", e.what());
+    return 1;
+  }
+}

@@ -264,14 +264,17 @@ void Adequation::apply_constraints(const ConstraintSet& constraints) {
 
 namespace {
 
-/// Mutable scheduling state: written only by commit().
+/// Mutable scheduling state: written only by commit(). Everything is
+/// index-keyed — architecture NodeId for operators/media/regions,
+/// algorithm NodeId for finish/placement — resolved once per run instead
+/// of the string-keyed maps the hot path used to hash on every access.
 struct State {
-  std::map<std::string, TimeNs> operator_free;
-  std::map<std::string, TimeNs> medium_free;
-  std::map<std::string, std::string> region_loaded;
+  std::vector<TimeNs> operator_free;       ///< by architecture NodeId
+  std::vector<TimeNs> medium_free;         ///< by architecture NodeId
+  std::vector<std::string> region_loaded;  ///< by architecture NodeId
   TimeNs port_free = 0;
-  std::map<graph::NodeId, TimeNs> finish;
-  std::map<graph::NodeId, NodeId> placed_on;  // op -> architecture operator node
+  std::vector<TimeNs> finish;    ///< by algorithm NodeId
+  std::vector<NodeId> placed_on; ///< algorithm NodeId -> architecture operator node
 };
 
 /// A fully evaluated placement plan: every schedule item it would emit and
@@ -280,6 +283,10 @@ struct State {
 /// the operation's own in-edges — and commit() replays it verbatim. One
 /// code path produces all the numbers, so a non-commit estimate and the
 /// committed schedule cannot diverge.
+///
+/// Candidates are pooled: the scheduler reuses two instances for the whole
+/// run, and reset() clears the plan while keeping the transfer vectors'
+/// capacity, so candidate evaluation stays allocation-free once warm.
 struct Candidate {
   NodeId target = graph::kNoNode;
   std::string target_name;
@@ -293,7 +300,21 @@ struct Candidate {
   TimeNs end = 0;
   std::string variant;
   std::string exec_kind;
-  std::vector<ScheduledItem> transfers;  ///< fully timed, in emit order
+  std::vector<ScheduledItem> transfers;   ///< fully timed, in emit order
+  std::vector<NodeId> transfer_media;     ///< medium node per transfer
+
+  void reset() {
+    target = graph::kNoNode;
+    target_name.clear();
+    data_avail = 0;
+    needs_reconfig = false;
+    reconfig_start = reconfig_end = reconfig_duration = exposed_stall = 0;
+    start = end = 0;
+    variant.clear();
+    exec_kind.clear();
+    transfers.clear();
+    transfer_media.clear();
+  }
 };
 
 }  // namespace
@@ -313,15 +334,65 @@ Schedule Adequation::run(const AdequationOptions& options) const {
     return worst;
   });
 
+  // --- per-run index tables, resolved once --------------------------------
+  const std::size_t algo_cap = g.node_capacity();
+  const std::vector<NodeId> all_operators = architecture_.operators();
+  const std::vector<NodeId> all_media = architecture_.media();
+  std::size_t arch_cap = 0;
+  for (NodeId w : all_operators) arch_cap = std::max<std::size_t>(arch_cap, w + 1);
+  for (NodeId m : all_media) arch_cap = std::max<std::size_t>(arch_cap, m + 1);
+
   State st;
-  for (NodeId w : architecture_.operators()) {
-    st.operator_free[architecture_.op(w).name] = 0;
+  st.operator_free.assign(arch_cap, 0);
+  st.medium_free.assign(arch_cap, 0);
+  st.region_loaded.assign(arch_cap, "");
+  st.finish.assign(algo_cap, 0);
+  st.placed_on.assign(algo_cap, graph::kNoNode);
+  for (NodeId w : all_operators) {
     if (architecture_.op(w).kind == OperatorKind::FpgaRegion) {
       const auto it = options.preloaded.find(architecture_.op(w).name);
-      st.region_loaded[architecture_.op(w).name] = it == options.preloaded.end() ? "" : it->second;
+      if (it != options.preloaded.end()) st.region_loaded[w] = it->second;
     }
   }
-  for (NodeId m : architecture_.media()) st.medium_free[architecture_.medium(m).name] = 0;
+
+  // Pins resolved to ids once (names were validated when the pin was set).
+  std::vector<NodeId> pinned(algo_cap, graph::kNoNode);
+  for (const auto& [op_name, operator_name] : pins_)
+    pinned[algorithm_.by_name(op_name)] = architecture_.by_name(operator_name);
+
+  // Media routes between operator pairs, memoized: route() re-runs a BFS
+  // per call, and evaluate() needs a route per in-edge per candidate.
+  std::vector<std::vector<NodeId>> route_cache(arch_cap * arch_cap);
+  std::vector<char> route_known(arch_cap * arch_cap, 0);
+  const auto route_between = [&](NodeId from, NodeId to) -> const std::vector<NodeId>& {
+    const std::size_t slot = from * arch_cap + to;
+    if (!route_known[slot]) {
+      route_cache[slot] = architecture_.route(from, to);
+      route_known[slot] = 1;
+    }
+    return route_cache[slot];
+  };
+
+  // Durations per (operation kind, operator), looked up once per kind:
+  // kUnsupported marks operators the kind cannot execute on.
+  constexpr TimeNs kUnsupported = -1;
+  std::map<std::string, std::vector<TimeNs>> duration_cache;
+  const auto durations_for = [&](const std::string& kind) -> const std::vector<TimeNs>& {
+    const auto it = duration_cache.find(kind);
+    if (it != duration_cache.end()) return it->second;
+    std::vector<TimeNs> per_operator(arch_cap, kUnsupported);
+    for (NodeId w : all_operators) {
+      const OperatorNode& target = architecture_.op(w);
+      if (durations_.supports(kind, target)) per_operator[w] = durations_.lookup(kind, target);
+    }
+    return duration_cache.emplace(kind, std::move(per_operator)).first->second;
+  };
+
+  // Scratch medium reservations for evaluate(), generation-stamped so
+  // clearing between evaluations is O(1) instead of allocating a map.
+  std::vector<TimeNs> scratch_reserved(arch_cap, 0);
+  std::vector<std::uint32_t> scratch_generation(arch_cap, 0);
+  std::uint32_t generation = 0;
 
   // Resolves which alternative/kind a vertex executes: the selected
   // alternative for conditioned vertices (first one when unselected), the
@@ -339,38 +410,40 @@ Schedule Adequation::run(const AdequationOptions& options) const {
   };
 
   // Evaluates placing `n` on operator `w` against `st`, without mutating
-  // it. Media this operation's own transfers occupy are reserved in a
-  // scratch view, so two in-edges sharing a medium serialize in the
-  // estimate exactly as they will in the committed schedule.
-  auto evaluate = [&](graph::NodeId n, NodeId w) -> Candidate {
+  // it, into the pooled `cand`. Media this operation's own transfers
+  // occupy are reserved in a scratch view, so two in-edges sharing a
+  // medium serialize in the estimate exactly as they will in the committed
+  // schedule. `duration` is the precomputed lookup of `exec_kind` on `w`.
+  auto evaluate = [&](graph::NodeId n, NodeId w, const std::string& variant,
+                      const std::string& exec_kind, TimeNs duration, Candidate& cand) {
     const Operation& op = g[n];
     const OperatorNode& target = architecture_.op(w);
-    Candidate cand;
+    cand.reset();
     cand.target = w;
     cand.target_name = target.name;
-    std::tie(cand.variant, cand.exec_kind) = resolve(op);
+    cand.variant = variant;
+    cand.exec_kind = exec_kind;
 
     // Data availability: route each incoming dependency.
-    std::map<std::string, TimeNs> reserved;
-    const auto medium_free = [&](const std::string& name) {
-      const auto it = reserved.find(name);
-      return it != reserved.end() ? it->second : st.medium_free.at(name);
-    };
+    ++generation;
     TimeNs data_avail = 0;
-    for (graph::EdgeId e : g.in_edges(n)) {
+    g.for_each_in_edge(n, [&](graph::EdgeId e) {
       const graph::NodeId p = g.edge_from(e);
       const Bytes bytes = g.edge(e).bytes;
-      TimeNs t = st.finish.at(p);
-      const NodeId src_w = st.placed_on.at(p);
+      TimeNs t = st.finish[p];
+      const NodeId src_w = st.placed_on[p];
       if (src_w != w && bytes > 0) {
-        for (NodeId m : architecture_.route(src_w, w)) {
+        for (NodeId m : route_between(src_w, w)) {
           const MediumNode& medium = architecture_.medium(m);
-          const TimeNs tstart = std::max(t, medium_free(medium.name));
+          const TimeNs free =
+              scratch_generation[m] == generation ? scratch_reserved[m] : st.medium_free[m];
+          const TimeNs tstart = std::max(t, free);
           const TimeNs tend = tstart + medium.transfer_time(bytes);
-          reserved[medium.name] = tend;
+          scratch_generation[m] = generation;
+          scratch_reserved[m] = tend;
           ScheduledItem item;
           item.kind = ItemKind::Transfer;
-          item.label = g[p].name + "->" + op.name;
+          // label built at commit time — uncommitted plans never need it
           item.resource = medium.name;
           item.start = tstart;
           item.end = tend;
@@ -379,18 +452,19 @@ Schedule Adequation::run(const AdequationOptions& options) const {
           item.bytes = bytes;
           item.edge = e;
           cand.transfers.push_back(std::move(item));
+          cand.transfer_media.push_back(m);
           t = tend;
         }
       }
       data_avail = std::max(data_avail, t);
-    }
+    });
     cand.data_avail = data_avail;
 
     // Reconfiguration, when targeting a region holding a different module.
-    const TimeNs free_before = st.operator_free.at(target.name);
+    const TimeNs free_before = st.operator_free[w];
     TimeNs region_ready = free_before;
     if (target.kind == OperatorKind::FpgaRegion && !cand.variant.empty() &&
-        st.region_loaded.at(target.name) != cand.variant) {
+        st.region_loaded[w] != cand.variant) {
       cand.needs_reconfig = true;
       cand.reconfig_duration = reconfig_cost_(target.name, cand.variant);
       const TimeNs earliest = std::max(st.port_free, free_before);
@@ -405,24 +479,28 @@ Schedule Adequation::run(const AdequationOptions& options) const {
     }
 
     cand.start = std::max(data_avail, region_ready);
-    cand.end = cand.start + durations_.lookup(cand.exec_kind, target);
+    cand.end = cand.start + duration;
     if (options.eval_log != nullptr)
       options.eval_log->push_back({n, target.name, cand.end, false});
-    return cand;
   };
 
   // Applies a candidate: replays its planned items into the schedule and
-  // its state writes into `st`. No number is recomputed here.
+  // its state writes into `st`. No number is recomputed here. The
+  // candidate is consumed — its items move into the schedule.
   Schedule schedule;
-  auto commit = [&](graph::NodeId n, const Candidate& cand) {
+  schedule.items.reserve(g.node_count() + g.edge_count() + g.node_count() / 4);
+  auto commit = [&](graph::NodeId n, Candidate& cand) {
     const Operation& op = g[n];
-    for (const ScheduledItem& t : cand.transfers) {
-      st.medium_free[t.resource] = t.end;  // per medium, transfers are planned in time order
-      schedule.items.push_back(t);
+    for (std::size_t i = 0; i < cand.transfers.size(); ++i) {
+      ScheduledItem& t = cand.transfers[i];
+      // per medium, transfers are planned in time order
+      st.medium_free[cand.transfer_media[i]] = t.end;
+      t.label = t.src + "->" + t.dst;
+      schedule.items.push_back(std::move(t));
     }
     if (cand.needs_reconfig) {
       st.port_free = cand.reconfig_end;
-      st.region_loaded[cand.target_name] = cand.variant;
+      st.region_loaded[cand.target] = cand.variant;
       ScheduledItem item;
       item.kind = ItemKind::Reconfig;
       item.label = "load " + cand.variant;
@@ -436,7 +514,7 @@ Schedule Adequation::run(const AdequationOptions& options) const {
       ++schedule.reconfig_count;
       schedule.items.push_back(std::move(item));
     }
-    st.operator_free[cand.target_name] = cand.end;
+    st.operator_free[cand.target] = cand.end;
     st.finish[n] = cand.end;
     st.placed_on[n] = cand.target;
     ScheduledItem item;
@@ -453,54 +531,63 @@ Schedule Adequation::run(const AdequationOptions& options) const {
       options.eval_log->push_back({n, cand.target_name, cand.end, true});
   };
 
-  // Candidate operators for an operation. Feasibility is checked against
-  // the kind of the *resolved* variant, so a selected alternative the
-  // target cannot execute is filtered out here instead of throwing from
-  // the duration lookup mid-schedule.
-  auto candidates = [&](graph::NodeId n) {
+  // Candidate operators for an operation, into a pooled buffer.
+  // Feasibility is checked against the kind of the *resolved* variant, so
+  // a selected alternative the target cannot execute is filtered out here
+  // instead of throwing from the duration lookup mid-schedule.
+  std::vector<NodeId> cand_buf;
+  auto candidates = [&](graph::NodeId n, const std::vector<TimeNs>& durations)
+      -> const std::vector<NodeId>& {
     const Operation& op = g[n];
-    const std::string kind = resolve(op).second;
-    std::vector<NodeId> out;
-    const auto pin_it = pins_.find(op.name);
-    for (NodeId w : architecture_.operators()) {
-      const OperatorNode& target = architecture_.op(w);
-      if (pin_it != pins_.end() && target.name != pin_it->second) continue;
+    cand_buf.clear();
+    const NodeId pin = pinned[n];
+    for (NodeId w : all_operators) {
+      if (pin != graph::kNoNode && w != pin) continue;
       // Regions host only conditioned vertices (dynamic modules).
-      if (target.kind == OperatorKind::FpgaRegion && !op.conditioned()) continue;
-      if (!durations_.supports(kind, target)) continue;
-      out.push_back(w);
+      if (architecture_.op(w).kind == OperatorKind::FpgaRegion && !op.conditioned()) continue;
+      if (durations[w] == kUnsupported) continue;
+      cand_buf.push_back(w);
     }
-    PDR_CHECK(!out.empty(), "Adequation",
+    PDR_CHECK(!cand_buf.empty(), "Adequation",
               "operation '" + op.name + "' has no feasible operator" +
-                  (pin_it != pins_.end() ? " (pinned to '" + pin_it->second + "')" : ""));
-    return out;
+                  (pin != graph::kNoNode
+                       ? " (pinned to '" + architecture_.op(pin).name + "')"
+                       : ""));
+    return cand_buf;
   };
 
-  // Picks the operator for `n` per the mapping strategy and returns the
-  // evaluated candidate to commit.
+  // Picks the operator for `n` per the mapping strategy, leaving the
+  // evaluated candidate to commit in `best`. `scratch` is the second
+  // pooled candidate the strategies evaluate rejected plans into.
   std::size_t round_robin_cursor = 0;
-  auto pick = [&](graph::NodeId n) -> Candidate {
-    const auto cands = candidates(n);
+  auto pick = [&](graph::NodeId n, Candidate& best, Candidate& scratch) {
+    const Operation& op = g[n];
+    const auto [variant, exec_kind] = resolve(op);
+    const std::vector<TimeNs>& durations = durations_for(exec_kind);
+    const auto& cands = candidates(n, durations);
     switch (options.strategy) {
-      case MappingStrategy::RoundRobin:
-        return evaluate(n, cands[round_robin_cursor++ % cands.size()]);
+      case MappingStrategy::RoundRobin: {
+        const NodeId w = cands[round_robin_cursor++ % cands.size()];
+        evaluate(n, w, variant, exec_kind, durations[w], best);
+        return;
+      }
       case MappingStrategy::FirstFeasible:
-        return evaluate(n, cands.front());
+        evaluate(n, cands.front(), variant, exec_kind, durations[cands.front()], best);
+        return;
       case MappingStrategy::SynDExList:
         break;
     }
-    Candidate best;
     bool have = false;
     for (NodeId w : cands) {
-      Candidate c = evaluate(n, w);
-      if (!have || c.end < best.end) {
-        best = std::move(c);
+      evaluate(n, w, variant, exec_kind, durations[w], scratch);
+      if (!have || scratch.end < best.end) {
+        std::swap(best, scratch);
         have = true;
       }
     }
-    return best;
   };
 
+  Candidate best, scratch;
   if (options.ready_policy == ReadyPolicy::IndexedHeap) {
     // Indexed ready-queue: indegree counters surface operations the
     // instant their last predecessor commits; a heap orders them by
@@ -512,27 +599,37 @@ Schedule Adequation::run(const AdequationOptions& options) const {
       if (by_priority && remainder[a] != remainder[b]) return remainder[a] < remainder[b];
       return a > b;
     };
-    std::priority_queue<graph::NodeId, std::vector<graph::NodeId>, decltype(after)> ready(after);
+    std::vector<graph::NodeId> heap_storage;
+    heap_storage.reserve(algo_cap);
+    std::priority_queue<graph::NodeId, std::vector<graph::NodeId>, decltype(after)> ready(
+        after, std::move(heap_storage));
     graph::ReadyTracker tracker(g);
     for (graph::NodeId n : tracker.initial()) ready.push(n);
+    std::vector<graph::NodeId> newly_ready;
     while (!ready.empty()) {
       const graph::NodeId n = ready.top();
       ready.pop();
-      commit(n, pick(n));
-      for (graph::NodeId s : tracker.complete(n)) ready.push(s);
+      pick(n, best, scratch);
+      commit(n, best);
+      newly_ready.clear();
+      tracker.complete(n, newly_ready);
+      for (graph::NodeId s : newly_ready) ready.push(s);
     }
     PDR_CHECK(tracker.done(), "Adequation", "no ready operation (cycle?)");
   } else {
-    // Reference engine: rescan all pending operations every round.
-    std::set<graph::NodeId> done;
+    // Reference engine: rescan all pending operations every round. Kept
+    // as the equivalence oracle; the bitmap `done` and callback-based
+    // predecessor walk only change constants, never selection order.
+    std::vector<char> done(algo_cap, 0);
     std::vector<graph::NodeId> pending = g.node_ids();
     while (!pending.empty()) {
       graph::NodeId best_op = graph::kNoNode;
       double best_prio = -1;
       for (graph::NodeId n : pending) {
         bool is_ready = true;
-        for (graph::NodeId p : g.predecessors(n))
-          if (done.count(p) == 0) is_ready = false;
+        g.for_each_predecessor(n, [&](graph::NodeId p) {
+          if (!done[p]) is_ready = false;
+        });
         if (!is_ready) continue;
         if (options.strategy != MappingStrategy::SynDExList) {
           best_op = n;
@@ -544,8 +641,9 @@ Schedule Adequation::run(const AdequationOptions& options) const {
         }
       }
       PDR_CHECK(best_op != graph::kNoNode, "Adequation", "no ready operation (cycle?)");
-      commit(best_op, pick(best_op));
-      done.insert(best_op);
+      pick(best_op, best, scratch);
+      commit(best_op, best);
+      done[best_op] = 1;
       pending.erase(std::remove(pending.begin(), pending.end(), best_op), pending.end());
     }
   }

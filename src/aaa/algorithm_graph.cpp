@@ -10,7 +10,10 @@ NodeId AlgorithmGraph::add_operation(Operation op) {
   PDR_CHECK(!op.name.empty(), "AlgorithmGraph", "operation name must not be empty");
   PDR_CHECK(!find(op.name).has_value(), "AlgorithmGraph",
             "duplicate operation name '" + op.name + "'");
-  return g_.add_node(std::move(op));
+  std::string name = op.name;
+  const NodeId n = g_.add_node(std::move(op));
+  index_.emplace(std::move(name), n);
+  return n;
 }
 
 NodeId AlgorithmGraph::add_compute(const std::string& name, const std::string& kind,
@@ -64,6 +67,7 @@ std::vector<std::string> AlgorithmGraph::expand_repetition(const std::string& na
   for (graph::EdgeId e : g_.in_edges(n)) inputs.push_back({g_.edge_from(e), g_.edge(e).bytes});
   for (graph::EdgeId e : g_.out_edges(n)) outputs.push_back({g_.edge_to(e), g_.edge(e).bytes});
   g_.remove_node(n);
+  index_.erase(name);
 
   std::vector<std::string> names;
   const auto split = [count](Bytes b) {
@@ -87,9 +91,9 @@ NodeId AlgorithmGraph::by_name(const std::string& name) const {
 }
 
 std::optional<NodeId> AlgorithmGraph::find(const std::string& name) const {
-  for (NodeId n : g_.node_ids())
-    if (g_[n].name == name) return n;
-  return std::nullopt;
+  const auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
 }
 
 void AlgorithmGraph::validate() const {

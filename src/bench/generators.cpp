@@ -1,0 +1,218 @@
+#include "bench/generators.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace pdr::bench {
+
+const char* graph_shape_name(GraphShape shape) {
+  switch (shape) {
+    case GraphShape::Layered: return "layered";
+    case GraphShape::Random: return "random";
+    case GraphShape::Streaming: return "streaming";
+  }
+  return "?";
+}
+
+GraphShape graph_shape_from_name(const std::string& name) {
+  if (name == "layered") return GraphShape::Layered;
+  if (name == "random") return GraphShape::Random;
+  if (name == "streaming") return GraphShape::Streaming;
+  throw Error("bench: unknown graph shape '" + name + "'");
+}
+
+std::string GeneratorConfig::name() const {
+  return strprintf("%s/%d/w%d/f%d", graph_shape_name(shape), n_ops, width, fanout);
+}
+
+namespace {
+
+/// The two-alternative conditioned vertex every generator emits: the
+/// adequation maps it onto a dynamic region (or falls back to software).
+std::vector<aaa::Alternative> make_alternatives() {
+  return {{"filt_a", "alt_a", {}}, {"filt_b", "alt_b", {}}};
+}
+
+bool conditioned_slot(const GeneratorConfig& config, int index) {
+  return config.conditioned_every > 0 && index % config.conditioned_every == 0 && index > 0;
+}
+
+/// Layered DAG: `width` operations per layer, in-edges drawn from the
+/// previous layer only.
+aaa::AlgorithmGraph generate_layered(const GeneratorConfig& config) {
+  Rng rng(config.seed);
+  aaa::AlgorithmGraph g;
+  std::vector<std::string> prev_layer;
+  std::vector<std::string> layer;
+  int made = 0;
+  int layer_index = 0;
+  while (made < config.n_ops) {
+    layer.clear();
+    for (int i = 0; i < config.width && made < config.n_ops; ++i, ++made) {
+      const std::string name = "op" + std::to_string(made);
+      if (layer_index == 0) {
+        g.add_operation({name, "src", {}, aaa::OpClass::Sensor, {}});
+      } else if (conditioned_slot(config, made)) {
+        g.add_conditioned(name, make_alternatives());
+      } else {
+        g.add_compute(name, "work");
+      }
+      if (layer_index > 0) {
+        const int fan_in =
+            1 + static_cast<int>(rng.uniform_int(0, std::max(0, config.fanout - 1)));
+        for (int e = 0; e < fan_in; ++e) {
+          const auto& from = prev_layer[static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(prev_layer.size()) - 1))];
+          g.add_dependency(from, name, config.payload);
+        }
+      }
+      layer.push_back(name);
+    }
+    prev_layer = layer;
+    ++layer_index;
+  }
+  return g;
+}
+
+/// Random DAG: one source, each later operation draws predecessors from
+/// the whole prefix, childless operations gathered by one sink.
+aaa::AlgorithmGraph generate_random(const GeneratorConfig& config) {
+  PDR_CHECK(config.n_ops >= 3, "bench::generate_random", "need at least source + op + sink");
+  Rng rng(config.seed);
+  aaa::AlgorithmGraph g;
+  const int body = config.n_ops - 1;  // all but the sink
+  std::vector<char> has_successor(static_cast<std::size_t>(config.n_ops), 0);
+  std::vector<std::int64_t> picks;
+  g.add_operation({"op0", "src", {}, aaa::OpClass::Sensor, {}});
+  for (int i = 1; i < body; ++i) {
+    const std::string name = "op" + std::to_string(i);
+    if (conditioned_slot(config, i)) {
+      g.add_conditioned(name, make_alternatives());
+    } else {
+      g.add_compute(name, "work");
+    }
+    const int fan_in = 1 + static_cast<int>(rng.uniform_int(0, std::max(0, config.fanout - 1)));
+    picks.clear();
+    for (int e = 0; e < fan_in; ++e) {
+      const std::int64_t p = rng.uniform_int(0, i - 1);
+      if (std::find(picks.begin(), picks.end(), p) != picks.end()) continue;  // no parallel edges
+      picks.push_back(p);
+      has_successor[static_cast<std::size_t>(p)] = 1;
+      g.add_dependency("op" + std::to_string(p), name, config.payload);
+    }
+  }
+  // Sink: gathers every childless operation, so the graph has exactly one
+  // sink and every operation lies on a source-to-sink path.
+  const std::string sink = "op" + std::to_string(body);
+  g.add_operation({sink, "sink", {}, aaa::OpClass::Actuator, {}});
+  for (int i = 0; i < body; ++i)
+    if (!has_successor[static_cast<std::size_t>(i)])
+      g.add_dependency("op" + std::to_string(i), sink, config.payload);
+  return g;
+}
+
+/// Streaming DAG: one source scattering to `width` pipelines of chained
+/// stages, a cross-lane mixing edge every `fanout` stages, one sink.
+aaa::AlgorithmGraph generate_streaming(const GeneratorConfig& config) {
+  PDR_CHECK(config.n_ops >= config.width + 2, "bench::generate_streaming",
+            "need source + one stage per lane + sink");
+  aaa::AlgorithmGraph g;
+  g.add_operation({"op0", "src", {}, aaa::OpClass::Sensor, {}});
+  const int stages_total = config.n_ops - 2;
+  // lane_tail[l]: name of the lane's most recent stage.
+  std::vector<std::string> lane_tail(static_cast<std::size_t>(config.width));
+  int made = 0;
+  for (int s = 0; made < stages_total; ++s) {
+    // Remember the previous stage row before this row overwrites it, so
+    // mixing edges always reach backward (the graph stays acyclic).
+    const std::vector<std::string> prev_row = lane_tail;
+    for (int l = 0; l < config.width && made < stages_total; ++l, ++made) {
+      const std::string name = "op" + std::to_string(made + 1);
+      if (conditioned_slot(config, made + 1)) {
+        g.add_conditioned(name, make_alternatives());
+      } else {
+        g.add_compute(name, "work");
+      }
+      if (s == 0) {
+        g.add_dependency("op0", name, config.payload);
+      } else {
+        g.add_dependency(prev_row[static_cast<std::size_t>(l)], name, config.payload);
+        const int period = std::max(1, config.fanout);
+        if (s % period == 0) {
+          const auto& mix = prev_row[static_cast<std::size_t>((l + 1) % config.width)];
+          if (mix != prev_row[static_cast<std::size_t>(l)])
+            g.add_dependency(mix, name, config.payload);
+        }
+      }
+      lane_tail[static_cast<std::size_t>(l)] = name;
+    }
+  }
+  const std::string sink = "op" + std::to_string(config.n_ops - 1);
+  g.add_operation({sink, "sink", {}, aaa::OpClass::Actuator, {}});
+  for (int l = 0; l < config.width; ++l)
+    if (!lane_tail[static_cast<std::size_t>(l)].empty())
+      g.add_dependency(lane_tail[static_cast<std::size_t>(l)], sink, config.payload);
+  return g;
+}
+
+}  // namespace
+
+aaa::AlgorithmGraph generate_graph(const GeneratorConfig& config) {
+  PDR_CHECK(config.n_ops > 0, "bench::generate_graph", "n_ops must be positive");
+  PDR_CHECK(config.width > 0, "bench::generate_graph", "width must be positive");
+  PDR_CHECK(config.fanout > 0, "bench::generate_graph", "fanout must be positive");
+  switch (config.shape) {
+    case GraphShape::Layered: return generate_layered(config);
+    case GraphShape::Random: return generate_random(config);
+    case GraphShape::Streaming: return generate_streaming(config);
+  }
+  throw Error("bench::generate_graph: unknown shape");
+}
+
+std::uint64_t graph_fingerprint(const aaa::AlgorithmGraph& graph) {
+  const std::string canonical = graph.to_dot();
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : canonical) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+aaa::ArchitectureGraph bench_architecture(int regions, int cpus,
+                                          double il_bandwidth_bytes_per_s) {
+  PDR_CHECK(cpus >= 1, "bench::bench_architecture", "need at least one processor");
+  aaa::ArchitectureGraph arch = aaa::make_figure1_architecture(regions, il_bandwidth_bytes_per_s);
+  for (int i = 0; i < cpus; ++i) {
+    const std::string name = "CPU" + std::to_string(i);
+    arch.add_operator(aaa::OperatorNode{name, aaa::OperatorKind::Processor, 1.0, "", ""});
+    arch.connect(name, "IL");
+  }
+  if (cpus >= 2) {
+    // A second, slower bus shared by the CPUs and the fixed part: routes
+    // between operators now traverse mixed media.
+    arch.add_medium(aaa::MediumNode{"BUS", il_bandwidth_bytes_per_s / 4, 500});
+    arch.connect("F1", "BUS");
+    for (int i = 0; i < cpus; ++i) arch.connect("CPU" + std::to_string(i), "BUS");
+  }
+  return arch;
+}
+
+aaa::DurationTable bench_durations() {
+  aaa::DurationTable t;
+  for (const char* kind : {"src", "work", "sink"}) {
+    t.set(kind, aaa::OperatorKind::Processor, 20'000);
+    t.set(kind, aaa::OperatorKind::FpgaStatic, 4'000);
+  }
+  for (const char* kind : {"alt_a", "alt_b"}) {
+    t.set(kind, aaa::OperatorKind::Processor, 40'000);
+    t.set(kind, aaa::OperatorKind::FpgaRegion, 4'000);
+  }
+  return t;
+}
+
+}  // namespace pdr::bench

@@ -1,0 +1,80 @@
+// Seeded, deterministic workload generators for the perf harness.
+//
+// The paper's case study is hand-sized (a dozen operations); everything on
+// the perf roadmap — million-op adequation, explorer sweeps, integrated
+// partition/schedule/floorplan optimizers running the scheduler as an
+// inner loop — needs synthetic algorithm graphs whose size and shape are
+// dials. Three DAG families cover the scheduler's distinct stress axes:
+//
+//  - Layered: `width` operations per layer, 1..fanout in-edges from the
+//    previous layer. Wide ready sets — the selection-policy stressor.
+//  - Random:  each operation draws 1..fanout predecessors uniformly from
+//    all earlier operations; one source, one gathering sink. Long-range
+//    edges — the dependency-tracking / transfer-routing stressor.
+//  - Streaming: `width` parallel pipelines of chained stages with
+//    periodic cross-lane mixing edges, one scatter source and one gather
+//    sink — the MC-CDMA-transmitter-like shape, media-contention heavy.
+//
+// Every graph is a pure function of its GeneratorConfig: the same config
+// produces a byte-identical graph (pinned by tests via fingerprints) on
+// every run, platform, and thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "aaa/algorithm_graph.hpp"
+#include "aaa/architecture_graph.hpp"
+#include "aaa/durations.hpp"
+
+namespace pdr::bench {
+
+enum class GraphShape : std::uint8_t { Layered, Random, Streaming };
+
+const char* graph_shape_name(GraphShape shape);
+
+/// Inverse of graph_shape_name; throws on unknown names.
+GraphShape graph_shape_from_name(const std::string& name);
+
+struct GeneratorConfig {
+  GraphShape shape = GraphShape::Layered;
+  int n_ops = 1000;  ///< total operation count, sources and sinks included
+  /// Layered: operations per layer. Streaming: parallel lanes.
+  int width = 20;
+  /// Layered/Random: max in-edges per operation. Streaming: a cross-lane
+  /// mixing edge every `fanout` stages.
+  int fanout = 2;
+  /// Every k-th eligible operation is a conditioned vertex with two
+  /// alternatives (alt_a / alt_b) — the dynamic-reconfiguration mix.
+  /// 0 disables conditioned vertices entirely.
+  int conditioned_every = 5;
+  /// Payload carried per data dependency.
+  Bytes payload = 128;
+  std::uint64_t seed = 17;
+
+  /// Stable display / record name, e.g. "layered/10000/w20/f2".
+  std::string name() const;
+};
+
+/// Generates the configured DAG. The result validates (acyclic, sensors
+/// source-only, actuators sink-only) and is deterministic in the config.
+aaa::AlgorithmGraph generate_graph(const GeneratorConfig& config);
+
+/// FNV-1a 64-bit over the graph's canonical rendering — the identity used
+/// by determinism tests ("same seed, same graph, byte for byte").
+std::uint64_t graph_fingerprint(const aaa::AlgorithmGraph& graph);
+
+/// Benchmark platform: the paper's Figure-1 FPGA (fixed part F1 +
+/// `regions` dynamic regions on internal link IL at `il_bandwidth`), plus
+/// `cpus` processors. The CPUs sit on IL; with two or more CPUs they also
+/// share a second bus with F1, so inter-operator routes traverse mixed
+/// media. Deterministic in its arguments.
+aaa::ArchitectureGraph bench_architecture(int regions, int cpus,
+                                          double il_bandwidth_bytes_per_s = 200e6);
+
+/// Durations for the generator kinds (src/work/sink on processors and the
+/// fixed part, alt_a/alt_b on processors and dynamic regions) — the same
+/// hardware-beats-software asymmetry the case study has.
+aaa::DurationTable bench_durations();
+
+}  // namespace pdr::bench

@@ -99,15 +99,61 @@ class Digraph {
   /// Live in-edges of n.
   std::vector<EdgeId> in_edges(NodeId n) const { return live_edges(nodes_.at(n).in); }
 
+  // Allocation-free adjacency iteration. The vector-returning accessors
+  // above allocate a fresh vector per call, which dominates scheduler
+  // inner loops at 10^5..10^6 nodes; these visit the same live edges via
+  // a callback instead.
+  template <typename F>
+  void for_each_out_edge(NodeId n, F&& f) const {
+    for (EdgeId e : nodes_.at(n).out)
+      if (edges_[e].alive) f(e);
+  }
+  template <typename F>
+  void for_each_in_edge(NodeId n, F&& f) const {
+    for (EdgeId e : nodes_.at(n).in)
+      if (edges_[e].alive) f(e);
+  }
+  /// Visits live successor node ids (duplicates if parallel edges exist).
+  template <typename F>
+  void for_each_successor(NodeId n, F&& f) const {
+    for (EdgeId e : nodes_.at(n).out)
+      if (edges_[e].alive) f(edges_[e].to);
+  }
+  template <typename F>
+  void for_each_predecessor(NodeId n, F&& f) const {
+    for (EdgeId e : nodes_.at(n).in)
+      if (edges_[e].alive) f(edges_[e].from);
+  }
+
+  /// Live in-edge count of n, without materializing the edge list.
+  std::size_t in_degree(NodeId n) const {
+    std::size_t count = 0;
+    for (EdgeId e : nodes_.at(n).in)
+      if (edges_[e].alive) ++count;
+    return count;
+  }
+  std::size_t out_degree(NodeId n) const {
+    std::size_t count = 0;
+    for (EdgeId e : nodes_.at(n).out)
+      if (edges_[e].alive) ++count;
+    return count;
+  }
+
+  /// Node slots ever allocated (live + tombstoned): the bound for dense
+  /// NodeId-indexed side tables.
+  std::size_t node_capacity() const { return nodes_.size(); }
+
   /// Live successor node ids of n (with duplicates if parallel edges exist).
   std::vector<NodeId> successors(NodeId n) const {
     std::vector<NodeId> out;
-    for (EdgeId e : out_edges(n)) out.push_back(edges_[e].to);
+    out.reserve(nodes_.at(n).out.size());
+    for_each_successor(n, [&](NodeId s) { out.push_back(s); });
     return out;
   }
   std::vector<NodeId> predecessors(NodeId n) const {
     std::vector<NodeId> out;
-    for (EdgeId e : in_edges(n)) out.push_back(edges_[e].from);
+    out.reserve(nodes_.at(n).in.size());
+    for_each_predecessor(n, [&](NodeId p) { out.push_back(p); });
     return out;
   }
 
@@ -136,19 +182,23 @@ class Digraph {
   std::optional<std::vector<NodeId>> topological_order() const {
     std::vector<std::size_t> indeg(nodes_.size(), 0);
     std::vector<NodeId> ready;
-    for (NodeId n : node_ids()) {
-      indeg[n] = in_edges(n).size();
+    std::size_t live = 0;
+    for (NodeId n = 0; n < nodes_.size(); ++n) {
+      if (!nodes_[n].alive) continue;
+      ++live;
+      indeg[n] = in_degree(n);
       if (indeg[n] == 0) ready.push_back(n);
     }
     std::vector<NodeId> order;
-    order.reserve(node_count());
+    order.reserve(live);
     for (std::size_t head = 0; head < ready.size(); ++head) {
       const NodeId n = ready[head];
       order.push_back(n);
-      for (NodeId s : successors(n))
+      for_each_successor(n, [&](NodeId s) {
         if (--indeg[s] == 0) ready.push_back(s);
+      });
     }
-    if (order.size() != node_count()) return std::nullopt;
+    if (order.size() != live) return std::nullopt;
     return order;
   }
 
@@ -164,7 +214,7 @@ class Digraph {
     for (auto it = order->rbegin(); it != order->rend(); ++it) {
       const NodeId n = *it;
       double best = 0.0;
-      for (NodeId s : successors(n)) best = std::max(best, dist[s]);
+      for_each_successor(n, [&](NodeId s) { best = std::max(best, dist[s]); });
       dist[n] = weight(n) + best;
     }
     return dist;
@@ -178,13 +228,13 @@ class Digraph {
     while (!stack.empty()) {
       const NodeId cur = stack.back();
       stack.pop_back();
-      for (NodeId s : successors(cur)) {
+      for_each_successor(cur, [&](NodeId s) {
         if (!seen[s]) {
           seen[s] = true;
           out.push_back(s);
           stack.push_back(s);
         }
-      }
+      });
     }
     return out;
   }

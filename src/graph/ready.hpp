@@ -18,46 +18,71 @@ namespace pdr::graph {
 /// Live-edge indegree of every node, indexed by NodeId (dead slots 0).
 template <typename V, typename E>
 std::vector<std::size_t> indegree_counts(const Digraph<V, E>& g) {
-  std::vector<std::size_t> indeg;
-  for (NodeId n : g.node_ids()) {
-    if (n >= indeg.size()) indeg.resize(n + 1, 0);
-    indeg[n] = g.in_edges(n).size();
-  }
+  std::vector<std::size_t> indeg(g.node_capacity(), 0);
+  for (NodeId n = 0; n < indeg.size(); ++n)
+    if (g.valid(n)) indeg[n] = g.in_degree(n);
   return indeg;
 }
 
 /// Incremental ready-set over a DAG snapshot. Construction captures
-/// indegrees and successor lists; complete(n) returns the successors whose
-/// last outstanding predecessor was n. Completing every node exactly once
-/// visits each edge exactly once.
+/// indegrees and successor lists (flattened CSR — one allocation, not one
+/// vector per node); complete(n) returns the successors whose last
+/// outstanding predecessor was n. Completing every node exactly once
+/// visits each edge exactly once; completing a node twice is a checked
+/// error, since the second completion would decrement successor indegrees
+/// again and surface nodes as ready before their real predecessors
+/// finished.
 class ReadyTracker {
  public:
   template <typename V, typename E>
   explicit ReadyTracker(const Digraph<V, E>& g) : indeg_(indegree_counts(g)) {
-    successors_.resize(indeg_.size());
-    for (NodeId n : g.node_ids()) successors_[n] = g.successors(n);
-    for (NodeId n : g.node_ids())
+    const std::size_t cap = indeg_.size();
+    completed_.assign(cap, 0);
+    succ_offset_.assign(cap + 1, 0);
+    for (NodeId n = 0; n < cap; ++n) {
+      if (g.valid(n)) succ_offset_[n + 1] = g.out_degree(n);
+    }
+    for (std::size_t n = 0; n < cap; ++n) succ_offset_[n + 1] += succ_offset_[n];
+    succ_.resize(succ_offset_[cap]);
+    std::vector<std::size_t> cursor(succ_offset_.begin(), succ_offset_.end() - 1);
+    for (NodeId n = 0; n < cap; ++n) {
+      if (!g.valid(n)) continue;
+      g.for_each_successor(n, [&](NodeId s) { succ_[cursor[n]++] = s; });
       if (indeg_[n] == 0) initial_.push_back(n);
-    remaining_ = g.node_count();
+      ++remaining_;
+    }
   }
 
   /// Nodes ready before any completion (indegree 0), in id order.
   const std::vector<NodeId>& initial() const { return initial_; }
 
-  /// Marks `n` complete; returns the successors that just became ready.
-  /// Each node must be completed at most once.
-  std::vector<NodeId> complete(NodeId n) {
+  /// Marks `n` complete, appending the successors that just became ready
+  /// to `newly_ready` (not cleared — callers reuse one buffer across the
+  /// run to stay allocation-free). Each node must be completed exactly
+  /// once; a double complete is a PDR_CHECK failure.
+  void complete(NodeId n, std::vector<NodeId>& newly_ready) {
     PDR_CHECK(n < indeg_.size(), "ReadyTracker::complete", "node does not exist");
     PDR_CHECK(remaining_ > 0, "ReadyTracker::complete", "all nodes already completed");
+    PDR_CHECK(!completed_[n], "ReadyTracker::complete", "node completed twice");
+    completed_[n] = 1;
     --remaining_;
-    std::vector<NodeId> newly_ready;
-    for (NodeId s : successors_[n]) {
+    for (std::size_t i = succ_offset_[n]; i < succ_offset_[n + 1]; ++i) {
+      const NodeId s = succ_[i];
       PDR_CHECK(indeg_[s] > 0, "ReadyTracker::complete",
                 "successor completed before its predecessor");
       if (--indeg_[s] == 0) newly_ready.push_back(s);
     }
+  }
+
+  /// Marks `n` complete; returns the successors that just became ready.
+  std::vector<NodeId> complete(NodeId n) {
+    std::vector<NodeId> newly_ready;
+    complete(n, newly_ready);
     return newly_ready;
   }
+
+  /// True once `n` has been completed.
+  bool is_completed(NodeId n) const { return n < completed_.size() && completed_[n] != 0; }
 
   /// Nodes not yet completed.
   std::size_t remaining() const { return remaining_; }
@@ -65,7 +90,9 @@ class ReadyTracker {
 
  private:
   std::vector<std::size_t> indeg_;
-  std::vector<std::vector<NodeId>> successors_;
+  std::vector<char> completed_;
+  std::vector<std::size_t> succ_offset_;  ///< CSR row offsets into succ_
+  std::vector<NodeId> succ_;              ///< flattened successor lists
   std::vector<NodeId> initial_;
   std::size_t remaining_ = 0;
 };

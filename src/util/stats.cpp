@@ -25,4 +25,8 @@ double Stats::variance() const {
 
 double Stats::stddev() const { return std::sqrt(variance()); }
 
+std::optional<double> Stats::opt_stddev() const {
+  return n_ < 2 ? std::nullopt : std::optional<double>(stddev());
+}
+
 }  // namespace pdr

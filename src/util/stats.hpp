@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 namespace pdr {
 
@@ -11,12 +12,25 @@ class Stats {
   void add(double x);
 
   std::uint64_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  // The plain accessors report 0.0 for an empty accumulator — a value
+  // indistinguishable from a real all-zero sample set. Consumers that
+  // serialize or display aggregates must use the optional accessors (or
+  // gate on count()) so an empty accumulator never masquerades as data.
   double mean() const { return n_ ? mean_ : 0.0; }
   /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
   double variance() const;
   double stddev() const;
   double min() const { return n_ ? min_ : 0.0; }
   double max() const { return n_ ? max_ : 0.0; }
+
+  /// Empty-state-explicit accessors: nullopt when no sample was added.
+  std::optional<double> opt_mean() const { return n_ ? std::optional<double>(mean_) : std::nullopt; }
+  std::optional<double> opt_min() const { return n_ ? std::optional<double>(min_) : std::nullopt; }
+  std::optional<double> opt_max() const { return n_ ? std::optional<double>(max_) : std::nullopt; }
+  /// nullopt below 2 samples (a single sample has no spread to report).
+  std::optional<double> opt_stddev() const;
 
  private:
   std::uint64_t n_ = 0;

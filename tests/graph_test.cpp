@@ -210,6 +210,30 @@ TEST(ReadyTracker, RefusesOverCompletion) {
   EXPECT_THROW(tracker.complete(a), pdr::Error);
 }
 
+TEST(ReadyTracker, RefusesDoubleCompleteEvenWithPredecessorsOutstanding) {
+  // The subtle variant of over-completion: c waits on BOTH a and b.
+  // Before the completed bitmap, completing a twice silently drained c's
+  // counter and surfaced c as ready while b was still outstanding — no
+  // throw, a corrupted schedule. Now the second complete(a) itself throws
+  // and c stays un-ready.
+  G g;
+  const NodeId a = g.add_node(0);
+  const NodeId b = g.add_node(1);
+  const NodeId c = g.add_node(2);
+  g.add_edge(a, c, 0);
+  g.add_edge(b, c, 0);
+  ReadyTracker tracker(g);
+  EXPECT_TRUE(tracker.complete(a).empty());
+  EXPECT_TRUE(tracker.is_completed(a));
+  EXPECT_FALSE(tracker.is_completed(c));
+  EXPECT_THROW(tracker.complete(a), pdr::Error);
+  // The failed call must not have decremented c: completing b (the real
+  // remaining predecessor) releases c exactly once.
+  EXPECT_EQ(tracker.complete(b), (std::vector<NodeId>{c}));
+  EXPECT_TRUE(tracker.complete(c).empty());
+  EXPECT_TRUE(tracker.done());
+}
+
 TEST(ReadyTracker, MatchesRescanOnRandomDags) {
   // Property: driving the tracker to exhaustion visits every node exactly
   // once, and a node only surfaces after all its predecessors.

@@ -224,6 +224,35 @@ TEST(Stats, EmptyIsZero) {
   EXPECT_EQ(s.stddev(), 0.0);
 }
 
+TEST(Stats, EmptyStateIsExplicit) {
+  // The plain accessors return 0.0 on an empty accumulator for report
+  // convenience, but serializers must be able to tell "no samples" from
+  // "measured 0.0" — that's what empty() and the opt_* accessors are for.
+  const Stats empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_FALSE(empty.opt_mean().has_value());
+  EXPECT_FALSE(empty.opt_min().has_value());
+  EXPECT_FALSE(empty.opt_max().has_value());
+  EXPECT_FALSE(empty.opt_stddev().has_value());
+
+  Stats one;
+  one.add(2.5);
+  EXPECT_FALSE(one.empty());
+  ASSERT_TRUE(one.opt_mean().has_value());
+  EXPECT_DOUBLE_EQ(*one.opt_mean(), 2.5);
+  ASSERT_TRUE(one.opt_min().has_value());
+  EXPECT_DOUBLE_EQ(*one.opt_min(), 2.5);
+  ASSERT_TRUE(one.opt_max().has_value());
+  EXPECT_DOUBLE_EQ(*one.opt_max(), 2.5);
+  // A standard deviation needs two samples; one sample stays nullopt
+  // rather than pretending the spread was measured as zero.
+  EXPECT_FALSE(one.opt_stddev().has_value());
+
+  one.add(3.5);
+  ASSERT_TRUE(one.opt_stddev().has_value());
+  EXPECT_NEAR(*one.opt_stddev(), std::sqrt(0.5), 1e-12);
+}
+
 TEST(Stats, KnownValues) {
   Stats s;
   for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Schema validator for the BENCH_*.json documents bench_suite emits.
+
+CI runs this after `bench_suite --smoke`: a benchmark run whose JSON is
+missing keys, carries non-finite numbers, or serializes statistics for
+zero samples is a harness bug, and should fail the job rather than
+upload a broken artifact. Stdlib only.
+
+Usage: check_bench_json.py BENCH_adequation.json [BENCH_explore.json ...]
+"""
+
+import json
+import math
+import sys
+
+
+class SchemaError(Exception):
+    pass
+
+
+def require(cond, path, message):
+    if not cond:
+        raise SchemaError(f"{path}: {message}")
+
+
+def check_finite_number(value, path):
+    require(isinstance(value, (int, float)) and not isinstance(value, bool),
+            path, f"expected a number, got {value!r}")
+    require(math.isfinite(value), path, f"non-finite number {value!r}")
+
+
+def check_stats(stats, path):
+    require(isinstance(stats, dict), path, "expected an object")
+    require("count" in stats, path, "missing 'count'")
+    count = stats["count"]
+    require(isinstance(count, int) and not isinstance(count, bool) and count >= 0,
+            f"{path}.count", f"expected a non-negative integer, got {count!r}")
+    # Count-gated fields: mean/min/max require >= 1 sample, stddev >= 2.
+    # Their presence with too few samples means the emitter serialized a
+    # fake statistic -- exactly the bug this validator exists to catch.
+    for key in ("mean", "min", "max"):
+        if count == 0:
+            require(key not in stats, f"{path}.{key}", "present with count == 0")
+        else:
+            require(key in stats, f"{path}.{key}", f"missing with count == {count}")
+            check_finite_number(stats[key], f"{path}.{key}")
+    if count < 2:
+        require("stddev" not in stats, f"{path}.stddev", f"present with count == {count}")
+    else:
+        require("stddev" in stats, f"{path}.stddev", f"missing with count == {count}")
+        check_finite_number(stats["stddev"], f"{path}.stddev")
+    if count > 0:
+        require(stats["min"] <= stats["mean"] <= stats["max"],
+                path, "min <= mean <= max violated")
+
+
+def check_record(record, path):
+    require(isinstance(record, dict), path, "expected an object")
+    for key in ("name", "config", "repeats", "warmup", "wall_ms", "extra"):
+        require(key in record, path, f"missing '{key}'")
+    require(isinstance(record["name"], str) and record["name"],
+            f"{path}.name", "expected a non-empty string")
+    require(isinstance(record["config"], dict), f"{path}.config", "expected an object")
+    for key, value in record["config"].items():
+        require(isinstance(value, str), f"{path}.config.{key}", "config values are strings")
+    require(isinstance(record["repeats"], int) and record["repeats"] >= 0,
+            f"{path}.repeats", "expected a non-negative integer")
+    warmup = record["warmup"]
+    require(isinstance(warmup, dict), f"{path}.warmup", "expected an object")
+    for key in ("runs", "ms"):
+        require(key in warmup, f"{path}.warmup", f"missing '{key}'")
+    require(isinstance(warmup["runs"], int) and warmup["runs"] >= 0,
+            f"{path}.warmup.runs", "expected a non-negative integer")
+    check_finite_number(warmup["ms"], f"{path}.warmup.ms")
+    check_stats(record["wall_ms"], f"{path}.wall_ms")
+    require(isinstance(record["extra"], dict), f"{path}.extra", "expected an object")
+    for key, value in record["extra"].items():
+        check_finite_number(value, f"{path}.extra.{key}")
+
+
+def check_document(doc, path):
+    require(isinstance(doc, dict), path, "expected a JSON object")
+    for key in ("schema_version", "suite", "git_sha", "smoke", "records"):
+        require(key in doc, path, f"missing '{key}'")
+    require(doc["schema_version"] == 1, f"{path}.schema_version",
+            f"unsupported version {doc['schema_version']!r}")
+    require(isinstance(doc["suite"], str) and doc["suite"],
+            f"{path}.suite", "expected a non-empty string")
+    require(isinstance(doc["git_sha"], str) and doc["git_sha"],
+            f"{path}.git_sha", "expected a non-empty string")
+    require(isinstance(doc["smoke"], bool), f"{path}.smoke", "expected a boolean")
+    require(isinstance(doc["records"], list), f"{path}.records", "expected an array")
+    require(doc["records"], f"{path}.records", "no records -- the suite ran nothing")
+    for i, record in enumerate(doc["records"]):
+        check_record(record, f"{path}.records[{i}]")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = 0
+    for path in argv[1:]:
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+            check_document(doc, path)
+            print(f"{path}: ok ({len(doc['records'])} records, suite "
+                  f"'{doc['suite']}', git {doc['git_sha']})")
+        except (OSError, json.JSONDecodeError, SchemaError) as e:
+            print(f"{path}: FAIL: {e}", file=sys.stderr)
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
