@@ -117,12 +117,21 @@ std::string ExplorationSpace::describe() const {
 }
 
 ExplorationOutcome run_design_point(const Project& project, const DesignPoint& point,
-                                    const Adequation::ReconfigCost& reconfig_cost) {
+                                    const Adequation::ReconfigCost& reconfig_cost,
+                                    const ScheduleVerifier& verifier) {
   ExplorationOutcome outcome;
   try {
     Adequation adequation(project.algorithm, project.architecture, project.durations);
     if (reconfig_cost) adequation.set_reconfig_cost(reconfig_cost);
     const Schedule schedule = adequation.run(point.to_options());
+    if (verifier) {
+      std::string rejection = verifier(schedule, point);
+      if (!rejection.empty()) {
+        outcome.rejected = true;
+        outcome.error = std::move(rejection);
+        return outcome;
+      }
+    }
     validate_schedule(schedule, project.algorithm, project.architecture);
     outcome.makespan = schedule.makespan;
     outcome.reconfig_exposed = schedule.reconfig_exposed;

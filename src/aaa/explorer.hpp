@@ -73,14 +73,26 @@ struct ExplorationOutcome {
   TimeNs reconfig_exposed = 0;
   int reconfig_count = 0;
   bool ok = false;
-  std::string error;  ///< non-empty when scheduling this point failed
+  bool rejected = false;  ///< the static verifier refused to certify the schedule
+  std::string error;      ///< non-empty when scheduling this point failed
 };
 
-/// Schedules one point and validates the result. Never throws: infeasible
-/// points (e.g. a selected variant no operator supports) come back with
-/// ok = false and the error message.
+/// Static feasibility oracle consulted on a point's schedule before it is
+/// accepted (and before anything simulates it): return "" to certify, or
+/// a rejection message to mark the point `rejected`. The production
+/// oracle is pdr::verify's interval analyzer, injected one layer up by
+/// flow::DesignSpaceExplorer — aaa sits below verify in the link order
+/// and cannot name it directly.
+using ScheduleVerifier = std::function<std::string(const Schedule& schedule,
+                                                   const DesignPoint& point)>;
+
+/// Schedules one point, runs the verifier (when given) and validates the
+/// result. Never throws: infeasible points (e.g. a selected variant no
+/// operator supports) come back with ok = false and the error message;
+/// uncertified points additionally carry rejected = true.
 ExplorationOutcome run_design_point(const Project& project, const DesignPoint& point,
-                                    const Adequation::ReconfigCost& reconfig_cost);
+                                    const Adequation::ReconfigCost& reconfig_cost,
+                                    const ScheduleVerifier& verifier = {});
 
 /// Indices of the Pareto-optimal outcomes, minimizing
 /// (makespan, reconfig_exposed): a point survives iff no other successful

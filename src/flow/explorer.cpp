@@ -3,6 +3,7 @@
 #include "util/error.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+#include "verify/verify.hpp"
 
 namespace pdr::flow {
 
@@ -27,6 +28,26 @@ ExplorationReport DesignSpaceExplorer::run() const {
     cost = [flat](const std::string&, const std::string&) { return flat; };
   }
 
+  // The static feasibility oracle: pdr::verify's interval analysis over
+  // the point's schedule (with the point's own preload assumptions), or
+  // the caller's override. Rejected points are never simulated.
+  aaa::ScheduleVerifier verifier;
+  if (options_.static_pruning) {
+    verifier = options_.verifier;
+    if (!verifier) {
+      const aaa::Project* project = &project_;
+      verifier = [project](const aaa::Schedule& schedule,
+                           const aaa::DesignPoint& point) -> std::string {
+        verify::VerifyOptions vo;
+        vo.preloaded = point.to_options().preloaded;
+        const verify::Certificate cert =
+            verify::verify_schedule(schedule, project->algorithm, project->architecture, vo);
+        if (cert.certified()) return "";
+        return "statically rejected: " + cert.first_error();
+      };
+    }
+  }
+
   // One scenario per point; each body writes only its own outcome slot.
   std::vector<Scenario> scenarios;
   scenarios.reserve(report.points.size());
@@ -34,9 +55,10 @@ ExplorationReport DesignSpaceExplorer::run() const {
     const aaa::DesignPoint& point = report.points[i];
     aaa::ExplorationOutcome& slot = report.outcomes[i];
     scenarios.push_back(Scenario{
-        point.name(), [this, &point, &slot, &cost](ObsSinks& sinks) -> std::string {
-          slot = aaa::run_design_point(project_, point, cost);
+        point.name(), [this, &point, &slot, &cost, &verifier](ObsSinks& sinks) -> std::string {
+          slot = aaa::run_design_point(project_, point, cost, verifier);
           sinks.metrics.counter("explore.points").add(1);
+          if (slot.rejected) sinks.metrics.counter("explore.pruned").add(1);
           if (!slot.ok) throw Error(slot.error);
           sinks.metrics.gauge("explore.makespan_ns").set(static_cast<double>(slot.makespan));
           sinks.metrics.gauge("explore.reconfig_exposed_ns")
@@ -56,7 +78,14 @@ ExplorationReport DesignSpaceExplorer::run() const {
 std::size_t ExplorationReport::failed_points() const {
   std::size_t n = 0;
   for (const auto& outcome : outcomes)
-    if (!outcome.ok) ++n;
+    if (!outcome.ok && !outcome.rejected) ++n;
+  return n;
+}
+
+std::size_t ExplorationReport::pruned_points() const {
+  std::size_t n = 0;
+  for (const auto& outcome : outcomes)
+    if (outcome.rejected) ++n;
   return n;
 }
 
@@ -64,7 +93,7 @@ std::string ExplorationReport::to_string(std::size_t top) const {
   std::string out = strprintf("design space: %zu points (%s)\n", points.size(), space.c_str());
   const std::size_t shown = top == 0 ? pareto.size() : std::min(top, pareto.size());
   out += strprintf("pareto front: %zu of %zu points%s\n", pareto.size(),
-                   points.size() - failed_points(),
+                   points.size() - failed_points() - pruned_points(),
                    shown < pareto.size() ? strprintf(" (top %zu shown)", shown).c_str() : "");
   Table table({"#", "makespan (us)", "exposed (us)", "reconfigs", "point"});
   for (std::size_t rank = 0; rank < shown; ++rank) {
@@ -77,6 +106,9 @@ std::string ExplorationReport::to_string(std::size_t top) const {
         .add(points[i].name());
   }
   out += table.to_markdown();
+  if (pruned_points() > 0)
+    out += strprintf("%zu points statically rejected by pdr::verify (pruned, never simulated)\n",
+                     pruned_points());
   if (failed_points() > 0)
     out += strprintf("%zu points failed to schedule (excluded from the front)\n",
                      failed_points());

@@ -29,6 +29,16 @@ struct ExplorerOptions {
   TimeNs reconfig_cost = 4'000'000;  // 4 ms, the paper's measured figure
   /// …or a callback overriding it (e.g. per-variant cost from a bundle).
   aaa::Adequation::ReconfigCost reconfig_cost_fn;
+  /// Static hazard certification (pdr::verify's interval analysis) on
+  /// every point's schedule before it is accepted: uncertified points are
+  /// marked rejected and never simulated or scored. The prune is sound —
+  /// the verifier certifies every schedule the adequation engine emits —
+  /// so the surviving Pareto front is byte-identical to an unpruned run.
+  bool static_pruning = true;
+  /// Replaces the built-in verifier (tests, or an external feasibility
+  /// oracle such as a floorplanner). Consulted only when static_pruning
+  /// is true.
+  aaa::ScheduleVerifier verifier;
 };
 
 struct ExplorationReport {
@@ -38,7 +48,10 @@ struct ExplorationReport {
   SweepResult sweep;    ///< per-point reports + merged trace/metrics
   std::string space;    ///< axis summary (ExplorationSpace::describe)
 
+  /// Points that failed to schedule (excluding statically rejected ones).
   std::size_t failed_points() const;
+  /// Points the static verifier refused to certify (pruned, unsimulated).
+  std::size_t pruned_points() const;
 
   /// Deterministic textual report: axis summary, Pareto table (`top` rows,
   /// 0 = the whole front) and a one-line tally. Simulated-time numbers

@@ -12,6 +12,7 @@
 #include "rtr/bitstream_store.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
+#include "verify/verify.hpp"
 
 namespace pdr::flow {
 
@@ -142,6 +143,18 @@ std::shared_ptr<const AdequationArtifacts> Pipeline::adequation() {
         lint::Report report =
             lint::check_schedule(schedule, proj->algorithm, proj->architecture);
         report.merge(lint::check_executive(executive));
+        // Interval certification (PDR1xx): the schedule must be provably
+        // race-free before anything downstream simulates or emits it.
+        verify::VerifyOptions verify_options;
+        verify_options.preloaded = options_.preloaded;
+        std::shared_ptr<const aaa::ConstraintSet> cset;  // keeps the artifact alive
+        if (options_.apply_constraints) {
+          cset = constraints();
+          verify_options.constraints = cset.get();
+        }
+        report.merge(
+            verify::verify_schedule(schedule, proj->algorithm, proj->architecture, verify_options)
+                .to_report());
         if (options_.lint_gate && report.errors() > 0)
           throw Error("schedule/executive failed the design-rule check:\n" + report.to_text());
         return AdequationArtifacts{schedule, executive, std::move(report)};

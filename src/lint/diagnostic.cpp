@@ -27,6 +27,32 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+// Canonical diagnostic order: rule code, then location, then message,
+// then hint. Both renderers sort with it (to_text additionally groups by
+// severity first), so a report's output is a pure function of its
+// diagnostic *set* — never of rule-execution or merge order. `pdrflow
+// check --deep` relies on this for byte-stable JSON diffs across --jobs.
+bool canonical_less(const Diagnostic& a, const Diagnostic& b) {
+  if (a.rule != b.rule) return static_cast<int>(a.rule) < static_cast<int>(b.rule);
+  if (a.where != b.where) return a.where < b.where;
+  if (a.message != b.message) return a.message < b.message;
+  return a.hint < b.hint;
+}
+
+std::vector<const Diagnostic*> sorted_view(const std::vector<Diagnostic>& diags,
+                                           bool severity_first) {
+  std::vector<const Diagnostic*> sorted;
+  sorted.reserve(diags.size());
+  for (const auto& d : diags) sorted.push_back(&d);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [severity_first](const Diagnostic* a, const Diagnostic* b) {
+                     if (severity_first && a->severity != b->severity)
+                       return static_cast<int>(a->severity) > static_cast<int>(b->severity);
+                     return canonical_less(*a, *b);
+                   });
+  return sorted;
+}
+
 }  // namespace
 
 std::string Diagnostic::to_string() const {
@@ -62,22 +88,18 @@ bool Report::has(Rule rule) const {
 
 std::string Report::to_text() const {
   if (diags_.empty()) return "";
-  std::vector<const Diagnostic*> sorted;
-  sorted.reserve(diags_.size());
-  for (const auto& d : diags_) sorted.push_back(&d);
-  std::stable_sort(sorted.begin(), sorted.end(), [](const Diagnostic* a, const Diagnostic* b) {
-    return static_cast<int>(a->severity) > static_cast<int>(b->severity);
-  });
   std::string out;
-  for (const Diagnostic* d : sorted) out += d->to_string() + "\n";
+  for (const Diagnostic* d : sorted_view(diags_, /*severity_first=*/true))
+    out += d->to_string() + "\n";
   out += strprintf("%zu error(s), %zu warning(s)\n", errors(), warnings());
   return out;
 }
 
 std::string Report::to_json() const {
+  const std::vector<const Diagnostic*> sorted = sorted_view(diags_, /*severity_first=*/false);
   std::string out = "{\"diagnostics\":[";
-  for (std::size_t i = 0; i < diags_.size(); ++i) {
-    const Diagnostic& d = diags_[i];
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const Diagnostic& d = *sorted[i];
     if (i > 0) out += ",";
     out += strprintf(
         "\n  {\"code\":\"%s\",\"severity\":\"%s\",\"where\":\"%s\",\"message\":\"%s\","

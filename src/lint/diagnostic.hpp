@@ -46,11 +46,17 @@ class Report {
   bool has(Rule rule) const;
 
   /// Severity-sorted (errors first) compiler-style listing plus a final
-  /// "N error(s), M warning(s)" summary line; "" when clean.
+  /// "N error(s), M warning(s)" summary line; "" when clean. Within one
+  /// severity, diagnostics are ordered by (code, where, message, hint):
+  /// the listing depends only on the diagnostic set, never on the order
+  /// the rule checkers ran or reports were merged.
   std::string to_text() const;
 
   /// {"diagnostics":[{code,severity,where,message,hint},...],
-  ///  "errors":N,"warnings":M}
+  ///  "errors":N,"warnings":M}. Diagnostics are canonically ordered by
+  /// (code, where, message, hint) so the document is byte-stable for a
+  /// given diagnostic set — the contract `pdrflow check --json` diffs
+  /// build on.
   std::string to_json() const;
 
  private:

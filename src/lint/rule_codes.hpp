@@ -11,6 +11,8 @@
 //   PDR020..PDR039   floorplan / Modular Design placement rules (§5)
 //   PDR040..PDR059   schedule / reconfiguration hazards (§3, §6)
 //   PDR060..PDR079   synchronized executive (§3 macro-code)
+//   PDR100..PDR119   pdr::verify interval analysis (static race
+//                    certification over per-resource timelines)
 //
 // This header is dependency-free on purpose: pdr::aaa reuses the
 // constraint-rule engine (one implementation for ConstraintSet::validate
@@ -82,6 +84,19 @@ enum class Rule : std::uint16_t {
   SyncCycle = 63,             ///< cross-program synchronization deadlock
   RecvBeforeSend = 64,        ///< buffer read before it is written
   BufferOverwrite = 65,       ///< buffer re-sent before the previous value is read
+
+  // Verify family (pdr::verify interval analysis). Each diagnostic
+  // carries a witness: the two scheduled items, the shared resource and
+  // the overlapping [start..end) intervals.
+  ReconfigDuringExecute = 100, ///< region frames rewritten while an op executes
+  ExecuteDuringReconfig = 101, ///< op starts while its region is being rewritten
+  UseBeforeConfigure = 102,    ///< variant executed with no prior load at all
+  StaleModuleExecution = 103,  ///< a different module is resident at op start
+  MediumTransferOverlap = 104, ///< two transfers overlap on an exclusive medium
+  PortDoubleBooking = 105,     ///< two loads overlap on the ICAP/SelectMAP port
+  DataCrossesReconfig = 106,   ///< producer->consumer data spans a region rewrite
+  OperatorOverlap = 107,       ///< two computations overlap on one operator
+  ForeignModuleLoad = 108,     ///< region loads a module declared for another region
 };
 
 /// "PDR042"-style stable identifier.
@@ -125,6 +140,15 @@ inline const char* rule_id(Rule rule) {
     case Rule::SyncCycle: return "PDR063";
     case Rule::RecvBeforeSend: return "PDR064";
     case Rule::BufferOverwrite: return "PDR065";
+    case Rule::ReconfigDuringExecute: return "PDR100";
+    case Rule::ExecuteDuringReconfig: return "PDR101";
+    case Rule::UseBeforeConfigure: return "PDR102";
+    case Rule::StaleModuleExecution: return "PDR103";
+    case Rule::MediumTransferOverlap: return "PDR104";
+    case Rule::PortDoubleBooking: return "PDR105";
+    case Rule::DataCrossesReconfig: return "PDR106";
+    case Rule::OperatorOverlap: return "PDR107";
+    case Rule::ForeignModuleLoad: return "PDR108";
   }
   return "PDR???";
 }

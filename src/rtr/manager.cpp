@@ -241,6 +241,30 @@ void ReconfigManager::set_safe_module(const std::string& region, const std::stri
   config_.safe_modules[region] = module;
 }
 
+void ReconfigManager::enable_certified_replay(
+    std::map<std::string, std::vector<std::string>> loads) {
+  certified_loads_ = std::move(loads);
+  certified_next_.clear();
+}
+
+void ReconfigManager::consume_certified_load(const std::string& region,
+                                             const std::string& module, const char* via) {
+  if (!certified_loads_.has_value()) return;
+  const auto it = certified_loads_->find(region);
+  const std::size_t have = it == certified_loads_->end() ? 0 : it->second.size();
+  std::size_t& next = certified_next_[region];
+  PDR_CHECK(next < have, "ReconfigManager::certified_replay",
+            strprintf("%s of '%s' into region '%s' exceeds the certified schedule "
+                      "(%zu load(s) certified, all consumed)",
+                      via, module.c_str(), region.c_str(), have));
+  const std::string& expected = it->second[next];
+  PDR_CHECK(expected == module, "ReconfigManager::certified_replay",
+            strprintf("%s of '%s' into region '%s' diverges from the certified schedule "
+                      "(load %zu of %zu expects '%s')",
+                      via, module.c_str(), region.c_str(), next + 1, have, expected.c_str()));
+  ++next;
+}
+
 ReconfigManager::LoadResult ReconfigManager::perform_load(const std::string& region,
                                                           const std::string& module,
                                                           const char* category, TimeNs now,
@@ -346,6 +370,8 @@ RequestOutcome ReconfigManager::request(const std::string& region, const std::st
                        {{"region", region}});
     return out;
   }
+
+  consume_certified_load(region, module, "demand load");
 
   TimeNs latency_paid = 0;
   const auto staged = staged_.find(region);
@@ -458,6 +484,7 @@ void ReconfigManager::auto_prefetch(const std::string& region, TimeNs now) {
 void ReconfigManager::set_resident(const std::string& region, const std::string& module) {
   PDR_CHECK(loaded_.count(region) > 0, "ReconfigManager::set_resident",
             "unknown region '" + region + "'");
+  consume_certified_load(region, module, "startup residency");
   apply_load(region, module);
   loaded_[region] = module;
 }

@@ -196,6 +196,18 @@ class ReconfigManager {
   /// for a demanded module is exhausted (overrides config.safe_modules).
   void set_safe_module(const std::string& region, const std::string& module);
 
+  /// Certified-replay debug assert mode (pdr::verify integration): arms
+  /// the manager with the exact per-region load sequence a statically
+  /// certified schedule prescribes (verify::Certificate::expected_loads()).
+  /// Every demand that physically rewrites a region — request() on a
+  /// non-resident module, set_resident() — must then consume the next
+  /// entry of that region's sequence; a diverging module or a demand past
+  /// the end of the sequence throws pdr::Error naming both. Maintenance
+  /// loads (blank, scrub, recovery fallback) are exempt: they repair state
+  /// rather than advance the schedule. Resident re-demands consume
+  /// nothing, matching the verifier's residency analysis.
+  void enable_certified_replay(std::map<std::string, std::vector<std::string>> loads);
+
   /// Fault hook consulted on every external-memory fetch: may mutate the
   /// fetched copy (transient bus corruption) and returns true if it did.
   /// Permanent store damage goes through BitstreamStore::corrupt instead.
@@ -291,8 +303,17 @@ class ReconfigManager {
   fabric::ConfigMemory memory_;
   fabric::ConfigPort port_;
   BitstreamCache cache_;
+  /// Consumes the next certified load for `region` or throws (no-op when
+  /// certified replay is off).
+  void consume_certified_load(const std::string& region, const std::string& module,
+                              const char* via);
+
   std::map<std::string, std::string> loaded_;
   std::map<std::string, Staged> staged_;  ///< one staging buffer per region
+  /// Certified-replay state: expected per-region load sequences and a
+  /// cursor of how many each region has consumed. Unarmed when empty opt.
+  std::optional<std::map<std::string, std::vector<std::string>>> certified_loads_;
+  std::map<std::string, std::size_t> certified_next_;
   TimeNs port_free_ = 0;
   TimeNs staging_free_ = 0;  ///< the staging engine handles one fetch at a time
   ManagerStats stats_;

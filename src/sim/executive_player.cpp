@@ -26,6 +26,22 @@ void ExecutivePlayer::set_variant_selector(VariantSelector selector) {
   selector_ = std::move(selector);
 }
 
+void ExecutivePlayer::set_initial_residency(std::map<std::string, std::string> residency) {
+  initial_residency_ = std::move(residency);
+}
+
+namespace {
+
+/// Variant carried by a Compute instruction's name — macro-code renders
+/// conditioned computations as "op(variant)". "" when unconditioned.
+std::string compute_variant(const std::string& what) {
+  const auto open = what.rfind('(');
+  if (open == std::string::npos || what.empty() || what.back() != ')') return "";
+  return what.substr(open + 1, what.size() - open - 2);
+}
+
+}  // namespace
+
 void ExecutivePlayer::set_survive_reconfig_failures(bool survive) {
   survive_reconfig_failures_ = survive;
 }
@@ -41,10 +57,14 @@ PlayResult ExecutivePlayer::run(int iterations) {
     bool done = false;
   };
   std::vector<ProgState> progs;
+  std::vector<bool> is_region(executive_.programs.size(), false);
   for (const auto& p : executive_.programs) {
     ProgState st;
     st.prog = &p;
     st.done = p.body.empty();
+    const auto node = architecture_.find(p.resource);
+    is_region[progs.size()] = node.has_value() && architecture_.is_operator(*node) &&
+                              architecture_.op(*node).kind == aaa::OperatorKind::FpgaRegion;
     progs.push_back(st);
   }
 
@@ -52,7 +72,7 @@ PlayResult ExecutivePlayer::run(int iterations) {
   // "dlv:<buffer>" = medium -> consumer. Values are availability times.
   std::map<std::string, std::deque<TimeNs>> channels;
   TimeNs port_free = 0;
-  std::map<std::string, std::string> region_loaded;  ///< sticky module per region
+  std::map<std::string, std::string> region_loaded = initial_residency_;
 
   PlayResult result;
   result.iterations = iterations;
@@ -103,6 +123,23 @@ PlayResult ExecutivePlayer::run(int iterations) {
           }
           case MacroOp::Compute: {
             const TimeNs end = st.time + instr.duration;
+            // Hazard monitor: a conditioned computation in a dynamic
+            // region must find its variant physically resident.
+            if (is_region[static_cast<std::size_t>(&st - progs.data())]) {
+              const std::string variant = compute_variant(instr.what);
+              if (!variant.empty()) {
+                const std::string& resident = region_loaded[st.prog->resource];
+                if (resident != variant) {
+                  ++result.hazard_faults;
+                  result.hazards.push_back(strprintf(
+                      "iteration %d: '%s' at %lld ns in region '%s' needs variant '%s' but %s",
+                      st.iteration, instr.what.c_str(), static_cast<long long>(st.time),
+                      st.prog->resource.c_str(), variant.c_str(),
+                      resident.empty() ? "the region was never configured"
+                                       : ("module '" + resident + "' is resident").c_str()));
+                }
+              }
+            }
             result.timeline.add(st.prog->resource, instr.what, SpanKind::Compute, st.time, end);
             st.time = end;
             advanced = true;
@@ -180,6 +217,7 @@ PlayResult ExecutivePlayer::run(int iterations) {
     metrics_->counter("sim.player.reconfigs").add(result.reconfigs);
     metrics_->counter("sim.player.reconfigs_skipped").add(result.reconfigs_skipped);
     metrics_->counter("sim.player.reconfigs_failed").add(result.reconfigs_failed);
+    metrics_->counter("sim.player.hazard_faults").add(result.hazard_faults);
     metrics_->gauge("sim.player.makespan_ns").set(static_cast<double>(result.makespan));
     metrics_->gauge("sim.player.iteration_period_ns")
         .set(static_cast<double>(result.iteration_period));

@@ -14,7 +14,9 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "aaa/architecture_graph.hpp"
 #include "aaa/macrocode.hpp"
@@ -33,6 +35,13 @@ struct PlayResult {
   int reconfigs = 0;
   int reconfigs_skipped = 0;  ///< region already held the selected module
   int reconfigs_failed = 0;   ///< cost callback threw and the player survived
+  /// Hazard monitor (the runtime half of pdr::verify's differential
+  /// oracle): a Compute executing a variant in a dynamic region whose
+  /// resident module differs — or that was never configured — is counted
+  /// here with a description. A schedule the static verifier certified
+  /// must replay with hazard_faults == 0.
+  int hazard_faults = 0;
+  std::vector<std::string> hazards;  ///< one description per fault
 };
 
 class ExecutivePlayer {
@@ -54,6 +63,12 @@ class ExecutivePlayer {
   using VariantSelector = std::function<std::string(int iteration, const std::string& region,
                                                     const std::string& scheduled)>;
   void set_variant_selector(VariantSelector selector);
+
+  /// Declares modules resident per region at t = 0 (the schedule's
+  /// preload assumptions): the hazard monitor treats them as configured
+  /// before the first Reconfig instruction, exactly as the static
+  /// verifier's VerifyOptions::preloaded does.
+  void set_initial_residency(std::map<std::string, std::string> residency);
 
   /// With survival on, a reconfig-cost callback that throws pdr::Error
   /// (e.g. a ReconfigManager load that exhausted its retry budget) no
@@ -80,6 +95,7 @@ class ExecutivePlayer {
   const aaa::ArchitectureGraph& architecture_;
   ReconfigCost reconfig_cost_;
   VariantSelector selector_;
+  std::map<std::string, std::string> initial_residency_;
   bool survive_reconfig_failures_ = false;
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;

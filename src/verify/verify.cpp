@@ -1,0 +1,395 @@
+#include "verify/verify.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "aaa/macrocode.hpp"
+#include "aaa/project_io.hpp"
+#include "lint/lint.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace pdr::verify {
+
+namespace {
+
+using aaa::ItemKind;
+using aaa::ScheduledItem;
+using lint::Rule;
+using lint::Severity;
+
+std::string span(const ScheduledItem& item) {
+  return strprintf("'%s' [%lld..%lld ns]", item.label.c_str(),
+                   static_cast<long long>(item.start), static_cast<long long>(item.end));
+}
+
+bool overlaps(const ScheduledItem& a, const ScheduledItem& b) {
+  return std::max(a.start, b.start) < std::min(a.end, b.end);
+}
+
+Violation make_pair_violation(Rule rule, Severity severity, std::string resource,
+                              const ScheduledItem& first, const ScheduledItem& second,
+                              std::string message, std::string hint) {
+  Violation v;
+  v.rule = rule;
+  v.severity = severity;
+  v.resource = std::move(resource);
+  v.first = first;
+  v.second = second;
+  v.pair = true;
+  v.message = std::move(message);
+  v.hint = std::move(hint);
+  return v;
+}
+
+Violation make_single_violation(Rule rule, Severity severity, std::string resource,
+                                const ScheduledItem& item, std::string message,
+                                std::string hint) {
+  Violation v;
+  v.rule = rule;
+  v.severity = severity;
+  v.resource = std::move(resource);
+  v.first = item;
+  v.pair = false;
+  v.message = std::move(message);
+  v.hint = std::move(hint);
+  return v;
+}
+
+/// Sweep-line overlap detection over one resource's timeline: sort by
+/// start and test each item against the furthest-reaching earlier item.
+/// Tracking the max-end item (not merely the previous one) catches
+/// overlaps an adjacent-pair scan misses — with A[0,10) B[1,2) C[3,4),
+/// B and C each collide with A, never with each other.
+template <typename OnOverlap>
+void sweep_overlaps(std::vector<const ScheduledItem*> items, OnOverlap&& on_overlap) {
+  std::stable_sort(items.begin(), items.end(),
+                   [](const ScheduledItem* a, const ScheduledItem* b) {
+                     if (a->start != b->start) return a->start < b->start;
+                     return a->end < b->end;
+                   });
+  const ScheduledItem* reach = nullptr;
+  for (const ScheduledItem* item : items) {
+    if (reach != nullptr && overlaps(*reach, *item)) on_overlap(*reach, *item);
+    if (reach == nullptr || item->end > reach->end) reach = item;
+  }
+}
+
+/// The constraints-file region name an FpgaRegion operator maps to (the
+/// floorplan region when set, the operator name otherwise).
+const std::string& constraint_region_name(const aaa::OperatorNode& op) {
+  return op.region.empty() ? op.name : op.region;
+}
+
+struct Analyzer {
+  const aaa::Schedule& schedule;
+  const aaa::AlgorithmGraph& algorithm;
+  const aaa::ArchitectureGraph& architecture;
+  const VerifyOptions& options;
+  Certificate cert;
+
+  // Timelines, grouped once up front.
+  std::map<std::string, std::vector<const ScheduledItem*>> per_resource;
+  std::vector<const ScheduledItem*> reconfigs;  ///< port timeline
+  std::map<graph::NodeId, const ScheduledItem*> compute_of;
+  std::map<graph::EdgeId, std::vector<const ScheduledItem*>> transfers_of;
+
+  void group() {
+    for (const auto& item : schedule.items) {
+      per_resource[item.resource].push_back(&item);
+      if (item.kind == ItemKind::Reconfig) reconfigs.push_back(&item);
+      if (item.kind == ItemKind::Compute) compute_of[item.op] = &item;
+      if (item.kind == ItemKind::Transfer && item.edge != graph::kNoEdge)
+        transfers_of[item.edge].push_back(&item);
+    }
+    for (auto& [resource, list] : per_resource)
+      std::stable_sort(list.begin(), list.end(),
+                       [](const ScheduledItem* a, const ScheduledItem* b) {
+                         if (a->start != b->start) return a->start < b->start;
+                         return a->end < b->end;
+                       });
+  }
+
+  /// PDR100 / PDR101 / PDR107 on operators, PDR104 on media.
+  void check_resource_overlaps() {
+    for (auto& [resource, list] : per_resource) {
+      const auto node = architecture.find(resource);
+      const bool on_operator = node.has_value() && architecture.is_operator(*node);
+      sweep_overlaps(list, [&](const ScheduledItem& first, const ScheduledItem& second) {
+        if (first.kind == ItemKind::Compute && second.kind == ItemKind::Reconfig) {
+          cert.violations.push_back(make_pair_violation(
+              Rule::ReconfigDuringExecute, Severity::Error, resource, first, second,
+              "reconfiguration " + span(second) + " rewrites region '" + resource +
+                  "' while " + span(first) + " is still executing in it",
+              "hoist the load no earlier than the instant the region is idle"));
+        } else if (first.kind == ItemKind::Reconfig && second.kind == ItemKind::Compute) {
+          cert.violations.push_back(make_pair_violation(
+              Rule::ExecuteDuringReconfig, Severity::Error, resource, first, second,
+              "operation " + span(second) + " starts while region '" + resource +
+                  "' is still being rewritten by " + span(first),
+              "delay the operation until the load completes"));
+        } else if (first.kind == ItemKind::Reconfig && second.kind == ItemKind::Reconfig) {
+          // Same-region load overlap is a port double-booking; the port
+          // sweep below owns that witness (PDR105).
+        } else if (on_operator) {
+          cert.violations.push_back(make_pair_violation(
+              Rule::OperatorOverlap, Severity::Error, resource, first, second,
+              "items " + span(first) + " and " + span(second) + " overlap on operator '" +
+                  resource + "'",
+              "operators have no internal parallelism (paper section 3)"));
+        } else {
+          cert.violations.push_back(make_pair_violation(
+              Rule::MediumTransferOverlap, Severity::Error, resource, first, second,
+              "transfers " + span(first) + " and " + span(second) +
+                  " overlap on exclusive medium '" + resource + "'",
+              "media carry one transfer at a time; serialize or reroute"));
+        }
+      });
+    }
+  }
+
+  /// PDR105: every load in the schedule shares the one configuration port.
+  void check_port_bookings() {
+    sweep_overlaps(reconfigs, [&](const ScheduledItem& first, const ScheduledItem& second) {
+      cert.violations.push_back(make_pair_violation(
+          Rule::PortDoubleBooking, Severity::Error, "configuration port", first, second,
+          "loads " + span(first) + " (region '" + first.resource + "') and " + span(second) +
+              " (region '" + second.resource + "') overlap on the configuration port",
+          "the device has one ICAP/SelectMAP port; loads must serialize"));
+    });
+    std::vector<const ScheduledItem*> sorted = reconfigs;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const ScheduledItem* a, const ScheduledItem* b) {
+                       if (a->start != b->start) return a->start < b->start;
+                       if (a->end != b->end) return a->end < b->end;
+                       return a->resource < b->resource;
+                     });
+    for (const ScheduledItem* item : sorted) cert.port_bookings.push_back(*item);
+  }
+
+  /// PDR102 / PDR103 / PDR108 plus the residency timeline.
+  void check_residency() {
+    for (aaa::NodeId w : architecture.operators_of_kind(aaa::OperatorKind::FpgaRegion)) {
+      const aaa::OperatorNode& region_op = architecture.op(w);
+      const std::string& rname = region_op.name;
+      std::string loaded;
+      TimeNs loaded_from = 0;
+      const ScheduledItem* loaded_by = nullptr;
+      if (const auto pre = options.preloaded.find(rname); pre != options.preloaded.end())
+        loaded = pre->second;
+
+      const auto it = per_resource.find(rname);
+      const std::vector<const ScheduledItem*> empty;
+      for (const ScheduledItem* item : it == per_resource.end() ? empty : it->second) {
+        if (item->kind == ItemKind::Reconfig) {
+          if (!loaded.empty())
+            cert.residencies.push_back(ResidencyInterval{rname, loaded, loaded_from, item->start});
+          if (options.constraints != nullptr) {
+            const aaa::ModuleConstraint* mc = options.constraints->find_module(item->module);
+            if (mc != nullptr && mc->region != constraint_region_name(region_op))
+              cert.violations.push_back(make_single_violation(
+                  Rule::ForeignModuleLoad, Severity::Error, rname, *item,
+                  "load " + span(*item) + " configures module '" + item->module +
+                      "' into region '" + rname + "', but the constraints declare it for region '" +
+                      mc->region + "'",
+                  "a partial bitstream only fits the region it was implemented for"));
+          }
+          loaded = item->module;
+          loaded_from = item->end;
+          loaded_by = item;
+        } else if (item->kind == ItemKind::Compute && !item->variant.empty()) {
+          if (loaded.empty()) {
+            cert.violations.push_back(make_single_violation(
+                Rule::UseBeforeConfigure, Severity::Error, rname, *item,
+                "operation " + span(*item) + " executes variant '" + item->variant +
+                    "' but region '" + rname + "' was never configured",
+                "schedule a load (or declare the module preloaded) before first use"));
+          } else if (item->variant != loaded) {
+            std::string message = "operation " + span(*item) + " needs variant '" +
+                                  item->variant + "' but region '" + rname +
+                                  "' holds module '" + loaded + "'";
+            if (loaded_by != nullptr) message += ", resident since " + span(*loaded_by);
+            Violation v =
+                loaded_by != nullptr
+                    ? make_pair_violation(Rule::StaleModuleExecution, Severity::Error, rname,
+                                          *loaded_by, *item, std::move(message),
+                                          "reconfigure the region before the operation starts")
+                    : make_single_violation(Rule::StaleModuleExecution, Severity::Error, rname,
+                                            *item, std::move(message),
+                                            "reconfigure the region before the operation starts");
+            cert.violations.push_back(std::move(v));
+          }
+        }
+      }
+      if (!loaded.empty()) {
+        TimeNs horizon = std::max(schedule.makespan, loaded_from);
+        cert.residencies.push_back(ResidencyInterval{rname, loaded, loaded_from, horizon});
+      }
+    }
+  }
+
+  /// PDR106: data produced for a dependency sits in an endpoint region's
+  /// buffers while that region's frames are rewritten. The executive
+  /// keeps those buffers in the static part, so this certifies as a
+  /// warning — but the witness documents exactly which load the data must
+  /// survive.
+  void check_data_crossings() {
+    const auto& g = algorithm.digraph();
+    for (graph::EdgeId e : g.edge_ids()) {
+      const auto ip = compute_of.find(g.edge_from(e));
+      const auto ic = compute_of.find(g.edge_to(e));
+      if (ip == compute_of.end() || ic == compute_of.end()) continue;
+      const ScheduledItem& producer = *ip->second;
+      const ScheduledItem& consumer = *ic->second;
+
+      // Data leaves the producer's region when its first transfer hop
+      // starts and reaches the consumer's region when the last hop ends;
+      // same-operator dependencies never leave the region.
+      TimeNs departure = consumer.start;
+      TimeNs arrival = producer.end;
+      if (const auto tf = transfers_of.find(e); tf != transfers_of.end()) {
+        departure = consumer.start;
+        arrival = producer.end;
+        for (const ScheduledItem* hop : tf->second) {
+          departure = std::min(departure, hop->start);
+          arrival = std::max(arrival, hop->end);
+        }
+      }
+
+      const auto region_kind = [&](const std::string& resource) {
+        const auto node = architecture.find(resource);
+        return node.has_value() && architecture.is_operator(*node) &&
+               architecture.op(*node).kind == aaa::OperatorKind::FpgaRegion;
+      };
+
+      // Producer side: output lingers in [producer.end, departure).
+      if (region_kind(producer.resource)) {
+        for (const ScheduledItem* load : reconfigs) {
+          if (load->resource != producer.resource) continue;
+          if (std::max(load->start, producer.end) >= std::min(load->end, departure)) continue;
+          cert.violations.push_back(make_pair_violation(
+              Rule::DataCrossesReconfig, Severity::Warning, producer.resource, producer, *load,
+              "output of " + span(producer) + " for '" + g[g.edge_to(e)].name +
+                  "' is still in region '" + producer.resource + "' when load " + span(*load) +
+                  " rewrites it",
+              "the executive must buffer the edge in the static part across the load"));
+        }
+      }
+
+      // Consumer side: input waits in [arrival, consumer.start). The load
+      // that brings in the consumer's own variant is the normal on-demand
+      // pattern; only a load of some *other* module displaces the data.
+      if (region_kind(consumer.resource)) {
+        for (const ScheduledItem* load : reconfigs) {
+          if (load->resource != consumer.resource) continue;
+          if (!consumer.variant.empty() && load->module == consumer.variant) continue;
+          if (std::max(load->start, arrival) >= std::min(load->end, consumer.start)) continue;
+          cert.violations.push_back(make_pair_violation(
+              Rule::DataCrossesReconfig, Severity::Warning, consumer.resource, *load, consumer,
+              "input of " + span(consumer) + " from '" + g[g.edge_from(e)].name +
+                  "' arrives in region '" + consumer.resource + "' before load " + span(*load) +
+                  " rewrites it",
+              "the executive must buffer the edge in the static part across the load"));
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+TimeNs Violation::overlap_from() const {
+  return pair ? std::max(first.start, second.start) : first.start;
+}
+
+TimeNs Violation::overlap_to() const {
+  return pair ? std::min(first.end, second.end) : first.end;
+}
+
+std::string Violation::to_string() const {
+  return strprintf("%s [%s]: %s", lint::rule_id(rule), resource.c_str(), message.c_str());
+}
+
+bool Certificate::certified() const { return error_count() == 0; }
+
+std::size_t Certificate::error_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(violations.begin(), violations.end(),
+                    [](const Violation& v) { return v.severity == Severity::Error; }));
+}
+
+std::string Certificate::first_error() const {
+  for (const auto& v : violations)
+    if (v.severity == Severity::Error) return v.to_string();
+  return "";
+}
+
+lint::Report Certificate::to_report() const {
+  lint::Report report;
+  for (const auto& v : violations) {
+    const std::string where =
+        v.resource == "configuration port" ? v.resource : "resource " + v.resource;
+    report.add(v.rule, v.severity, where, v.message, v.hint);
+  }
+  return report;
+}
+
+std::map<std::string, std::vector<std::string>> Certificate::expected_loads() const {
+  std::map<std::string, std::vector<std::string>> loads;
+  for (const auto& booking : port_bookings) loads[booking.resource].push_back(booking.module);
+  return loads;
+}
+
+std::string Certificate::summary() const {
+  if (!certified()) return strprintf("REJECTED (%zu errors): ", error_count()) + first_error();
+  return strprintf("certified: %zu residency intervals, %zu port bookings, %zu warning(s)",
+                   residencies.size(), port_bookings.size(),
+                   violations.size() - error_count());
+}
+
+Certificate verify_schedule(const aaa::Schedule& schedule, const aaa::AlgorithmGraph& algorithm,
+                            const aaa::ArchitectureGraph& architecture,
+                            const VerifyOptions& options) {
+  Analyzer analyzer{schedule, algorithm, architecture, options, {}, {}, {}, {}, {}};
+  analyzer.group();
+  analyzer.check_resource_overlaps();
+  analyzer.check_port_bookings();
+  analyzer.check_residency();
+  analyzer.check_data_crossings();
+  return std::move(analyzer.cert);
+}
+
+lint::Report deep_check_text(const std::string& text) {
+  if (lint::sniff_input(text) == lint::InputKind::Constraints)
+    return lint::check_constraints_text(text);
+
+  aaa::Project project;
+  try {
+    project = aaa::parse_project(text);
+  } catch (const Error& e) {
+    lint::Report report;
+    report.add(Rule::ParseError, Severity::Error, "project file",
+               std::string("parse failed: ") + e.what(), "");
+    return report;
+  }
+
+  lint::Report report;
+  try {
+    const aaa::Adequation adequation(project.algorithm, project.architecture,
+                                     project.durations);
+    const aaa::Schedule schedule = adequation.run();
+    report.merge(lint::check_schedule(schedule, project.algorithm, project.architecture));
+    report.merge(
+        verify_schedule(schedule, project.algorithm, project.architecture).to_report());
+    const aaa::Executive executive =
+        aaa::generate_executive(schedule, project.algorithm, project.architecture);
+    report.merge(lint::check_executive(executive));
+  } catch (const Error& e) {
+    report.add(Rule::ParseError, Severity::Error, "adequation",
+               std::string("adequation failed: ") + e.what(),
+               "every operation needs a feasible operator and a duration entry");
+  }
+  return report;
+}
+
+}  // namespace pdr::verify

@@ -1,0 +1,43 @@
+# Black-box schema check of `pdrflow check --json`: run the checker over
+# shipped examples (clean, shallow and --deep) and a crafted-bad fixture
+# (fails lint but must still emit a valid document), then validate every
+# captured document with tools/check_lint_json.py. Invoked by the
+# cli_check_json_schema ctest entry with -DPDRFLOW=<path>
+# -DPYTHON3=<path> -DCHECKER=<script> -DSOURCE_DIR=<repo> -DOUT_DIR=<dir>.
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+set(documents "")
+# input file | output name | depth (shallow / deep)
+set(cases
+    "${SOURCE_DIR}/examples/mccdma.constraints|constraints.json|shallow"
+    "${SOURCE_DIR}/examples/demo_tx.project|project.json|shallow"
+    "${SOURCE_DIR}/examples/demo_tx.project|project_deep.json|deep"
+    "${SOURCE_DIR}/tests/fixtures/lint/pdr001_duplicate_region.constraints|bad_fixture.json|shallow"
+    "${SOURCE_DIR}/tests/fixtures/lint/pdr001_duplicate_region.constraints|bad_fixture_deep.json|deep")
+
+foreach(case IN LISTS cases)
+  string(REPLACE "|" ";" parts "${case}")
+  list(GET parts 0 input)
+  list(GET parts 1 outname)
+  list(GET parts 2 depth)
+  set(flags "")
+  if(depth STREQUAL "deep")
+    set(flags "--deep")
+  endif()
+  set(out ${OUT_DIR}/${outname})
+  # A failing lint (exit 1) is expected for the bad fixture; only a crash
+  # or usage error (exit > 1) is a harness failure here.
+  execute_process(COMMAND ${PDRFLOW} check --json ${flags} ${input}
+                  OUTPUT_FILE ${out} RESULT_VARIABLE rc ERROR_VARIABLE err)
+  if(rc GREATER 1)
+    message(FATAL_ERROR "pdrflow check --json ${flags} ${input} crashed (exit ${rc}):\n${err}")
+  endif()
+  list(APPEND documents ${out})
+endforeach()
+
+execute_process(COMMAND ${PYTHON3} ${CHECKER} ${documents}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "check_lint_json.py rejected the documents:\n${out}${err}")
+endif()
+message(STATUS "${out}")

@@ -1,0 +1,22 @@
+# Black-box check of the explorer's zero-false-positive contract: the
+# default run certifies every scheduler-produced point with pdr::verify,
+# so its stdout must be byte-identical to a run with static pruning
+# disabled. Invoked by the cli_explore_no_verify ctest entry with
+# -DPDRFLOW=<path> -DPROJECT=<project-file>.
+execute_process(COMMAND ${PDRFLOW} explore ${PROJECT} --jobs 2
+                OUTPUT_VARIABLE verified_out RESULT_VARIABLE verified_rc
+                ERROR_VARIABLE verified_err)
+execute_process(COMMAND ${PDRFLOW} explore ${PROJECT} --jobs 2 --no-verify
+                OUTPUT_VARIABLE unverified_out RESULT_VARIABLE unverified_rc
+                ERROR_VARIABLE unverified_err)
+if(NOT verified_rc EQUAL 0)
+  message(FATAL_ERROR "verified explore failed (exit ${verified_rc}):\n${verified_err}")
+endif()
+if(NOT unverified_rc EQUAL 0)
+  message(FATAL_ERROR "explore --no-verify failed (exit ${unverified_rc}):\n${unverified_err}")
+endif()
+if(NOT verified_out STREQUAL unverified_out)
+  message(FATAL_ERROR "default explore stdout differs from --no-verify (a false positive?):\n"
+                      "--- verified ---\n${verified_out}\n--- no-verify ---\n${unverified_out}")
+endif()
+message(STATUS "explore stdout byte-identical with and without static pruning")

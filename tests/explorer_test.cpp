@@ -80,19 +80,19 @@ TEST(RunDesignPoint, InfeasiblePointReportsErrorInsteadOfThrowing) {
 
 TEST(ParetoFront, KeepsOnlyUndominatedOutcomes) {
   std::vector<aaa::ExplorationOutcome> outcomes(4);
-  outcomes[0] = {10'000, 0, 0, true, ""};      // best makespan
-  outcomes[1] = {12'000, 0, 1, true, ""};      // dominated by 0
-  outcomes[2] = {11'000, 0, 0, true, ""};      // dominated by 0
-  outcomes[3] = {9'000, 5'000, 1, true, ""};   // faster but exposed: survives
+  outcomes[0] = {10'000, 0, 0, true, false, ""};      // best makespan
+  outcomes[1] = {12'000, 0, 1, true, false, ""};      // dominated by 0
+  outcomes[2] = {11'000, 0, 0, true, false, ""};      // dominated by 0
+  outcomes[3] = {9'000, 5'000, 1, true, false, ""};   // faster but exposed: survives
   const auto front = aaa::pareto_front(outcomes);
   EXPECT_EQ(front, (std::vector<std::size_t>{3, 0}));  // sorted by makespan
 }
 
 TEST(ParetoFront, IdenticalOutcomesKeepEarliestIndex) {
   std::vector<aaa::ExplorationOutcome> outcomes(3);
-  outcomes[0] = {10'000, 0, 0, true, ""};
-  outcomes[1] = {10'000, 0, 0, true, ""};  // twin of 0: dropped
-  outcomes[2] = {10'000, 0, 0, false, "boom"};  // failed: never on the front
+  outcomes[0] = {10'000, 0, 0, true, false, ""};
+  outcomes[1] = {10'000, 0, 0, true, false, ""};  // twin of 0: dropped
+  outcomes[2] = {10'000, 0, 0, false, false, "boom"};  // failed: never on the front
   const auto front = aaa::pareto_front(outcomes);
   EXPECT_EQ(front, (std::vector<std::size_t>{0}));
 }
@@ -141,6 +141,52 @@ TEST(DesignSpaceExplorer, ParallelRunIsByteIdenticalToSerial) {
   EXPECT_EQ(a.sweep.combined_report(), b.sweep.combined_report());
   EXPECT_EQ(a.pareto, b.pareto);
   EXPECT_EQ(a.sweep.metrics.to_json(), b.sweep.metrics.to_json());
+}
+
+TEST(DesignSpaceExplorer, StaticPruningRejectsWhatTheOracleRefuses) {
+  const aaa::Project project = tiny_project();
+  flow::ExplorerOptions options;
+  options.jobs = 2;
+  options.reconfig_cost = 1_ms;
+  // An injected verifier standing in for pdr::verify: refuse everything.
+  options.verifier = [](const aaa::Schedule&, const aaa::DesignPoint&) {
+    return "synthetic hazard";
+  };
+  const flow::ExplorationReport report =
+      flow::DesignSpaceExplorer(project, aaa::ExplorationSpace::from_project(project), options)
+          .run();
+
+  EXPECT_EQ(report.pruned_points(), 36u);  // every point statically rejected
+  EXPECT_EQ(report.failed_points(), 0u);   // rejection is not failure
+  EXPECT_TRUE(report.pareto.empty());      // nothing survived to simulate
+  for (const auto& outcome : report.outcomes) {
+    EXPECT_TRUE(outcome.rejected);
+    EXPECT_NE(outcome.error.find("synthetic hazard"), std::string::npos);
+  }
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("statically rejected by pdr::verify"), std::string::npos) << text;
+  // The front denominator counts points that survived to simulation.
+  EXPECT_NE(text.find("pareto front: 0 of 0"), std::string::npos) << text;
+}
+
+TEST(DesignSpaceExplorer, DefaultVerifierCertifiesEverySchedulerPoint) {
+  // The adequation engine is correct by construction, so the real
+  // verifier must prune nothing — and the surviving Pareto front must be
+  // byte-identical to a run with pruning disabled.
+  const aaa::Project project = tiny_project();
+  const aaa::ExplorationSpace space = aaa::ExplorationSpace::from_project(project);
+  flow::ExplorerOptions verified;
+  verified.jobs = 2;
+  verified.reconfig_cost = 1_ms;
+  flow::ExplorerOptions unverified = verified;
+  unverified.static_pruning = false;
+
+  const flow::ExplorationReport a = flow::DesignSpaceExplorer(project, space, verified).run();
+  const flow::ExplorationReport b = flow::DesignSpaceExplorer(project, space, unverified).run();
+
+  EXPECT_EQ(a.pruned_points(), 0u);
+  EXPECT_EQ(a.pareto, b.pareto);
+  EXPECT_EQ(a.to_string(), b.to_string());
 }
 
 TEST(DesignSpaceExplorer, RefusesOversizedSpace) {

@@ -203,6 +203,120 @@ TEST(LintFloorplan, Pdr025StaticOverflow) {
   EXPECT_TRUE(check_bundle(bundle).has(Rule::StaticOverflow));
 }
 
+TEST(LintFloorplan, CleanProgrammaticFloorplanPasses) {
+  // Adjacent minimum-width regions with bus macros on both edges: the
+  // tightest legal packing — nothing in PDR020..PDR023 may fire.
+  const auto device = fabric::device_by_name("XC2V1000");
+  fabric::Region left = make_region("D1", 2, 3);
+  fabric::Region right = make_region("D2", 4, 5);
+  fabric::BusMacro bm_left;
+  bm_left.name = "bm_l";
+  bm_left.boundary_col = 2;  // bridges static column 1 | region column 2
+  left.bus_macros.push_back(bm_left);
+  fabric::BusMacro bm_right;
+  bm_right.name = "bm_r";
+  bm_right.boundary_col = 6;  // bridges region column 5 | static column 6
+  right.bus_macros.push_back(bm_right);
+  const Report report = check_floorplan(device, {left, right});
+  EXPECT_TRUE(report.empty()) << report.to_text();
+}
+
+TEST(LintFloorplan, EveryViolationOfABrokenPlanReportedTogether) {
+  // One audit pass over a thoroughly broken plan: an overlapping pair, a
+  // one-column region and an out-of-bounds region — all flagged at once,
+  // not first-error-wins.
+  const auto device = fabric::device_by_name("XC2V1000");
+  const Report report = check_floorplan(
+      device, {make_region("D1", 0, 3), make_region("D2", 2, 5), make_region("D3", 8, 8),
+               make_region("D4", device.clb_cols - 1, device.clb_cols)});
+  EXPECT_TRUE(report.has(Rule::RegionOverlap)) << report.to_text();
+  EXPECT_TRUE(report.has(Rule::RegionTooNarrow)) << report.to_text();
+  EXPECT_TRUE(report.has(Rule::RegionOutOfBounds)) << report.to_text();
+  EXPECT_GE(report.errors(), 3u);
+}
+
+TEST(LintFloorplan, Pdr023BusMacroOnDeviceEdgeHasNoStaticSide) {
+  const auto device = fabric::device_by_name("XC2V1000");
+  fabric::Region r = make_region("D1", 0, 2);  // flush with the device edge
+  fabric::BusMacro bm;
+  bm.name = "bm_edge";
+  bm.boundary_col = 0;  // the "far side" would be column -1
+  r.bus_macros.push_back(bm);
+  const Report report = check_floorplan(device, {r});
+  ASSERT_TRUE(report.has(Rule::BusMacroOffBoundary)) << report.to_text();
+  EXPECT_NE(report.to_text().find("device edge"), std::string::npos);
+}
+
+TEST(LintFloorplan, Pdr023BusMacroIntoNeighbouringRegionFlagged) {
+  // A macro on the shared boundary of two reconfigurable regions has no
+  // static side to bridge to either.
+  const auto device = fabric::device_by_name("XC2V1000");
+  fabric::Region left = make_region("D1", 2, 3);
+  fabric::Region right = make_region("D2", 4, 5);
+  fabric::BusMacro bm;
+  bm.name = "bm_shared";
+  bm.boundary_col = 4;  // left edge of D2, but the far side is D1
+  right.bus_macros.push_back(bm);
+  const Report report = check_floorplan(device, {left, right});
+  ASSERT_TRUE(report.has(Rule::BusMacroOffBoundary)) << report.to_text();
+  EXPECT_NE(report.to_text().find("another"), std::string::npos);
+}
+
+// ------------------------------------------------------ report ordering
+
+TEST(LintReport, RenderingIsMergeOrderInvariant) {
+  // The canonical-ordering contract: text and JSON depend only on the
+  // diagnostic *set*, never on rule-execution or merge order. This is
+  // what makes `pdrflow check --json` diffs and the explorer's merged
+  // auto-lint byte-stable across --jobs.
+  const Diagnostic warn{Rule::DataCrossesReconfig, Severity::Warning, "resource D1",
+                        "data crosses a reload", "buffer in the static part"};
+  const Diagnostic err_a{Rule::ReconfigDuringExecute, Severity::Error, "resource D1",
+                         "load overlaps execution", ""};
+  const Diagnostic err_b{Rule::UseBeforeConfigure, Severity::Error, "resource D2",
+                         "never configured", ""};
+
+  Report forward;
+  forward.add(warn);
+  forward.add(err_b);
+  forward.add(err_a);
+  Report backward;
+  backward.add(err_a);
+  backward.add(err_b);
+  backward.add(warn);
+
+  EXPECT_EQ(forward.to_text(), backward.to_text());
+  EXPECT_EQ(forward.to_json(), backward.to_json());
+
+  // Text groups by severity (errors first), then canonical order; the
+  // warning added first still renders last.
+  const std::string text = forward.to_text();
+  const auto pos_a = text.find("PDR100");
+  const auto pos_b = text.find("PDR102");
+  const auto pos_w = text.find("PDR106");
+  ASSERT_NE(pos_a, std::string::npos);
+  ASSERT_NE(pos_b, std::string::npos);
+  ASSERT_NE(pos_w, std::string::npos);
+  EXPECT_LT(pos_a, pos_b);
+  EXPECT_LT(pos_b, pos_w);
+
+  // JSON is fully canonical (code order), ignoring severity grouping.
+  const std::string json = forward.to_json();
+  EXPECT_LT(json.find("PDR100"), json.find("PDR102"));
+  EXPECT_LT(json.find("PDR102"), json.find("PDR106"));
+}
+
+TEST(LintReport, IdenticalRuleAndLocationOrderedByMessage) {
+  Report a;
+  a.add(Rule::RegionOverlap, Severity::Error, "region D1", "zeta", "");
+  a.add(Rule::RegionOverlap, Severity::Error, "region D1", "alpha", "");
+  Report b;
+  b.add(Rule::RegionOverlap, Severity::Error, "region D1", "alpha", "");
+  b.add(Rule::RegionOverlap, Severity::Error, "region D1", "zeta", "");
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_LT(a.to_text().find("alpha"), a.to_text().find("zeta"));
+}
+
 // -------------------------------------------------------------- schedule
 
 using aaa::ItemKind;

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Schema validator for the JSON documents `pdrflow check --json` emits.
+
+CI runs this over the shipped examples and the crafted-bad lint fixtures:
+a report whose JSON drops a field, invents a rule code outside the PDRnnn
+namespace, mis-counts its own severities, or breaks the canonical
+diagnostic ordering would silently break every tool that diffs check
+output — so it fails the job here instead. Stdlib only.
+
+Validated contracts (mirrors lint::Report::to_json in
+src/lint/diagnostic.cpp):
+
+  - top level: {"diagnostics": [...], "errors": N, "warnings": M} and
+    nothing else;
+  - each diagnostic: exactly {code, severity, where, message, hint}, all
+    strings, code matching ^PDR[0-9]{3}$, severity in {info, warning,
+    error}, message non-empty;
+  - errors/warnings equal a recount of the diagnostics array;
+  - diagnostics are in canonical (code, where, message, hint) order —
+    the byte-stability contract `pdrflow check --deep` diffs build on.
+
+Usage: check_lint_json.py report.json [more.json ...]
+"""
+
+import json
+import re
+import sys
+
+CODE_RE = re.compile(r"^PDR[0-9]{3}$")
+SEVERITIES = ("info", "warning", "error")
+DIAG_KEYS = ("code", "severity", "where", "message", "hint")
+TOP_KEYS = ("diagnostics", "errors", "warnings")
+
+
+class SchemaError(Exception):
+    pass
+
+
+def require(cond, path, message):
+    if not cond:
+        raise SchemaError(f"{path}: {message}")
+
+
+def check_count(value, path):
+    require(isinstance(value, int) and not isinstance(value, bool) and value >= 0,
+            path, f"expected a non-negative integer, got {value!r}")
+
+
+def check_diagnostic(diag, path):
+    require(isinstance(diag, dict), path, "expected an object")
+    for key in DIAG_KEYS:
+        require(key in diag, path, f"missing '{key}'")
+        require(isinstance(diag[key], str), f"{path}.{key}",
+                f"expected a string, got {diag[key]!r}")
+    for key in diag:
+        require(key in DIAG_KEYS, path, f"unexpected key '{key}'")
+    require(CODE_RE.match(diag["code"]), f"{path}.code",
+            f"'{diag['code']}' is not a PDRnnn rule code")
+    require(diag["severity"] in SEVERITIES, f"{path}.severity",
+            f"'{diag['severity']}' not in {SEVERITIES}")
+    require(diag["message"], f"{path}.message", "empty message")
+
+
+def canonical_key(diag):
+    return (diag["code"], diag["where"], diag["message"], diag["hint"])
+
+
+def check_document(doc, path):
+    require(isinstance(doc, dict), path, "expected a top-level object")
+    for key in TOP_KEYS:
+        require(key in doc, path, f"missing '{key}'")
+    for key in doc:
+        require(key in TOP_KEYS, path, f"unexpected top-level key '{key}'")
+    diags = doc["diagnostics"]
+    require(isinstance(diags, list), f"{path}.diagnostics", "expected an array")
+    for i, diag in enumerate(diags):
+        check_diagnostic(diag, f"{path}.diagnostics[{i}]")
+
+    check_count(doc["errors"], f"{path}.errors")
+    check_count(doc["warnings"], f"{path}.warnings")
+    errors = sum(1 for d in diags if d["severity"] == "error")
+    warnings = sum(1 for d in diags if d["severity"] == "warning")
+    require(doc["errors"] == errors, f"{path}.errors",
+            f"document says {doc['errors']}, diagnostics count {errors}")
+    require(doc["warnings"] == warnings, f"{path}.warnings",
+            f"document says {doc['warnings']}, diagnostics count {warnings}")
+
+    keys = [canonical_key(d) for d in diags]
+    require(keys == sorted(keys), f"{path}.diagnostics",
+            "not in canonical (code, where, message, hint) order")
+
+
+def check_file(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            doc = json.load(fh)
+        except json.JSONDecodeError as e:
+            raise SchemaError(f"{path}: not valid JSON: {e}") from e
+    check_document(doc, path)
+    n = len(doc["diagnostics"])
+    print(f"{path}: ok ({n} diagnostic(s), "
+          f"{doc['errors']} error(s), {doc['warnings']} warning(s))")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        for path in argv[1:]:
+            check_file(path)
+    except SchemaError as e:
+        print(f"check_lint_json: FAIL: {e}", file=sys.stderr)
+        return 1
+    except OSError as e:
+        print(f"check_lint_json: FAIL: {e}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

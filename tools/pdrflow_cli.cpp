@@ -4,9 +4,11 @@
 //   pdrflow build <constraints-file> [--out DIR]
 //       Parse a constraints file, run the Modular Design flow and write
 //       floorplan report + partial bitstreams (+ blank bitstreams).
-//   pdrflow check <constraints-or-project-file> [--json] [--werror]
+//   pdrflow check <constraints-or-project-file> [--json] [--werror] [--deep]
 //       Run the static design-rule checker (pdr::lint) and print the
 //       diagnostics; exits 1 if any error (or, with --werror, warning).
+//       --deep adds pdr::verify's interval-based hazard certification
+//       (the PDR1xx family) over the default schedule.
 //   pdrflow inspect <bitstream.bit> --device NAME
 //       Validate a bitstream and print its packet structure.
 //   pdrflow devices
@@ -69,6 +71,7 @@
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
+#include "verify/verify.hpp"
 
 using namespace pdr;
 using util::ArgParser;
@@ -79,11 +82,12 @@ int usage() {
   std::fputs(
       "usage:\n"
       "  pdrflow build <constraints-file> [--out DIR]\n"
-      "  pdrflow check <constraints-or-project-file> [--json] [--werror]\n"
+      "  pdrflow check <constraints-or-project-file> [--json] [--werror] [--deep]\n"
       "  pdrflow inspect <bitstream.bit> --device NAME\n"
       "  pdrflow latency <constraints-file> [--bandwidth BYTES_PER_S]\n"
       "  pdrflow adequation <project-file> [--no-prefetch] [--reconfig-ms N]\n"
       "  pdrflow explore <project-file> [--top K] [--reconfig-ms N] [--max-points N]\n"
+      "                  [--no-verify]\n"
       "  pdrflow simulate [--symbols N] [--seed S] [--prefetch none|schedule|history]\n"
       "                   [--cache BYTES] [--scrub-ms N]\n"
       "  pdrflow simulate --faults <spec-file> [--seed S] [--no-recovery]\n"
@@ -174,8 +178,13 @@ int cmd_devices(int argc, char** argv) {
 }
 
 int cmd_check(int argc, char** argv) {
-  const ArgParser args("check", argc, argv, {{"--json", false}, {"--werror", false}}, 1);
-  const lint::Report report = lint::check_text(read_file(args.positional(0)));
+  const ArgParser args("check", argc, argv,
+                       {{"--json", false}, {"--werror", false}, {"--deep", false}}, 1);
+  const std::string text = read_file(args.positional(0));
+  // --deep adds pdr::verify's interval certification (the PDR1xx hazard
+  // family) on top of the plain rule families.
+  const lint::Report report =
+      args.has("--deep") ? verify::deep_check_text(text) : lint::check_text(text);
   if (args.has("--json")) {
     std::fputs(report.to_json().c_str(), stdout);
   } else if (report.empty()) {
@@ -338,6 +347,7 @@ int cmd_explore(int argc, char** argv, int jobs) {
                        {{"--top", true},
                         {"--reconfig-ms", true},
                         {"--max-points", true},
+                        {"--no-verify", false},
                         {"--trace-out", true},
                         {"--metrics-out", true}},
                        1);
@@ -351,6 +361,7 @@ int cmd_explore(int argc, char** argv, int jobs) {
   explorer_options.reconfig_cost = static_cast<TimeNs>(args.double_or("--reconfig-ms", 4.0) * 1e6);
   explorer_options.max_points =
       static_cast<std::size_t>(args.uint_or("--max-points", explorer_options.max_points));
+  explorer_options.static_pruning = !args.has("--no-verify");
 
   const flow::DesignSpaceExplorer explorer(*project, aaa::ExplorationSpace::from_project(*project),
                                            explorer_options);
@@ -359,8 +370,9 @@ int cmd_explore(int argc, char** argv, int jobs) {
   std::printf("project '%s': %zu operations on %zu operators\n", project->name.c_str(),
               project->algorithm.size(), project->architecture.operators().size());
   std::fputs(report.to_string(static_cast<std::size_t>(args.uint_or("--top", 0))).c_str(), stdout);
-  std::fprintf(stderr, "explore: %zu points, jobs=%d, %.0f ms wall, %zu failed\n",
-               report.points.size(), jobs, report.sweep.wall_ms, report.failed_points());
+  std::fprintf(stderr, "explore: %zu points, jobs=%d, %.0f ms wall, %zu pruned, %zu failed\n",
+               report.points.size(), jobs, report.sweep.wall_ms, report.pruned_points(),
+               report.failed_points());
   write_observability(args, report.sweep.trace, report.sweep.metrics);
   // Infeasible points are expected (the space is exhaustive); an empty
   // front means nothing scheduled at all — that is the failure.
