@@ -1,8 +1,9 @@
-// The canonical perf harness: one binary, three BENCH_*.json documents.
+// The canonical perf harness: one binary, four BENCH_*.json documents.
 //
 //   bench_suite                    full tier (1k/10k/100k/1M-op adequation,
 //                                  216-point explorer sweep, fault
-//                                  campaigns, cold/warm pipeline)
+//                                  campaigns, cold/warm pipeline, fleet
+//                                  service at 10/100/1000 devices)
 //   bench_suite --smoke            CI tier: same suites, CI-sized inputs
 //   bench_suite --out-dir <dir>    where BENCH_*.json land (default ".")
 //   bench_suite --repeats <n>      override the per-record repeat count
@@ -36,11 +37,14 @@
 #include "flow/pipeline.hpp"
 #include "mccdma/case_study.hpp"
 #include "mccdma/flow_presets.hpp"
+#include "svc/request_log.hpp"
+#include "svc/service.hpp"
 #include "util/arg_parser.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
 using namespace pdr;
+using namespace pdr::literals;
 using bench::BenchRecord;
 using bench::GeneratorConfig;
 using bench::GraphShape;
@@ -303,6 +307,53 @@ std::vector<BenchRecord> run_flow_suite(const SuiteOptions& opts) {
   return records;
 }
 
+// --- suite: service (fleet reconfiguration service) -----------------------
+
+std::vector<BenchRecord> run_service_suite(const SuiteOptions& opts) {
+  std::vector<BenchRecord> records;
+  const synth::DesignBundle& bundle = mccdma::shared_case_study().bundle;
+  std::vector<std::pair<std::string, std::vector<std::string>>> catalog;
+  for (const auto& [region, variants] : bundle.dynamic_variants)
+    catalog.emplace_back(region, bundle.variant_names(region));
+
+  // Fleet sizes ride the roadmap ladder; the tracked figure is request
+  // throughput (virtual requests drained per wall-clock second).
+  const std::vector<int> fleet_sizes =
+      opts.smoke ? std::vector<int>{10, 100} : std::vector<int>{10, 100, 1000};
+  for (const int devices : fleet_sizes) {
+    svc::TrafficOptions traffic;
+    traffic.devices = devices;
+    traffic.requests = devices * (opts.smoke ? 5 : 10);
+    traffic.seed = 21;
+    traffic.horizon = 200_ms;
+    traffic.deadline = 50_ms;
+    const svc::RequestLog log = svc::generate_request_log(traffic, catalog);
+
+    svc::ServiceReport last;
+    BenchRecord rec = bench::measure(
+        strprintf("service/fleet%d/req%d", devices, traffic.requests), default_warmup(opts),
+        default_repeats(opts), [&] {
+          svc::ServiceConfig config;
+          config.jobs = 4;
+          svc::FleetService service(bundle, config);
+          last = service.run(log);
+        });
+    rec.config.emplace_back("devices", std::to_string(devices));
+    rec.config.emplace_back("requests", std::to_string(traffic.requests));
+    rec.config.emplace_back("seed", std::to_string(traffic.seed));
+    rec.config.emplace_back("jobs", "4");
+    if (const auto mean = rec.wall_ms.opt_mean(); mean && *mean > 0)
+      rec.extra.emplace_back("requests_per_sec",
+                             static_cast<double>(traffic.requests) / (*mean / 1e3));
+    rec.extra.emplace_back("completed", static_cast<double>(last.completed));
+    rec.extra.emplace_back("rejected_queue_full", static_cast<double>(last.rejected_queue_full));
+    rec.extra.emplace_back("cache_fetches", static_cast<double>(last.cache.fetches));
+    std::printf("  %-34s mean %.2f ms\n", rec.name.c_str(), rec.wall_ms.mean());
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
 void write_suite(const SuiteOptions& opts, const std::string& suite,
                  const std::vector<BenchRecord>& records) {
   std::printf("\n%s\n", bench::bench_table(records).c_str());
@@ -335,6 +386,9 @@ int main(int argc, char** argv) {
 
     std::printf("\n--- flow ---\n");
     write_suite(opts, "flow", run_flow_suite(opts));
+
+    std::printf("\n--- service ---\n");
+    write_suite(opts, "service", run_service_suite(opts));
 
     if (!identical_ok) {
       std::fputs("\nFAIL: indexed and rescanning engines disagree on a schedule\n", stderr);

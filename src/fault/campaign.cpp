@@ -35,6 +35,7 @@ std::string CampaignReport::to_string() const {
   row("port_aborts_armed", port_aborts_armed);
   row("fetch_corruptions", fetch_corruptions);
   row("store_damages", store_damages);
+  row("store_repairs", store_repairs);
   row("demands", demands);
   row("unrecovered_errors", unrecovered_errors);
   row("scrub_ticks", scrub.ticks);
@@ -69,6 +70,9 @@ CampaignReport run_campaign(const synth::DesignBundle& bundle, rtr::BitstreamSto
   for (const auto& d : spec.store_damages)
     PDR_CHECK(known_modules.count(d.module) > 0, "run_campaign",
               "fault spec names unknown module '" + d.module + "'");
+  for (const auto& r : spec.store_repairs)
+    PDR_CHECK(known_modules.count(r.module) > 0, "run_campaign",
+              "fault spec names unknown module '" + r.module + "'");
 
   FaultInjector injector(spec, config.seed);
   CampaignReport report;
@@ -158,6 +162,14 @@ CampaignReport run_campaign(const synth::DesignBundle& bundle, rtr::BitstreamSto
                                    injector.damage_byte(damage.module, store.size_of(damage.module)));
                      ++report.store_damages;
                    });
+  }
+
+  // Golden-copy re-flashes close the outage window a damage opened.
+  for (const auto& rep : spec.store_repairs) {
+    queue.schedule(rep.at, "store repair " + rep.module, [&store, &report, rep](TimeNs) {
+      store.repair(rep.module);
+      ++report.store_repairs;
+    });
   }
 
   // Demand traffic: rotate each region through its variants so transfers

@@ -54,6 +54,7 @@ struct CampaignReport {
   int port_aborts_armed = 0;
   int fetch_corruptions = 0;
   int store_damages = 0;
+  int store_repairs = 0;
   // Traffic and recovery.
   int demands = 0;
   int unrecovered_errors = 0;  ///< loads that threw (recovery disabled)

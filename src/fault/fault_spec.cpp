@@ -56,14 +56,18 @@ class Parser {
                     "duplicate fetch fault for module '" + f.module + "'");
         spec_.fetch_faults.push_back(std::move(f));
       } else if (head == "store") {
-        fail_unless(next("store damage <module> at_ms <t>") == "damage",
-                    "expected 'damage' in store");
-        StoreDamage d;
-        d.module = next("store damage <module> at_ms <t>");
-        fail_unless(next("store damage <module> at_ms <t>") == "at_ms", "expected 'at_ms' in store");
-        d.at = parse_ms(next("store damage <module> at_ms <t>"));
-        fail_unless(d.at >= 0, "store damage time must be non-negative");
-        spec_.store_damages.push_back(std::move(d));
+        const std::string verb = next("store damage|repair <module> at_ms <t>");
+        fail_unless(verb == "damage" || verb == "repair",
+                    "expected 'damage' or 'repair' in store");
+        const std::string module = next("store damage|repair <module> at_ms <t>");
+        fail_unless(next("store damage|repair <module> at_ms <t>") == "at_ms",
+                    "expected 'at_ms' in store");
+        const TimeNs at = parse_ms(next("store damage|repair <module> at_ms <t>"));
+        fail_unless(at >= 0, "store " + verb + " time must be non-negative");
+        if (verb == "damage")
+          spec_.store_damages.push_back(StoreDamage{module, at});
+        else
+          spec_.store_repairs.push_back(StoreRepair{module, at});
       } else {
         fail("unknown directive '" + head + "'");
       }
@@ -160,6 +164,8 @@ std::string write_fault_spec(const FaultSpec& spec) {
     out += strprintf("fetch corrupt %s prob %g\n", f.module.c_str(), f.prob);
   for (const auto& d : spec.store_damages)
     out += strprintf("store damage %s at_ms %g\n", d.module.c_str(), to_ms(d.at));
+  for (const auto& r : spec.store_repairs)
+    out += strprintf("store repair %s at_ms %g\n", r.module.c_str(), to_ms(r.at));
   return out;
 }
 

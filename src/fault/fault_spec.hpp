@@ -10,6 +10,7 @@
 //   port abort_prob 0.08        # each port load dies mid-stream with p
 //   fetch corrupt qam16 prob 0.3   # a fetch of qam16 arrives corrupted
 //   store damage qam16 at_ms 60    # the stored image is damaged for good
+//   store repair qam16 at_ms 90    # ... until re-flashed from a golden copy
 //
 // Three fault classes, mirroring the hardware:
 //  - `seu`: single-event upsets flip bits of configuration frames already
@@ -17,7 +18,9 @@
 //  - `port abort_prob` / `fetch corrupt`: transients — one transfer dies,
 //    the next may succeed (retry territory).
 //  - `store damage`: permanent external-memory corruption, CRC record
-//    included — every later fetch fails (safe-module fallback territory).
+//    included — every later fetch fails (safe-module fallback territory)
+//    until a `store repair` re-flashes the golden image, which is how a
+//    campaign models a bounded outage window (damage at X, repair at Y).
 #pragma once
 
 #include <cstdint>
@@ -46,6 +49,13 @@ struct StoreDamage {
   TimeNs at = 0;  ///< when the damage lands
 };
 
+/// Re-flash of one module's stored image from the golden copy, ending an
+/// outage window a StoreDamage opened.
+struct StoreRepair {
+  std::string module;
+  TimeNs at = 0;  ///< when the golden image is restored
+};
+
 struct FaultSpec {
   std::uint64_t seed = 1;
   TimeNs horizon = 100'000'000;  ///< 100 ms
@@ -53,6 +63,7 @@ struct FaultSpec {
   double port_abort_prob = 0;
   std::vector<FetchFault> fetch_faults;
   std::vector<StoreDamage> store_damages;
+  std::vector<StoreRepair> store_repairs;
 
   const SeuProcess* find_seu(const std::string& region) const;
   const FetchFault* find_fetch_fault(const std::string& module) const;

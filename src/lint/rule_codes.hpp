@@ -13,6 +13,9 @@
 //   PDR060..PDR079   synchronized executive (§3 macro-code)
 //   PDR100..PDR119   pdr::verify interval analysis (static race
 //                    certification over per-resource timelines)
+//   PDR120..PDR139   fleet service request logs (pdr::svc; rules
+//                    implemented in src/svc/service_rules.cpp so lint
+//                    stays dependency-free)
 //
 // This header is dependency-free on purpose: pdr::aaa reuses the
 // constraint-rule engine (one implementation for ConstraintSet::validate
@@ -97,6 +100,13 @@ enum class Rule : std::uint16_t {
   DataCrossesReconfig = 106,   ///< producer->consumer data spans a region rewrite
   OperatorOverlap = 107,       ///< two computations overlap on one operator
   ForeignModuleLoad = 108,     ///< region loads a module declared for another region
+
+  // Service family (request logs drained by pdr::svc).
+  UnknownServiceRegion = 120,   ///< request names a region the design lacks
+  UnknownServiceModule = 121,   ///< request names a module its region lacks
+  ServiceDeadlineTooTight = 122,///< deadline under the best-case (staged) load latency
+  ServicePriorityInversion = 123,///< maintenance outranks same-region demand traffic
+  ServiceDeviceOutOfRange = 124,///< request pins a device outside the declared fleet
 };
 
 /// "PDR042"-style stable identifier.
@@ -149,6 +159,11 @@ inline const char* rule_id(Rule rule) {
     case Rule::DataCrossesReconfig: return "PDR106";
     case Rule::OperatorOverlap: return "PDR107";
     case Rule::ForeignModuleLoad: return "PDR108";
+    case Rule::UnknownServiceRegion: return "PDR120";
+    case Rule::UnknownServiceModule: return "PDR121";
+    case Rule::ServiceDeadlineTooTight: return "PDR122";
+    case Rule::ServicePriorityInversion: return "PDR123";
+    case Rule::ServiceDeviceOutOfRange: return "PDR124";
   }
   return "PDR???";
 }

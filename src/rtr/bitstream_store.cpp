@@ -13,6 +13,7 @@ BitstreamStore::BitstreamStore(double bandwidth_bytes_per_s, TimeNs access_laten
 void BitstreamStore::add(const std::string& module, std::vector<std::uint8_t> bitstream) {
   PDR_CHECK(!module.empty(), "BitstreamStore::add", "module name must not be empty");
   PDR_CHECK(!bitstream.empty(), "BitstreamStore::add", "empty bitstream for '" + module + "'");
+  pristine_[module] = bitstream;  // golden copy: what repair() restores
   streams_[module] = std::move(bitstream);
 }
 
@@ -26,6 +27,16 @@ void BitstreamStore::corrupt(const std::string& module, std::size_t byte_index,
   PDR_CHECK(xor_mask != 0, "BitstreamStore::corrupt", "xor mask must flip at least one bit");
   it->second[byte_index] ^= xor_mask;
   ++corruptions_;
+}
+
+void BitstreamStore::repair(const std::string& module) {
+  const auto it = streams_.find(module);
+  PDR_CHECK(it != streams_.end(), "BitstreamStore::repair",
+            "no bitstream for module '" + module + "'");
+  const auto& golden = pristine_.at(module);
+  if (it->second == golden) return;  // undamaged — nothing to restore
+  it->second = golden;
+  ++repairs_;
 }
 
 bool BitstreamStore::contains(const std::string& module) const { return streams_.count(module) > 0; }

@@ -31,8 +31,16 @@ class BitstreamStore {
   /// re-registers a clean copy. `xor_mask` must flip at least one bit.
   void corrupt(const std::string& module, std::size_t byte_index, std::uint8_t xor_mask = 0xFF);
 
+  /// Restores a module's pristine image (the bytes originally add()ed),
+  /// undoing any corrupt() damage — the model of an operator re-flashing
+  /// external memory from a golden copy. No-op on an undamaged module.
+  void repair(const std::string& module);
+
   /// Number of bytes ever damaged through corrupt().
   int corruptions() const { return corruptions_; }
+
+  /// Number of damaged images restored through repair().
+  int repairs() const { return repairs_; }
 
   bool contains(const std::string& module) const;
   std::span<const std::uint8_t> get(const std::string& module) const;
@@ -50,7 +58,9 @@ class BitstreamStore {
   double bandwidth_;
   TimeNs latency_;
   std::map<std::string, std::vector<std::uint8_t>> streams_;
+  std::map<std::string, std::vector<std::uint8_t>> pristine_;  ///< golden copies, first add() wins
   int corruptions_ = 0;
+  int repairs_ = 0;
 };
 
 }  // namespace pdr::rtr

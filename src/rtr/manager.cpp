@@ -56,6 +56,9 @@ std::string ManagerStats::to_string() const {
   row("bytes_loaded", static_cast<long long>(bytes_loaded));
   for (const auto& [region, health] : region_health)
     out += strprintf("  health %-13s %s\n", region.c_str(), region_health_name(health));
+  for (const auto& [region, counts] : health_transition_counts)
+    for (const auto& [edge, n] : counts)
+      out += strprintf("  transition %-9s %s x%d\n", region.c_str(), edge.c_str(), n);
   return out;
 }
 
@@ -91,7 +94,8 @@ ReconfigManager::ReconfigManager(const synth::DesignBundle& bundle, ManagerConfi
       port_(config.port_kind,
             config.port_timing.value_or(fabric::ConfigPort::default_timing(config.port_kind)),
             memory_),
-      cache_(config.cache_capacity) {
+      cache_(config.cache_capacity),
+      recovery_rng_(config.recovery.jitter_seed) {
   // Register every dynamic variant's bitstream with the external store.
   for (const auto& [region, variants] : bundle_.dynamic_variants) {
     loaded_.emplace(region, "");
@@ -215,6 +219,8 @@ void ReconfigManager::set_health(const std::string& region, RegionHealth health,
                                  const std::string& why) {
   auto& current = stats_.region_health.at(region);
   if (current == health) return;
+  ++stats_.health_transition_counts[region][std::string(region_health_name(current)) + "->" +
+                                            region_health_name(health)];
   current = health;
   ++stats_.health_transitions;
   bump("health_transitions");
@@ -277,6 +283,7 @@ ReconfigManager::LoadResult ReconfigManager::perform_load(const std::string& reg
   }
 
   TimeNs backoff = config_.recovery.retry_backoff;
+  TimeNs backoff_spent = 0;
   for (int attempt = 0;; ++attempt) {
     const LoadFailure failure = attempt_load(region, module);
     if (failure == LoadFailure::None) {
@@ -291,10 +298,25 @@ ReconfigManager::LoadResult ReconfigManager::perform_load(const std::string& reg
     set_health(region, RegionHealth::Degraded,
                now, std::string(category) + " of '" + module + "' failed");
     if (attempt >= config_.recovery.max_retries) break;
+    // Scale the wait by the jitter stream so a fleet of managers retrying
+    // the same broken module spreads out instead of retrying in lockstep.
+    TimeNs wait = backoff;
+    if (config_.recovery.jitter_frac > 0.0) {
+      const double scale =
+          recovery_rng_.uniform(1.0 - config_.recovery.jitter_frac,
+                                1.0 + config_.recovery.jitter_frac);
+      wait = std::max<TimeNs>(1, static_cast<TimeNs>(static_cast<double>(backoff) * scale));
+    }
+    // A cumulative ceiling bounds how long one request may monopolize the
+    // port retrying: past it, go straight to the fallback path.
+    if (config_.recovery.max_total_backoff > 0 &&
+        backoff_spent + wait > config_.recovery.max_total_backoff)
+      break;
+    backoff_spent += wait;
     // Requeue the whole fetch+build+load pipeline after the backoff.
     ++stats_.retries;
     bump("retries");
-    result.extra += backoff + cold_load_latency(module);
+    result.extra += wait + cold_load_latency(module);
     backoff = static_cast<TimeNs>(static_cast<double>(backoff) * config_.recovery.backoff_factor);
   }
 
@@ -476,6 +498,20 @@ std::optional<TimeNs> ReconfigManager::announce(const std::string& region,
   return ready;
 }
 
+void ReconfigManager::preload_staged(const std::string& region, const std::string& module,
+                                     TimeNs now) {
+  PDR_CHECK(loaded_.count(region) > 0, "ReconfigManager::preload_staged",
+            "unknown region '" + region + "'");
+  if (loaded_.at(region) == module) return;
+  // The stream is already resident in a shared off-device tier: stage it
+  // as an instantly-ready entry without touching the staging engine or the
+  // prefetch counters, so the next demand pays the port transfer only.
+  staged_[region] = Staged{module, now};
+  if (tracer_ != nullptr)
+    tracer_->instant(kStagingTrack, "fleet-cache stage " + module, "staging", now,
+                     {{"module", module}, {"region", region}});
+}
+
 void ReconfigManager::auto_prefetch(const std::string& region, TimeNs now) {
   const auto predicted = policy_.predict(region, loaded(region));
   if (predicted.has_value() && store_.contains(*predicted)) announce(region, *predicted, now);
@@ -487,6 +523,10 @@ void ReconfigManager::set_resident(const std::string& region, const std::string&
   consume_certified_load(region, module, "startup residency");
   apply_load(region, module);
   loaded_[region] = module;
+}
+
+void ReconfigManager::prepare_blank_streams() {
+  for (const auto& [region, module] : loaded_) ensure_blank_stream(region);
 }
 
 std::string ReconfigManager::ensure_blank_stream(const std::string& region) {

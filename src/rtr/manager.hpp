@@ -47,6 +47,7 @@
 #include "rtr/prefetch.hpp"
 #include "rtr/protocol_builder.hpp"
 #include "synth/flow.hpp"
+#include "util/rng.hpp"
 #include "util/units.hpp"
 
 namespace pdr::rtr {
@@ -58,6 +59,19 @@ struct RecoveryConfig {
   int max_retries = 3;        ///< failed attempts retried before falling back
   TimeNs retry_backoff = 200'000;  ///< wait before the first retry (200 us)
   double backoff_factor = 2.0;     ///< backoff multiplier per further retry
+  /// Each backoff wait is scaled by a uniform factor in
+  /// [1 - jitter_frac, 1 + jitter_frac], drawn from a per-manager stream
+  /// seeded by `jitter_seed` — so a fleet of devices retrying the same
+  /// broken module desynchronizes instead of hammering the store in
+  /// lockstep, while any single manager stays bit-reproducible.
+  double jitter_frac = 0.0;
+  std::uint64_t jitter_seed = 0x5eed;
+  /// Cumulative backoff ceiling per request (0 = unbounded): once the
+  /// total backoff a demand has accumulated would exceed this, remaining
+  /// retries are abandoned and the fallback path runs immediately — a
+  /// retry storm can delay one request only so long before it yields the
+  /// port to the rest of the queue.
+  TimeNs max_total_backoff = 0;
 };
 
 struct ManagerConfig {
@@ -131,6 +145,10 @@ struct ManagerStats {
   int scrub_repairs = 0;      ///< corrupted frames repaired by scrub()
   int health_transitions = 0; ///< region health state changes
   std::map<std::string, RegionHealth> region_health;
+  /// Per-region directed transition history ("healthy->degraded" -> n):
+  /// service-level triage can read how often a region bounced between
+  /// states straight off the stats block instead of parsing traces.
+  std::map<std::string, std::map<std::string, int>> health_transition_counts;
   TimeNs total_stall = 0;
   TimeNs total_load_time = 0;
   Bytes bytes_loaded = 0;
@@ -158,8 +176,22 @@ class ReconfigManager {
   /// completion time if one was started or is running.
   std::optional<TimeNs> announce(const std::string& region, const std::string& module, TimeNs now);
 
+  /// Fleet-cache tier hint (pdr::svc): `module`'s stream is already
+  /// resident in a shared off-device cache, so the external-memory fetch
+  /// is paid elsewhere (once, for the whole fleet). Stages the module as
+  /// if a prefetch had completed at `now` without occupying the staging
+  /// engine or the prefetch accounting; the next demand pays the staged
+  /// (port-transfer) latency only. No-op when the module is resident.
+  void preload_staged(const std::string& region, const std::string& module, TimeNs now);
+
   /// Asks the policy for a predicted next module and announces it.
   void auto_prefetch(const std::string& region, TimeNs now);
+
+  /// Eagerly registers every region's blank stream with the external
+  /// store. The recovery fallback path registers them lazily; a fleet
+  /// service sharing one store across device threads calls this serially
+  /// at startup so no worker thread ever writes the store mid-drain.
+  void prepare_blank_streams();
 
   /// Declares `module` resident at t = 0 without a load: the initial
   /// full-device bitstream already configured the region with it (the
@@ -317,6 +349,7 @@ class ReconfigManager {
   TimeNs port_free_ = 0;
   TimeNs staging_free_ = 0;  ///< the staging engine handles one fetch at a time
   ManagerStats stats_;
+  Rng recovery_rng_;  ///< retry-jitter stream (seeded from recovery.jitter_seed)
   FetchFaultHook fetch_fault_hook_;
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;

@@ -1,0 +1,81 @@
+#include "svc/breaker.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace pdr::svc {
+
+const char* breaker_state_name(BreakerState state) {
+  switch (state) {
+    case BreakerState::Closed: return "closed";
+    case BreakerState::Open: return "open";
+    case BreakerState::HalfOpen: return "half_open";
+  }
+  return "?";
+}
+
+CircuitBreaker::CircuitBreaker(BreakerConfig config) : config_(config) {
+  PDR_CHECK(config_.failure_threshold >= 1, "CircuitBreaker", "failure_threshold must be >= 1");
+  PDR_CHECK(config_.cooldown_ticks >= 1, "CircuitBreaker", "cooldown_ticks must be >= 1");
+  PDR_CHECK(config_.probe_budget >= 1, "CircuitBreaker", "probe_budget must be >= 1");
+}
+
+void CircuitBreaker::transition(BreakerState next) {
+  transitions_.push_back(strprintf("%s->%s@t%d", breaker_state_name(state_),
+                                   breaker_state_name(next), ticks_));
+  state_ = next;
+  if (next == BreakerState::Open) {
+    ++opens_;
+    cooldown_left_ = config_.cooldown_ticks;
+  } else if (next == BreakerState::HalfOpen) {
+    probes_left_ = config_.probe_budget;
+    probe_successes_ = 0;
+  } else {
+    consecutive_failures_ = 0;
+  }
+}
+
+void CircuitBreaker::tick() {
+  ++ticks_;
+  if (state_ == BreakerState::Open && --cooldown_left_ <= 0) transition(BreakerState::HalfOpen);
+}
+
+bool CircuitBreaker::would_allow() const {
+  switch (state_) {
+    case BreakerState::Closed: return true;
+    case BreakerState::Open: return false;
+    case BreakerState::HalfOpen: return probes_left_ > 0;
+  }
+  return false;
+}
+
+bool CircuitBreaker::allow_request() {
+  switch (state_) {
+    case BreakerState::Closed: return true;
+    case BreakerState::Open: return false;
+    case BreakerState::HalfOpen:
+      if (probes_left_ <= 0) return false;
+      --probes_left_;
+      return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::record_success() {
+  if (state_ == BreakerState::HalfOpen) {
+    if (++probe_successes_ >= config_.probe_budget) transition(BreakerState::Closed);
+  } else if (state_ == BreakerState::Closed) {
+    consecutive_failures_ = 0;
+  }
+}
+
+void CircuitBreaker::record_failure() {
+  if (state_ == BreakerState::HalfOpen) {
+    transition(BreakerState::Open);
+  } else if (state_ == BreakerState::Closed &&
+             ++consecutive_failures_ >= config_.failure_threshold) {
+    transition(BreakerState::Open);
+  }
+}
+
+}  // namespace pdr::svc

@@ -1,0 +1,83 @@
+// Per-device circuit breaker for the fleet service.
+//
+// Driven by the self-healing manager's outcome signals (PR 3): a request
+// whose region ends up Failed, or that only completed by falling back to
+// the safe module, counts as a failure. The classic three-state machine:
+//
+//   Closed ──(K consecutive failures)──> Open
+//   Open ──(cooldown ticks elapse)──> HalfOpen
+//   HalfOpen ──(probe succeeds)──> Closed
+//   HalfOpen ──(probe fails)──> Open (cooldown restarts)
+//
+// While Open, the service routes around the device (or serves pinned
+// requests degraded via the safe module); those degraded servings do NOT
+// feed the breaker — only real attempts at the demanded module do, so a
+// device cannot "heal" the breaker by answering with its fallback
+// personality.
+//
+// All state advances on the service's serial tick or on per-device
+// outcome records — each breaker is touched by exactly one thread at a
+// time, so there is no internal locking, and the transition history is
+// deterministic for a deterministic request stream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pdr::svc {
+
+enum class BreakerState : std::uint8_t { Closed, Open, HalfOpen };
+
+const char* breaker_state_name(BreakerState state);
+
+struct BreakerConfig {
+  int failure_threshold = 3;  ///< consecutive failures tripping Closed -> Open
+  int cooldown_ticks = 4;     ///< service ticks Open before probing resumes
+  int probe_budget = 1;       ///< HalfOpen requests allowed per cooldown
+};
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerConfig config = {});
+
+  BreakerState state() const { return state_; }
+
+  /// Serial phase, once per service tick: advances the Open cooldown.
+  void tick();
+
+  /// Non-consuming admission check (for routing: would this device take
+  /// the request?). Closed: yes; Open: no; HalfOpen: yes while probe
+  /// slots remain.
+  bool would_allow() const;
+
+  /// HalfOpen admission: consumes one probe slot if available. In Closed
+  /// the answer is always yes; in Open always no.
+  bool allow_request();
+
+  /// Outcome of a real attempt at the demanded module (degraded-route
+  /// servings never call these).
+  void record_success();
+  void record_failure();
+
+  int opens() const { return opens_; }
+
+  /// Deterministic transition history: "closed->open@t3"-style entries
+  /// stamped with the tick counter.
+  const std::vector<std::string>& transitions() const { return transitions_; }
+
+ private:
+  void transition(BreakerState next);
+
+  BreakerConfig config_;
+  BreakerState state_ = BreakerState::Closed;
+  int consecutive_failures_ = 0;
+  int cooldown_left_ = 0;
+  int probes_left_ = 0;
+  int probe_successes_ = 0;
+  int ticks_ = 0;
+  int opens_ = 0;
+  std::vector<std::string> transitions_;
+};
+
+}  // namespace pdr::svc

@@ -1,0 +1,242 @@
+#include "svc/request_log.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace pdr::svc {
+
+const char* request_class_name(RequestClass klass) {
+  switch (klass) {
+    case RequestClass::Demand: return "demand";
+    case RequestClass::Maintenance: return "maintenance";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Same token-stream shape as the constraints and fault-spec parsers:
+/// '#' comments, whitespace-separated words, errors carrying the line.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) { tokenize(text); }
+
+  RequestLog parse() {
+    bool saw_fleet = false;
+    while (!at_end()) {
+      const std::string head = next("directive");
+      if (head == "fleet") {
+        fail_unless(!saw_fleet, "duplicate 'fleet' directive");
+        fail_unless(next("fleet devices <n>") == "devices", "expected 'devices' in fleet");
+        log_.devices = static_cast<int>(parse_u64(next("fleet devices <n>")));
+        fail_unless(log_.devices >= 1, "fleet needs at least one device");
+        saw_fleet = true;
+      } else if (head == "request") {
+        log_.requests.push_back(parse_request());
+      } else {
+        fail("unknown directive '" + head + "'");
+      }
+    }
+    fail_unless(saw_fleet, "missing 'fleet devices <n>' directive");
+    // The stream replays in arrival order; ties keep file order so the
+    // log, not map iteration, decides who is admitted first.
+    std::stable_sort(log_.requests.begin(), log_.requests.end(),
+                     [](const ServiceRequest& a, const ServiceRequest& b) { return a.at < b.at; });
+    return std::move(log_);
+  }
+
+ private:
+  struct Token {
+    std::string text;
+    std::size_t line;
+  };
+
+  ServiceRequest parse_request() {
+    ServiceRequest req;
+    bool have_at = false;
+    bool have_region = false;
+    bool have_module = false;
+    while (!at_end() && peek() != "request" && peek() != "fleet") {
+      const std::string key = next("request field");
+      if (key == "at_us") {
+        req.at = parse_us(next("at_us <t>"));
+        fail_unless(req.at >= 0, "request time must be non-negative");
+        have_at = true;
+      } else if (key == "device") {
+        const std::string v = next("device <n>|any");
+        req.device = v == "any" ? kAnyDevice : static_cast<int>(parse_u64(v));
+      } else if (key == "region") {
+        req.region = next("region <name>");
+        have_region = true;
+      } else if (key == "module") {
+        req.module = next("module <name>");
+        have_module = true;
+      } else if (key == "class") {
+        const std::string v = next("class demand|maintenance");
+        fail_unless(v == "demand" || v == "maintenance",
+                    "class must be demand|maintenance, got '" + v + "'");
+        req.klass = v == "demand" ? RequestClass::Demand : RequestClass::Maintenance;
+      } else if (key == "priority") {
+        req.priority = static_cast<int>(parse_u64(next("priority <n>")));
+      } else if (key == "deadline_us") {
+        req.deadline = parse_us(next("deadline_us <t>"));
+        fail_unless(req.deadline > 0, "deadline must be positive");
+      } else {
+        fail("unknown request field '" + key + "'");
+      }
+    }
+    fail_unless(have_at, "request is missing 'at_us'");
+    fail_unless(have_region, "request is missing 'region'");
+    fail_unless(have_module, "request is missing 'module'");
+    return req;
+  }
+
+  void tokenize(const std::string& text) {
+    const auto lines = split(text, '\n');
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      std::string raw = lines[i];
+      const auto hash = raw.find('#');
+      if (hash != std::string::npos) raw.resize(hash);
+      for (const std::string& word : split_ws(raw)) tokens_.push_back(Token{word, i + 1});
+    }
+  }
+
+  bool at_end() const { return pos_ >= tokens_.size(); }
+  const std::string& peek() const { return tokens_[pos_].text; }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    const std::size_t line = pos_ > 0 && pos_ <= tokens_.size()
+                                 ? tokens_[pos_ - 1].line
+                                 : (tokens_.empty() ? 0 : tokens_.back().line);
+    raise("request_log", "line " + std::to_string(line) + ": " + msg);
+  }
+  void fail_unless(bool cond, const std::string& msg) const {
+    if (!cond) fail(msg);
+  }
+
+  std::string next(const std::string& usage) {
+    if (at_end()) fail("missing token; usage: " + usage);
+    return tokens_[pos_++].text;
+  }
+
+  double parse_double(const std::string& s) const {
+    try {
+      std::size_t idx = 0;
+      const double v = std::stod(s, &idx);
+      if (idx != s.size()) fail("trailing characters in number '" + s + "'");
+      return v;
+    } catch (const Error&) {
+      throw;
+    } catch (const std::exception&) {
+      fail("expected a number, got '" + s + "'");
+    }
+  }
+
+  TimeNs parse_us(const std::string& s) const {
+    return static_cast<TimeNs>(parse_double(s) * 1e3);
+  }
+
+  std::uint64_t parse_u64(const std::string& s) const {
+    try {
+      std::size_t idx = 0;
+      const unsigned long long v = std::stoull(s, &idx);
+      if (idx != s.size()) fail("trailing characters in integer '" + s + "'");
+      return v;
+    } catch (const Error&) {
+      throw;
+    } catch (const std::exception&) {
+      fail("expected an unsigned integer, got '" + s + "'");
+    }
+  }
+
+  RequestLog log_;
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+RequestLog parse_request_log(const std::string& text) { return Parser(text).parse(); }
+
+namespace {
+
+/// Microsecond rendering that round-trips: whole microseconds print as
+/// integers (no %g significant-digit truncation on long horizons).
+std::string fmt_us(TimeNs t) {
+  if (t % 1000 == 0) return strprintf("%lld", static_cast<long long>(t / 1000));
+  return strprintf("%.3f", to_us(t));
+}
+
+}  // namespace
+
+std::string write_request_log(const RequestLog& log) {
+  std::string out;
+  out += strprintf("fleet devices %d\n", log.devices);
+  for (const ServiceRequest& r : log.requests) {
+    out += "request at_us " + fmt_us(r.at);
+    if (r.device == kAnyDevice)
+      out += " device any";
+    else
+      out += strprintf(" device %d", r.device);
+    out += strprintf(" region %s module %s class %s", r.region.c_str(), r.module.c_str(),
+                     request_class_name(r.klass));
+    if (r.priority != 0) out += strprintf(" priority %d", r.priority);
+    if (r.deadline > 0) out += " deadline_us " + fmt_us(r.deadline);
+    out += "\n";
+  }
+  return out;
+}
+
+bool looks_like_request_log(const std::string& text) {
+  for (const std::string& line : split(text, '\n')) {
+    std::string raw = line;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    const auto words = split_ws(raw);
+    if (words.empty()) continue;
+    return words.front() == "fleet";
+  }
+  return false;
+}
+
+RequestLog generate_request_log(
+    const TrafficOptions& options,
+    const std::vector<std::pair<std::string, std::vector<std::string>>>& catalog) {
+  PDR_CHECK(!catalog.empty(), "generate_request_log", "catalog has no regions");
+  PDR_CHECK(options.devices >= 1, "generate_request_log", "need at least one device");
+  RequestLog log;
+  log.devices = options.devices;
+  Rng rng(options.seed);
+  const std::int64_t horizon_us = options.horizon > 1000 ? options.horizon / 1000 - 1 : 0;
+  for (int i = 0; i < options.requests; ++i) {
+    ServiceRequest req;
+    // Arrivals are quantized to whole microseconds so a generated log
+    // round-trips its file form exactly.
+    req.at = rng.uniform_int(0, horizon_us) * 1000;
+    const auto& [region, variants] = catalog[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(catalog.size()) - 1))];
+    req.region = region;
+    req.module = variants[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(variants.size()) - 1))];
+    req.device = rng.chance(options.any_device_frac)
+                     ? kAnyDevice
+                     : static_cast<int>(rng.uniform_int(0, options.devices - 1));
+    if (rng.chance(options.maintenance_frac)) {
+      req.klass = RequestClass::Maintenance;
+      req.priority = 0;  // maintenance never outranks demand traffic
+    } else {
+      req.klass = RequestClass::Demand;
+      req.priority = static_cast<int>(rng.uniform_int(1, options.max_priority));
+      if (options.deadline > 0) req.deadline = options.deadline;
+    }
+    log.requests.push_back(std::move(req));
+  }
+  std::stable_sort(log.requests.begin(), log.requests.end(),
+                   [](const ServiceRequest& a, const ServiceRequest& b) { return a.at < b.at; });
+  return log;
+}
+
+}  // namespace pdr::svc

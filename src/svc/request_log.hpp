@@ -1,0 +1,90 @@
+// Recorded reconfiguration-request streams for the fleet service.
+//
+// A request log is the replayable input of `pdrflow serve`: a fleet size
+// plus a time-ordered stream of reconfiguration requests, in the same
+// token DSL the constraints and fault-spec files use ('#' comments,
+// line-numbered parse errors):
+//
+//   fleet devices 4
+//   request at_us 100 device 0 region D1 module qpsk class demand
+//           priority 5 deadline_us 8000
+//   request at_us 250 device any region D1 module qam16 class maintenance
+//
+// Per-request fields after `request` are keyword/value pairs in any
+// order; `at_us`, `region` and `module` are mandatory. `device` is a
+// shard index or `any` (the service routes it); `class` is `demand`
+// (a load the application is waiting on) or `maintenance` (scrub
+// traffic that yields under pressure); `priority` orders a shard's
+// queue (higher first); `deadline_us` is the relative completion
+// deadline (omitted = none).
+//
+// Replaying the same log through the service is byte-identical for any
+// worker-thread count — the log, not wall-clock arrival, is the single
+// source of request order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace pdr::svc {
+
+/// Traffic class of one request.
+enum class RequestClass : std::uint8_t {
+  Demand,       ///< application-blocking reconfiguration
+  Maintenance,  ///< scrub traffic; sheds under pressure
+};
+
+const char* request_class_name(RequestClass klass);
+
+/// Routing target of a request that names no device.
+inline constexpr int kAnyDevice = -1;
+
+struct ServiceRequest {
+  TimeNs at = 0;            ///< arrival time in the recorded stream
+  int device = kAnyDevice;  ///< shard index, or kAnyDevice to route
+  std::string region;
+  std::string module;
+  RequestClass klass = RequestClass::Demand;
+  int priority = 0;    ///< higher drains first within a shard queue
+  TimeNs deadline = 0; ///< relative completion deadline; 0 = none
+};
+
+struct RequestLog {
+  int devices = 1;
+  std::vector<ServiceRequest> requests;  ///< sorted by (at, file order)
+};
+
+/// Parses a request log; throws pdr::Error with the offending line.
+RequestLog parse_request_log(const std::string& text);
+
+/// Writes a log back to its file form (round-trips through the parser).
+std::string write_request_log(const RequestLog& log);
+
+/// Cheap sniff for `pdrflow check`/`serve` dispatch: the first directive
+/// of a request log is `fleet`.
+bool looks_like_request_log(const std::string& text);
+
+/// Knobs of the deterministic synthetic-traffic generator benches and
+/// soak tests use. Everything derives from `seed`.
+struct TrafficOptions {
+  int devices = 10;
+  int requests = 100;
+  std::uint64_t seed = 1;
+  TimeNs horizon = 100'000'000;       ///< arrivals uniform over [0, horizon)
+  double maintenance_frac = 0.2;      ///< fraction of maintenance requests
+  double any_device_frac = 0.25;      ///< fraction routed (device `any`)
+  int max_priority = 4;               ///< demand priorities in [1, max]
+  TimeNs deadline = 0;                ///< relative deadline stamped on demands; 0 = none
+};
+
+/// Generates a synthetic request log over the given (region -> variants)
+/// catalog. Deterministic per options; output round-trips the parser.
+RequestLog generate_request_log(
+    const TrafficOptions& options,
+    const std::vector<std::pair<std::string, std::vector<std::string>>>& catalog);
+
+}  // namespace pdr::svc

@@ -1,0 +1,95 @@
+#include "svc/service_rules.hpp"
+
+#include <limits>
+#include <map>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace pdr::svc {
+
+using lint::Report;
+using lint::Rule;
+using lint::Severity;
+
+Report check_request_log(const RequestLog& log, const synth::DesignBundle& bundle,
+                         const rtr::ReconfigManager& manager) {
+  Report report;
+
+  std::map<std::string, std::set<std::string>> variants_of;
+  for (const auto& [region, variants] : bundle.dynamic_variants)
+    for (const auto& v : variants) variants_of[region].insert(v.name);
+
+  // PDR123 needs the weakest demand per region to compare against.
+  std::map<std::string, int> min_demand_priority;
+  for (const auto& req : log.requests) {
+    if (req.klass != RequestClass::Demand) continue;
+    const auto it = min_demand_priority.find(req.region);
+    if (it == min_demand_priority.end() || req.priority < it->second)
+      min_demand_priority[req.region] = req.priority;
+  }
+
+  for (std::size_t i = 0; i < log.requests.size(); ++i) {
+    const ServiceRequest& req = log.requests[i];
+    const std::string where = strprintf("request %zu (at %.1f us)", i + 1, to_us(req.at));
+
+    const auto region_it = variants_of.find(req.region);
+    if (region_it == variants_of.end()) {
+      report.add(Rule::UnknownServiceRegion, Severity::Error, where,
+                 "names region '" + req.region + "' which the design does not declare",
+                 "declare the region in the constraints file or fix the log");
+      continue;  // downstream rules would only echo the same root cause
+    }
+    if (region_it->second.count(req.module) == 0) {
+      report.add(Rule::UnknownServiceModule, Severity::Error, where,
+                 "demands module '" + req.module + "' but region '" + req.region +
+                     "' has no such variant",
+                 "variants of a region are its interchangeable dynamic modules");
+      continue;
+    }
+    if (req.device != kAnyDevice && (req.device < 0 || req.device >= log.devices)) {
+      report.add(Rule::ServiceDeviceOutOfRange, Severity::Error, where,
+                 strprintf("pins device %d but the log declares `fleet devices %d`", req.device,
+                           log.devices),
+                 "device indices run 0.." + std::to_string(log.devices - 1) + ", or use `any`");
+    }
+    if (req.deadline > 0) {
+      // Best case is a perfect fleet-cache hit: staged (port-transfer)
+      // latency only. A deadline under that cannot be met by any fleet.
+      const TimeNs floor = manager.staged_load_latency(req.module);
+      if (req.deadline < floor)
+        report.add(Rule::ServiceDeadlineTooTight, Severity::Warning, where,
+                   strprintf("deadline %.1f us is below the %.1f us best-case (staged) load "
+                             "latency of '%s'",
+                             to_us(req.deadline), to_us(floor), req.module.c_str()),
+                   "the request will be classified timed_out even on an idle device");
+    }
+    if (req.klass == RequestClass::Maintenance) {
+      const auto demand_it = min_demand_priority.find(req.region);
+      if (demand_it != min_demand_priority.end() && req.priority > demand_it->second)
+        report.add(Rule::ServicePriorityInversion, Severity::Warning, where,
+                   strprintf("maintenance priority %d outranks demand traffic on region '%s' "
+                             "(weakest demand priority %d)",
+                             req.priority, req.region.c_str(), demand_it->second),
+                   "maintenance should yield to demand; lower its priority");
+    }
+  }
+  return report;
+}
+
+Report check_request_log_text(const std::string& text, const synth::DesignBundle& bundle,
+                              const rtr::ReconfigManager& manager) {
+  RequestLog log;
+  try {
+    log = parse_request_log(text);
+  } catch (const Error& e) {
+    Report report;
+    report.add(Rule::ParseError, Severity::Error, "request log", e.what(),
+               "fix the syntax error; nothing else was checked");
+    return report;
+  }
+  return check_request_log(log, bundle, manager);
+}
+
+}  // namespace pdr::svc

@@ -1,0 +1,40 @@
+// Static pre-flight checks over fleet-service request logs (the PDR12x
+// lint family).
+//
+// `pdrflow check <log.requests>` runs these before a log ever reaches
+// the fleet, catching the classes of operational mistake the service
+// would otherwise surface at replay time:
+//
+//   PDR120  request names a region the design does not declare
+//   PDR121  request names a module its region has no variant for
+//   PDR122  deadline below the best-case (staged) load latency — the
+//           request times out even with a perfect fleet-cache hit
+//   PDR123  maintenance traffic outranks same-region demand traffic
+//           (priority inversion: scrubs would starve demand loads)
+//   PDR124  request pins a device index outside the declared fleet
+//
+// The rule codes live in lint/rule_codes.hpp (append-only); the
+// implementations live here so the lint library itself stays free of
+// rtr/svc dependencies.
+#pragma once
+
+#include <string>
+
+#include "lint/diagnostic.hpp"
+#include "rtr/manager.hpp"
+#include "svc/request_log.hpp"
+#include "synth/flow.hpp"
+
+namespace pdr::svc {
+
+/// Checks a parsed log against the design. `manager` supplies the timing
+/// model for PDR122 (any manager over the same bundle/store works; it is
+/// not mutated).
+lint::Report check_request_log(const RequestLog& log, const synth::DesignBundle& bundle,
+                               const rtr::ReconfigManager& manager);
+
+/// Parses then checks; a parse failure becomes a single PDR000 error.
+lint::Report check_request_log_text(const std::string& text, const synth::DesignBundle& bundle,
+                                    const rtr::ReconfigManager& manager);
+
+}  // namespace pdr::svc

@@ -1,0 +1,24 @@
+# Black-box check of the fleet-service determinism contract: the same
+# request log (with a fault campaign armed) drained serially and on 4/8
+# workers must print byte-identical stdout. Invoked by the
+# cli_serve_determinism ctest entry with -DPDRFLOW=<path> -DSOURCE_DIR=<repo>.
+set(requests ${SOURCE_DIR}/examples/fleet.requests)
+set(faults ${SOURCE_DIR}/examples/fleet.faults)
+foreach(jobs 1 4 8)
+  execute_process(COMMAND ${PDRFLOW} serve --requests ${requests} --faults ${faults}
+                          --jobs ${jobs}
+                  OUTPUT_VARIABLE out_${jobs} RESULT_VARIABLE rc_${jobs}
+                  ERROR_VARIABLE err_${jobs})
+  if(NOT rc_${jobs} EQUAL 0)
+    message(FATAL_ERROR "serve --jobs ${jobs} failed (exit ${rc_${jobs}}):\n${err_${jobs}}")
+  endif()
+endforeach()
+if(NOT out_1 STREQUAL out_4)
+  message(FATAL_ERROR "serve --jobs 4 stdout differs from --jobs 1:\n"
+                      "--- jobs 1 ---\n${out_1}\n--- jobs 4 ---\n${out_4}")
+endif()
+if(NOT out_1 STREQUAL out_8)
+  message(FATAL_ERROR "serve --jobs 8 stdout differs from --jobs 1:\n"
+                      "--- jobs 1 ---\n${out_1}\n--- jobs 8 ---\n${out_8}")
+endif()
+message(STATUS "serve stdout byte-identical at jobs=1, 4 and 8")

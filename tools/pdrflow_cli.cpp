@@ -8,7 +8,9 @@
 //       Run the static design-rule checker (pdr::lint) and print the
 //       diagnostics; exits 1 if any error (or, with --werror, warning).
 //       --deep adds pdr::verify's interval-based hazard certification
-//       (the PDR1xx family) over the default schedule.
+//       (the PDR1xx family) over the default schedule. A file whose
+//       first directive is `fleet` is checked as a service request log
+//       (the PDR12x family) against the case-study design.
 //   pdrflow inspect <bitstream.bit> --device NAME
 //       Validate a bitstream and print its packet structure.
 //   pdrflow devices
@@ -20,6 +22,11 @@
 //   pdrflow sweep [--jobs N] ...
 //       Run a prefetch-policy × seed sweep (or, with --faults, a
 //       fault-campaign seed sweep) through the parallel ScenarioRunner.
+//   pdrflow serve --requests <log> [--devices N] [--jobs N] [--faults SPEC]
+//       Drain a recorded reconfiguration-request log through the fleet
+//       service (pdr::svc): sharded devices, bounded admission queues,
+//       deadlines, circuit breakers and the shared single-flight
+//       bitstream cache. Output is byte-identical for any --jobs value.
 //   pdrflow explore <project-file> [--jobs N] [--top K]
 //       Enumerate the schedule design space (mapping strategy × prefetch
 //       × preloaded modules × variant selections), run every point
@@ -66,6 +73,9 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rtr/manager.hpp"
+#include "svc/request_log.hpp"
+#include "svc/service.hpp"
+#include "svc/service_rules.hpp"
 #include "util/arg_parser.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -94,6 +104,9 @@ int usage() {
       "                   [--scrub-ms N] [--scrub-mode blind|readback] [--cache BYTES]\n"
       "  pdrflow sweep [--symbols N] [--seeds A,B,C] [--prefetch LIST]\n"
       "  pdrflow sweep --faults <spec-file> [--seeds A,B,C] [--no-recovery] [--scrub-ms N]\n"
+      "  pdrflow serve --requests <log-file> [--devices N] [--queue N] [--tick-us N]\n"
+      "                [--cache BYTES] [--faults <spec-file>] [--seed S] [--no-recovery]\n"
+      "                [--no-degraded]\n"
       "  pdrflow devices\n"
       "--jobs N (anywhere) sizes the sweep/explore thread pool; output is identical for any N\n"
       "build/adequation/explore/simulate/sweep also accept --trace-out FILE --metrics-out FILE\n",
@@ -177,14 +190,29 @@ int cmd_devices(int argc, char** argv) {
   return 0;
 }
 
+/// PDR12x pre-flight for a service request log, against the case-study
+/// design (the bundle every `serve` fleet shards).
+lint::Report check_request_log_against_case_study(const std::string& text) {
+  flow::Pipeline pipeline = mccdma::constraints_pipeline(mccdma::case_study_constraints_text(),
+                                                         mccdma::case_study_statics());
+  const std::shared_ptr<const synth::DesignBundle> bundle = pipeline.bundle();
+  rtr::BitstreamStore store = mccdma::make_case_study_store();
+  rtr::NonePrefetch policy;
+  const rtr::ReconfigManager manager(*bundle, rtr::sundance_manager_config(), store, policy);
+  return svc::check_request_log_text(text, *bundle, manager);
+}
+
 int cmd_check(int argc, char** argv) {
   const ArgParser args("check", argc, argv,
                        {{"--json", false}, {"--werror", false}, {"--deep", false}}, 1);
   const std::string text = read_file(args.positional(0));
-  // --deep adds pdr::verify's interval certification (the PDR1xx hazard
-  // family) on top of the plain rule families.
-  const lint::Report report =
-      args.has("--deep") ? verify::deep_check_text(text) : lint::check_text(text);
+  // Dispatch on input kind: request logs get the PDR12x service family;
+  // otherwise --deep adds pdr::verify's interval certification (the
+  // PDR1xx hazard family) on top of the plain rule families.
+  const lint::Report report = svc::looks_like_request_log(text)
+                                  ? check_request_log_against_case_study(text)
+                                  : (args.has("--deep") ? verify::deep_check_text(text)
+                                                        : lint::check_text(text));
   if (args.has("--json")) {
     std::fputs(report.to_json().c_str(), stdout);
   } else if (report.empty()) {
@@ -533,6 +561,77 @@ int cmd_sweep(int argc, char** argv, int jobs) {
   return sweep.failures() == 0 ? 0 : 1;
 }
 
+/// `serve`: drain a recorded request log through the fleet service.
+/// stdout (the service report) is byte-identical for any --jobs value —
+/// the determinism CI pins with a byte diff.
+int cmd_serve(int argc, char** argv, int jobs) {
+  const ArgParser args("serve", argc, argv,
+                       {{"--requests", true},
+                        {"--devices", true},
+                        {"--queue", true},
+                        {"--tick-us", true},
+                        {"--cache", true},
+                        {"--faults", true},
+                        {"--seed", true},
+                        {"--no-recovery", false},
+                        {"--no-degraded", false},
+                        {"--trace-out", true},
+                        {"--metrics-out", true}},
+                       0);
+  const std::string* requests_path = args.value("--requests");
+  if (requests_path == nullptr) fail("'serve' requires --requests <log-file>");
+
+  flow::Pipeline pipeline = mccdma::constraints_pipeline(mccdma::case_study_constraints_text(),
+                                                         mccdma::case_study_statics());
+  const std::shared_ptr<const synth::DesignBundle> bundle = pipeline.bundle();
+
+  svc::RequestLog log = svc::parse_request_log(read_file(*requests_path));
+  if (args.has("--devices")) {
+    const auto devices = args.uint_or("--devices", 0);
+    if (devices < 1) fail("flag '--devices' must be >= 1");
+    log.devices = static_cast<int>(devices);
+  }
+
+  svc::ServiceConfig config;
+  config.jobs = jobs;
+  config.manager = rtr::sundance_manager_config();
+  config.manager.recovery.enabled = !args.has("--no-recovery");
+  config.store_bandwidth_bytes_per_s = mccdma::kCaseStudyStoreBandwidth;
+  config.store_latency = mccdma::kCaseStudyStoreLatency;
+  if (args.has("--queue"))
+    config.queue_capacity = static_cast<std::size_t>(args.uint_or("--queue", 8));
+  if (args.has("--tick-us"))
+    config.tick = static_cast<TimeNs>(args.double_or("--tick-us", 1000.0) * 1e3);
+  if (args.has("--cache"))
+    config.fleet_cache_capacity = static_cast<Bytes>(args.uint_or("--cache", 0));
+  config.degraded_routes = !args.has("--no-degraded");
+  config.fault_seed = args.uint_or("--seed", 0);
+
+  // PDR12x pre-flight: a log that would misroute or trivially time out
+  // never reaches the fleet.
+  {
+    rtr::BitstreamStore lint_store = mccdma::make_case_study_store();
+    rtr::NonePrefetch lint_policy;
+    const rtr::ReconfigManager lint_manager(*bundle, config.manager, lint_store, lint_policy);
+    if (report_blocks(svc::check_request_log(log, *bundle, lint_manager), "request log")) return 1;
+  }
+
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  svc::FleetService service(*bundle, config);
+  service.set_observability(&tracer, &metrics);
+  if (const std::string* spec_path = args.value("--faults"))
+    service.arm_faults(fault::parse_fault_spec(read_file(*spec_path)));
+  const svc::ServiceReport report = service.run(log);
+  std::fputs(report.to_string().c_str(), stdout);
+  std::fprintf(stderr, "serve: %zu requests on %d device(s), jobs=%d\n", report.records.size(),
+               report.devices, jobs);
+  write_observability(args, tracer, metrics);
+  // A clean drain exits 0. Under an armed fault campaign, failures are
+  // the point of the exercise, not a broken run.
+  return (args.has("--faults") || report.failed == 0) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -550,6 +649,7 @@ int main(int argc, char** argv) {
     if (cmd == "explore") return cmd_explore(argc - 2, argv + 2, jobs);
     if (cmd == "simulate") return cmd_simulate(argc - 2, argv + 2);
     if (cmd == "sweep") return cmd_sweep(argc - 2, argv + 2, jobs);
+    if (cmd == "serve") return cmd_serve(argc - 2, argv + 2, jobs);
     std::fprintf(stderr, "pdrflow: unknown command '%s'\n", cmd.c_str());
   } catch (const pdr::Error& e) {
     std::fprintf(stderr, "pdrflow: %s\n", e.what());
