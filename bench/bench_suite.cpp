@@ -117,7 +117,7 @@ std::vector<BenchRecord> run_adequation_suite(const SuiteOptions& opts, bool& id
     rec.config.emplace_back("ready_policy", "indexed_heap");
     if (const auto mean = rec.wall_ms.opt_mean(); mean && *mean > 0)
       rec.extra.emplace_back("ops_per_sec", cfg.n_ops / (*mean / 1e3));
-    rec.extra.emplace_back("schedule_items", static_cast<double>(last.items.size()));
+    rec.extra.emplace_back("schedule_items", static_cast<double>(last.size()));
     rec.extra.emplace_back("makespan_ms", static_cast<double>(last.makespan) / 1e6);
     records.push_back(std::move(rec));
     std::printf("  %-34s mean %.2f ms\n", records.back().name.c_str(),

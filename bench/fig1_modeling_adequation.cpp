@@ -145,14 +145,14 @@ void print_size_series() {
     const aaa::Schedule s = adequation.run();
     int on_cpu = 0;
     int transfers = 0;
-    for (const auto& [op, res] : s.placement)
-      if (res == "CPU") ++on_cpu;
-    for (const auto& item : s.items)
-      if (item.kind == aaa::ItemKind::Transfer) ++transfers;
+    for (const auto sym : s.placement)
+      if (sym != util::kNoSymbol && s.name(sym) == "CPU") ++on_cpu;
+    for (std::size_t i = 0; i < s.size(); ++i)
+      if (s.kind(i) == aaa::ItemKind::Transfer) ++transfers;
     t.row()
         .add(n)
         .add(to_us(s.makespan), 1)
-        .add(static_cast<int>(s.placement.size()) - on_cpu)
+        .add(static_cast<int>(s.placement_count()) - on_cpu)
         .add(on_cpu)
         .add(transfers);
   }

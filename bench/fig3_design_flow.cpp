@@ -94,7 +94,7 @@ void print_artifact_inventory() {
 
   Table t({"artifact", "size"});
   t.row().add("constraints file").add(aaa::write_constraints(cs.constraints).size());
-  t.row().add("schedule items").add(std::uint64_t{schedule.items.size()});
+  t.row().add("schedule items").add(std::uint64_t{schedule.size()});
   std::size_t macro_instrs = 0;
   for (const auto& p : executive.programs) macro_instrs += p.body.size();
   t.row().add("macro instructions").add(std::uint64_t{macro_instrs});

@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <map>
 #include <queue>
-#include <set>
+#include <string_view>
+#include <unordered_map>
 
 #include "graph/ready.hpp"
 
@@ -23,166 +24,88 @@ const char* mapping_strategy_name(MappingStrategy strategy) {
   return "?";
 }
 
-const char* item_kind_name(ItemKind kind) {
-  switch (kind) {
-    case ItemKind::Compute: return "compute";
-    case ItemKind::Transfer: return "transfer";
-    case ItemKind::Reconfig: return "reconfig";
-  }
-  return "?";
-}
-
-std::vector<const ScheduledItem*> Schedule::on_resource(const std::string& resource) const {
-  std::vector<const ScheduledItem*> out;
-  for (const auto& item : items)
-    if (item.resource == resource) out.push_back(&item);
-  return out;
-}
-
-double Schedule::utilization(const std::string& resource) const {
-  if (makespan <= 0) return 0.0;
-  const auto it = resource_busy.find(resource);
-  if (it == resource_busy.end()) return 0.0;
-  return static_cast<double>(it->second) / static_cast<double>(makespan);
-}
-
-TimeNs Schedule::period_lower_bound() const {
-  TimeNs bound = 0;
-  for (const auto& [resource, busy] : resource_busy) bound = std::max(bound, busy);
-  return bound;
-}
-
-std::string Schedule::to_string() const {
-  std::string out = strprintf("schedule: makespan %.3f us, %d reconfigs (%.3f us exposed)\n",
-                              to_us(makespan), reconfig_count, to_us(reconfig_exposed));
-  for (const auto& item : items) {
-    out += strprintf("  %9.3f..%9.3f us  %-8s %-10s %s\n", to_us(item.start), to_us(item.end),
-                     item_kind_name(item.kind), item.resource.c_str(), item.label.c_str());
-  }
-  return out;
-}
-
-std::string Schedule::to_csv() const {
-  std::string out = "kind,label,resource,start_ns,end_ns,variant,module\n";
-  for (const auto& item : items)
-    out += strprintf("%s,%s,%s,%lld,%lld,%s,%s\n", item_kind_name(item.kind), item.label.c_str(),
-                     item.resource.c_str(), static_cast<long long>(item.start),
-                     static_cast<long long>(item.end), item.variant.c_str(), item.module.c_str());
-  return out;
-}
-
-std::string Schedule::gantt(int width) const {
-  if (items.empty() || makespan == 0) return "(empty schedule)\n";
-  std::vector<std::string> resources;
-  for (const auto& item : items)
-    if (std::find(resources.begin(), resources.end(), item.resource) == resources.end())
-      resources.push_back(item.resource);
-
-  std::string out;
-  for (const auto& res : resources) {
-    std::string bar(static_cast<std::size_t>(width), '.');
-    for (const auto& item : items) {
-      if (item.resource != res) continue;
-      auto pos = [&](TimeNs t) {
-        return std::min<std::size_t>(static_cast<std::size_t>(width) - 1,
-                                     static_cast<std::size_t>(t * width / makespan));
-      };
-      const char mark = item.kind == ItemKind::Compute   ? '#'
-                        : item.kind == ItemKind::Transfer ? '='
-                                                          : 'R';
-      // Zero-duration items still get one mark cell so they stay visible.
-      const std::size_t lo = pos(item.start);
-      const std::size_t hi = std::max(lo, item.end > item.start ? pos(item.end - 1) : lo);
-      for (std::size_t i = lo; i <= hi; ++i) bar[i] = mark;
-    }
-    out += strprintf("%-10s |%s|\n", res.c_str(), bar.c_str());
-  }
-  out += strprintf("%-10s  0%*s%.1f us   (#=compute ==transfer R=reconfig)\n", "", width - 8, "",
-                   to_us(makespan));
-  return out;
-}
-
-void export_schedule(const Schedule& schedule, obs::Tracer& tracer) {
-  for (const auto& item : schedule.items) {
-    std::vector<obs::TraceArg> args;
-    if (!item.variant.empty()) args.push_back({"variant", item.variant});
-    if (!item.module.empty()) args.push_back({"module", item.module});
-    if (item.bytes > 0) args.push_back({"bytes", std::to_string(item.bytes)});
-    if (item.kind == ItemKind::Reconfig && item.exposed_stall > 0)
-      args.push_back({"exposed_stall_ns", std::to_string(item.exposed_stall)});
-    tracer.span(item.resource, item.label, std::string("sched_") + item_kind_name(item.kind),
-                item.start, item.end, std::move(args));
-  }
-}
-
 void validate_schedule(const Schedule& schedule, const AlgorithmGraph& algorithm,
                        const ArchitectureGraph& architecture) {
-  // 1. No overlap per resource.
-  std::map<std::string, std::vector<const ScheduledItem*>> per_resource;
-  for (const auto& item : schedule.items) {
-    PDR_CHECK(item.end >= item.start, "validate_schedule", "item '" + item.label + "' ends before it starts");
-    per_resource[item.resource].push_back(&item);
+  // 1. No overlap per resource. Resources are visited in name order (as
+  //    the old string-keyed map iterated), so which violation fires first
+  //    is unchanged.
+  std::map<std::string_view, std::vector<std::size_t>> per_resource;
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    PDR_CHECK(schedule.end(i) >= schedule.start(i), "validate_schedule",
+              "item '" + schedule.label(i) + "' ends before it starts");
+    per_resource[schedule.resource(i)].push_back(i);
   }
   for (auto& [res, list] : per_resource) {
-    std::sort(list.begin(), list.end(),
-              [](const ScheduledItem* a, const ScheduledItem* b) { return a->start < b->start; });
+    std::stable_sort(list.begin(), list.end(),
+                     [&](std::size_t a, std::size_t b) { return schedule.start(a) < schedule.start(b); });
     for (std::size_t i = 1; i < list.size(); ++i) {
-      PDR_CHECK(list[i]->start >= list[i - 1]->end, "validate_schedule",
-                "items '" + list[i - 1]->label + "' and '" + list[i]->label +
-                    "' overlap on resource '" + res + "'");
+      PDR_CHECK(schedule.start(list[i]) >= schedule.end(list[i - 1]), "validate_schedule",
+                "items '" + schedule.label(list[i - 1]) + "' and '" + schedule.label(list[i]) +
+                    "' overlap on resource '" + std::string(res) + "'");
     }
   }
 
   // 2. Dependencies respected. Transfers are matched by edge identity —
   //    two parallel edges between the same producer/consumer pair must
   //    each have their own transfer chain; a (src,dst) name match alone
-  //    would let them validate against each other's items.
-  std::map<graph::NodeId, const ScheduledItem*> compute_of;
-  for (const auto& item : schedule.items)
-    if (item.kind == ItemKind::Compute) compute_of[item.op] = &item;
-  std::vector<const ScheduledItem*> transfer_items;
-  for (const auto& item : schedule.items)
-    if (item.kind == ItemKind::Transfer) transfer_items.push_back(&item);
-  std::set<const ScheduledItem*> consumed;
+  //    would let them validate against each other's items. The per-edge
+  //    chains are grouped once up front instead of rescanning every
+  //    transfer item per algorithm edge.
   const auto& g = algorithm.digraph();
-  for (graph::EdgeId e : g.edge_ids()) {
+  const auto edge_ids = g.edge_ids();
+  const std::size_t edge_cap = edge_ids.empty() ? 0 : edge_ids.back() + 1;
+  constexpr std::size_t kNoItem = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> compute_of(g.node_capacity(), kNoItem);
+  std::vector<std::vector<std::size_t>> chain_of_edge(edge_cap);
+  std::vector<std::size_t> untagged_transfers;  // hand-built items without edge ids
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    if (schedule.kind(i) == ItemKind::Compute) {
+      const graph::NodeId n = schedule.op(i);
+      if (n < compute_of.size()) compute_of[n] = i;
+    } else if (schedule.kind(i) == ItemKind::Transfer) {
+      const graph::EdgeId e = schedule.edge(i);
+      if (e != graph::kNoEdge && e < edge_cap)
+        chain_of_edge[e].push_back(i);
+      else
+        untagged_transfers.push_back(i);
+    }
+  }
+  std::vector<char> consumed(schedule.size(), 0);
+  for (graph::EdgeId e : edge_ids) {
     const graph::NodeId p = g.edge_from(e);
     const graph::NodeId c = g.edge_to(e);
-    const auto ip = compute_of.find(p);
-    const auto ic = compute_of.find(c);
-    PDR_CHECK(ip != compute_of.end() && ic != compute_of.end(), "validate_schedule",
+    const std::size_t ip = p < compute_of.size() ? compute_of[p] : kNoItem;
+    const std::size_t ic = c < compute_of.size() ? compute_of[c] : kNoItem;
+    PDR_CHECK(ip != kNoItem && ic != kNoItem, "validate_schedule",
               "an operation was never scheduled");
-    PDR_CHECK(ic->second->start >= ip->second->end, "validate_schedule",
+    PDR_CHECK(schedule.start(ic) >= schedule.end(ip), "validate_schedule",
               "operation '" + g[c].name + "' starts before its input '" + g[p].name + "' finishes");
-    if (ip->second->resource != ic->second->resource && g.edge(e).bytes > 0) {
+    if (schedule.resource_sym(ip) != schedule.resource_sym(ic) && g.edge(e).bytes > 0) {
       // Prefer exact edge identity. Hand-built schedules without edge ids
       // fall back to an unconsumed (src,dst,bytes) match — consumption
       // keeps a single item from standing in for two distinct edges.
-      std::vector<const ScheduledItem*> chain;
-      for (const ScheduledItem* item : transfer_items)
-        if (item->edge == e) chain.push_back(item);
+      std::vector<std::size_t> chain = chain_of_edge[e];
       if (chain.empty()) {
         // One chain = at most one item per medium (the earliest unconsumed
         // match), so parallel edges each claim their own items.
-        std::map<std::string, const ScheduledItem*> per_medium;
-        for (const ScheduledItem* item : transfer_items)
-          if (item->edge == graph::kNoEdge && consumed.count(item) == 0 &&
-              item->src == g[p].name && item->dst == g[c].name &&
-              item->bytes == g.edge(e).bytes) {
-            const ScheduledItem*& slot = per_medium[item->resource];
-            if (slot == nullptr || item->start < slot->start) slot = item;
+        std::map<std::string_view, std::size_t> per_medium;
+        for (const std::size_t i : untagged_transfers)
+          if (consumed[i] == 0 && schedule.src(i) == g[p].name && schedule.dst(i) == g[c].name &&
+              schedule.bytes(i) == g.edge(e).bytes) {
+            const auto [slot, inserted] = per_medium.emplace(schedule.resource(i), i);
+            if (!inserted && schedule.start(i) < schedule.start(slot->second)) slot->second = i;
           }
-        for (const auto& [medium, item] : per_medium) chain.push_back(item);
+        for (const auto& [medium, i] : per_medium) chain.push_back(i);
       }
       PDR_CHECK(!chain.empty(), "validate_schedule",
                 "missing transfer for dependency '" + g[p].name + "' -> '" + g[c].name + "'");
-      for (const ScheduledItem* item : chain) {
-        consumed.insert(item);
-        PDR_CHECK(item->bytes == g.edge(e).bytes, "validate_schedule",
-                  "transfer '" + item->label + "' carries the wrong payload for its edge");
-        PDR_CHECK(item->start >= ip->second->end && item->end <= ic->second->start,
+      for (const std::size_t i : chain) {
+        consumed[i] = 1;
+        PDR_CHECK(schedule.bytes(i) == g.edge(e).bytes, "validate_schedule",
+                  "transfer '" + schedule.label(i) + "' carries the wrong payload for its edge");
+        PDR_CHECK(schedule.start(i) >= schedule.end(ip) && schedule.end(i) <= schedule.start(ic),
                   "validate_schedule",
-                  "transfer '" + item->label + "' not between producer and consumer");
+                  "transfer '" + schedule.label(i) + "' not between producer and consumer");
       }
     }
   }
@@ -190,37 +113,39 @@ void validate_schedule(const Schedule& schedule, const AlgorithmGraph& algorithm
   // 3. Regions hold the right module when computing.
   for (NodeId w : architecture.operators_of_kind(OperatorKind::FpgaRegion)) {
     const std::string& rname = architecture.op(w).name;
-    auto it = per_resource.find(rname);
+    const auto it = per_resource.find(std::string_view(rname));
     if (it == per_resource.end()) continue;
-    std::string loaded;  // unknown until first reconfig
+    util::SymbolId loaded = util::kEmptySymbol;  // unknown until first reconfig
     bool any_reconfig = false;
-    std::string preloaded_variant;  // variant computes may use before any reconfig
-    for (const ScheduledItem* item : it->second) {
-      if (item->kind == ItemKind::Reconfig) {
-        loaded = item->module;
+    // variant computes may use before any reconfig
+    util::SymbolId preloaded_variant = util::kEmptySymbol;
+    for (const std::size_t i : it->second) {
+      if (schedule.kind(i) == ItemKind::Reconfig) {
+        loaded = schedule.module_sym(i);
         any_reconfig = true;
-      } else if (item->kind == ItemKind::Compute && !item->variant.empty()) {
+      } else if (schedule.kind(i) == ItemKind::Compute &&
+                 schedule.variant_sym(i) != util::kEmptySymbol) {
         if (!any_reconfig) {
-          if (preloaded_variant.empty()) preloaded_variant = item->variant;
-          PDR_CHECK(item->variant == preloaded_variant, "validate_schedule",
+          if (preloaded_variant == util::kEmptySymbol) preloaded_variant = schedule.variant_sym(i);
+          PDR_CHECK(schedule.variant_sym(i) == preloaded_variant, "validate_schedule",
                     "region '" + rname + "' computes two variants with no reconfiguration between");
         } else {
-          PDR_CHECK(item->variant == loaded, "validate_schedule",
-                    "region '" + rname + "' computes variant '" + item->variant +
-                        "' while module '" + loaded + "' is loaded");
+          PDR_CHECK(schedule.variant_sym(i) == loaded, "validate_schedule",
+                    "region '" + rname + "' computes variant '" + std::string(schedule.variant(i)) +
+                        "' while module '" + std::string(schedule.name(loaded)) + "' is loaded");
         }
       }
     }
   }
 
   // 4. Reconfigurations serialize on the single configuration port.
-  std::vector<const ScheduledItem*> reconfigs;
-  for (const auto& item : schedule.items)
-    if (item.kind == ItemKind::Reconfig) reconfigs.push_back(&item);
-  std::sort(reconfigs.begin(), reconfigs.end(),
-            [](const ScheduledItem* a, const ScheduledItem* b) { return a->start < b->start; });
+  std::vector<std::size_t> reconfigs;
+  for (std::size_t i = 0; i < schedule.size(); ++i)
+    if (schedule.kind(i) == ItemKind::Reconfig) reconfigs.push_back(i);
+  std::stable_sort(reconfigs.begin(), reconfigs.end(),
+                   [&](std::size_t a, std::size_t b) { return schedule.start(a) < schedule.start(b); });
   for (std::size_t i = 1; i < reconfigs.size(); ++i)
-    PDR_CHECK(reconfigs[i]->start >= reconfigs[i - 1]->end, "validate_schedule",
+    PDR_CHECK(schedule.start(reconfigs[i]) >= schedule.end(reconfigs[i - 1]), "validate_schedule",
               "two reconfigurations overlap on the configuration port");
 }
 
@@ -266,30 +191,30 @@ namespace {
 
 /// Mutable scheduling state: written only by commit(). Everything is
 /// index-keyed — architecture NodeId for operators/media/regions,
-/// algorithm NodeId for finish/placement — resolved once per run instead
-/// of the string-keyed maps the hot path used to hash on every access.
+/// algorithm NodeId for finish/placement, SymbolId for loaded modules —
+/// resolved once per run instead of the string-keyed maps the hot path
+/// used to hash on every access.
 struct State {
-  std::vector<TimeNs> operator_free;       ///< by architecture NodeId
-  std::vector<TimeNs> medium_free;         ///< by architecture NodeId
-  std::vector<std::string> region_loaded;  ///< by architecture NodeId
+  std::vector<TimeNs> operator_free;            ///< by architecture NodeId
+  std::vector<TimeNs> medium_free;              ///< by architecture NodeId
+  std::vector<util::SymbolId> region_loaded;    ///< by architecture NodeId
   TimeNs port_free = 0;
   std::vector<TimeNs> finish;    ///< by algorithm NodeId
   std::vector<NodeId> placed_on; ///< algorithm NodeId -> architecture operator node
 };
 
-/// A fully evaluated placement plan: every schedule item it would emit and
-/// every state write commit() would perform. evaluate() builds it against a
-/// read-only State — reserving shared media in a local scratch view across
-/// the operation's own in-edges — and commit() replays it verbatim. One
-/// code path produces all the numbers, so a non-commit estimate and the
-/// committed schedule cannot diverge.
-///
-/// Candidates are pooled: the scheduler reuses two instances for the whole
-/// run, and reset() clears the plan while keeping the transfer vectors'
-/// capacity, so candidate evaluation stays allocation-free once warm.
+/// A fully evaluated placement plan: plain-old-data scalars plus a row
+/// range [plan_begin, plan_end) into the run's shared TransferPlan arena.
+/// evaluate() builds it against a read-only State — reserving shared
+/// media in a local scratch view across the operation's own in-edges —
+/// and commit() splices the range into the schedule verbatim. One code
+/// path produces all the numbers, so a non-commit estimate and the
+/// committed schedule cannot diverge; and since the plan rows live in the
+/// arena, selecting between candidates is a POD swap, never a copy of
+/// per-item strings.
 struct Candidate {
   NodeId target = graph::kNoNode;
-  std::string target_name;
+  util::SymbolId target_sym = util::kNoSymbol;
   TimeNs data_avail = 0;
   bool needs_reconfig = false;
   TimeNs reconfig_start = 0;
@@ -298,23 +223,8 @@ struct Candidate {
   TimeNs exposed_stall = 0;
   TimeNs start = 0;
   TimeNs end = 0;
-  std::string variant;
-  std::string exec_kind;
-  std::vector<ScheduledItem> transfers;   ///< fully timed, in emit order
-  std::vector<NodeId> transfer_media;     ///< medium node per transfer
-
-  void reset() {
-    target = graph::kNoNode;
-    target_name.clear();
-    data_avail = 0;
-    needs_reconfig = false;
-    reconfig_start = reconfig_end = reconfig_duration = exposed_stall = 0;
-    start = end = 0;
-    variant.clear();
-    exec_kind.clear();
-    transfers.clear();
-    transfer_media.clear();
-  }
+  std::size_t plan_begin = 0;  ///< first TransferPlan row of this plan
+  std::size_t plan_end = 0;    ///< one past the last row
 };
 
 }  // namespace
@@ -325,14 +235,21 @@ Schedule Adequation::run(const AdequationOptions& options) const {
 
   const auto& g = algorithm_.digraph();
 
-  // Critical-path priorities from operator-agnostic mean durations.
-  const auto remainder = g.critical_path_remainder([&](graph::NodeId n) {
-    const Operation& op = g[n];
-    if (!op.conditioned()) return durations_.mean(op.kind);
-    double worst = 0;
-    for (const auto& alt : op.alternatives) worst = std::max(worst, durations_.mean(alt.kind));
-    return worst;
-  });
+  // Invalidate the cross-run scaffolding cache against the version
+  // counters. Everything in it restates the algorithm graph (the
+  // priorities additionally bake in durations), so matching versions mean
+  // the cached structures are exactly what this run would rebuild.
+  if (cache_.algo_version != algorithm_.version()) {
+    cache_.algo_version = algorithm_.version();
+    cache_.tracker.reset();
+    cache_.in_off.clear();
+    cache_.in_rows.clear();
+    cache_.has_remainder = false;
+  }
+  if (cache_.durations_version != durations_.version()) {
+    cache_.durations_version = durations_.version();
+    cache_.has_remainder = false;
+  }
 
   // --- per-run index tables, resolved once --------------------------------
   const std::size_t algo_cap = g.node_capacity();
@@ -342,16 +259,48 @@ Schedule Adequation::run(const AdequationOptions& options) const {
   for (NodeId w : all_operators) arch_cap = std::max<std::size_t>(arch_cap, w + 1);
   for (NodeId m : all_media) arch_cap = std::max<std::size_t>(arch_cap, m + 1);
 
+  // Seed the schedule's interner with the architecture's resources in
+  // declaration order: resource symbols become dense array indices, so
+  // resource_busy and the renderers index straight into vectors.
+  Schedule schedule;
+  std::vector<util::SymbolId> arch_sym(arch_cap, util::kNoSymbol);
+  for (NodeId w : all_operators) arch_sym[w] = schedule.intern(architecture_.op(w).name);
+  for (NodeId m : all_media) arch_sym[m] = schedule.intern(architecture_.medium(m).name);
+  schedule.placement.assign(algo_cap, util::kNoSymbol);
+  // One compute per operation plus its transfers: reserving 2x the node
+  // count absorbs the common case without repeated 13-column regrowth.
+  schedule.reserve(algo_cap * 2);
+
+  // Operation-name symbols, appended on first use (a committed
+  // producer's symbol is already resolved by the time a consumer's
+  // transfers name it). append() skips the interner's hash index: the
+  // graph validates operation names as duplicate-free and nothing looks
+  // them up by text, so indexing a million unique labels would be pure
+  // rehash cost.
+  std::vector<util::SymbolId> algo_sym(algo_cap, util::kNoSymbol);
+  const auto op_sym = [&](graph::NodeId x) {
+    util::SymbolId& sym = algo_sym[x];
+    if (sym == util::kNoSymbol) sym = schedule.symbols.append(g[x].name);
+    return sym;
+  };
+  // Same, for call sites that already hold the operation — skips the
+  // bounds-checked graph access on the append path.
+  const auto op_sym_known = [&](graph::NodeId x, const Operation& op) {
+    util::SymbolId& sym = algo_sym[x];
+    if (sym == util::kNoSymbol) sym = schedule.symbols.append(op.name);
+    return sym;
+  };
+
   State st;
   st.operator_free.assign(arch_cap, 0);
   st.medium_free.assign(arch_cap, 0);
-  st.region_loaded.assign(arch_cap, "");
+  st.region_loaded.assign(arch_cap, util::kEmptySymbol);
   st.finish.assign(algo_cap, 0);
   st.placed_on.assign(algo_cap, graph::kNoNode);
   for (NodeId w : all_operators) {
     if (architecture_.op(w).kind == OperatorKind::FpgaRegion) {
       const auto it = options.preloaded.find(architecture_.op(w).name);
-      if (it != options.preloaded.end()) st.region_loaded[w] = it->second;
+      if (it != options.preloaded.end()) st.region_loaded[w] = schedule.intern(it->second);
     }
   }
 
@@ -373,19 +322,73 @@ Schedule Adequation::run(const AdequationOptions& options) const {
     return route_cache[slot];
   };
 
-  // Durations per (operation kind, operator), looked up once per kind:
-  // kUnsupported marks operators the kind cannot execute on.
+  // Operator nodes resolved to plain pointers once, so per-candidate
+  // reads skip the is-operator discrimination check.
+  std::vector<const OperatorNode*> op_ptr(arch_cap, nullptr);
+  for (NodeId w : all_operators) op_ptr[w] = &architecture_.op(w);
+
+  // Algorithm operations resolved to plain pointers once via a sequential
+  // node scan, so the per-placement lookup skips the bounds/liveness check
+  // a million operator[] calls would repeat.
+  std::vector<const Operation*> algo_op(algo_cap, nullptr);
+  g.for_each_live_node([&](graph::NodeId an, const Operation& aop) { algo_op[an] = &aop; });
+
+  // Per-kind tables, built once per distinct kind: durations on every
+  // operator (kUnsupported marks operators the kind cannot execute on)
+  // and the feasible-operator lists for unpinned operations. The lists
+  // keep all_operators' declaration order, so evaluation order — and
+  // therefore every tie-break — is exactly what the per-node filtering
+  // loop produced. Keys are views into the graph's stable kind strings.
   constexpr TimeNs kUnsupported = -1;
-  std::map<std::string, std::vector<TimeNs>> duration_cache;
-  const auto durations_for = [&](const std::string& kind) -> const std::vector<TimeNs>& {
-    const auto it = duration_cache.find(kind);
-    if (it != duration_cache.end()) return it->second;
-    std::vector<TimeNs> per_operator(arch_cap, kUnsupported);
-    for (NodeId w : all_operators) {
-      const OperatorNode& target = architecture_.op(w);
-      if (durations_.supports(kind, target)) per_operator[w] = durations_.lookup(kind, target);
+  struct KindTable {
+    std::vector<TimeNs> durations;
+    std::vector<NodeId> plain;        ///< feasible targets, regions excluded
+    std::vector<NodeId> conditioned;  ///< feasible targets incl. regions
+    double mean = 0;                  ///< operator-agnostic mean duration
+  };
+  // Consecutive operations overwhelmingly share a kind, so a one-entry
+  // memo in front of the map turns the per-placement lookup into a short
+  // string compare. Map values are node-stable, so the cached pointer
+  // survives later insertions.
+  std::unordered_map<std::string_view, KindTable> kind_cache;
+  std::string_view last_kind;
+  const KindTable* last_tbl = nullptr;
+  const auto kind_table = [&](std::string_view kind) -> const KindTable& {
+    if (last_tbl != nullptr && kind == last_kind) return *last_tbl;
+    const auto it = kind_cache.find(kind);
+    if (it != kind_cache.end()) {
+      last_kind = kind;
+      last_tbl = &it->second;
+      return it->second;
     }
-    return duration_cache.emplace(kind, std::move(per_operator)).first->second;
+    const std::string kind_str(kind);
+    KindTable tbl;
+    tbl.durations.assign(arch_cap, kUnsupported);
+    for (NodeId w : all_operators) {
+      const OperatorNode& target = *op_ptr[w];
+      if (!durations_.supports(kind_str, target)) continue;
+      tbl.durations[w] = durations_.lookup(kind_str, target);
+      // Regions host only conditioned vertices (dynamic modules).
+      if (target.kind != OperatorKind::FpgaRegion) tbl.plain.push_back(w);
+      tbl.conditioned.push_back(w);
+    }
+    tbl.mean = durations_.mean(kind_str);
+    const KindTable& slot = kind_cache.emplace(kind, std::move(tbl)).first->second;
+    last_kind = kind;
+    last_tbl = &slot;
+    return slot;
+  };
+
+  // Critical-path priority weight: operator-agnostic mean duration of the
+  // kind (worst alternative for conditioned vertices). Served from the
+  // kind tables, so a million-node graph pays one duration-table walk per
+  // distinct kind, not one map probe per node.
+  const auto op_weight = [&](graph::NodeId n) {
+    const Operation& op = *algo_op[n];
+    if (!op.conditioned()) return kind_table(op.kind).mean;
+    double worst = 0;
+    for (const auto& alt : op.alternatives) worst = std::max(worst, kind_table(alt.kind).mean);
+    return worst;
   };
 
   // Scratch medium reservations for evaluate(), generation-stamped so
@@ -394,12 +397,54 @@ Schedule Adequation::run(const AdequationOptions& options) const {
   std::vector<std::uint32_t> scratch_generation(arch_cap, 0);
   std::uint32_t generation = 0;
 
+  // Media resolved to plain pointers once, so the transfer inner loop
+  // skips the operator/medium discrimination check per hop.
+  std::vector<const MediumNode*> media_ptr(arch_cap, nullptr);
+  for (NodeId m : all_media) media_ptr[m] = &architecture_.medium(m);
+
+  // In-edge CSR over the whole graph (cached across runs), built from two
+  // sequential edge scans: each consumer's dependency rows sit in one
+  // contiguous block, so place() never chases a per-node edge list. Row
+  // order within a block is edge-id order — the same order
+  // for_each_in_edge produces.
+  if (cache_.in_off.empty()) {
+    cache_.in_off.assign(algo_cap + 1, 0);
+    g.for_each_live_edge(
+        [&](graph::EdgeId, graph::NodeId, graph::NodeId to) { ++cache_.in_off[to + 1]; });
+    for (std::size_t i = 0; i < algo_cap; ++i) cache_.in_off[i + 1] += cache_.in_off[i];
+    cache_.in_rows.resize(cache_.in_off[algo_cap]);
+    std::vector<std::size_t> cursor(cache_.in_off.begin(), cache_.in_off.end() - 1);
+    g.for_each_live_edge([&](graph::EdgeId e, graph::NodeId from, graph::NodeId to) {
+      cache_.in_rows[cursor[to]++] = {from, g.edge(e).bytes, e};
+    });
+  }
+  const std::vector<std::size_t>& in_off = cache_.in_off;
+  const std::vector<InEdgeRow>& in_rows = cache_.in_rows;
+
+  // The operation's in-edges, gathered once per placement round: every
+  // candidate operator re-prices the same dependencies, so the
+  // predecessor state loads and symbol resolution are hoisted out of
+  // evaluate() into place().
+  struct InEdge {
+    TimeNs finish;         ///< producer's committed finish time
+    NodeId src_w;          ///< operator the producer landed on
+    Bytes bytes;
+    graph::EdgeId e;
+    util::SymbolId psym;   ///< producer's (already resolved) name symbol
+  };
+  std::vector<InEdge> in_buf;
+
+  // The per-run plan arena all candidates append into; cleared once per
+  // pick. Rejected candidates simply abandon their rows.
+  TransferPlan plan;
+
   // Resolves which alternative/kind a vertex executes: the selected
   // alternative for conditioned vertices (first one when unselected), the
   // operation's own kind otherwise. Resolved once per use so feasibility
   // and evaluation always agree on the kind.
-  auto resolve = [&](const Operation& op) -> std::pair<std::string, std::string> {
-    if (!op.conditioned()) return {"", op.kind};
+  // Views into the operation's own strings — no per-placement copies.
+  auto resolve = [&](const Operation& op) -> std::pair<std::string_view, std::string_view> {
+    if (!op.conditioned()) return {{}, op.kind};
     const auto sel = options.selection.find(op.name);
     if (sel == options.selection.end())
       return {op.alternatives.front().name, op.alternatives.front().kind};
@@ -409,64 +454,58 @@ Schedule Adequation::run(const AdequationOptions& options) const {
                 op.name + "'");
   };
 
-  // Evaluates placing `n` on operator `w` against `st`, without mutating
-  // it, into the pooled `cand`. Media this operation's own transfers
-  // occupy are reserved in a scratch view, so two in-edges sharing a
-  // medium serialize in the estimate exactly as they will in the committed
-  // schedule. `duration` is the precomputed lookup of `exec_kind` on `w`.
-  auto evaluate = [&](graph::NodeId n, NodeId w, const std::string& variant,
-                      const std::string& exec_kind, TimeNs duration, Candidate& cand) {
-    const Operation& op = g[n];
-    const OperatorNode& target = architecture_.op(w);
-    cand.reset();
-    cand.target = w;
-    cand.target_name = target.name;
-    cand.variant = variant;
-    cand.exec_kind = exec_kind;
-
-    // Data availability: route each incoming dependency.
+  // Prices this operation's incoming transfers (pre-gathered into in_buf
+  // by place(), in edge order) onto candidate `w`: returns the time all
+  // inputs are available on `w`. Rows land in the plan arena only when
+  // `record` is set — pricing runs once per candidate, recording once for
+  // the winner at commit, so the 4-5 rejected candidates per operation
+  // never touch the arena. `st` is unchanged between the two runs, so the
+  // recorded rows are exactly the priced ones.
+  const auto price_transfers = [&](NodeId w, util::SymbolId nsym, bool record) -> TimeNs {
     ++generation;
     TimeNs data_avail = 0;
-    g.for_each_in_edge(n, [&](graph::EdgeId e) {
-      const graph::NodeId p = g.edge_from(e);
-      const Bytes bytes = g.edge(e).bytes;
-      TimeNs t = st.finish[p];
-      const NodeId src_w = st.placed_on[p];
-      if (src_w != w && bytes > 0) {
-        for (NodeId m : route_between(src_w, w)) {
-          const MediumNode& medium = architecture_.medium(m);
+    for (const InEdge& in : in_buf) {
+      TimeNs t = in.finish;
+      if (in.src_w != w && in.bytes > 0) {
+        for (NodeId m : route_between(in.src_w, w)) {
           const TimeNs free =
               scratch_generation[m] == generation ? scratch_reserved[m] : st.medium_free[m];
           const TimeNs tstart = std::max(t, free);
-          const TimeNs tend = tstart + medium.transfer_time(bytes);
+          const TimeNs tend = tstart + media_ptr[m]->transfer_time(in.bytes);
           scratch_generation[m] = generation;
           scratch_reserved[m] = tend;
-          ScheduledItem item;
-          item.kind = ItemKind::Transfer;
-          // label built at commit time — uncommitted plans never need it
-          item.resource = medium.name;
-          item.start = tstart;
-          item.end = tend;
-          item.src = g[p].name;
-          item.dst = op.name;
-          item.bytes = bytes;
-          item.edge = e;
-          cand.transfers.push_back(std::move(item));
-          cand.transfer_media.push_back(m);
+          // label derived at render time — plans never carry one
+          if (record) plan.push(tstart, tend, arch_sym[m], m, in.psym, nsym, in.bytes, in.e);
           t = tend;
         }
       }
       data_avail = std::max(data_avail, t);
-    });
+    }
+    return data_avail;
+  };
+
+  // Evaluates placing `n` on operator `w` against `st`, without mutating
+  // it, into the pooled `cand`. Media this operation's own transfers
+  // occupy are reserved in a scratch view, so two in-edges sharing a
+  // medium serialize in the estimate exactly as they will in the committed
+  // schedule. `duration` is the precomputed lookup of the resolved kind on
+  // `w`; `nsym`/`variant`/`variant_sym` are resolved once per pick.
+  auto evaluate = [&](graph::NodeId n, NodeId w, util::SymbolId nsym, std::string_view variant,
+                      util::SymbolId variant_sym, TimeNs duration, Candidate& cand) {
+    const OperatorNode& target = *op_ptr[w];
+    cand = Candidate{};
+    cand.target = w;
+    cand.target_sym = arch_sym[w];
+    const TimeNs data_avail = price_transfers(w, nsym, /*record=*/false);
     cand.data_avail = data_avail;
 
     // Reconfiguration, when targeting a region holding a different module.
     const TimeNs free_before = st.operator_free[w];
     TimeNs region_ready = free_before;
-    if (target.kind == OperatorKind::FpgaRegion && !cand.variant.empty() &&
-        st.region_loaded[w] != cand.variant) {
+    if (target.kind == OperatorKind::FpgaRegion && variant_sym != util::kEmptySymbol &&
+        st.region_loaded[w] != variant_sym) {
       cand.needs_reconfig = true;
-      cand.reconfig_duration = reconfig_cost_(target.name, cand.variant);
+      cand.reconfig_duration = reconfig_cost_(target.name, std::string(variant));
       const TimeNs earliest = std::max(st.port_free, free_before);
       cand.reconfig_start = options.prefetch ? earliest : std::max(earliest, data_avail);
       cand.reconfig_end = cand.reconfig_start + cand.reconfig_duration;
@@ -484,142 +523,200 @@ Schedule Adequation::run(const AdequationOptions& options) const {
       options.eval_log->push_back({n, target.name, cand.end, false});
   };
 
-  // Applies a candidate: replays its planned items into the schedule and
-  // its state writes into `st`. No number is recomputed here. The
-  // candidate is consumed — its items move into the schedule.
-  Schedule schedule;
-  schedule.items.reserve(g.node_count() + g.edge_count() + g.node_count() / 4);
-  auto commit = [&](graph::NodeId n, Candidate& cand) {
-    const Operation& op = g[n];
-    for (std::size_t i = 0; i < cand.transfers.size(); ++i) {
-      ScheduledItem& t = cand.transfers[i];
-      // per medium, transfers are planned in time order
-      st.medium_free[cand.transfer_media[i]] = t.end;
-      t.label = t.src + "->" + t.dst;
-      schedule.items.push_back(std::move(t));
+  // Applies a candidate: splices its plan rows into the schedule and
+  // replays its state writes into `st`. No number is recomputed and no
+  // string is copied here — the plan's symbol columns move wholesale.
+  auto commit = [&](graph::NodeId n, const Operation& op, Candidate& cand,
+                    std::string_view variant, util::SymbolId variant_sym) {
+    // Record the winner's transfer rows: a second pricing run over the
+    // same (still unmutated) state, this time appending to the arena.
+    // Sources have no in-edges and same-operator dependencies price no
+    // hops, so the arena and the splice call are skipped when there is
+    // nothing to record.
+    cand.plan_begin = 0;
+    cand.plan_end = 0;
+    if (!in_buf.empty()) {
+      plan.clear();
+      price_transfers(cand.target, op_sym_known(n, op), /*record=*/true);
+      cand.plan_end = plan.size();
     }
+    for (std::size_t r = cand.plan_begin; r < cand.plan_end; ++r) {
+      // per medium, transfers are planned in time order
+      st.medium_free[plan.medium[r]] = plan.end[r];
+    }
+    if (cand.plan_end != 0) schedule.splice_transfers(plan, cand.plan_begin, cand.plan_end);
     if (cand.needs_reconfig) {
       st.port_free = cand.reconfig_end;
-      st.region_loaded[cand.target] = cand.variant;
-      ScheduledItem item;
-      item.kind = ItemKind::Reconfig;
-      item.label = "load " + cand.variant;
-      item.resource = cand.target_name;
-      item.start = cand.reconfig_start;
-      item.end = cand.reconfig_end;
-      item.module = cand.variant;
-      item.exposed_stall = cand.exposed_stall;
+      st.region_loaded[cand.target] = variant_sym;
+      schedule.push_reconfig(cand.target_sym, cand.reconfig_start, cand.reconfig_end, variant_sym,
+                             cand.exposed_stall);
       schedule.reconfig_exposed += cand.exposed_stall;
       schedule.reconfig_total += cand.reconfig_duration;
       ++schedule.reconfig_count;
-      schedule.items.push_back(std::move(item));
     }
     st.operator_free[cand.target] = cand.end;
     st.finish[n] = cand.end;
     st.placed_on[n] = cand.target;
-    ScheduledItem item;
-    item.kind = ItemKind::Compute;
-    item.label = op.name + (cand.variant.empty() ? "" : "(" + cand.variant + ")");
-    item.resource = cand.target_name;
-    item.start = cand.start;
-    item.end = cand.end;
-    item.op = n;
-    item.variant = cand.variant;
-    schedule.items.push_back(std::move(item));
-    schedule.placement[n] = cand.target_name;
+    // An unconditioned compute's label is exactly the operation name (one
+    // shared symbol); conditioned vertices render "name(variant)". Each
+    // operation commits exactly once and operation names are unique, so
+    // composite labels are fresh strings — appended index-free like the
+    // plain labels.
+    util::SymbolId label_sym = op_sym(n);
+    if (variant_sym != util::kEmptySymbol) {
+      std::string composite;
+      composite.reserve(op.name.size() + variant.size() + 2);
+      composite += op.name;
+      composite += '(';
+      composite += variant;
+      composite += ')';
+      label_sym = schedule.symbols.append(composite);
+    }
+    schedule.push_compute(cand.target_sym, cand.start, cand.end, n, label_sym, variant_sym);
+    schedule.placement[n] = cand.target_sym;
     if (options.eval_log != nullptr)
-      options.eval_log->push_back({n, cand.target_name, cand.end, true});
+      options.eval_log->push_back({n, architecture_.op(cand.target).name, cand.end, true});
   };
 
-  // Candidate operators for an operation, into a pooled buffer.
-  // Feasibility is checked against the kind of the *resolved* variant, so
-  // a selected alternative the target cannot execute is filtered out here
-  // instead of throwing from the duration lookup mid-schedule.
+  // Candidate operators for an operation. Unpinned operations share the
+  // per-kind feasibility lists; a pinned one filters into a pooled
+  // buffer exactly as the old per-node loop did. Feasibility is checked
+  // against the kind of the *resolved* variant, so a selected
+  // alternative the target cannot execute is filtered out here instead
+  // of throwing from the duration lookup mid-schedule.
   std::vector<NodeId> cand_buf;
-  auto candidates = [&](graph::NodeId n, const std::vector<TimeNs>& durations)
-      -> const std::vector<NodeId>& {
-    const Operation& op = g[n];
-    cand_buf.clear();
+  auto candidates = [&](graph::NodeId n, const Operation& op,
+                        const KindTable& tbl) -> const std::vector<NodeId>& {
     const NodeId pin = pinned[n];
-    for (NodeId w : all_operators) {
-      if (pin != graph::kNoNode && w != pin) continue;
-      // Regions host only conditioned vertices (dynamic modules).
-      if (architecture_.op(w).kind == OperatorKind::FpgaRegion && !op.conditioned()) continue;
-      if (durations[w] == kUnsupported) continue;
-      cand_buf.push_back(w);
+    if (pin == graph::kNoNode) {
+      const auto& list = op.conditioned() ? tbl.conditioned : tbl.plain;
+      PDR_CHECK(!list.empty(), "Adequation",
+                "operation '" + op.name + "' has no feasible operator");
+      return list;
     }
+    cand_buf.clear();
+    // Regions host only conditioned vertices (dynamic modules).
+    if ((op_ptr[pin]->kind != OperatorKind::FpgaRegion || op.conditioned()) &&
+        tbl.durations[pin] != kUnsupported)
+      cand_buf.push_back(pin);
     PDR_CHECK(!cand_buf.empty(), "Adequation",
-              "operation '" + op.name + "' has no feasible operator" +
-                  (pin != graph::kNoNode
-                       ? " (pinned to '" + architecture_.op(pin).name + "')"
-                       : ""));
+              "operation '" + op.name + "' has no feasible operator (pinned to '" +
+                  op_ptr[pin]->name + "')");
     return cand_buf;
   };
 
-  // Picks the operator for `n` per the mapping strategy, leaving the
-  // evaluated candidate to commit in `best`. `scratch` is the second
-  // pooled candidate the strategies evaluate rejected plans into.
+  // Picks the operator for `n` per the mapping strategy, evaluates it into
+  // `best`, and commits it. `scratch` is the second pooled candidate the
+  // strategies evaluate rejected plans into; selecting between the two is
+  // a POD swap (the plan rows stay put in the arena).
   std::size_t round_robin_cursor = 0;
-  auto pick = [&](graph::NodeId n, Candidate& best, Candidate& scratch) {
-    const Operation& op = g[n];
+  Candidate best, scratch;
+  auto place = [&](graph::NodeId n) {
+    const Operation& op = *algo_op[n];
     const auto [variant, exec_kind] = resolve(op);
-    const std::vector<TimeNs>& durations = durations_for(exec_kind);
-    const auto& cands = candidates(n, durations);
+    const util::SymbolId nsym = op_sym_known(n, op);
+    const util::SymbolId variant_sym =
+        variant.empty() ? util::kEmptySymbol : schedule.intern(variant);
+    const KindTable& tbl = kind_table(exec_kind);
+    const std::vector<TimeNs>& durations = tbl.durations;
+    const auto& cands = candidates(n, op, tbl);
+    in_buf.clear();
+    for (std::size_t i = in_off[n]; i < in_off[n + 1]; ++i) {
+      const InEdgeRow& r = in_rows[i];
+      // a committed producer's symbol is already resolved — pure read
+      in_buf.push_back({st.finish[r.src], st.placed_on[r.src], r.bytes, r.e, op_sym(r.src)});
+    }
     switch (options.strategy) {
       case MappingStrategy::RoundRobin: {
         const NodeId w = cands[round_robin_cursor++ % cands.size()];
-        evaluate(n, w, variant, exec_kind, durations[w], best);
+        evaluate(n, w, nsym, variant, variant_sym, durations[w], best);
+        commit(n, op, best, variant, variant_sym);
         return;
       }
       case MappingStrategy::FirstFeasible:
-        evaluate(n, cands.front(), variant, exec_kind, durations[cands.front()], best);
+        evaluate(n, cands.front(), nsym, variant, variant_sym, durations[cands.front()], best);
+        commit(n, op, best, variant, variant_sym);
         return;
       case MappingStrategy::SynDExList:
         break;
     }
+    // Lower-bound prune: a candidate cannot finish before its operator
+    // frees up and its inputs are all produced, and transfers/reconfig
+    // only add delay on top — so once a best exists, any candidate whose
+    // bound misses `best.end` loses (selection needs a strict improvement)
+    // and its evaluation is skipped without changing the outcome. Disabled
+    // when an eval log is attached so the log stays complete.
+    TimeNs max_pred_finish = 0;
+    for (const InEdge& in : in_buf) max_pred_finish = std::max(max_pred_finish, in.finish);
+    const bool prune = options.eval_log == nullptr;
     bool have = false;
     for (NodeId w : cands) {
-      evaluate(n, w, variant, exec_kind, durations[w], scratch);
+      if (have && prune &&
+          std::max(st.operator_free[w], max_pred_finish) + durations[w] >= best.end)
+        continue;
+      evaluate(n, w, nsym, variant, variant_sym, durations[w], scratch);
       if (!have || scratch.end < best.end) {
         std::swap(best, scratch);
         have = true;
       }
     }
+    commit(n, op, best, variant, variant_sym);
   };
 
-  Candidate best, scratch;
   if (options.ready_policy == ReadyPolicy::IndexedHeap) {
     // Indexed ready-queue: indegree counters surface operations the
     // instant their last predecessor commits; a heap orders them by
     // critical-path remainder (SynDEx) or node id (the naive baselines'
     // "first ready in id order"). Ties break on node id either way, so
     // the result is deterministic and identical to the rescanning loop.
+    // Heap entries carry their priority inline — comparisons stay in the
+    // heap's own cache lines instead of chasing remainder[] at random
+    // node ids. The naive strategies store 0.0 for every entry, so the
+    // tie-break on node id reproduces their "first ready in id order".
     const bool by_priority = options.strategy == MappingStrategy::SynDExList;
-    const auto after = [&](graph::NodeId a, graph::NodeId b) {
-      if (by_priority && remainder[a] != remainder[b]) return remainder[a] < remainder[b];
-      return a > b;
+    using ReadyEntry = std::pair<double, graph::NodeId>;
+    const auto after = [](const ReadyEntry& a, const ReadyEntry& b) {
+      if (a.first != b.first) return a.first < b.first;
+      return a.second > b.second;
     };
-    std::vector<graph::NodeId> heap_storage;
+    std::vector<ReadyEntry> heap_storage;
     heap_storage.reserve(algo_cap);
-    std::priority_queue<graph::NodeId, std::vector<graph::NodeId>, decltype(after)> ready(
+    std::priority_queue<ReadyEntry, std::vector<ReadyEntry>, decltype(after)> ready(
         after, std::move(heap_storage));
-    graph::ReadyTracker tracker(g);
-    for (graph::NodeId n : tracker.initial()) ready.push(n);
+    // The pristine tracker snapshot and the critical-path priorities are
+    // cached across runs (copying the snapshot is a few memcpys; building
+    // it is two full edge scans). Priorities only exist for the SynDEx
+    // strategy; the tracker's CSR serves the remainder walk, so the naive
+    // strategies skip the whole critical-path computation.
+    if (!cache_.tracker.has_value()) cache_.tracker.emplace(g);
+    if (by_priority && !cache_.has_remainder) {
+      cache_.remainder = cache_.tracker->critical_path_remainder(op_weight);
+      cache_.has_remainder = true;
+    }
+    graph::ReadyTracker tracker(*cache_.tracker);
+    const std::vector<double>& remainder = cache_.remainder;
+    const auto priority_of = [&](graph::NodeId n) { return by_priority ? remainder[n] : 0.0; };
+    for (graph::NodeId n : tracker.initial()) ready.emplace(priority_of(n), n);
     std::vector<graph::NodeId> newly_ready;
     while (!ready.empty()) {
-      const graph::NodeId n = ready.top();
+      const graph::NodeId n = ready.top().second;
       ready.pop();
-      pick(n, best, scratch);
-      commit(n, best);
+      place(n);
       newly_ready.clear();
       tracker.complete(n, newly_ready);
-      for (graph::NodeId s : newly_ready) ready.push(s);
+      for (graph::NodeId s : newly_ready) ready.emplace(priority_of(s), s);
     }
     PDR_CHECK(tracker.done(), "Adequation", "no ready operation (cycle?)");
   } else {
     // Reference engine: rescan all pending operations every round. Kept
     // as the equivalence oracle; the bitmap `done` and callback-based
-    // predecessor walk only change constants, never selection order.
+    // predecessor walk only change constants, never selection order. Its
+    // remainder comes straight from the digraph — same values as the
+    // tracker-CSR walk (max over identical successor sets), different
+    // code path, which is exactly what an oracle should exercise.
+    const std::vector<double> remainder = options.strategy == MappingStrategy::SynDExList
+                                              ? g.critical_path_remainder(op_weight)
+                                              : std::vector<double>{};
     std::vector<char> done(algo_cap, 0);
     std::vector<graph::NodeId> pending = g.node_ids();
     while (!pending.empty()) {
@@ -641,22 +738,15 @@ Schedule Adequation::run(const AdequationOptions& options) const {
         }
       }
       PDR_CHECK(best_op != graph::kNoNode, "Adequation", "no ready operation (cycle?)");
-      pick(best_op, best, scratch);
-      commit(best_op, best);
+      place(best_op);
       done[best_op] = 1;
       pending.erase(std::remove(pending.begin(), pending.end(), best_op), pending.end());
     }
   }
 
-  // Finalize.
-  std::sort(schedule.items.begin(), schedule.items.end(),
-            [](const ScheduledItem& a, const ScheduledItem& b) {
-              return a.start != b.start ? a.start < b.start : a.resource < b.resource;
-            });
-  for (const auto& item : schedule.items) {
-    schedule.makespan = std::max(schedule.makespan, item.end);
-    schedule.resource_busy[item.resource] += item.end - item.start;
-  }
+  // Finalize: canonical (start, resource name) order, then totals.
+  schedule.sort_items();
+  schedule.recompute_totals();
   return schedule;
 }
 

@@ -19,8 +19,10 @@
 // full loading latency.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -28,77 +30,12 @@
 #include "aaa/architecture_graph.hpp"
 #include "aaa/constraints.hpp"
 #include "aaa/durations.hpp"
+#include "aaa/schedule.hpp"
+#include "graph/ready.hpp"
 #include "obs/trace.hpp"
 #include "util/units.hpp"
 
 namespace pdr::aaa {
-
-enum class ItemKind : std::uint8_t { Compute, Transfer, Reconfig };
-
-const char* item_kind_name(ItemKind kind);
-
-/// One scheduled activity on one resource.
-struct ScheduledItem {
-  ItemKind kind = ItemKind::Compute;
-  std::string label;
-  std::string resource;  ///< operator name (Compute/Reconfig target region) or medium name
-  TimeNs start = 0;
-  TimeNs end = 0;
-
-  // Compute items.
-  graph::NodeId op = graph::kNoNode;
-  std::string variant;  ///< alternative chosen for conditioned vertices
-
-  // Transfer items.
-  std::string src;
-  std::string dst;
-  Bytes bytes = 0;
-  graph::EdgeId edge = graph::kNoEdge;  ///< algorithm-graph edge this transfer carries
-
-  // Reconfig items.
-  std::string module;       ///< module loaded into `resource` (a region)
-  TimeNs exposed_stall = 0; ///< part of this reconfiguration not hidden by prefetch
-};
-
-/// Result of one adequation run.
-struct Schedule {
-  std::vector<ScheduledItem> items;  ///< sorted by (start, resource)
-  TimeNs makespan = 0;
-  std::map<std::string, TimeNs> resource_busy;
-  std::map<graph::NodeId, std::string> placement;  ///< operation -> operator name
-  int reconfig_count = 0;
-  TimeNs reconfig_total = 0;    ///< summed reconfiguration durations
-  TimeNs reconfig_exposed = 0;  ///< summed latency NOT hidden by prefetch
-
-  /// Items on one resource, in time order.
-  std::vector<const ScheduledItem*> on_resource(const std::string& resource) const;
-
-  /// Fraction of the makespan `resource` is busy.
-  double utilization(const std::string& resource) const;
-
-  /// Lower bound on the steady-state iteration period of the pipelined
-  /// executive: the busiest single resource (no schedule can repeat
-  /// faster than its bottleneck). The executive player's measured
-  /// iteration_period always lies in [period_lower_bound, makespan].
-  TimeNs period_lower_bound() const;
-
-  /// Multi-line textual timeline (one line per item).
-  std::string to_string() const;
-
-  /// ASCII Gantt chart (one row per resource).
-  std::string gantt(int width = 72) const;
-
-  /// CSV export: kind,label,resource,start_ns,end_ns,variant,module — for
-  /// external tooling (spreadsheets, Gantt viewers).
-  std::string to_csv() const;
-};
-
-/// Replays a schedule into a tracer: one span per item, track = resource,
-/// category = "sched_<kind>" ("sched_compute" / "sched_transfer" /
-/// "sched_reconfig"), with variant/module/bytes attached as span args.
-/// Lets `pdrflow adequation --trace-out` render the Gantt in
-/// chrome://tracing / Perfetto alongside simulator tracks.
-void export_schedule(const Schedule& schedule, obs::Tracer& tracer);
 
 /// Checks schedule invariants; throws pdr::Error on the first violation:
 ///  - no two items overlap on the same resource,
@@ -182,15 +119,42 @@ class Adequation {
   void apply_constraints(const ConstraintSet& constraints);
 
   /// Runs the heuristic. Throws pdr::Error if some operation has no
-  /// feasible operator.
+  /// feasible operator. Graph-shaped scaffolding (ready tracker snapshot,
+  /// dependency CSR, critical-path priorities) is cached across calls and
+  /// invalidated via the graph/duration-table version counters, so
+  /// repeated runs over an unchanged problem (the explorer, bench
+  /// repeats) pay for it once. The cache makes run() non-reentrant:
+  /// concurrent calls on one Adequation instance are not supported.
   Schedule run(const AdequationOptions& options = {}) const;
 
  private:
+  /// One dependency row of the cached in-edge CSR: producer node, payload
+  /// and edge id of a `src -> consumer` data dependency.
+  struct InEdgeRow {
+    graph::NodeId src;
+    Bytes bytes = 0;
+    graph::EdgeId e = graph::kNoEdge;
+  };
+
+  /// Per-instance scaffolding reused across run() calls; every entry is a
+  /// pure restatement of the algorithm graph (plus durations, for the
+  /// priorities), so version counters are the only invalidation needed.
+  struct RunCache {
+    std::uint64_t algo_version = static_cast<std::uint64_t>(-1);
+    std::uint64_t durations_version = static_cast<std::uint64_t>(-1);
+    std::optional<graph::ReadyTracker> tracker;  ///< pristine snapshot
+    std::vector<std::size_t> in_off;             ///< CSR offsets, node -> rows
+    std::vector<InEdgeRow> in_rows;              ///< CSR rows, edge-id order
+    bool has_remainder = false;
+    std::vector<double> remainder;  ///< critical-path priorities (SynDExList)
+  };
+
   const AlgorithmGraph& algorithm_;
   const ArchitectureGraph& architecture_;
   const DurationTable& durations_;
   ReconfigCost reconfig_cost_;
   std::map<std::string, std::string> pins_;
+  mutable RunCache cache_;
 };
 
 }  // namespace pdr::aaa

@@ -13,6 +13,8 @@ NodeId AlgorithmGraph::add_operation(Operation op) {
   std::string name = op.name;
   const NodeId n = g_.add_node(std::move(op));
   index_.emplace(std::move(name), n);
+  validated_.clear();
+  ++version_;
   return n;
 }
 
@@ -44,6 +46,8 @@ NodeId AlgorithmGraph::add_conditioned(const std::string& name,
 void AlgorithmGraph::add_dependency(NodeId from, NodeId to, Bytes bytes) {
   PDR_CHECK(from != to, "AlgorithmGraph::add_dependency", "self dependency");
   g_.add_edge(from, to, DataDep{bytes});
+  validated_.clear();
+  ++version_;
 }
 
 void AlgorithmGraph::add_dependency(const std::string& from, const std::string& to, Bytes bytes) {
@@ -68,6 +72,8 @@ std::vector<std::string> AlgorithmGraph::expand_repetition(const std::string& na
   for (graph::EdgeId e : g_.out_edges(n)) outputs.push_back({g_.edge_to(e), g_.edge(e).bytes});
   g_.remove_node(n);
   index_.erase(name);
+  validated_.clear();
+  ++version_;
 
   std::vector<std::string> names;
   const auto split = [count](Bytes b) {
@@ -97,6 +103,7 @@ std::optional<NodeId> AlgorithmGraph::find(const std::string& name) const {
 }
 
 void AlgorithmGraph::validate() const {
+  if (validated_.test()) return;
   PDR_CHECK(g_.node_count() > 0, "AlgorithmGraph::validate", "graph is empty");
   PDR_CHECK(g_.is_acyclic(), "AlgorithmGraph::validate", "data-flow graph has a cycle");
   for (NodeId n : g_.node_ids()) {
@@ -117,6 +124,7 @@ void AlgorithmGraph::validate() const {
       }
     }
   }
+  validated_.set();
 }
 
 std::string AlgorithmGraph::to_dot() const {

@@ -20,6 +20,7 @@
 #include "graph/dot.hpp"
 #include "synth/elaborate.hpp"
 #include "util/units.hpp"
+#include "util/validated_flag.hpp"
 
 namespace pdr::aaa {
 
@@ -86,9 +87,17 @@ class AlgorithmGraph {
   const graph::Digraph<Operation, DataDep>& digraph() const { return g_; }
   std::size_t size() const { return g_.node_count(); }
 
+  /// Monotone mutation counter: bumped by every mutator. Callers caching
+  /// graph-shaped derived structures (ready trackers, dependency CSRs,
+  /// critical-path priorities) compare versions to invalidate — the same
+  /// idea as the validate() verdict cache, but usable from outside.
+  std::uint64_t version() const { return version_; }
+
   /// Checks structural invariants: acyclic, sensors have no inputs,
   /// actuators no outputs, conditioned vertices have >= 2 alternatives
   /// with unique names. Throws pdr::Error describing the first violation.
+  /// The verdict is cached until the next mutation, so repeated runs
+  /// over the same graph (the explorer, bench repeats) validate once.
   void validate() const;
 
   /// Graphviz rendering (conditioned vertices drawn as double octagons).
@@ -101,6 +110,8 @@ class AlgorithmGraph {
   /// construction) is O(1) instead of a full node scan — the difference
   /// between seconds and hours when generators build million-op graphs.
   std::unordered_map<std::string, NodeId> index_;
+  util::ValidatedFlag validated_;  ///< cleared by every mutator
+  std::uint64_t version_ = 0;      ///< bumped by every mutator
 };
 
 }  // namespace pdr::aaa

@@ -31,6 +31,7 @@ NodeId ArchitectureGraph::add_operator(OperatorNode op) {
               "FpgaRegion operator '" + op.name + "' must name its floorplan region");
   ArchVertex v;
   v.op = std::move(op);
+  validated_.clear();
   return g_.add_node(std::move(v));
 }
 
@@ -42,6 +43,7 @@ NodeId ArchitectureGraph::add_medium(MediumNode medium) {
             "medium '" + medium.name + "' must have positive bandwidth");
   ArchVertex v;
   v.medium = std::move(medium);
+  validated_.clear();
   return g_.add_node(std::move(v));
 }
 
@@ -50,6 +52,7 @@ void ArchitectureGraph::connect(NodeId op, NodeId medium) {
             "connections join an operator to a medium");
   g_.add_edge(op, medium, ArchLink{});
   g_.add_edge(medium, op, ArchLink{});
+  validated_.clear();
 }
 
 void ArchitectureGraph::connect(const std::string& op, const std::string& medium) {
@@ -140,6 +143,7 @@ std::vector<NodeId> ArchitectureGraph::route(NodeId from_op, NodeId to_op) const
 }
 
 void ArchitectureGraph::validate() const {
+  if (validated_.test()) return;
   const auto ops = operators();
   PDR_CHECK(!ops.empty(), "ArchitectureGraph::validate", "no operators");
   for (graph::EdgeId e : g_.edge_ids()) {
@@ -150,6 +154,7 @@ void ArchitectureGraph::validate() const {
   for (NodeId a : ops)
     for (NodeId b : ops)
       if (a != b) route(a, b);  // throws when disconnected
+  validated_.set();
 }
 
 std::string ArchitectureGraph::to_dot() const {

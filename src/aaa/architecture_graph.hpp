@@ -18,6 +18,7 @@
 #include "graph/digraph.hpp"
 #include "graph/dot.hpp"
 #include "util/units.hpp"
+#include "util/validated_flag.hpp"
 
 namespace pdr::aaa {
 
@@ -107,6 +108,7 @@ class ArchitectureGraph {
 
  private:
   graph::Digraph<ArchVertex, ArchLink> g_;
+  util::ValidatedFlag validated_;  ///< cleared by every mutator
 };
 
 /// Builds the paper's Figure-1 model: fixed part F1, dynamic parts D1..Dn,

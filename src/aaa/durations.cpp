@@ -7,12 +7,14 @@ namespace pdr::aaa {
 void DurationTable::set(const std::string& op_kind, OperatorKind target, TimeNs duration) {
   PDR_CHECK(duration > 0, "DurationTable::set", "durations must be positive");
   by_kind_[{op_kind, target}] = duration;
+  ++version_;
 }
 
 void DurationTable::set_for(const std::string& op_kind, const std::string& operator_name,
                             TimeNs duration) {
   PDR_CHECK(duration > 0, "DurationTable::set_for", "durations must be positive");
   by_name_[{op_kind, operator_name}] = duration;
+  ++version_;
 }
 
 bool DurationTable::supports(const std::string& op_kind, const OperatorNode& target) const {

@@ -8,6 +8,7 @@
 // how software-only or hardware-only operations are expressed.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -49,9 +50,15 @@ class DurationTable {
   /// All entries (kind-level first, then name-level), in map order.
   std::vector<Entry> entries() const;
 
+  /// Monotone mutation counter: bumped by every set()/set_for(), so
+  /// callers can cache duration-derived values (e.g. critical-path
+  /// priorities) and invalidate by comparing versions.
+  std::uint64_t version() const { return version_; }
+
  private:
   std::map<std::pair<std::string, OperatorKind>, TimeNs> by_kind_;
   std::map<std::pair<std::string, std::string>, TimeNs> by_name_;
+  std::uint64_t version_ = 0;  ///< bumped by every mutator
 };
 
 /// Per-OFDM-symbol durations of every MC-CDMA operator on the case-study

@@ -69,60 +69,67 @@ Executive generate_executive(const Schedule& schedule, const AlgorithmGraph& alg
   };
   std::vector<Event> events;
 
-  // Operator name of each scheduled operation.
-  auto operator_of = [&](const std::string& op_name) -> const std::string& {
-    const graph::NodeId n = algorithm.by_name(op_name);
-    const auto it = schedule.placement.find(n);
-    PDR_CHECK(it != schedule.placement.end(), "generate_executive",
-              "operation '" + op_name + "' was not placed");
-    return it->second;
+  // Operator name of each scheduled operation, resolved through the
+  // SymbolId-indexed placement column.
+  auto operator_of = [&](std::string_view op_name) -> std::string {
+    const graph::NodeId n = algorithm.by_name(std::string(op_name));
+    const std::string_view placed = schedule.placement_name(n);
+    PDR_CHECK(!placed.empty(), "generate_executive",
+              "operation '" + std::string(op_name) + "' was not placed");
+    return std::string(placed);
   };
 
-  for (const auto& item : schedule.items) {
-    switch (item.kind) {
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    const TimeNs start = schedule.start(i);
+    const TimeNs end = schedule.end(i);
+    const std::string resource(schedule.resource(i));
+    switch (schedule.kind(i)) {
       case ItemKind::Compute: {
         MacroInstr mi;
         mi.op = MacroOp::Compute;
-        mi.what = item.label;
-        mi.duration = item.end - item.start;
-        mi.at = item.start;
-        events.push_back(Event{item.start, 1, item.resource, std::move(mi)});
+        mi.what = schedule.label(i);
+        mi.duration = end - start;
+        mi.at = start;
+        events.push_back(Event{start, 1, resource, std::move(mi)});
         break;
       }
       case ItemKind::Reconfig: {
         MacroInstr mi;
         mi.op = MacroOp::Reconfig;
-        mi.what = item.module;
-        mi.duration = item.end - item.start;
-        mi.at = item.start;
-        events.push_back(Event{item.start, 1, item.resource, std::move(mi)});
+        mi.what = std::string(schedule.module_name(i));
+        mi.duration = end - start;
+        mi.at = start;
+        events.push_back(Event{start, 1, resource, std::move(mi)});
         break;
       }
       case ItemKind::Transfer: {
-        const std::string buffer = item.src + "_to_" + item.dst;
+        std::string buffer(schedule.src(i));
+        buffer += "_to_";
+        buffer += schedule.dst(i);
+        const Bytes bytes = schedule.bytes(i);
         // The medium carries the buffer.
         MacroInstr move;
         move.op = MacroOp::Move;
         move.what = buffer;
-        move.bytes = item.bytes;
-        move.at = item.start;
-        events.push_back(Event{item.start, 1, item.resource, std::move(move)});
+        move.bytes = bytes;
+        move.at = start;
+        events.push_back(Event{start, 1, resource, std::move(move)});
         // Producer side sends when the transfer begins...
         MacroInstr send;
         send.op = MacroOp::Send;
         send.what = buffer;
-        send.with = item.resource;
-        send.bytes = item.bytes;
-        send.at = item.start;
-        events.push_back(Event{item.start, 2, operator_of(item.src), std::move(send)});
+        send.with = resource;
+        send.bytes = bytes;
+        send.at = start;
+        events.push_back(Event{start, 2, operator_of(schedule.src(i)), std::move(send)});
         // ...consumer side receives when it completes.
         MacroInstr recv;
         recv.op = MacroOp::Recv;
         recv.what = buffer;
-        recv.with = item.resource;
-        recv.bytes = item.bytes;
-        recv.at = item.end;
-        events.push_back(Event{item.end, 0, operator_of(item.dst), std::move(recv)});
+        recv.with = resource;
+        recv.bytes = bytes;
+        recv.at = end;
+        events.push_back(Event{end, 0, operator_of(schedule.dst(i)), std::move(recv)});
         break;
       }
     }

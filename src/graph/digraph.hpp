@@ -125,6 +125,28 @@ class Digraph {
       if (edges_[e].alive) f(edges_[e].from);
   }
 
+  /// Visits every live edge as (id, from, to) in edge-id order — one
+  /// sequential pass over edge storage. Per-node adjacency lists hold
+  /// ascending edge ids, so grouping this stream by endpoint reproduces
+  /// exactly the order the per-node visitors produce; bulk builders
+  /// (indegree tables, CSR flattening) use it to avoid chasing a random
+  /// list per node.
+  template <typename F>
+  void for_each_live_edge(F&& f) const {
+    for (EdgeId e = 0; e < edges_.size(); ++e)
+      if (edges_[e].alive) f(e, edges_[e].from, edges_[e].to);
+  }
+
+  /// Visits every live node as (id, value) in id order — one sequential
+  /// pass over node storage, without the per-access liveness check that
+  /// operator[] performs. Bulk builders use it to snapshot value-pointer
+  /// tables for scheduler inner loops.
+  template <typename F>
+  void for_each_live_node(F&& f) const {
+    for (NodeId n = 0; n < nodes_.size(); ++n)
+      if (nodes_[n].alive) f(n, nodes_[n].value);
+  }
+
   /// Live in-edge count of n, without materializing the edge list.
   std::size_t in_degree(NodeId n) const {
     std::size_t count = 0;
@@ -142,6 +164,9 @@ class Digraph {
   /// Node slots ever allocated (live + tombstoned): the bound for dense
   /// NodeId-indexed side tables.
   std::size_t node_capacity() const { return nodes_.size(); }
+  /// Edge slots ever allocated (live + tombstoned): the bound for dense
+  /// EdgeId-indexed side tables.
+  std::size_t edge_capacity() const { return edges_.size(); }
 
   /// Live successor node ids of n (with duplicates if parallel edges exist).
   std::vector<NodeId> successors(NodeId n) const {
@@ -180,13 +205,14 @@ class Digraph {
 
   /// Kahn topological order; empty optional if the live graph has a cycle.
   std::optional<std::vector<NodeId>> topological_order() const {
+    // Indegrees from one sequential edge scan, not a list chase per node.
     std::vector<std::size_t> indeg(nodes_.size(), 0);
+    for_each_live_edge([&](EdgeId, NodeId, NodeId to) { ++indeg[to]; });
     std::vector<NodeId> ready;
     std::size_t live = 0;
     for (NodeId n = 0; n < nodes_.size(); ++n) {
       if (!nodes_[n].alive) continue;
       ++live;
-      indeg[n] = in_degree(n);
       if (indeg[n] == 0) ready.push_back(n);
     }
     std::vector<NodeId> order;
@@ -206,8 +232,11 @@ class Digraph {
 
   /// Longest path length with per-node weights; requires acyclic graph.
   /// Returns per-node "distance to sink" (node weight included), i.e. the
-  /// critical-path remainder used by list schedulers.
-  std::vector<double> critical_path_remainder(const std::function<double(NodeId)>& weight) const {
+  /// critical-path remainder used by list schedulers. `weight` is any
+  /// NodeId -> double callable, invoked once per live node (statically
+  /// dispatched — a million-node graph pays no std::function indirection).
+  template <typename Weight>
+  std::vector<double> critical_path_remainder(const Weight& weight) const {
     auto order = topological_order();
     PDR_CHECK(order.has_value(), "Digraph::critical_path_remainder", "graph has a cycle");
     std::vector<double> dist(nodes_.size(), 0.0);

@@ -8,6 +8,7 @@
 // ready — O(V + E) total across the run.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "graph/digraph.hpp"
@@ -35,22 +36,29 @@ std::vector<std::size_t> indegree_counts(const Digraph<V, E>& g) {
 class ReadyTracker {
  public:
   template <typename V, typename E>
-  explicit ReadyTracker(const Digraph<V, E>& g) : indeg_(indegree_counts(g)) {
-    const std::size_t cap = indeg_.size();
+  explicit ReadyTracker(const Digraph<V, E>& g) {
+    // Indegrees and the successor CSR come from two sequential edge
+    // scans instead of a per-node adjacency chase. Per-node out-lists
+    // hold ascending edge ids, so scanning edges in id order fills each
+    // CSR row in exactly the order for_each_successor would visit.
+    const std::size_t cap = g.node_capacity();
+    indeg_.assign(cap, 0);
     completed_.assign(cap, 0);
     succ_offset_.assign(cap + 1, 0);
-    for (NodeId n = 0; n < cap; ++n) {
-      if (g.valid(n)) succ_offset_[n + 1] = g.out_degree(n);
-    }
+    g.for_each_live_edge([&](EdgeId, NodeId from, NodeId to) {
+      ++indeg_[to];
+      ++succ_offset_[from + 1];
+    });
     for (std::size_t n = 0; n < cap; ++n) succ_offset_[n + 1] += succ_offset_[n];
     succ_.resize(succ_offset_[cap]);
     std::vector<std::size_t> cursor(succ_offset_.begin(), succ_offset_.end() - 1);
+    g.for_each_live_edge([&](EdgeId, NodeId from, NodeId to) { succ_[cursor[from]++] = to; });
     for (NodeId n = 0; n < cap; ++n) {
       if (!g.valid(n)) continue;
-      g.for_each_successor(n, [&](NodeId s) { succ_[cursor[n]++] = s; });
       if (indeg_[n] == 0) initial_.push_back(n);
       ++remaining_;
     }
+    total_ = remaining_;
   }
 
   /// Nodes ready before any completion (indegree 0), in id order.
@@ -84,6 +92,38 @@ class ReadyTracker {
   /// True once `n` has been completed.
   bool is_completed(NodeId n) const { return n < completed_.size() && completed_[n] != 0; }
 
+  /// Per-node "distance to sink" over the snapshot — the same values as
+  /// Digraph::critical_path_remainder (max over identical successor sets
+  /// is permutation-independent), computed from the tracker's flattened
+  /// CSR so a scheduler that already built a tracker pays no second
+  /// adjacency chase. Requires a pristine tracker: the counters must
+  /// still hold the snapshot indegrees, so call before any complete().
+  template <typename Weight>
+  std::vector<double> critical_path_remainder(const Weight& weight) const {
+    PDR_CHECK(remaining_ == total_, "ReadyTracker::critical_path_remainder",
+              "tracker already partially consumed");
+    std::vector<std::size_t> indeg(indeg_);
+    std::vector<NodeId> order;
+    order.reserve(total_);
+    order.insert(order.end(), initial_.begin(), initial_.end());
+    for (std::size_t head = 0; head < order.size(); ++head) {
+      const NodeId n = order[head];
+      for (std::size_t i = succ_offset_[n]; i < succ_offset_[n + 1]; ++i)
+        if (--indeg[succ_[i]] == 0) order.push_back(succ_[i]);
+    }
+    PDR_CHECK(order.size() == total_, "ReadyTracker::critical_path_remainder",
+              "graph has a cycle");
+    std::vector<double> dist(indeg_.size(), 0.0);
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const NodeId n = *it;
+      double best = 0.0;
+      for (std::size_t i = succ_offset_[n]; i < succ_offset_[n + 1]; ++i)
+        best = std::max(best, dist[succ_[i]]);
+      dist[n] = weight(n) + best;
+    }
+    return dist;
+  }
+
   /// Nodes not yet completed.
   std::size_t remaining() const { return remaining_; }
   bool done() const { return remaining_ == 0; }
@@ -95,6 +135,7 @@ class ReadyTracker {
   std::vector<NodeId> succ_;              ///< flattened successor lists
   std::vector<NodeId> initial_;
   std::size_t remaining_ = 0;
+  std::size_t total_ = 0;  ///< live nodes in the snapshot
 };
 
 }  // namespace pdr::graph

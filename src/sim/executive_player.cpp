@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/interner.hpp"
 #include "util/strings.hpp"
 
 namespace pdr::sim {
@@ -56,8 +57,14 @@ PlayResult ExecutivePlayer::run(int iterations) {
     TimeNs time = 0;          ///< local completion time of last instruction
     bool done = false;
   };
+  // Buffer and resource names are interned once; the token channels and
+  // residency table below are dense vectors indexed by SymbolId, so the
+  // per-instruction hot path never builds a key string.
+  util::Interner syms;
+
   std::vector<ProgState> progs;
   std::vector<bool> is_region(executive_.programs.size(), false);
+  std::vector<util::SymbolId> prog_resource(executive_.programs.size(), util::kNoSymbol);
   for (const auto& p : executive_.programs) {
     ProgState st;
     st.prog = &p;
@@ -65,14 +72,28 @@ PlayResult ExecutivePlayer::run(int iterations) {
     const auto node = architecture_.find(p.resource);
     is_region[progs.size()] = node.has_value() && architecture_.is_operator(*node) &&
                               architecture_.op(*node).kind == aaa::OperatorKind::FpgaRegion;
+    prog_resource[progs.size()] = syms.intern(p.resource);
     progs.push_back(st);
   }
 
-  // Token channels: "snd:<buffer>" = producer -> medium,
-  // "dlv:<buffer>" = medium -> consumer. Values are availability times.
-  std::map<std::string, std::deque<TimeNs>> channels;
+  // Token channels per buffer symbol: snd = producer -> medium,
+  // dlv = medium -> consumer. Values are availability times.
+  std::vector<std::deque<TimeNs>> snd_channels;
+  std::vector<std::deque<TimeNs>> dlv_channels;
+  const auto channel = [](std::vector<std::deque<TimeNs>>& channels,
+                          util::SymbolId buffer) -> std::deque<TimeNs>& {
+    if (channels.size() <= buffer) channels.resize(buffer + 1);
+    return channels[buffer];
+  };
   TimeNs port_free = 0;
-  std::map<std::string, std::string> region_loaded = initial_residency_;
+  // Resident module per region symbol (kNoSymbol = never configured).
+  std::vector<util::SymbolId> region_loaded;
+  const auto loaded_in = [&region_loaded](util::SymbolId region) -> util::SymbolId& {
+    if (region_loaded.size() <= region) region_loaded.resize(region + 1, util::kNoSymbol);
+    return region_loaded[region];
+  };
+  for (const auto& [region, module] : initial_residency_)
+    loaded_in(syms.intern(region)) = syms.intern(module);
 
   PlayResult result;
   result.iterations = iterations;
@@ -89,12 +110,12 @@ PlayResult ExecutivePlayer::run(int iterations) {
         bool advanced = false;
         switch (instr.op) {
           case MacroOp::Send: {
-            channels["snd:" + instr.what].push_back(st.time);
+            channel(snd_channels, syms.intern(instr.what)).push_back(st.time);
             advanced = true;
             break;
           }
           case MacroOp::Move: {
-            auto& q = channels["snd:" + instr.what];
+            auto& q = channel(snd_channels, syms.intern(instr.what));
             if (!q.empty()) {
               const TimeNs token = q.front();
               q.pop_front();
@@ -105,14 +126,14 @@ PlayResult ExecutivePlayer::run(int iterations) {
                 duration = architecture_.medium(*m).transfer_time(instr.bytes);
               const TimeNs end = start + duration;
               result.timeline.add(st.prog->resource, instr.what, SpanKind::Transfer, start, end);
-              channels["dlv:" + instr.what].push_back(end);
+              channel(dlv_channels, syms.intern(instr.what)).push_back(end);
               st.time = end;
               advanced = true;
             }
             break;
           }
           case MacroOp::Recv: {
-            auto& q = channels["dlv:" + instr.what];
+            auto& q = channel(dlv_channels, syms.intern(instr.what));
             if (!q.empty()) {
               const TimeNs token = q.front();
               q.pop_front();
@@ -125,18 +146,22 @@ PlayResult ExecutivePlayer::run(int iterations) {
             const TimeNs end = st.time + instr.duration;
             // Hazard monitor: a conditioned computation in a dynamic
             // region must find its variant physically resident.
-            if (is_region[static_cast<std::size_t>(&st - progs.data())]) {
+            const std::size_t prog_index = static_cast<std::size_t>(&st - progs.data());
+            if (is_region[prog_index]) {
               const std::string variant = compute_variant(instr.what);
               if (!variant.empty()) {
-                const std::string& resident = region_loaded[st.prog->resource];
-                if (resident != variant) {
+                const util::SymbolId resident = loaded_in(prog_resource[prog_index]);
+                if (resident == util::kNoSymbol || syms.name(resident) != variant) {
+                  const std::string resident_name =
+                      resident == util::kNoSymbol ? "" : std::string(syms.name(resident));
                   ++result.hazard_faults;
                   result.hazards.push_back(strprintf(
                       "iteration %d: '%s' at %lld ns in region '%s' needs variant '%s' but %s",
                       st.iteration, instr.what.c_str(), static_cast<long long>(st.time),
                       st.prog->resource.c_str(), variant.c_str(),
-                      resident.empty() ? "the region was never configured"
-                                       : ("module '" + resident + "' is resident").c_str()));
+                      resident_name.empty()
+                          ? "the region was never configured"
+                          : ("module '" + resident_name + "' is resident").c_str()));
                 }
               }
             }
@@ -148,9 +173,11 @@ PlayResult ExecutivePlayer::run(int iterations) {
           case MacroOp::Reconfig: {
             std::string module = instr.what;
             if (selector_) module = selector_(st.iteration, st.prog->resource, instr.what);
+            const util::SymbolId resource_sym =
+                prog_resource[static_cast<std::size_t>(&st - progs.data())];
             // With runtime selection, regions are sticky: reloading the
             // resident module costs nothing.
-            if (selector_ && region_loaded[st.prog->resource] == module) {
+            if (selector_ && loaded_in(resource_sym) == syms.intern(module)) {
               ++result.reconfigs_skipped;
               advanced = true;
               break;
@@ -172,7 +199,7 @@ PlayResult ExecutivePlayer::run(int iterations) {
             const TimeNs start = std::max(st.time, port_free);
             const TimeNs end = start + cost;
             port_free = end;
-            region_loaded[st.prog->resource] = module;
+            loaded_in(resource_sym) = syms.intern(module);
             result.timeline.add(st.prog->resource, "load " + module, SpanKind::Reconfig, start,
                                 end);
             st.time = end;

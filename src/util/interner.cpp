@@ -1,0 +1,88 @@
+#include "util/interner.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace pdr::util {
+
+namespace {
+/// Arena block granularity; symbols longer than this get a dedicated block.
+constexpr std::size_t kChunkBytes = std::size_t{1} << 16;
+}  // namespace
+
+Interner::Interner() { intern(""); }
+
+Interner::Interner(const Interner& other) { assign(other); }
+
+Interner& Interner::operator=(const Interner& other) {
+  if (this == &other) return *this;
+  assign(other);
+  return *this;
+}
+
+void Interner::assign(const Interner& other) {
+  spans_.clear();
+  chunks_.clear();
+  chunk_used_ = 0;
+  chunk_cap_ = 0;
+  index_.clear();
+  spans_.reserve(other.spans_.size());
+  index_.reserve(other.spans_.size());
+  // Rebuild the index from storage: appended symbols *are* findable in
+  // the copy, and emplace keeps the first id when texts collide.
+  for (SymbolId id = 0; id < other.spans_.size(); ++id) {
+    const std::string_view s = other.name(id);
+    const char* data = store(s);
+    spans_.push_back({data, static_cast<std::uint32_t>(s.size())});
+    index_.emplace(std::string_view(data, s.size()), id);
+  }
+}
+
+const char* Interner::store(std::string_view s) {
+  if (chunks_.empty() || s.size() > chunk_cap_ - chunk_used_) {
+    const std::size_t cap = std::max(kChunkBytes, s.size());
+    chunks_.push_back(std::make_unique<char[]>(cap));
+    chunk_cap_ = cap;
+    chunk_used_ = 0;
+  }
+  char* dst = chunks_.back().get() + chunk_used_;
+  if (!s.empty()) std::memcpy(dst, s.data(), s.size());
+  chunk_used_ += s.size();
+  return dst;
+}
+
+SymbolId Interner::intern(std::string_view s) {
+  const auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  PDR_CHECK(s.size() <= std::numeric_limits<std::uint32_t>::max(), "Interner::intern",
+            "symbol too long");
+  const SymbolId id = static_cast<SymbolId>(spans_.size());
+  const char* data = store(s);
+  spans_.push_back({data, static_cast<std::uint32_t>(s.size())});
+  index_.emplace(std::string_view(data, s.size()), id);
+  return id;
+}
+
+SymbolId Interner::append(std::string_view s) {
+  PDR_CHECK(s.size() <= std::numeric_limits<std::uint32_t>::max(), "Interner::append",
+            "symbol too long");
+  const SymbolId id = static_cast<SymbolId>(spans_.size());
+  const char* data = store(s);
+  spans_.push_back({data, static_cast<std::uint32_t>(s.size())});
+  return id;
+}
+
+SymbolId Interner::find(std::string_view s) const {
+  const auto it = index_.find(s);
+  return it == index_.end() ? kNoSymbol : it->second;
+}
+
+std::string_view Interner::name(SymbolId id) const {
+  PDR_CHECK(id < spans_.size(), "Interner::name", "unknown symbol id");
+  return {spans_[id].data, spans_[id].len};
+}
+
+}  // namespace pdr::util

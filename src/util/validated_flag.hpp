@@ -1,0 +1,39 @@
+// Copyable memoization flag for idempotent const validation.
+//
+// Graph classes expose `validate() const` that re-checks structural
+// invariants from scratch. Schedulers call it defensively at the top of
+// every run, so the explorer's sweep over thousands of design points
+// re-validated the same unmutated graph thousands of times. The flag
+// caches "already validated": set() after a successful pass, clear() in
+// every mutator. Stored atomically so concurrent validate() calls on a
+// shared const graph (the parallel explorer) are race-free — validation
+// is idempotent, so the worst case is two threads both doing the work
+// once.
+#pragma once
+
+#include <atomic>
+
+namespace pdr::util {
+
+class ValidatedFlag {
+ public:
+  ValidatedFlag() = default;
+  // Copies/moves transfer the cached verdict: a copy of a validated
+  // graph starts validated, which is sound because copying preserves
+  // every invariant validate() checks.
+  ValidatedFlag(const ValidatedFlag& other)
+      : ok_(other.ok_.load(std::memory_order_relaxed)) {}
+  ValidatedFlag& operator=(const ValidatedFlag& other) {
+    ok_.store(other.ok_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    return *this;
+  }
+
+  bool test() const { return ok_.load(std::memory_order_acquire); }
+  void set() const { ok_.store(true, std::memory_order_release); }
+  void clear() { ok_.store(false, std::memory_order_relaxed); }
+
+ private:
+  mutable std::atomic<bool> ok_{false};
+};
+
+}  // namespace pdr::util

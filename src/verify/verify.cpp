@@ -18,13 +18,11 @@ using aaa::ScheduledItem;
 using lint::Rule;
 using lint::Severity;
 
-std::string span(const ScheduledItem& item) {
-  return strprintf("'%s' [%lld..%lld ns]", item.label.c_str(),
-                   static_cast<long long>(item.start), static_cast<long long>(item.end));
-}
+constexpr std::size_t kNoItem = static_cast<std::size_t>(-1);
 
-bool overlaps(const ScheduledItem& a, const ScheduledItem& b) {
-  return std::max(a.start, b.start) < std::min(a.end, b.end);
+std::string span(const aaa::Schedule& s, std::size_t i) {
+  return strprintf("'%s' [%lld..%lld ns]", s.label(i).c_str(), static_cast<long long>(s.start(i)),
+                   static_cast<long long>(s.end(i)));
 }
 
 Violation make_pair_violation(Rule rule, Severity severity, std::string resource,
@@ -62,16 +60,17 @@ Violation make_single_violation(Rule rule, Severity severity, std::string resour
 /// overlaps an adjacent-pair scan misses — with A[0,10) B[1,2) C[3,4),
 /// B and C each collide with A, never with each other.
 template <typename OnOverlap>
-void sweep_overlaps(std::vector<const ScheduledItem*> items, OnOverlap&& on_overlap) {
-  std::stable_sort(items.begin(), items.end(),
-                   [](const ScheduledItem* a, const ScheduledItem* b) {
-                     if (a->start != b->start) return a->start < b->start;
-                     return a->end < b->end;
-                   });
-  const ScheduledItem* reach = nullptr;
-  for (const ScheduledItem* item : items) {
-    if (reach != nullptr && overlaps(*reach, *item)) on_overlap(*reach, *item);
-    if (reach == nullptr || item->end > reach->end) reach = item;
+void sweep_overlaps(const aaa::Schedule& s, std::vector<std::size_t> items,
+                    OnOverlap&& on_overlap) {
+  std::stable_sort(items.begin(), items.end(), [&](std::size_t a, std::size_t b) {
+    if (s.start(a) != s.start(b)) return s.start(a) < s.start(b);
+    return s.end(a) < s.end(b);
+  });
+  std::size_t reach = kNoItem;
+  for (const std::size_t item : items) {
+    if (reach != kNoItem && std::max(s.start(reach), s.start(item)) < std::min(s.end(reach), s.end(item)))
+      on_overlap(reach, item);
+    if (reach == kNoItem || s.end(item) > s.end(reach)) reach = item;
   }
 }
 
@@ -88,59 +87,89 @@ struct Analyzer {
   const VerifyOptions& options;
   Certificate cert;
 
-  // Timelines, grouped once up front.
-  std::map<std::string, std::vector<const ScheduledItem*>> per_resource;
-  std::vector<const ScheduledItem*> reconfigs;  ///< port timeline
-  std::map<graph::NodeId, const ScheduledItem*> compute_of;
-  std::map<graph::EdgeId, std::vector<const ScheduledItem*>> transfers_of;
+  // Timelines, grouped once up front. Per-resource timelines are direct
+  // SymbolId-indexed arrays filled in one pass over the schedule columns —
+  // no string-keyed map rebuild. `resources_by_name` lists the occupied
+  // symbols in name order, so violations are still emitted in the order
+  // the old name-keyed map iterated.
+  std::vector<std::vector<std::size_t>> per_resource;  ///< by resource SymbolId
+  std::vector<util::SymbolId> resources_by_name;       ///< occupied resources, name-sorted
+  std::vector<std::size_t> reconfigs;                  ///< port timeline
+  std::vector<std::size_t> compute_of;                 ///< by algorithm NodeId
+  std::map<graph::EdgeId, std::vector<std::size_t>> transfers_of;
+
+  const std::vector<std::size_t>* timeline(std::string_view resource) const {
+    const util::SymbolId sym = schedule.symbols.find(resource);
+    if (sym == util::kNoSymbol || sym >= per_resource.size() || per_resource[sym].empty())
+      return nullptr;
+    return &per_resource[sym];
+  }
 
   void group() {
-    for (const auto& item : schedule.items) {
-      per_resource[item.resource].push_back(&item);
-      if (item.kind == ItemKind::Reconfig) reconfigs.push_back(&item);
-      if (item.kind == ItemKind::Compute) compute_of[item.op] = &item;
-      if (item.kind == ItemKind::Transfer && item.edge != graph::kNoEdge)
-        transfers_of[item.edge].push_back(&item);
+    per_resource.assign(schedule.symbols.size(), {});
+    compute_of.assign(algorithm.digraph().node_capacity(), kNoItem);
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+      per_resource[schedule.resource_sym(i)].push_back(i);
+      if (schedule.kind(i) == ItemKind::Reconfig) reconfigs.push_back(i);
+      if (schedule.kind(i) == ItemKind::Compute && schedule.op(i) < compute_of.size())
+        compute_of[schedule.op(i)] = i;
+      if (schedule.kind(i) == ItemKind::Transfer && schedule.edge(i) != graph::kNoEdge)
+        transfers_of[schedule.edge(i)].push_back(i);
     }
-    for (auto& [resource, list] : per_resource)
-      std::stable_sort(list.begin(), list.end(),
-                       [](const ScheduledItem* a, const ScheduledItem* b) {
-                         if (a->start != b->start) return a->start < b->start;
-                         return a->end < b->end;
-                       });
+    for (util::SymbolId sym = 0; sym < per_resource.size(); ++sym)
+      if (!per_resource[sym].empty()) resources_by_name.push_back(sym);
+    std::sort(resources_by_name.begin(), resources_by_name.end(),
+              [&](util::SymbolId a, util::SymbolId b) {
+                return schedule.symbols.name(a) < schedule.symbols.name(b);
+              });
+    for (const util::SymbolId sym : resources_by_name) {
+      auto& list = per_resource[sym];
+      std::stable_sort(list.begin(), list.end(), [&](std::size_t a, std::size_t b) {
+        if (schedule.start(a) != schedule.start(b)) return schedule.start(a) < schedule.start(b);
+        return schedule.end(a) < schedule.end(b);
+      });
+    }
   }
 
   /// PDR100 / PDR101 / PDR107 on operators, PDR104 on media.
   void check_resource_overlaps() {
-    for (auto& [resource, list] : per_resource) {
+    for (const util::SymbolId sym : resources_by_name) {
+      const std::string resource(schedule.symbols.name(sym));
       const auto node = architecture.find(resource);
       const bool on_operator = node.has_value() && architecture.is_operator(*node);
-      sweep_overlaps(list, [&](const ScheduledItem& first, const ScheduledItem& second) {
-        if (first.kind == ItemKind::Compute && second.kind == ItemKind::Reconfig) {
+      sweep_overlaps(schedule, per_resource[sym], [&](std::size_t first, std::size_t second) {
+        if (schedule.kind(first) == ItemKind::Compute &&
+            schedule.kind(second) == ItemKind::Reconfig) {
           cert.violations.push_back(make_pair_violation(
-              Rule::ReconfigDuringExecute, Severity::Error, resource, first, second,
-              "reconfiguration " + span(second) + " rewrites region '" + resource +
-                  "' while " + span(first) + " is still executing in it",
+              Rule::ReconfigDuringExecute, Severity::Error, resource, schedule.item(first),
+              schedule.item(second),
+              "reconfiguration " + span(schedule, second) + " rewrites region '" + resource +
+                  "' while " + span(schedule, first) + " is still executing in it",
               "hoist the load no earlier than the instant the region is idle"));
-        } else if (first.kind == ItemKind::Reconfig && second.kind == ItemKind::Compute) {
+        } else if (schedule.kind(first) == ItemKind::Reconfig &&
+                   schedule.kind(second) == ItemKind::Compute) {
           cert.violations.push_back(make_pair_violation(
-              Rule::ExecuteDuringReconfig, Severity::Error, resource, first, second,
-              "operation " + span(second) + " starts while region '" + resource +
-                  "' is still being rewritten by " + span(first),
+              Rule::ExecuteDuringReconfig, Severity::Error, resource, schedule.item(first),
+              schedule.item(second),
+              "operation " + span(schedule, second) + " starts while region '" + resource +
+                  "' is still being rewritten by " + span(schedule, first),
               "delay the operation until the load completes"));
-        } else if (first.kind == ItemKind::Reconfig && second.kind == ItemKind::Reconfig) {
+        } else if (schedule.kind(first) == ItemKind::Reconfig &&
+                   schedule.kind(second) == ItemKind::Reconfig) {
           // Same-region load overlap is a port double-booking; the port
           // sweep below owns that witness (PDR105).
         } else if (on_operator) {
           cert.violations.push_back(make_pair_violation(
-              Rule::OperatorOverlap, Severity::Error, resource, first, second,
-              "items " + span(first) + " and " + span(second) + " overlap on operator '" +
-                  resource + "'",
+              Rule::OperatorOverlap, Severity::Error, resource, schedule.item(first),
+              schedule.item(second),
+              "items " + span(schedule, first) + " and " + span(schedule, second) +
+                  " overlap on operator '" + resource + "'",
               "operators have no internal parallelism (paper section 3)"));
         } else {
           cert.violations.push_back(make_pair_violation(
-              Rule::MediumTransferOverlap, Severity::Error, resource, first, second,
-              "transfers " + span(first) + " and " + span(second) +
+              Rule::MediumTransferOverlap, Severity::Error, resource, schedule.item(first),
+              schedule.item(second),
+              "transfers " + span(schedule, first) + " and " + span(schedule, second) +
                   " overlap on exclusive medium '" + resource + "'",
               "media carry one transfer at a time; serialize or reroute"));
         }
@@ -150,21 +179,22 @@ struct Analyzer {
 
   /// PDR105: every load in the schedule shares the one configuration port.
   void check_port_bookings() {
-    sweep_overlaps(reconfigs, [&](const ScheduledItem& first, const ScheduledItem& second) {
+    sweep_overlaps(schedule, reconfigs, [&](std::size_t first, std::size_t second) {
       cert.violations.push_back(make_pair_violation(
-          Rule::PortDoubleBooking, Severity::Error, "configuration port", first, second,
-          "loads " + span(first) + " (region '" + first.resource + "') and " + span(second) +
-              " (region '" + second.resource + "') overlap on the configuration port",
+          Rule::PortDoubleBooking, Severity::Error, "configuration port", schedule.item(first),
+          schedule.item(second),
+          "loads " + span(schedule, first) + " (region '" + std::string(schedule.resource(first)) +
+              "') and " + span(schedule, second) + " (region '" +
+              std::string(schedule.resource(second)) + "') overlap on the configuration port",
           "the device has one ICAP/SelectMAP port; loads must serialize"));
     });
-    std::vector<const ScheduledItem*> sorted = reconfigs;
-    std::stable_sort(sorted.begin(), sorted.end(),
-                     [](const ScheduledItem* a, const ScheduledItem* b) {
-                       if (a->start != b->start) return a->start < b->start;
-                       if (a->end != b->end) return a->end < b->end;
-                       return a->resource < b->resource;
-                     });
-    for (const ScheduledItem* item : sorted) cert.port_bookings.push_back(*item);
+    std::vector<std::size_t> sorted = reconfigs;
+    std::stable_sort(sorted.begin(), sorted.end(), [&](std::size_t a, std::size_t b) {
+      if (schedule.start(a) != schedule.start(b)) return schedule.start(a) < schedule.start(b);
+      if (schedule.end(a) != schedule.end(b)) return schedule.end(a) < schedule.end(b);
+      return schedule.resource(a) < schedule.resource(b);
+    });
+    for (const std::size_t i : sorted) cert.port_bookings.push_back(schedule.item(i));
   }
 
   /// PDR102 / PDR103 / PDR108 plus the residency timeline.
@@ -174,48 +204,52 @@ struct Analyzer {
       const std::string& rname = region_op.name;
       std::string loaded;
       TimeNs loaded_from = 0;
-      const ScheduledItem* loaded_by = nullptr;
+      std::size_t loaded_by = kNoItem;
       if (const auto pre = options.preloaded.find(rname); pre != options.preloaded.end())
         loaded = pre->second;
 
-      const auto it = per_resource.find(rname);
-      const std::vector<const ScheduledItem*> empty;
-      for (const ScheduledItem* item : it == per_resource.end() ? empty : it->second) {
-        if (item->kind == ItemKind::Reconfig) {
+      const std::vector<std::size_t>* list = timeline(rname);
+      const std::vector<std::size_t> empty;
+      for (const std::size_t i : list == nullptr ? empty : *list) {
+        if (schedule.kind(i) == ItemKind::Reconfig) {
+          const std::string module(schedule.module_name(i));
           if (!loaded.empty())
-            cert.residencies.push_back(ResidencyInterval{rname, loaded, loaded_from, item->start});
+            cert.residencies.push_back(
+                ResidencyInterval{rname, loaded, loaded_from, schedule.start(i)});
           if (options.constraints != nullptr) {
-            const aaa::ModuleConstraint* mc = options.constraints->find_module(item->module);
+            const aaa::ModuleConstraint* mc = options.constraints->find_module(module);
             if (mc != nullptr && mc->region != constraint_region_name(region_op))
               cert.violations.push_back(make_single_violation(
-                  Rule::ForeignModuleLoad, Severity::Error, rname, *item,
-                  "load " + span(*item) + " configures module '" + item->module +
+                  Rule::ForeignModuleLoad, Severity::Error, rname, schedule.item(i),
+                  "load " + span(schedule, i) + " configures module '" + module +
                       "' into region '" + rname + "', but the constraints declare it for region '" +
                       mc->region + "'",
                   "a partial bitstream only fits the region it was implemented for"));
           }
-          loaded = item->module;
-          loaded_from = item->end;
-          loaded_by = item;
-        } else if (item->kind == ItemKind::Compute && !item->variant.empty()) {
+          loaded = module;
+          loaded_from = schedule.end(i);
+          loaded_by = i;
+        } else if (schedule.kind(i) == ItemKind::Compute &&
+                   schedule.variant_sym(i) != util::kEmptySymbol) {
+          const std::string variant(schedule.variant(i));
           if (loaded.empty()) {
             cert.violations.push_back(make_single_violation(
-                Rule::UseBeforeConfigure, Severity::Error, rname, *item,
-                "operation " + span(*item) + " executes variant '" + item->variant +
+                Rule::UseBeforeConfigure, Severity::Error, rname, schedule.item(i),
+                "operation " + span(schedule, i) + " executes variant '" + variant +
                     "' but region '" + rname + "' was never configured",
                 "schedule a load (or declare the module preloaded) before first use"));
-          } else if (item->variant != loaded) {
-            std::string message = "operation " + span(*item) + " needs variant '" +
-                                  item->variant + "' but region '" + rname +
-                                  "' holds module '" + loaded + "'";
-            if (loaded_by != nullptr) message += ", resident since " + span(*loaded_by);
+          } else if (variant != loaded) {
+            std::string message = "operation " + span(schedule, i) + " needs variant '" + variant +
+                                  "' but region '" + rname + "' holds module '" + loaded + "'";
+            if (loaded_by != kNoItem) message += ", resident since " + span(schedule, loaded_by);
             Violation v =
-                loaded_by != nullptr
+                loaded_by != kNoItem
                     ? make_pair_violation(Rule::StaleModuleExecution, Severity::Error, rname,
-                                          *loaded_by, *item, std::move(message),
+                                          schedule.item(loaded_by), schedule.item(i),
+                                          std::move(message),
                                           "reconfigure the region before the operation starts")
                     : make_single_violation(Rule::StaleModuleExecution, Severity::Error, rname,
-                                            *item, std::move(message),
+                                            schedule.item(i), std::move(message),
                                             "reconfigure the region before the operation starts");
             cert.violations.push_back(std::move(v));
           }
@@ -236,41 +270,43 @@ struct Analyzer {
   void check_data_crossings() {
     const auto& g = algorithm.digraph();
     for (graph::EdgeId e : g.edge_ids()) {
-      const auto ip = compute_of.find(g.edge_from(e));
-      const auto ic = compute_of.find(g.edge_to(e));
-      if (ip == compute_of.end() || ic == compute_of.end()) continue;
-      const ScheduledItem& producer = *ip->second;
-      const ScheduledItem& consumer = *ic->second;
+      const graph::NodeId pn = g.edge_from(e);
+      const graph::NodeId cn = g.edge_to(e);
+      const std::size_t producer = pn < compute_of.size() ? compute_of[pn] : kNoItem;
+      const std::size_t consumer = cn < compute_of.size() ? compute_of[cn] : kNoItem;
+      if (producer == kNoItem || consumer == kNoItem) continue;
 
       // Data leaves the producer's region when its first transfer hop
       // starts and reaches the consumer's region when the last hop ends;
       // same-operator dependencies never leave the region.
-      TimeNs departure = consumer.start;
-      TimeNs arrival = producer.end;
+      TimeNs departure = schedule.start(consumer);
+      TimeNs arrival = schedule.end(producer);
       if (const auto tf = transfers_of.find(e); tf != transfers_of.end()) {
-        departure = consumer.start;
-        arrival = producer.end;
-        for (const ScheduledItem* hop : tf->second) {
-          departure = std::min(departure, hop->start);
-          arrival = std::max(arrival, hop->end);
+        for (const std::size_t hop : tf->second) {
+          departure = std::min(departure, schedule.start(hop));
+          arrival = std::max(arrival, schedule.end(hop));
         }
       }
 
-      const auto region_kind = [&](const std::string& resource) {
-        const auto node = architecture.find(resource);
+      const auto region_kind = [&](std::string_view resource) {
+        const auto node = architecture.find(std::string(resource));
         return node.has_value() && architecture.is_operator(*node) &&
                architecture.op(*node).kind == aaa::OperatorKind::FpgaRegion;
       };
 
       // Producer side: output lingers in [producer.end, departure).
-      if (region_kind(producer.resource)) {
-        for (const ScheduledItem* load : reconfigs) {
-          if (load->resource != producer.resource) continue;
-          if (std::max(load->start, producer.end) >= std::min(load->end, departure)) continue;
+      if (region_kind(schedule.resource(producer))) {
+        for (const std::size_t load : reconfigs) {
+          if (schedule.resource_sym(load) != schedule.resource_sym(producer)) continue;
+          if (std::max(schedule.start(load), schedule.end(producer)) >=
+              std::min(schedule.end(load), departure))
+            continue;
+          const std::string rname(schedule.resource(producer));
           cert.violations.push_back(make_pair_violation(
-              Rule::DataCrossesReconfig, Severity::Warning, producer.resource, producer, *load,
-              "output of " + span(producer) + " for '" + g[g.edge_to(e)].name +
-                  "' is still in region '" + producer.resource + "' when load " + span(*load) +
+              Rule::DataCrossesReconfig, Severity::Warning, rname, schedule.item(producer),
+              schedule.item(load),
+              "output of " + span(schedule, producer) + " for '" + g[cn].name +
+                  "' is still in region '" + rname + "' when load " + span(schedule, load) +
                   " rewrites it",
               "the executive must buffer the edge in the static part across the load"));
         }
@@ -279,15 +315,21 @@ struct Analyzer {
       // Consumer side: input waits in [arrival, consumer.start). The load
       // that brings in the consumer's own variant is the normal on-demand
       // pattern; only a load of some *other* module displaces the data.
-      if (region_kind(consumer.resource)) {
-        for (const ScheduledItem* load : reconfigs) {
-          if (load->resource != consumer.resource) continue;
-          if (!consumer.variant.empty() && load->module == consumer.variant) continue;
-          if (std::max(load->start, arrival) >= std::min(load->end, consumer.start)) continue;
+      if (region_kind(schedule.resource(consumer))) {
+        for (const std::size_t load : reconfigs) {
+          if (schedule.resource_sym(load) != schedule.resource_sym(consumer)) continue;
+          if (schedule.variant_sym(consumer) != util::kEmptySymbol &&
+              schedule.module_sym(load) == schedule.variant_sym(consumer))
+            continue;
+          if (std::max(schedule.start(load), arrival) >=
+              std::min(schedule.end(load), schedule.start(consumer)))
+            continue;
+          const std::string rname(schedule.resource(consumer));
           cert.violations.push_back(make_pair_violation(
-              Rule::DataCrossesReconfig, Severity::Warning, consumer.resource, *load, consumer,
-              "input of " + span(consumer) + " from '" + g[g.edge_from(e)].name +
-                  "' arrives in region '" + consumer.resource + "' before load " + span(*load) +
+              Rule::DataCrossesReconfig, Severity::Warning, rname, schedule.item(load),
+              schedule.item(consumer),
+              "input of " + span(schedule, consumer) + " from '" + g[pn].name +
+                  "' arrives in region '" + rname + "' before load " + span(schedule, load) +
                   " rewrites it",
               "the executive must buffer the edge in the static part across the load"));
         }
@@ -350,7 +392,7 @@ std::string Certificate::summary() const {
 Certificate verify_schedule(const aaa::Schedule& schedule, const aaa::AlgorithmGraph& algorithm,
                             const aaa::ArchitectureGraph& architecture,
                             const VerifyOptions& options) {
-  Analyzer analyzer{schedule, algorithm, architecture, options, {}, {}, {}, {}, {}};
+  Analyzer analyzer{schedule, algorithm, architecture, options, {}, {}, {}, {}, {}, {}};
   analyzer.group();
   analyzer.check_resource_overlaps();
   analyzer.check_port_bookings();

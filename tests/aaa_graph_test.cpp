@@ -151,7 +151,8 @@ TEST(AlgorithmGraph, RepetitionEnablesParallelSpeedup) {
   EXPECT_LT(s4.makespan, s1.makespan);
   // Both CPUs participate.
   std::set<std::string> used;
-  for (const auto& [op, res] : s4.placement) used.insert(res);
+  for (const auto sym : s4.placement)
+    if (sym != util::kNoSymbol) used.insert(std::string(s4.name(sym)));
   EXPECT_EQ(used.size(), 2u);
 }
 

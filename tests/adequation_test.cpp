@@ -63,7 +63,11 @@ TEST(Adequation, SchedulesChainOnFastestOperator) {
   validate_schedule(s, g, arch);
   // Everything lands on F1 (fast, no transfers needed); regions excluded
   // for non-conditioned ops.
-  for (const auto& [op, res] : s.placement) EXPECT_EQ(res, "F1");
+  for (const auto sym : s.placement) {
+    if (sym != util::kNoSymbol) {
+      EXPECT_EQ(s.name(sym), "F1");
+    }
+  }
   EXPECT_EQ(s.makespan, 6'000);
   EXPECT_EQ(s.reconfig_count, 0);
 }
@@ -76,7 +80,7 @@ TEST(Adequation, DeterministicAcrossRuns) {
   const Schedule s1 = adequation.run();
   const Schedule s2 = adequation.run();
   EXPECT_EQ(s1.makespan, s2.makespan);
-  EXPECT_EQ(s1.items.size(), s2.items.size());
+  EXPECT_EQ(s1.size(), s2.size());
 }
 
 TEST(Adequation, PinForcesOperatorAndTransfers) {
@@ -87,11 +91,11 @@ TEST(Adequation, PinForcesOperatorAndTransfers) {
   adequation.pin("b", "CPU");
   const Schedule s = adequation.run();
   validate_schedule(s, g, arch);
-  EXPECT_EQ(s.placement.at(g.by_name("b")), "CPU");
+  EXPECT_EQ(s.placement_name(g.by_name("b")), "CPU");
   // a on F1, b on CPU -> at least two transfers over BUS.
   int transfers = 0;
-  for (const auto& item : s.items)
-    if (item.kind == ItemKind::Transfer) ++transfers;
+  for (std::size_t i = 0; i < s.size(); ++i)
+    if (s.kind(i) == ItemKind::Transfer) ++transfers;
   EXPECT_GE(transfers, 2);
 }
 
@@ -108,9 +112,9 @@ TEST(Adequation, ConditionedVertexOnRegionInsertsReconfig) {
   EXPECT_EQ(s.reconfig_total, 1_ms);
   // The region item loads the first alternative by default.
   bool found = false;
-  for (const auto& item : s.items)
-    if (item.kind == ItemKind::Reconfig) {
-      EXPECT_EQ(item.module, "alt_a");
+  for (std::size_t i = 0; i < s.size(); ++i)
+    if (s.kind(i) == ItemKind::Reconfig) {
+      EXPECT_EQ(s.module_name(i), "alt_a");
       found = true;
     }
   EXPECT_TRUE(found);
@@ -125,9 +129,9 @@ TEST(Adequation, SelectionPicksAlternative) {
   AdequationOptions options;
   options.selection["m"] = "alt_b";
   const Schedule s = adequation.run(options);
-  for (const auto& item : s.items)
-    if (item.kind == ItemKind::Compute && item.variant != "") {
-      EXPECT_EQ(item.variant, "alt_b");
+  for (std::size_t i = 0; i < s.size(); ++i)
+    if (s.kind(i) == ItemKind::Compute && s.variant(i) != "") {
+      EXPECT_EQ(s.variant(i), "alt_b");
     }
 }
 
@@ -175,10 +179,10 @@ TEST(Adequation, PrefetchHoistsReconfigBeforeDataReady) {
   // Prefetched reconfiguration starts at t=0 (region and port idle);
   // on-demand starts only once the input data arrived.
   TimeNs prefetch_start = -1, demand_start = -1;
-  for (const auto& item : sp.items)
-    if (item.kind == ItemKind::Reconfig) prefetch_start = item.start;
-  for (const auto& item : sn.items)
-    if (item.kind == ItemKind::Reconfig) demand_start = item.start;
+  for (std::size_t i = 0; i < sp.size(); ++i)
+    if (sp.kind(i) == ItemKind::Reconfig) prefetch_start = sp.start(i);
+  for (std::size_t i = 0; i < sn.size(); ++i)
+    if (sn.kind(i) == ItemKind::Reconfig) demand_start = sn.start(i);
   EXPECT_EQ(prefetch_start, 0);
   EXPECT_GT(demand_start, 0);
   EXPECT_LE(sp.makespan, sn.makespan);
@@ -217,7 +221,7 @@ TEST(Adequation, ApplyConstraintsPinsConditionedVertices) {
   Adequation adequation(g, arch, t);
   adequation.apply_constraints(cset);
   const Schedule s = adequation.run();
-  EXPECT_EQ(s.placement.at(g.by_name("m")), "D1");
+  EXPECT_EQ(s.placement_name(g.by_name("m")), "D1");
 }
 
 TEST(Schedule, CsvExportListsEveryItem) {
@@ -229,7 +233,7 @@ TEST(Schedule, CsvExportListsEveryItem) {
   EXPECT_NE(csv.find("kind,label,resource,start_ns,end_ns,variant,module"), std::string::npos);
   // One line per item plus the header.
   EXPECT_EQ(static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n')),
-            s.items.size() + 1);
+            s.size() + 1);
   EXPECT_NE(csv.find("compute,b,F1"), std::string::npos);
 }
 
@@ -259,7 +263,8 @@ TEST(ValidateSchedule, CatchesResourceOverlap) {
   y.start = 5;
   y.end = 15;
   y.op = 1;
-  s.items = {x, y};
+  s.push_item(x);
+  s.push_item(y);
 
   AlgorithmGraph g;
   g.add_compute("x", "work");
@@ -279,7 +284,7 @@ TEST(Adequation, BaselineStrategiesScheduleValidly) {
     options.strategy = strategy;
     const Schedule s = adequation.run(options);
     validate_schedule(s, g, arch);
-    EXPECT_EQ(s.placement.size(), g.size()) << mapping_strategy_name(strategy);
+    EXPECT_EQ(s.placement_count(), g.size()) << mapping_strategy_name(strategy);
   }
 }
 
@@ -334,12 +339,12 @@ TEST(Adequation, SelectionKindDrivesFeasibility) {
   options.selection["m"] = "B";
   const Schedule s = Adequation(g, arch, t).run(options);
   validate_schedule(s, g, arch);
-  EXPECT_EQ(s.placement.at(g.by_name("m")), "F1");
+  EXPECT_EQ(s.placement_name(g.by_name("m")), "F1");
 
   options.selection["m"] = "A";
   const Schedule sa = Adequation(g, arch, t).run(options);
   validate_schedule(sa, g, arch);
-  EXPECT_EQ(sa.placement.at(g.by_name("m")), "CPU");
+  EXPECT_EQ(sa.placement_name(g.by_name("m")), "CPU");
 }
 
 TEST(Adequation, SharedMediumEstimateMatchesCommitAndFlipsChoice) {
@@ -374,7 +379,7 @@ TEST(Adequation, SharedMediumEstimateMatchesCommitAndFlipsChoice) {
   options.eval_log = &evals;
   const Schedule s = Adequation(g, arch, t).run(options);
   validate_schedule(s, g, arch);
-  EXPECT_EQ(s.placement.at(g.by_name("j")), "F1");
+  EXPECT_EQ(s.placement_name(g.by_name("j")), "F1");
   EXPECT_EQ(s.makespan, 22'000);
 
   // The rejected CPU estimate accounts for the serialized bus.
@@ -398,9 +403,9 @@ TEST(Adequation, SharedMediumEstimateMatchesCommitAndFlipsChoice) {
         estimated = true;
       }
     EXPECT_TRUE(estimated);
-    for (const auto& item : s.items)
-      if (item.kind == ItemKind::Compute && item.op == ev.op) {
-        EXPECT_EQ(item.end, ev.predicted_end);
+    for (std::size_t i = 0; i < s.size(); ++i)
+      if (s.kind(i) == ItemKind::Compute && s.op(i) == ev.op) {
+        EXPECT_EQ(s.end(i), ev.predicted_end);
       }
   }
 }
@@ -419,7 +424,8 @@ TEST(Schedule, GanttRendersZeroDurationItems) {
   work.resource = "F1";
   work.start = 0;
   work.end = 10'000;
-  s.items = {work, pulse};
+  s.push_item(work);
+  s.push_item(pulse);
   s.makespan = 10'000;
 
   const std::string chart = s.gantt();
@@ -465,14 +471,14 @@ TEST(ValidateSchedule, MultiEdgeTransfersNeedOneChainPerEdge) {
   t1.bytes = 100;  // edge defaults to kNoEdge: the (src,dst,bytes) fallback
 
   Schedule missing;
-  missing.items = {ca, t1, cb};
+  for (const auto& it : {ca, t1, cb}) missing.push_item(it);
   EXPECT_THROW(validate_schedule(missing, g, arch), pdr::Error);
 
   ScheduledItem t2 = t1;
   t2.start = 2'000;
   t2.end = 3'000;
   Schedule complete;
-  complete.items = {ca, t1, t2, cb};
+  for (const auto& it : {ca, t1, t2, cb}) complete.push_item(it);
   EXPECT_NO_THROW(validate_schedule(complete, g, arch));
 }
 
@@ -491,8 +497,8 @@ TEST(Adequation, ParallelEdgesScheduleOneTransferEach) {
   validate_schedule(s, g, arch);
 
   std::set<graph::EdgeId> edges;
-  for (const auto& item : s.items)
-    if (item.kind == ItemKind::Transfer) edges.insert(item.edge);
+  for (std::size_t i = 0; i < s.size(); ++i)
+    if (s.kind(i) == ItemKind::Transfer) edges.insert(s.edge(i));
   EXPECT_EQ(edges.size(), 2u);  // distinct edge ids, one chain per edge
   EXPECT_EQ(edges.count(graph::kNoEdge), 0u);
 }
@@ -535,6 +541,35 @@ TEST(Adequation, EnginesProduceByteIdenticalSchedules) {
   }
 }
 
+TEST(Adequation, RunCacheInvalidatesOnGraphAndDurationMutation) {
+  // run() caches graph-shaped scaffolding (ready tracker, dependency
+  // CSR, critical-path priorities) across calls, keyed on the graph and
+  // duration-table version counters. Repeat runs must be byte-identical
+  // to a fresh instance's, and mutations must invalidate.
+  AlgorithmGraph g = chain();
+  const ArchitectureGraph arch = small_arch();
+  DurationTable t = simple_durations();
+  const Adequation cached(g, arch, t);
+  const std::string first = cached.run().to_csv();
+  EXPECT_EQ(cached.run().to_csv(), first);  // warm repeat, cache served
+  EXPECT_EQ(Adequation(g, arch, t).run().to_csv(), first);
+
+  // Graph mutation: the new operation must appear in the next run, and
+  // the cached instance must match a fresh one (a stale tracker or CSR
+  // would miss node 'd' entirely).
+  g.add_compute("d", "work");
+  g.add_dependency("b", "d", 64);
+  const std::string mutated = cached.run().to_csv();
+  EXPECT_NE(mutated, first);
+  EXPECT_NE(mutated.find(",d,"), std::string::npos);
+  EXPECT_EQ(Adequation(g, arch, t).run().to_csv(), mutated);
+
+  // Duration mutation: critical-path priorities bake in kind means, so a
+  // table edit must refresh them — again fresh-instance identical.
+  t.set("work", OperatorKind::FpgaStatic, 9'000'000);
+  EXPECT_EQ(cached.run().to_csv(), Adequation(g, arch, t).run().to_csv());
+}
+
 /// Property: random layered DAGs on the small platform always produce
 /// valid schedules; makespan is at least the critical path of the fastest
 /// operator.
@@ -571,7 +606,7 @@ TEST_P(RandomAdequationTest, RandomDagSchedulesValidly) {
   const Schedule s = Adequation(g, arch, t).run();
   validate_schedule(s, g, arch);
   EXPECT_GE(s.makespan, 2'000 * layers);  // fastest-operator critical path
-  EXPECT_EQ(s.placement.size(), g.size());
+  EXPECT_EQ(s.placement_count(), g.size());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomAdequationTest, ::testing::Range(0, 10));

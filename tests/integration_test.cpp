@@ -161,7 +161,7 @@ TEST(Integration, CaseStudyRoundTripsThroughProjectFile) {
   const aaa::Schedule sa = original.run(options);
   const aaa::Schedule sb = reparsed.run(options);
   EXPECT_EQ(sa.makespan, sb.makespan);
-  EXPECT_EQ(sa.items.size(), sb.items.size());
+  EXPECT_EQ(sa.size(), sb.size());
   EXPECT_EQ(sa.to_csv(), sb.to_csv());
 }
 

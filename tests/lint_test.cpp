@@ -349,8 +349,8 @@ Report check(const aaa::Schedule& schedule, const aaa::AlgorithmGraph& algorithm
 
 TEST(LintSchedule, Pdr040ResourceOverlap) {
   aaa::Schedule s;
-  s.items.push_back(item(ItemKind::Compute, "a", "CPU", 0, 100));
-  s.items.push_back(item(ItemKind::Compute, "b", "CPU", 50, 150));
+  s.push_item(item(ItemKind::Compute, "a", "CPU", 0, 100));
+  s.push_item(item(ItemKind::Compute, "b", "CPU", 50, 150));
   EXPECT_TRUE(check(s, {}).has(Rule::ResourceOverlap));
 }
 
@@ -364,8 +364,8 @@ TEST(LintSchedule, Pdr041DependencyViolation) {
   ia.op = a;
   ScheduledItem ib = item(ItemKind::Compute, "b", "CPU", 0, 50);
   ib.op = b;
-  s.items.push_back(ia);
-  s.items.push_back(ib);
+  s.push_item(ia);
+  s.push_item(ib);
   EXPECT_TRUE(check(s, g).has(Rule::DependencyViolation));
 }
 
@@ -375,8 +375,8 @@ TEST(LintSchedule, Pdr042WrongModuleLoaded) {
   load.module = "qpsk";
   ScheduledItem run = item(ItemKind::Compute, "mod", "D1", 200, 300);
   run.variant = "qam16";
-  s.items.push_back(load);
-  s.items.push_back(run);
+  s.push_item(load);
+  s.push_item(run);
   EXPECT_TRUE(check(s, {}).has(Rule::WrongModuleLoaded));
 }
 
@@ -386,8 +386,8 @@ TEST(LintSchedule, Pdr043ComputeDuringReconfig) {
   load.module = "qpsk";
   ScheduledItem run = item(ItemKind::Compute, "mod", "D1", 50, 80);
   run.variant = "qpsk";
-  s.items.push_back(load);
-  s.items.push_back(run);
+  s.push_item(load);
+  s.push_item(run);
   EXPECT_TRUE(check(s, {}).has(Rule::ComputeDuringReconfig));
 }
 
@@ -399,8 +399,8 @@ TEST(LintSchedule, Pdr044ExclusionOverlap) {
   l1.module = "qpsk";
   ScheduledItem l2 = item(ItemKind::Reconfig, "load qam16", "D2", 20, 30);
   l2.module = "qam16";
-  s.items.push_back(l1);
-  s.items.push_back(l2);
+  s.push_item(l1);
+  s.push_item(l2);
   s.makespan = 100;  // both stay resident to the end
   EXPECT_TRUE(check(s, {}, &constraints).has(Rule::ExclusionOverlap));
 }
@@ -411,8 +411,8 @@ TEST(LintSchedule, Pdr045PrefetchIntoBusyRegion) {
   run.variant = "qpsk";
   ScheduledItem load = item(ItemKind::Reconfig, "load qam16", "D1", 50, 150);
   load.module = "qam16";
-  s.items.push_back(run);
-  s.items.push_back(load);
+  s.push_item(run);
+  s.push_item(load);
   EXPECT_TRUE(check(s, {}).has(Rule::PrefetchIntoBusyRegion));
 }
 
@@ -422,14 +422,14 @@ TEST(LintSchedule, Pdr046PortOverlap) {
   l1.module = "qpsk";
   ScheduledItem l2 = item(ItemKind::Reconfig, "load qam16", "D2", 50, 150);
   l2.module = "qam16";
-  s.items.push_back(l1);
-  s.items.push_back(l2);
+  s.push_item(l1);
+  s.push_item(l2);
   EXPECT_TRUE(check(s, {}).has(Rule::PortOverlap));
 }
 
 TEST(LintSchedule, Pdr047NegativeDuration) {
   aaa::Schedule s;
-  s.items.push_back(item(ItemKind::Compute, "a", "CPU", 100, 50));
+  s.push_item(item(ItemKind::Compute, "a", "CPU", 100, 50));
   EXPECT_TRUE(check(s, {}).has(Rule::NegativeDuration));
 }
 
@@ -447,8 +447,8 @@ TEST(LintSchedule, Pdr048ScrubPeriodExceedsBudget) {
   l1.module = "qpsk";
   ScheduledItem l2 = item(ItemKind::Reconfig, "load qam16", "D1", 11'000'000, 12'000'000);
   l2.module = "qam16";
-  s.items.push_back(l1);
-  s.items.push_back(l2);
+  s.push_item(l1);
+  s.push_item(l2);
   s.makespan = 30'000'000;
   const Report r = check(s, {}, &constraints);
   EXPECT_TRUE(r.has(Rule::ScrubPeriodExceedsBudget));
@@ -458,7 +458,7 @@ TEST(LintSchedule, Pdr048ScrubPeriodExceedsBudget) {
   // A third rewrite inside the tail brings every gap under budget.
   ScheduledItem l3 = item(ItemKind::Reconfig, "load qpsk", "D1", 20'000'000, 21'000'000);
   l3.module = "qpsk";
-  s.items.push_back(l3);
+  s.push_item(l3);
   EXPECT_FALSE(check(s, {}, &constraints).has(Rule::ScrubPeriodExceedsBudget));
 
   // A budgeted region with no rewrite at all is one long exposure window.
@@ -476,8 +476,8 @@ TEST(LintSchedule, CleanScheduleHasNoDiagnostics) {
   load.module = "qpsk";
   ScheduledItem run = item(ItemKind::Compute, "mod", "D1", 100, 200);
   run.variant = "qpsk";
-  s.items.push_back(load);
-  s.items.push_back(run);
+  s.push_item(load);
+  s.push_item(run);
   s.makespan = 200;
   const Report report = check(s, {});
   EXPECT_TRUE(report.empty()) << report.to_text();

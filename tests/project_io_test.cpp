@@ -90,7 +90,7 @@ TEST(ProjectIo, WriteParseRoundTrip) {
   const Schedule sa = ad_a.run();
   const Schedule sb = ad_b.run();
   EXPECT_EQ(sa.makespan, sb.makespan);
-  EXPECT_EQ(sa.items.size(), sb.items.size());
+  EXPECT_EQ(sa.size(), sb.size());
 }
 
 TEST(ProjectIo, ScheduleRunsOnParsedProject) {

@@ -187,7 +187,7 @@ TEST_P(PlatformFuzzTest, ConditionedGraphsScheduleOnRandomPlatforms) {
     options.prefetch = prefetch;
     const aaa::Schedule s = adequation.run(options);
     aaa::validate_schedule(s, g, arch);
-    EXPECT_EQ(s.placement.size(), g.size());
+    EXPECT_EQ(s.placement_count(), g.size());
     EXPECT_GE(s.makespan, s.period_lower_bound());
     EXPECT_GE(s.reconfig_exposed, 0);
     EXPECT_LE(s.reconfig_exposed, s.reconfig_total + 1);
@@ -258,7 +258,7 @@ TEST_P(StrategyFuzzTest, LayeredDagsScheduleValidlyUnderEveryStrategy) {
     options.strategy = strategy;
     const aaa::Schedule s = adequation.run(options);
     aaa::validate_schedule(s, g, arch);
-    EXPECT_EQ(s.placement.size(), g.size()) << aaa::mapping_strategy_name(strategy);
+    EXPECT_EQ(s.placement_count(), g.size()) << aaa::mapping_strategy_name(strategy);
     EXPECT_GE(s.makespan, s.period_lower_bound());
 
     // The indexed ready-queue must agree with the rescanning reference

@@ -75,8 +75,8 @@ TEST(CaseStudy, AdequationPlacesChainOnFpga) {
   const aaa::Schedule schedule = adequation.run(options);
   aaa::validate_schedule(schedule, cs.algorithm, cs.architecture);
   // The modulation lands on the region; the heavy datapath on the FPGA.
-  EXPECT_EQ(schedule.placement.at(cs.algorithm.by_name("modulation")), "D1");
-  EXPECT_EQ(schedule.placement.at(cs.algorithm.by_name("ifft")), "F1");
+  EXPECT_EQ(schedule.placement_name(cs.algorithm.by_name("modulation")), "D1");
+  EXPECT_EQ(schedule.placement_name(cs.algorithm.by_name("ifft")), "F1");
   EXPECT_EQ(schedule.reconfig_count, 0);  // preloaded qpsk
 }
 

@@ -87,14 +87,16 @@ aaa::Schedule region_schedule(const aaa::AlgorithmGraph& g, const aaa::Architect
   return adequation.run(options);
 }
 
-ScheduledItem* find_item(aaa::Schedule& s, ItemKind kind, const std::string& resource,
-                         std::size_t skip = 0) {
-  for (auto& item : s.items) {
-    if (item.kind != kind || item.resource != resource) continue;
-    if (skip == 0) return &item;
+constexpr std::size_t kNoItem = static_cast<std::size_t>(-1);
+
+std::size_t find_item(const aaa::Schedule& s, ItemKind kind, const std::string& resource,
+                      std::size_t skip = 0) {
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s.kind(i) != kind || s.resource(i) != resource) continue;
+    if (skip == 0) return i;
     --skip;
   }
-  return nullptr;
+  return kNoItem;
 }
 
 const Violation* find_violation(const Certificate& cert, lint::Rule rule) {
@@ -190,14 +192,14 @@ struct Mutant {
 
 TEST(MutationCorpus, Pdr100ReconfigDuringExecute) {
   Mutant m;
-  ScheduledItem* load = find_item(m.s, ItemKind::Reconfig, "D1");
-  ScheduledItem* compute = find_item(m.s, ItemKind::Compute, "D1");
-  ASSERT_NE(load, nullptr);
-  ASSERT_NE(compute, nullptr);
+  const std::size_t load = find_item(m.s, ItemKind::Reconfig, "D1");
+  const std::size_t compute = find_item(m.s, ItemKind::Compute, "D1");
+  ASSERT_NE(load, kNoItem);
+  ASSERT_NE(compute, kNoItem);
   // Slide the load into the middle of the computation it precedes.
-  const TimeNs duration = load->end - load->start;
-  load->start = compute->start + 500;
-  load->end = load->start + duration;
+  const TimeNs duration = m.s.end(load) - m.s.start(load);
+  m.s.set_start(load, m.s.start(compute) + 500);
+  m.s.set_end(load, m.s.start(load) + duration);
 
   const Certificate cert = m.verify();
   EXPECT_FALSE(cert.certified());
@@ -205,37 +207,37 @@ TEST(MutationCorpus, Pdr100ReconfigDuringExecute) {
   ASSERT_NE(v, nullptr) << cert.first_error();
   EXPECT_TRUE(v->pair);
   EXPECT_EQ(v->resource, "D1");
-  EXPECT_EQ(v->first.label, compute->label);
-  EXPECT_EQ(v->second.label, load->label);
+  EXPECT_EQ(v->first.label, m.s.label(compute));
+  EXPECT_EQ(v->second.label, m.s.label(load));
   EXPECT_LT(v->overlap_from(), v->overlap_to());  // a genuine overlap window
-  EXPECT_EQ(v->overlap_from(), load->start);
-  EXPECT_EQ(v->overlap_to(), std::min(load->end, compute->end));
+  EXPECT_EQ(v->overlap_from(), m.s.start(load));
+  EXPECT_EQ(v->overlap_to(), std::min(m.s.end(load), m.s.end(compute)));
 }
 
 TEST(MutationCorpus, Pdr101ExecuteDuringReconfig) {
   Mutant m;
-  ScheduledItem* load = find_item(m.s, ItemKind::Reconfig, "D1");
-  ScheduledItem* compute = find_item(m.s, ItemKind::Compute, "D1");
-  ASSERT_NE(load, nullptr);
-  ASSERT_NE(compute, nullptr);
+  const std::size_t load = find_item(m.s, ItemKind::Reconfig, "D1");
+  const std::size_t compute = find_item(m.s, ItemKind::Compute, "D1");
+  ASSERT_NE(load, kNoItem);
+  ASSERT_NE(compute, kNoItem);
   // Start the computation while the region's frames are being rewritten.
-  const TimeNs duration = compute->end - compute->start;
-  compute->start = load->start + 1;
-  compute->end = compute->start + duration;
+  const TimeNs duration = m.s.end(compute) - m.s.start(compute);
+  m.s.set_start(compute, m.s.start(load) + 1);
+  m.s.set_end(compute, m.s.start(compute) + duration);
 
   const Certificate cert = m.verify();
   EXPECT_FALSE(cert.certified());
   const Violation* v = find_violation(cert, lint::Rule::ExecuteDuringReconfig);
   ASSERT_NE(v, nullptr) << cert.first_error();
   EXPECT_TRUE(v->pair);
-  EXPECT_EQ(v->first.label, load->label);
-  EXPECT_EQ(v->second.label, compute->label);
+  EXPECT_EQ(v->first.label, m.s.label(load));
+  EXPECT_EQ(v->second.label, m.s.label(compute));
   EXPECT_LT(v->overlap_from(), v->overlap_to());
 }
 
 TEST(MutationCorpus, Pdr102UseBeforeConfigure) {
   Mutant m;
-  std::erase_if(m.s.items, [](const ScheduledItem& i) { return i.kind == ItemKind::Reconfig; });
+  m.s.erase_items_if([](const ScheduledItem& i) { return i.kind == ItemKind::Reconfig; });
   const Certificate cert = m.verify();
   EXPECT_FALSE(cert.certified());
   const Violation* v = find_violation(cert, lint::Rule::UseBeforeConfigure);
@@ -248,10 +250,10 @@ TEST(MutationCorpus, Pdr102UseBeforeConfigure) {
 
 TEST(MutationCorpus, Pdr103StaleModuleExecution) {
   Mutant m;
-  ScheduledItem* load = find_item(m.s, ItemKind::Reconfig, "D1");
-  ASSERT_NE(load, nullptr);
-  load->module = "alt_b";  // the schedule loads the wrong personality
-  load->label = "load alt_b";
+  const std::size_t load = find_item(m.s, ItemKind::Reconfig, "D1");
+  ASSERT_NE(load, kNoItem);
+  m.s.set_module(load, "alt_b");  // the schedule loads the wrong personality
+  m.s.set_label(load, "load alt_b");
 
   const Certificate cert = m.verify();
   EXPECT_FALSE(cert.certified());
@@ -265,14 +267,14 @@ TEST(MutationCorpus, Pdr103StaleModuleExecution) {
 
 TEST(MutationCorpus, Pdr104MediumTransferOverlap) {
   Mutant m;
-  ScheduledItem* first = find_item(m.s, ItemKind::Transfer, "BUS");
-  ScheduledItem* second = find_item(m.s, ItemKind::Transfer, "BUS", 1);
-  ASSERT_NE(first, nullptr);
-  ASSERT_NE(second, nullptr);
+  const std::size_t first = find_item(m.s, ItemKind::Transfer, "BUS");
+  const std::size_t second = find_item(m.s, ItemKind::Transfer, "BUS", 1);
+  ASSERT_NE(first, kNoItem);
+  ASSERT_NE(second, kNoItem);
   // Slide the later transfer onto the earlier one.
-  const TimeNs duration = second->end - second->start;
-  second->start = first->start;
-  second->end = second->start + duration;
+  const TimeNs duration = m.s.end(second) - m.s.start(second);
+  m.s.set_start(second, m.s.start(first));
+  m.s.set_end(second, m.s.start(second) + duration);
 
   const Certificate cert = m.verify();
   EXPECT_FALSE(cert.certified());
@@ -284,14 +286,14 @@ TEST(MutationCorpus, Pdr104MediumTransferOverlap) {
 
 TEST(MutationCorpus, Pdr105PortDoubleBooking) {
   Mutant m(/*regions=*/2);
-  ScheduledItem* load = find_item(m.s, ItemKind::Reconfig, "D1");
-  ASSERT_NE(load, nullptr);
+  const std::size_t load = find_item(m.s, ItemKind::Reconfig, "D1");
+  ASSERT_NE(load, kNoItem);
   // A second region's load booked over the same port window.
-  ScheduledItem twin = *load;
+  ScheduledItem twin = m.s.item(load);
   twin.resource = "D2";
   twin.module = "alt_b";
   twin.label = "load alt_b";
-  m.s.items.push_back(twin);
+  m.s.push_item(twin);
 
   const Certificate cert = m.verify();
   EXPECT_FALSE(cert.certified());
@@ -307,14 +309,15 @@ TEST(MutationCorpus, Pdr105PortDoubleBooking) {
 
 TEST(MutationCorpus, Pdr106ProducerDataCrossesReconfig) {
   Mutant m;
-  ScheduledItem* compute = find_item(m.s, ItemKind::Compute, "D1");
-  ASSERT_NE(compute, nullptr);
+  const std::size_t compute = find_item(m.s, ItemKind::Compute, "D1");
+  ASSERT_NE(compute, kNoItem);
   // Delay the region's outbound transfer, then rewrite the region while
   // the produced data still sits in it.
-  for (auto& item : m.s.items) {
-    if (item.kind == ItemKind::Transfer && item.start >= compute->end) {
-      item.start += 5'000;
-      item.end += 5'000;
+  const TimeNs compute_end = m.s.end(compute);
+  for (std::size_t i = 0; i < m.s.size(); ++i) {
+    if (m.s.kind(i) == ItemKind::Transfer && m.s.start(i) >= compute_end) {
+      m.s.set_start(i, m.s.start(i) + 5'000);
+      m.s.set_end(i, m.s.end(i) + 5'000);
     }
   }
   ScheduledItem rewrite;
@@ -322,9 +325,9 @@ TEST(MutationCorpus, Pdr106ProducerDataCrossesReconfig) {
   rewrite.resource = "D1";
   rewrite.module = "alt_b";
   rewrite.label = "load alt_b";
-  rewrite.start = compute->end + 1'000;
-  rewrite.end = compute->end + 2'000;
-  m.s.items.push_back(rewrite);
+  rewrite.start = compute_end + 1'000;
+  rewrite.end = compute_end + 2'000;
+  m.s.push_item(rewrite);
 
   const Certificate cert = m.verify();
   const Violation* v = find_violation(cert, lint::Rule::DataCrossesReconfig);
@@ -334,7 +337,7 @@ TEST(MutationCorpus, Pdr106ProducerDataCrossesReconfig) {
   // media-delayed transfer would prune a valid design point).
   EXPECT_EQ(v->severity, lint::Severity::Warning);
   EXPECT_TRUE(cert.certified()) << cert.first_error();
-  EXPECT_EQ(v->first.label, compute->label);
+  EXPECT_EQ(v->first.label, m.s.label(compute));
   EXPECT_EQ(v->second.label, "load alt_b");
   EXPECT_NE(cert.summary().find("warning"), std::string::npos);
 }
@@ -390,7 +393,7 @@ TEST(MutationCorpus, Pdr106ConsumerSideExemptsItsOwnLoad) {
   consumer.start = 5'000;
   consumer.end = 7'000;
   consumer.op = g.by_name("m");
-  s.items = {a, hop, foreign, own, consumer};
+  for (const auto& it : {a, hop, foreign, own, consumer}) s.push_item(it);
   s.makespan = 7'000;
 
   const Certificate cert = verify::verify_schedule(s, g, arch);
@@ -404,13 +407,13 @@ TEST(MutationCorpus, Pdr106ConsumerSideExemptsItsOwnLoad) {
 
 TEST(MutationCorpus, Pdr107OperatorOverlap) {
   Mutant m;
-  ScheduledItem* first = find_item(m.s, ItemKind::Compute, "CPU");
-  ScheduledItem* second = find_item(m.s, ItemKind::Compute, "CPU", 1);
-  ASSERT_NE(first, nullptr);
-  ASSERT_NE(second, nullptr);
-  const TimeNs duration = second->end - second->start;
-  second->start = first->start;
-  second->end = second->start + duration;
+  const std::size_t first = find_item(m.s, ItemKind::Compute, "CPU");
+  const std::size_t second = find_item(m.s, ItemKind::Compute, "CPU", 1);
+  ASSERT_NE(first, kNoItem);
+  ASSERT_NE(second, kNoItem);
+  const TimeNs duration = m.s.end(second) - m.s.start(second);
+  m.s.set_start(second, m.s.start(first));
+  m.s.set_end(second, m.s.start(second) + duration);
 
   const Certificate cert = m.verify();
   EXPECT_FALSE(cert.certified());
@@ -450,10 +453,10 @@ TEST(MutationCorpus, Pdr108ForeignModuleLoad) {
 
 TEST(MutationCorpus, ViolationsFlowThroughLintReport) {
   Mutant m;
-  ScheduledItem* load = find_item(m.s, ItemKind::Reconfig, "D1");
-  ASSERT_NE(load, nullptr);
-  load->module = "alt_b";
-  load->label = "load alt_b";
+  const std::size_t load = find_item(m.s, ItemKind::Reconfig, "D1");
+  ASSERT_NE(load, kNoItem);
+  m.s.set_module(load, "alt_b");
+  m.s.set_label(load, "load alt_b");
 
   const lint::Report report = m.verify().to_report();
   EXPECT_TRUE(report.has(lint::Rule::StaleModuleExecution));
@@ -526,8 +529,7 @@ TEST(DifferentialOracle, BothHalvesAgreeOnAMutatedSchedule) {
   aaa::Schedule schedule = adequation.run();
   ASSERT_GT(schedule.reconfig_count, 0);
 
-  std::erase_if(schedule.items,
-                [](const ScheduledItem& i) { return i.kind == ItemKind::Reconfig; });
+  schedule.erase_items_if([](const ScheduledItem& i) { return i.kind == ItemKind::Reconfig; });
 
   const Certificate cert = verify::verify_schedule(schedule, g, arch);
   EXPECT_FALSE(cert.certified());
