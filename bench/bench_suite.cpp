@@ -37,6 +37,7 @@
 #include "flow/pipeline.hpp"
 #include "mccdma/case_study.hpp"
 #include "mccdma/flow_presets.hpp"
+#include "plan/planner.hpp"
 #include "svc/request_log.hpp"
 #include "svc/service.hpp"
 #include "util/arg_parser.hpp"
@@ -233,6 +234,46 @@ std::vector<BenchRecord> run_explore_suite(const SuiteOptions& opts) {
   return {std::move(rec)};
 }
 
+// --- suite: floorplan -----------------------------------------------------
+
+// The automatic floorplanner on a generated project: the tracked figure
+// is schedules-evaluated-per-second of the co-optimization loop (each
+// evaluation is a full adequation run under re-priced reconfig costs).
+std::vector<BenchRecord> run_floorplan_suite(const SuiteOptions& opts) {
+  const int regions = 2;
+  const int cpus = 2;
+  GeneratorConfig cfg;
+  cfg.shape = GraphShape::Layered;
+  cfg.n_ops = opts.smoke ? 100 : 200;
+  cfg.width = 10;
+
+  aaa::Project project;
+  project.name = "bench-floorplan";
+  project.algorithm = bench::generate_graph(cfg);
+  project.architecture = bench::bench_architecture(regions, cpus);
+  project.durations = bench::bench_durations();
+
+  plan::PlanOptions plan_opts;
+  plan_opts.max_rounds = opts.smoke ? 8 : 64;
+
+  plan::PlanResult last;
+  BenchRecord rec = bench::measure(
+      strprintf("floorplan/%s/regions%d", cfg.name().c_str(), regions), default_warmup(opts),
+      default_repeats(opts), [&] { last = plan::plan_floorplan(project, plan_opts); });
+  push_generator_config(rec, cfg, regions, cpus);
+  rec.config.emplace_back("max_rounds", std::to_string(plan_opts.max_rounds));
+  rec.extra.emplace_back("schedules_evaluated", static_cast<double>(last.evaluated));
+  if (const auto mean = rec.wall_ms.opt_mean(); mean && *mean > 0)
+    rec.extra.emplace_back("evals_per_sec",
+                           static_cast<double>(last.evaluated) / (*mean / 1e3));
+  rec.extra.emplace_back("makespan_ms", static_cast<double>(last.makespan) / 1e6);
+  rec.extra.emplace_back("lint_errors", static_cast<double>(last.lint.errors()));
+  rec.extra.emplace_back("certified", last.certified ? 1.0 : 0.0);
+  std::printf("  %-34s mean %.2f ms (%d evals)\n", rec.name.c_str(), rec.wall_ms.mean(),
+              last.evaluated);
+  return {std::move(rec)};
+}
+
 // --- suite: flow (pipeline + fault campaigns) -----------------------------
 
 std::vector<BenchRecord> run_flow_suite(const SuiteOptions& opts) {
@@ -383,6 +424,9 @@ int main(int argc, char** argv) {
 
     std::printf("\n--- explore ---\n");
     write_suite(opts, "explore", run_explore_suite(opts));
+
+    std::printf("\n--- floorplan ---\n");
+    write_suite(opts, "floorplan", run_floorplan_suite(opts));
 
     std::printf("\n--- flow ---\n");
     write_suite(opts, "flow", run_flow_suite(opts));

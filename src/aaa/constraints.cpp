@@ -1,5 +1,6 @@
 #include "aaa/constraints.hpp"
 
+#include "fabric/floorplan.hpp"
 #include "lint/constraint_rules.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -194,8 +195,19 @@ class Parser {
       fail_unless(!at_end(), "unterminated block (missing '}')");
       const std::string key = next("region attribute");
       if (key == "width") {
-        const std::string v = next("width auto|<cols>");
-        r.width = (v == "auto") ? -1 : parse_int(v);
+        const std::string v = next("width auto|<clb-cols>|<slice-cols>sc");
+        if (v == "auto") {
+          r.width = -1;
+        } else if (v.size() > 2 && v.compare(v.size() - 2, 2, "sc") == 0) {
+          // Slice-column form: remember the authored count (lint checks it
+          // against the four-slice-column rule) and round up to whole CLB
+          // columns for every downstream consumer.
+          r.width_slice_cols = parse_int(v.substr(0, v.size() - 2));
+          r.width = (r.width_slice_cols + fabric::kSliceColsPerClbCol - 1) /
+                    fabric::kSliceColsPerClbCol;
+        } else {
+          r.width = parse_int(v);
+        }
       } else if (key == "margin") {
         r.margin = parse_int(next("margin <cols>"));
       } else if (key == "seu_budget") {
@@ -267,7 +279,10 @@ std::string write_constraints(const ConstraintSet& set) {
   out += std::string("prefetch ") + to_keyword(set.prefetch) + "\n";
   for (const auto& r : set.regions) {
     out += "\nregion " + r.name + " {\n";
-    out += "  width " + (r.width == -1 ? std::string("auto") : std::to_string(r.width)) + "\n";
+    if (r.width_slice_cols >= 0)
+      out += "  width " + std::to_string(r.width_slice_cols) + "sc\n";
+    else
+      out += "  width " + (r.width == -1 ? std::string("auto") : std::to_string(r.width)) + "\n";
     if (r.margin != 0) out += "  margin " + std::to_string(r.margin) + "\n";
     if (r.seu_budget_ms >= 0) out += "  seu_budget " + std::to_string(r.seu_budget_ms) + "\n";
     out += "}\n";

@@ -54,6 +54,12 @@ const char* to_keyword(UnloadPolicy v);
 struct RegionConstraint {
   std::string name;
   int width = -1;  ///< CLB columns; -1 = auto (sized from widest variant)
+  /// Width as authored, when the file used the slice-column form
+  /// (`width Nsc`); -1 = authored in CLB columns or auto. When >= 0,
+  /// `width` holds the CLB-column equivalent (rounded up); lint rule
+  /// PDR021 rejects counts that are odd or below the paper's minimum of
+  /// four before any flow consumes the rounded value.
+  int width_slice_cols = -1;
   int margin = 0;  ///< extra CLB columns beyond the widest variant
   /// SEU-exposure budget in ms: the longest the region may go without a
   /// rewrite (scrub or reconfiguration) in its radiation environment;

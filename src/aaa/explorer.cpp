@@ -23,6 +23,7 @@ std::string DesignPoint::name() const {
   for (const auto& [region, module] : preloaded)
     out += "/preload[" + region + "=" + (module.empty() ? "-" : module) + "]";
   for (const auto& [op, alt] : selection) out += "/sel[" + op + "=" + alt + "]";
+  if (!floorplan.name.empty()) out += "/fp[" + floorplan.name + "]";
   return out;
 }
 
@@ -63,6 +64,7 @@ std::size_t ExplorationSpace::point_count() const {
                       std::max<std::size_t>(prefetch.size(), 1);
   for (const auto& [name, values] : preloads) count *= std::max<std::size_t>(values.size(), 1);
   for (const auto& [name, values] : selections) count *= std::max<std::size_t>(values.size(), 1);
+  count *= std::max<std::size_t>(floorplans.size(), 1);
   return count;
 }
 
@@ -92,18 +94,24 @@ std::vector<DesignPoint> ExplorationSpace::enumerate() const {
   };
   const auto preload_choices = cross(preloads);
   const auto selection_choices = cross(selections);
+  // An empty floorplan axis enumerates one off-choice (empty name), so the
+  // existing four-axis order is unchanged when the axis is unused.
+  const std::vector<FloorplanChoice> fps =
+      floorplans.empty() ? std::vector<FloorplanChoice>{FloorplanChoice{}} : floorplans;
 
   for (const MappingStrategy strategy : strats)
     for (const bool prefetch_on : pf)
       for (const auto& preloaded : preload_choices)
-        for (const auto& selection : selection_choices) {
-          DesignPoint point;
-          point.strategy = strategy;
-          point.prefetch = prefetch_on;
-          point.preloaded = preloaded;
-          point.selection = selection;
-          points.push_back(std::move(point));
-        }
+        for (const auto& selection : selection_choices)
+          for (const auto& floorplan : fps) {
+            DesignPoint point;
+            point.strategy = strategy;
+            point.prefetch = prefetch_on;
+            point.preloaded = preloaded;
+            point.selection = selection;
+            point.floorplan = floorplan;
+            points.push_back(std::move(point));
+          }
   return points;
 }
 
@@ -113,6 +121,7 @@ std::string ExplorationSpace::describe() const {
     out += strprintf(" x %zu preloads[%s]", values.size(), name.c_str());
   for (const auto& [name, values] : selections)
     out += strprintf(" x %zu selections[%s]", values.size(), name.c_str());
+  if (!floorplans.empty()) out += strprintf(" x %zu floorplans", floorplans.size());
   return out;
 }
 
@@ -122,7 +131,21 @@ ExplorationOutcome run_design_point(const Project& project, const DesignPoint& p
   ExplorationOutcome outcome;
   try {
     Adequation adequation(project.algorithm, project.architecture, project.durations);
-    if (reconfig_cost) adequation.set_reconfig_cost(reconfig_cost);
+    if (!point.floorplan.region_load_ns.empty()) {
+      // The point's floorplan prices reconfiguration per region; regions it
+      // does not place fall back to the base cost model (or the 4 ms paper
+      // default when none was given).
+      const std::map<std::string, TimeNs> table = point.floorplan.region_load_ns;
+      const Adequation::ReconfigCost base = reconfig_cost;
+      adequation.set_reconfig_cost(
+          [table, base](const std::string& region, const std::string& module) -> TimeNs {
+            const auto it = table.find(region);
+            if (it != table.end()) return it->second;
+            return base ? base(region, module) : TimeNs{4'000'000};
+          });
+    } else if (reconfig_cost) {
+      adequation.set_reconfig_cost(reconfig_cost);
+    }
     const Schedule schedule = adequation.run(point.to_options());
     if (verifier) {
       std::string rejection = verifier(schedule, point);

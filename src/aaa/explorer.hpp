@@ -21,9 +21,23 @@
 
 namespace pdr::aaa {
 
+/// One candidate placement of the dynamic regions, produced by the
+/// pdr::plan floorplanner and swept by the explorer as its own axis. The
+/// axis carries plain priced data (per-region reconfiguration durations),
+/// not fabric geometry — aaa sits below plan in the link order, and the
+/// schedule only ever consumes the price.
+struct FloorplanChoice {
+  /// Stable display name, e.g. "plan" or "plan+1c".
+  std::string name;
+  /// Reconfiguration duration per FpgaRegion operator name, derived from
+  /// the placement's width -> frames -> load-time chain. Regions absent
+  /// from the table fall back to the explorer's base cost model.
+  std::map<std::string, TimeNs> region_load_ns;
+};
+
 /// One point of the schedule design space: a complete assignment of the
 /// explorer's axes (mapping strategy x prefetch x preloaded modules x
-/// variant selections).
+/// variant selections x floorplan).
 struct DesignPoint {
   MappingStrategy strategy = MappingStrategy::SynDExList;
   bool prefetch = true;
@@ -31,12 +45,15 @@ struct DesignPoint {
   std::map<std::string, std::string> preloaded;
   /// Chosen alternative per conditioned vertex.
   std::map<std::string, std::string> selection;
+  /// Candidate floorplan pricing the reconfigurations; empty name = the
+  /// axis is off and the base cost model applies everywhere.
+  FloorplanChoice floorplan;
 
   /// The AdequationOptions this point schedules with.
   AdequationOptions to_options() const;
 
   /// Stable display name, e.g.
-  /// "syndex_list/prefetch=on/preload[D1=qpsk]/sel[mod=qam16]".
+  /// "syndex_list/prefetch=on/preload[D1=qpsk]/sel[mod=qam16]/fp[plan]".
   std::string name() const;
 };
 
@@ -49,6 +66,9 @@ struct ExplorationSpace {
   std::vector<std::pair<std::string, std::vector<std::string>>> preloads;
   /// Per conditioned vertex name: selectable alternative names.
   std::vector<std::pair<std::string, std::vector<std::string>>> selections;
+  /// Candidate floorplans (empty = axis off; from_project leaves it empty,
+  /// plan::floorplan_axis populates it).
+  std::vector<FloorplanChoice> floorplans;
 
   /// Derives the full space from a project: all three strategies, both
   /// prefetch settings, per region every alternative the region's duration

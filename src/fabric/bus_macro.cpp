@@ -11,7 +11,18 @@ int bus_macros_needed(int signal_count) {
 }
 
 std::vector<BusMacro> plan_bus_macros(const std::string& region_name, int boundary_col,
-                                      int in_signals, int out_signals, int max_row_bands) {
+                                      int in_signals, int out_signals, int max_row_bands,
+                                      int device_clb_cols) {
+  PDR_CHECK(device_clb_cols >= 2, "plan_bus_macros",
+            strprintf("device has %d CLB columns; a bus macro needs columns on both sides",
+                      device_clb_cols));
+  // A macro straddles boundary_col-1 | boundary_col; at the device edges
+  // one of those columns does not exist, so the bridge has no static side.
+  PDR_CHECK(boundary_col >= 1 && boundary_col <= device_clb_cols - 1, "plan_bus_macros",
+            strprintf("region %s bus macro at boundary %d would straddle CLB columns %d | %d, "
+                      "but column %d does not exist on a %d-column device",
+                      region_name.c_str(), boundary_col, boundary_col - 1, boundary_col,
+                      boundary_col < 1 ? boundary_col - 1 : boundary_col, device_clb_cols));
   const int n_in = bus_macros_needed(in_signals);
   const int n_out = bus_macros_needed(out_signals);
   PDR_CHECK(n_in + n_out <= max_row_bands, "plan_bus_macros",

@@ -39,8 +39,13 @@ int bus_macros_needed(int signal_count);
 /// Plans bus macro instances for a region edge: `in_signals` entering the
 /// region and `out_signals` leaving it across the boundary at
 /// `boundary_col`. Row bands are assigned sequentially from the bottom.
-/// Throws if more macros are requested than `max_row_bands` can hold.
+/// Throws if more macros are requested than `max_row_bands` can hold, or
+/// if the boundary sits on a device edge: a macro straddles CLB columns
+/// boundary_col-1 | boundary_col, so on a `device_clb_cols`-column device
+/// only boundaries in [1, device_clb_cols-1] have a neighbor column on
+/// both sides.
 std::vector<BusMacro> plan_bus_macros(const std::string& region_name, int boundary_col,
-                                      int in_signals, int out_signals, int max_row_bands);
+                                      int in_signals, int out_signals, int max_row_bands,
+                                      int device_clb_cols);
 
 }  // namespace pdr::fabric

@@ -7,6 +7,14 @@
 
 namespace pdr::fabric {
 
+ClbCols to_clb_cols(SliceCols w) {
+  PDR_CHECK(w.value % kSliceColsPerClbCol == 0, "to_clb_cols",
+            strprintf("%d slice-columns is not a whole number of CLB columns "
+                      "(1 CLB column = %d slice-columns)",
+                      w.value, kSliceColsPerClbCol));
+  return ClbCols{w.value / kSliceColsPerClbCol};
+}
+
 Floorplan::Floorplan(DeviceModel device) : device_(std::move(device)), frames_(device_) {}
 
 void Floorplan::check_overlap(int col_lo, int col_hi) const {
@@ -33,10 +41,12 @@ const Region& Floorplan::add_region(const std::string& name, int col_lo, int col
   r.reconfigurable = reconfigurable;
 
   if (reconfigurable) {
-    PDR_CHECK(r.width_cols() >= kMinReconfigClbCols, "Floorplan",
-              strprintf("reconfigurable region '%s' is %d slice-columns wide; the Modular Design "
-                        "rule requires at least 4 (2 CLB columns)",
-                        name.c_str(), r.width_slice_cols()));
+    PDR_CHECK(r.width().value >= kMinReconfigClbCols, "Floorplan",
+              strprintf("reconfigurable region '%s' is %d slice-columns (%d CLB column(s)) wide; "
+                        "the Modular Design rule requires at least %d slice-columns (%d CLB "
+                        "columns)",
+                        name.c_str(), r.width_slices().value, r.width().value,
+                        kMinReconfigSliceCols, kMinReconfigClbCols));
     // Bus macros straddle each boundary with the static area. Split the
     // crossing signals between the left and right edges when both exist
     // (left edge preferred for inputs, right for outputs, like the paper's
@@ -48,13 +58,15 @@ const Region& Floorplan::add_region(const std::string& name, int col_lo, int col
     // Each CLB row can host one macro band; full height gives clb_rows bands.
     const int bands = device_.clb_rows;
     if (has_left && has_right) {
-      auto left = plan_bus_macros(name + "_L", col_lo, in_signals, 0, bands);
-      auto right = plan_bus_macros(name + "_R", col_hi + 1, 0, out_signals, bands);
+      auto left = plan_bus_macros(name + "_L", col_lo, in_signals, 0, bands, device_.clb_cols);
+      auto right =
+          plan_bus_macros(name + "_R", col_hi + 1, 0, out_signals, bands, device_.clb_cols);
       r.bus_macros = std::move(left);
       r.bus_macros.insert(r.bus_macros.end(), right.begin(), right.end());
     } else {
       const int boundary = has_left ? col_lo : col_hi + 1;
-      r.bus_macros = plan_bus_macros(name, boundary, in_signals, out_signals, bands);
+      r.bus_macros =
+          plan_bus_macros(name, boundary, in_signals, out_signals, bands, device_.clb_cols);
     }
   }
 

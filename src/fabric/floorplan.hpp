@@ -19,8 +19,43 @@
 
 namespace pdr::fabric {
 
+// -------------------------------------------------------------- width units
+//
+// Virtex-II widths come in two units that are numerically off by exactly a
+// factor of two: the configuration grid (and this floorplan) counts CLB
+// columns, while the paper's Modular Design rule counts slice-columns
+// (one CLB column = two slice-columns). A bare `int` width silently means
+// either, which is how a spec authored in slice-columns can pass the
+// RegionTooNarrow check at half the intended width. Widths therefore cross
+// API boundaries as distinct wrapper types with an asserting conversion.
+
+/// Slice-columns per CLB column on Virtex-II.
+inline constexpr int kSliceColsPerClbCol = 2;
+
+/// A width counted in CLB columns (the configuration-grid unit).
+struct ClbCols {
+  int value = 0;
+  constexpr bool operator==(const ClbCols&) const = default;
+};
+
+/// A width counted in slice-columns (the paper's §5 unit).
+struct SliceCols {
+  int value = 0;
+  constexpr bool operator==(const SliceCols&) const = default;
+};
+
+constexpr SliceCols to_slice_cols(ClbCols w) { return SliceCols{w.value * kSliceColsPerClbCol}; }
+
+/// Converts a slice-column width to CLB columns; throws if the count is
+/// not a whole number of CLB columns (regions sit on CLB-column
+/// boundaries, so an odd slice-column width cannot be realized).
+ClbCols to_clb_cols(SliceCols w);
+
 /// Minimum reconfigurable-region width: 4 slice-columns = 2 CLB columns.
 inline constexpr int kMinReconfigClbCols = 2;
+/// The same minimum in the paper's unit.
+inline constexpr int kMinReconfigSliceCols = kMinReconfigClbCols * kSliceColsPerClbCol;
+static_assert(kMinReconfigSliceCols == 4, "the paper's rule is four slice-columns");
 
 /// One full-height column range of the device.
 struct Region {
@@ -30,9 +65,12 @@ struct Region {
   bool reconfigurable = false;
   std::vector<BusMacro> bus_macros;  ///< bridges at this region's edges
 
-  int width_cols() const { return col_hi - col_lo + 1; }
+  ClbCols width() const { return ClbCols{col_hi - col_lo + 1}; }
+  SliceCols width_slices() const { return to_slice_cols(width()); }
+
+  int width_cols() const { return width().value; }
   /// Width in slice-columns (the unit the paper's 4-slice rule uses).
-  int width_slice_cols() const { return width_cols() * 2; }
+  int width_slice_cols() const { return width_slices().value; }
 };
 
 class Floorplan {

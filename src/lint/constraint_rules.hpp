@@ -18,6 +18,7 @@
 
 #include "aaa/constraints.hpp"
 #include "fabric/device.hpp"
+#include "fabric/floorplan.hpp"
 #include "lint/rule_codes.hpp"
 #include "synth/elaborate.hpp"
 #include "util/error.hpp"
@@ -50,6 +51,35 @@ void visit_constraint_violations(const aaa::ConstraintSet& set, Emit&& emit) {
       emit(Rule::InvalidRegionWidth, Severity::Error, "region " + r.name,
            "region '" + r.name + "' has invalid width " + std::to_string(r.width),
            "use 'auto' or a positive CLB column count");
+    // Widths authored in slice-columns (`width Nsc`) are checked in the
+    // authored unit: the parser rounds them up to whole CLB columns, so
+    // without this check a 3-slice-column spec would silently become a
+    // legal 2-CLB-column (4-slice) region — or, before the rounding fix,
+    // half the intended width.
+    if (r.width_slice_cols >= 0 && r.width_slice_cols < fabric::kMinReconfigSliceCols)
+      emit(Rule::RegionTooNarrow, Severity::Error, "region " + r.name,
+           "region '" + r.name + "' is declared " + std::to_string(r.width_slice_cols) +
+               " slice-columns wide; the Modular Design minimum is " +
+               std::to_string(fabric::kMinReconfigSliceCols) + " slice-columns (" +
+               std::to_string(fabric::kMinReconfigClbCols) + " CLB columns)",
+           "widen the region to at least " + std::to_string(fabric::kMinReconfigSliceCols) +
+               " slice-columns");
+    else if (r.width_slice_cols >= 0 && r.width_slice_cols % fabric::kSliceColsPerClbCol != 0)
+      emit(Rule::InvalidRegionWidth, Severity::Error, "region " + r.name,
+           "region '" + r.name + "' is declared " + std::to_string(r.width_slice_cols) +
+               " slice-columns wide, which is not a whole number of CLB columns",
+           "Virtex-II regions sit on CLB-column boundaries (1 CLB column = " +
+               std::to_string(fabric::kSliceColsPerClbCol) + " slice-columns)");
+    // A width authored in CLB columns below the minimum was previously
+    // widened silently by the flow; flag it here instead.
+    if (r.width_slice_cols < 0 && r.width >= 1 && r.width < fabric::kMinReconfigClbCols)
+      emit(Rule::RegionTooNarrow, Severity::Error, "region " + r.name,
+           "region '" + r.name + "' is declared " + std::to_string(r.width) +
+               " CLB column(s) wide; the Modular Design minimum is " +
+               std::to_string(fabric::kMinReconfigClbCols) + " CLB columns (" +
+               std::to_string(fabric::kMinReconfigSliceCols) + " slice-columns)",
+           "widen the region to at least " + std::to_string(fabric::kMinReconfigClbCols) +
+               " CLB columns");
     if (r.margin < 0)
       emit(Rule::NegativeRegionMargin, Severity::Error, "region " + r.name,
            "region '" + r.name + "' has negative margin " + std::to_string(r.margin),

@@ -27,11 +27,13 @@ Report check_floorplan(const fabric::DeviceModel& device,
                  strprintf("region '%s' spans columns %d..%d outside the %d-column device",
                            r.name.c_str(), r.col_lo, r.col_hi, device.clb_cols),
                  "regions must lie within the CLB array");
-    if (r.reconfigurable && r.width_cols() < fabric::kMinReconfigClbCols)
+    if (r.reconfigurable && r.width().value < fabric::kMinReconfigClbCols)
       report.add(Rule::RegionTooNarrow, Severity::Error, "region " + r.name,
-                 strprintf("reconfigurable region '%s' is %d CLB column(s) wide; the Modular "
-                           "Design minimum is %d (four slice-columns)",
-                           r.name.c_str(), r.width_cols(), fabric::kMinReconfigClbCols),
+                 strprintf("reconfigurable region '%s' is %d slice-columns (%d CLB column(s)) "
+                           "wide; the Modular Design minimum is %d slice-columns (%d CLB "
+                           "columns)",
+                           r.name.c_str(), r.width_slices().value, r.width().value,
+                           fabric::kMinReconfigSliceCols, fabric::kMinReconfigClbCols),
                  "widen the region or merge it with a neighbour");
   }
 
@@ -66,9 +68,11 @@ Report check_floorplan(const fabric::DeviceModel& device,
       } else {
         const int outside = at_left ? r.col_lo - 1 : r.col_hi + 1;
         if (outside < 0 || outside >= device.clb_cols)
-          problem = strprintf("boundary column %d sits on the device edge; there is no static "
-                              "side to bridge to",
-                              bm.boundary_col);
+          problem = strprintf("boundary %d straddles CLB columns %d | %d, but column %d does "
+                              "not exist on the %d-column device; there is no static side to "
+                              "bridge to",
+                              bm.boundary_col, bm.boundary_col - 1, bm.boundary_col, outside,
+                              device.clb_cols);
         else if (col_in_reconfigurable(regions, outside))
           problem = strprintf("column %d on the far side of the boundary belongs to another "
                               "reconfigurable region",

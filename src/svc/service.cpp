@@ -451,6 +451,10 @@ void FleetService::execute(Device& dev, const Work& work, TimeNs now) {
     if (work.klass == RequestClass::Maintenance) {
       const std::string& resident = dev.manager->loaded(work.region);
       rec.ready_at = resident.empty() ? now : dev.manager->scrub(work.region, now);
+      // Deadline tie-break: a scrub that finishes exactly when the
+      // deadline expires (ready_at - at == deadline) is Completed, not
+      // TimedOut — the comparison is strictly '>', matching the serial
+      // reference drain. Pinned by svc_test DeadlineTieBreak tests.
       rec.disposition = (work.deadline > 0 && rec.ready_at - work.at > work.deadline)
                             ? Disposition::TimedOut
                             : Disposition::Completed;
@@ -479,6 +483,10 @@ void FleetService::execute(Device& dev, const Work& work, TimeNs now) {
       } else if (work.deadline > 0 && rec.ready_at - work.at > work.deadline) {
         rec.disposition = Disposition::TimedOut;
       } else {
+        // Deadline tie-break: a load completing exactly on the deadline
+        // tick (ready_at - at == deadline) wins — strict '>' above, the
+        // same precedence the serial reference drain applies. Pinned by
+        // svc_test DeadlineTieBreak tests.
         rec.disposition = Disposition::Completed;
       }
     }

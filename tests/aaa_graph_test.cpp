@@ -156,6 +156,63 @@ TEST(AlgorithmGraph, RepetitionEnablesParallelSpeedup) {
   EXPECT_EQ(used.size(), 2u);
 }
 
+// The name->NodeId index is maintained by hand in lockstep with the
+// digraph (PR 6); every expand_repetition tombstones a node and registers
+// fresh instance names, which is exactly where a hand-kept index drifts.
+// Fuzz 20 seeded graphs through repeated expand cycles (instances are
+// themselves expandable) and assert by_name/find agree with a linear scan
+// of the live digraph after every mutation.
+TEST(AlgorithmGraph, RepetitionIndexStaysConsistentUnderFuzz) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    std::uint64_t state = seed * 0x9e3779b97f4a7c15ULL;
+    const auto rnd = [&state](std::uint64_t n) {
+      state ^= state << 13;
+      state ^= state >> 7;
+      state ^= state << 17;
+      return state % n;
+    };
+
+    AlgorithmGraph g;
+    g.add_sensor("in");
+    std::vector<std::string> expandable;
+    std::string prev = "in";
+    const int chain = 2 + static_cast<int>(rnd(4));
+    for (int i = 0; i < chain; ++i) {
+      const std::string name = "c" + std::to_string(i);
+      g.add_compute(name, "fir");
+      g.add_dependency(prev, name, 64 + 8 * static_cast<Bytes>(i));
+      expandable.push_back(name);
+      prev = name;
+    }
+    g.add_actuator("out");
+    g.add_dependency(prev, "out", 64);
+
+    const auto check_index = [&g]() {
+      std::size_t live = 0;
+      g.digraph().for_each_live_node([&](graph::NodeId id, const Operation& op) {
+        ++live;
+        EXPECT_EQ(g.by_name(op.name), id) << op.name;
+        const auto found = g.find(op.name);
+        ASSERT_TRUE(found.has_value()) << op.name;
+        EXPECT_EQ(*found, id) << op.name;
+      });
+      EXPECT_EQ(g.size(), live);
+    };
+    check_index();
+
+    for (int round = 0; round < 6 && !expandable.empty(); ++round) {
+      const std::size_t pick = rnd(expandable.size());
+      const std::string victim = expandable[pick];
+      expandable.erase(expandable.begin() + static_cast<std::ptrdiff_t>(pick));
+      const auto instances = g.expand_repetition(victim, 2 + static_cast<int>(rnd(3)));
+      EXPECT_FALSE(g.find(victim).has_value()) << victim;
+      for (const auto& inst : instances) expandable.push_back(inst);
+      check_index();
+      EXPECT_NO_THROW(g.validate());
+    }
+  }
+}
+
 TEST(AlgorithmGraph, DotShowsConditionedVertices) {
   AlgorithmGraph g;
   g.add_conditioned("mod", {{"qpsk", "qpsk_mapper", {}}, {"qam16", "qam16_mapper", {}}});

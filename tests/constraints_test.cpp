@@ -94,6 +94,44 @@ TEST(Constraints, WriteParseRoundTrip) {
   EXPECT_EQ(b.relations, a.relations);
 }
 
+TEST(Constraints, SliceColumnWidthsParseAndRoundTrip) {
+  // S1 units bugfix: `width 4sc` authors the region in slice columns
+  // (the unit the Modular Design rules speak); the CLB-column equivalent
+  // is derived by rounding up, and the writer preserves the authored
+  // unit.
+  const char* text =
+      "device XC2V2000\n"
+      "region D1 { width 4sc }\n"
+      "dynamic qpsk { region D1 kind qpsk_mapper }\n";
+  const ConstraintSet set = parse_constraints(text);
+  ASSERT_EQ(set.regions.size(), 1u);
+  EXPECT_EQ(set.regions[0].width_slice_cols, 4);
+  EXPECT_EQ(set.regions[0].width, 2);  // 4 slice cols = 2 CLB cols
+  const std::string written = write_constraints(set);
+  EXPECT_NE(written.find("width 4sc"), std::string::npos) << written;
+  const ConstraintSet again = parse_constraints(written);
+  EXPECT_EQ(again.regions[0].width_slice_cols, 4);
+  EXPECT_EQ(again.regions[0].width, 2);
+}
+
+TEST(Constraints, SliceColumnWidthBelowMinimumRejected) {
+  // 3sc parses but fails validate() with PDR021: below the 4-slice-column
+  // Modular Design floor (and not even a whole number of CLB columns).
+  const char* text =
+      "device XC2V2000\n"
+      "region D1 { width 3sc }\n"
+      "dynamic qpsk { region D1 kind qpsk_mapper }\n";
+  try {
+    (void)parse_constraints(text);
+    FAIL() << "width 3sc must fail validation";
+  } catch (const pdr::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("PDR021"), std::string::npos) << e.what();
+  }
+  // Parse-only (validate=false) keeps the authored value for linting.
+  const ConstraintSet raw = parse_constraints(text, /*validate=*/false);
+  EXPECT_EQ(raw.regions[0].width_slice_cols, 3);
+}
+
 TEST(Constraints, CommentsAndBlankLinesIgnored) {
   const ConstraintSet set = parse_constraints(
       "# leading comment\n\ndevice XC2V1000   # trailing comment\n"

@@ -68,6 +68,74 @@ TEST(ExplorationSpace, EnumerationOrderIsStable) {
   for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].name(), b[i].name());
 }
 
+TEST(ExplorationSpace, FloorplanAxisMultipliesTheSpace) {
+  // Tentpole wiring: an explicit floorplan axis multiplies the point
+  // count and tags point names, while an empty axis leaves the legacy
+  // enumeration bit-for-bit unchanged.
+  const aaa::Project project = tiny_project();
+  aaa::ExplorationSpace space = aaa::ExplorationSpace::from_project(project);
+  const auto baseline = space.enumerate();
+
+  aaa::FloorplanChoice narrow;
+  narrow.name = "plan";
+  narrow.region_load_ns["D1"] = 1'500'000;
+  aaa::FloorplanChoice wide;
+  wide.name = "plan+1c";
+  wide.region_load_ns["D1"] = 2'250'000;
+  space.floorplans = {narrow, wide};
+
+  EXPECT_EQ(space.point_count(), baseline.size() * 2);
+  const auto points = space.enumerate();
+  ASSERT_EQ(points.size(), baseline.size() * 2);
+  std::set<std::string> names;
+  for (const auto& point : points) {
+    names.insert(point.name());
+    EXPECT_FALSE(point.floorplan.name.empty());
+    EXPECT_NE(point.name().find("/fp["), std::string::npos) << point.name();
+  }
+  EXPECT_EQ(names.size(), points.size());
+
+  // The floorplan axis is innermost: stripping it recovers the baseline
+  // order exactly.
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    EXPECT_EQ(points[2 * i].floorplan.name, "plan");
+    EXPECT_EQ(points[2 * i + 1].floorplan.name, "plan+1c");
+    const std::string base_name = baseline[i].name();
+    EXPECT_EQ(points[2 * i].name().substr(0, base_name.size()), base_name);
+  }
+
+  // Empty axis: nothing changes.
+  space.floorplans.clear();
+  const auto again = space.enumerate();
+  ASSERT_EQ(again.size(), baseline.size());
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    EXPECT_EQ(again[i].name(), baseline[i].name());
+    EXPECT_TRUE(again[i].floorplan.name.empty());
+  }
+}
+
+TEST(RunDesignPoint, FloorplanLoadTableOverridesReconfigCost) {
+  // A point carrying a floorplan load table prices region reloads from
+  // that table; regions absent from the table fall back to the caller's
+  // cost function.
+  const aaa::Project project = tiny_project();
+  aaa::DesignPoint slow;
+  slow.selection["m"] = "qpsk";
+  aaa::DesignPoint fast = slow;
+  slow.floorplan.name = "wide";
+  slow.floorplan.region_load_ns["D1"] = 40'000'000;  // 40 ms per reload
+  fast.floorplan.name = "narrow";
+  fast.floorplan.region_load_ns["D1"] = 10'000;  // 10 us per reload
+  const auto cost = [](const std::string&, const std::string&) { return 1_ms; };
+  const auto slow_outcome = aaa::run_design_point(project, slow, cost);
+  const auto fast_outcome = aaa::run_design_point(project, fast, cost);
+  ASSERT_TRUE(slow_outcome.ok) << slow_outcome.error;
+  ASSERT_TRUE(fast_outcome.ok) << fast_outcome.error;
+  // Same schedule shape, different reload pricing: the 40 ms plan can
+  // never beat the 10 us plan.
+  EXPECT_GE(slow_outcome.makespan, fast_outcome.makespan);
+}
+
 TEST(RunDesignPoint, InfeasiblePointReportsErrorInsteadOfThrowing) {
   aaa::Project project = tiny_project();
   aaa::DesignPoint point;

@@ -22,7 +22,7 @@ TEST(BusMacro, NeededCountCeils) {
 }
 
 TEST(BusMacro, PlanAssignsBandsAndDirections) {
-  const auto macros = plan_bus_macros("D1", 10, 20, 9, 56);
+  const auto macros = plan_bus_macros("D1", 10, 20, 9, 56, 48);
   // 20 in -> 3 macros, 9 out -> 2 macros.
   ASSERT_EQ(macros.size(), 5u);
   for (std::size_t i = 0; i < macros.size(); ++i) {
@@ -34,7 +34,48 @@ TEST(BusMacro, PlanAssignsBandsAndDirections) {
 }
 
 TEST(BusMacro, PlanRejectsOverflow) {
-  EXPECT_THROW(plan_bus_macros("D1", 0, 100, 100, 3), pdr::Error);
+  EXPECT_THROW(plan_bus_macros("D1", 10, 100, 100, 3, 48), pdr::Error);
+}
+
+// A macro straddles boundary_col-1 | boundary_col; at the device edges one
+// of those CLB columns does not exist, so planning there must throw
+// instead of producing a bridge into thin air.
+TEST(BusMacro, PlanRejectsDeviceEdgeBoundaries) {
+  EXPECT_THROW(plan_bus_macros("D1", 0, 8, 8, 56, 48), pdr::Error);    // column -1
+  EXPECT_THROW(plan_bus_macros("D1", 48, 8, 8, 56, 48), pdr::Error);   // column 48
+  EXPECT_THROW(plan_bus_macros("D1", -3, 8, 8, 56, 48), pdr::Error);
+  EXPECT_NO_THROW(plan_bus_macros("D1", 1, 8, 8, 56, 48));   // innermost legal boundaries
+  EXPECT_NO_THROW(plan_bus_macros("D1", 47, 8, 8, 56, 48));
+  try {
+    plan_bus_macros("D1", 0, 8, 8, 56, 48);
+    FAIL() << "edge boundary accepted";
+  } catch (const pdr::Error& e) {
+    // The witness names the nonexistent neighbor column.
+    EXPECT_NE(std::string(e.what()).find("column -1 does not exist"), std::string::npos)
+        << e.what();
+  }
+}
+
+// --- width units ---------------------------------------------------------------
+
+TEST(WidthUnits, ClbAndSliceColumnsConvertBothWays) {
+  EXPECT_EQ(to_slice_cols(ClbCols{5}).value, 10);
+  EXPECT_EQ(to_clb_cols(SliceCols{10}).value, 5);
+  EXPECT_EQ(to_clb_cols(to_slice_cols(ClbCols{7})), ClbCols{7});
+  // An odd slice-column count is not a whole number of CLB columns.
+  EXPECT_THROW(to_clb_cols(SliceCols{3}), pdr::Error);
+  EXPECT_THROW(to_clb_cols(SliceCols{5}), pdr::Error);
+  static_assert(kMinReconfigSliceCols == kMinReconfigClbCols * kSliceColsPerClbCol);
+}
+
+TEST(WidthUnits, RegionTypedAccessorsAgreeWithLegacyInts) {
+  Region r;
+  r.col_lo = 10;
+  r.col_hi = 14;
+  EXPECT_EQ(r.width(), ClbCols{5});
+  EXPECT_EQ(r.width_slices(), SliceCols{10});
+  EXPECT_EQ(r.width_cols(), r.width().value);
+  EXPECT_EQ(r.width_slice_cols(), r.width_slices().value);
 }
 
 TEST(Floorplan, AddRegionAndQuery) {

@@ -1,0 +1,41 @@
+# Black-box check of the floorplanner determinism contract, both ways it
+# ships: (a) `pdrflow floorplan` run twice prints byte-identical stdout
+# (the local search is seeded and serial), and (b) `pdrflow explore
+# --floorplan` — the co-optimized axis inside the explorer — is
+# byte-identical at --jobs 1 and --jobs 8. Invoked by the
+# cli_floorplan_determinism ctest entry with -DPDRFLOW=<path>
+# -DPROJECT=<project-file>.
+execute_process(COMMAND ${PDRFLOW} floorplan ${PROJECT}
+                OUTPUT_VARIABLE first_out RESULT_VARIABLE first_rc
+                ERROR_VARIABLE first_err)
+execute_process(COMMAND ${PDRFLOW} floorplan ${PROJECT}
+                OUTPUT_VARIABLE second_out RESULT_VARIABLE second_rc
+                ERROR_VARIABLE second_err)
+if(NOT first_rc EQUAL 0)
+  message(FATAL_ERROR "floorplan run 1 failed (exit ${first_rc}):\n${first_err}")
+endif()
+if(NOT second_rc EQUAL 0)
+  message(FATAL_ERROR "floorplan run 2 failed (exit ${second_rc}):\n${second_err}")
+endif()
+if(NOT first_out STREQUAL second_out)
+  message(FATAL_ERROR "floorplan stdout differs between identical runs:\n"
+                      "--- run 1 ---\n${first_out}\n--- run 2 ---\n${second_out}")
+endif()
+
+execute_process(COMMAND ${PDRFLOW} explore ${PROJECT} --floorplan --jobs 1
+                OUTPUT_VARIABLE serial_out RESULT_VARIABLE serial_rc
+                ERROR_VARIABLE serial_err)
+execute_process(COMMAND ${PDRFLOW} explore ${PROJECT} --floorplan --jobs 8
+                OUTPUT_VARIABLE parallel_out RESULT_VARIABLE parallel_rc
+                ERROR_VARIABLE parallel_err)
+if(NOT serial_rc EQUAL 0)
+  message(FATAL_ERROR "serial explore --floorplan failed (exit ${serial_rc}):\n${serial_err}")
+endif()
+if(NOT parallel_rc EQUAL 0)
+  message(FATAL_ERROR "parallel explore --floorplan failed (exit ${parallel_rc}):\n${parallel_err}")
+endif()
+if(NOT serial_out STREQUAL parallel_out)
+  message(FATAL_ERROR "explore --floorplan --jobs 8 stdout differs from --jobs 1:\n"
+                      "--- serial ---\n${serial_out}\n--- parallel ---\n${parallel_out}")
+endif()
+message(STATUS "floorplan and explore --floorplan stdout byte-identical across runs/jobs")

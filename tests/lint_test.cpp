@@ -98,7 +98,8 @@ INSTANTIATE_TEST_SUITE_P(
         FixtureCase{"pdr015_contradictory_policy.constraints", Rule::ContradictoryPolicy},
         FixtureCase{"pdr016_unknown_device.constraints", Rule::UnknownDevice},
         FixtureCase{"pdr017_unknown_operator_kind.constraints",
-                    Rule::UnknownOperatorKind}),
+                    Rule::UnknownOperatorKind},
+        FixtureCase{"pdr021_region_too_narrow.constraints", Rule::RegionTooNarrow}),
     [](const ::testing::TestParamInfo<FixtureCase>& info) {
       std::string name = info.param.file;
       for (char& c : name)
@@ -244,7 +245,37 @@ TEST(LintFloorplan, Pdr023BusMacroOnDeviceEdgeHasNoStaticSide) {
   r.bus_macros.push_back(bm);
   const Report report = check_floorplan(device, {r});
   ASSERT_TRUE(report.has(Rule::BusMacroOffBoundary)) << report.to_text();
-  EXPECT_NE(report.to_text().find("device edge"), std::string::npos);
+  // The witness names the nonexistent neighbour column, not just "edge":
+  // a macro at boundary 0 would bridge columns -1 | 0.
+  EXPECT_NE(report.to_text().find("column -1 does not exist"), std::string::npos)
+      << report.to_text();
+}
+
+TEST(LintFloorplan, Pdr023RightDeviceEdgeWitnessNamesMissingColumn) {
+  const auto device = fabric::device_by_name("XC2V1000");
+  fabric::Region r = make_region("D1", device.clb_cols - 3, device.clb_cols - 1);
+  fabric::BusMacro bm;
+  bm.name = "bm_right_edge";
+  bm.boundary_col = device.clb_cols;  // far side would be column clb_cols
+  r.bus_macros.push_back(bm);
+  const Report report = check_floorplan(device, {r});
+  ASSERT_TRUE(report.has(Rule::BusMacroOffBoundary)) << report.to_text();
+  EXPECT_NE(report.to_text().find("column " + std::to_string(device.clb_cols) +
+                                  " does not exist"),
+            std::string::npos)
+      << report.to_text();
+}
+
+TEST(LintFloorplan, Pdr021WitnessReportsBothUnits) {
+  // The S1 unit bugfix: the narrow-region witness must speak both
+  // slice columns and CLB columns so 'width 1' vs 'width 2sc' confusion
+  // is visible in the diagnostic itself.
+  const auto device = fabric::device_by_name("XC2V1000");
+  const Report report = check_floorplan(device, {make_region("D1", 4, 4)});
+  ASSERT_TRUE(report.has(Rule::RegionTooNarrow)) << report.to_text();
+  const std::string text = report.to_text();
+  EXPECT_NE(text.find("2 slice-columns"), std::string::npos) << text;
+  EXPECT_NE(text.find("1 CLB column"), std::string::npos) << text;
 }
 
 TEST(LintFloorplan, Pdr023BusMacroIntoNeighbouringRegionFlagged) {

@@ -348,6 +348,123 @@ TEST(FleetServiceTest, DeadlineMissesClassifyAsTimedOut) {
   EXPECT_EQ(report.device_summaries[0].resident.at("D1"), "qam16");
 }
 
+// S3 satellite: the deadline comparison is strictly '>' — a load whose
+// stall lands exactly on the deadline tick is Completed; one nanosecond
+// less of budget flips it to TimedOut. Logs are built as structs (not
+// the _us DSL) so the probe-measured stall carries over to the deadline
+// without microsecond rounding.
+TEST(FleetServiceTest, DeadlineTieBreakExactTieCompletes) {
+  const auto bundle = test_bundle();
+  const auto run_with_deadline = [&](TimeNs deadline) {
+    RequestLog log;
+    log.devices = 1;
+    ServiceRequest req;
+    req.at = 0;
+    req.device = 0;
+    req.region = "D1";
+    req.module = "qam16";
+    req.klass = RequestClass::Demand;
+    req.deadline = deadline;
+    log.requests.push_back(req);
+    FleetService service(bundle, ServiceConfig{});
+    return service.run(log);
+  };
+  // Probe: measure the exact cold-load stall with no deadline armed.
+  const ServiceReport probe = run_with_deadline(0);
+  ASSERT_EQ(probe.records.size(), 1u);
+  const TimeNs stall = probe.records[0].stall;
+  ASSERT_GT(stall, 0);
+
+  // deadline == stall: the exact tie is Completed, with exact counts.
+  const ServiceReport tie = run_with_deadline(stall);
+  EXPECT_EQ(tie.completed, 1);
+  EXPECT_EQ(tie.timed_out, 0);
+  ASSERT_EQ(tie.records.size(), 1u);
+  EXPECT_EQ(tie.records[0].disposition, Disposition::Completed);
+  EXPECT_EQ(tie.records[0].stall, stall);
+
+  // One nanosecond tighter and the same load misses.
+  const ServiceReport miss = run_with_deadline(stall - 1);
+  EXPECT_EQ(miss.completed, 0);
+  EXPECT_EQ(miss.timed_out, 1);
+  ASSERT_EQ(miss.records.size(), 1u);
+  EXPECT_EQ(miss.records[0].disposition, Disposition::TimedOut);
+}
+
+TEST(FleetServiceTest, DeadlineTieBreakAppliesToMaintenanceScrub) {
+  // The maintenance path has its own disposition site; pin the same
+  // strict-'>' tie-break there.
+  const auto bundle = test_bundle();
+  const auto run_with_deadline = [&](TimeNs deadline) {
+    RequestLog log;
+    log.devices = 1;
+    ServiceRequest load;
+    load.at = 0;
+    load.device = 0;
+    load.region = "D1";
+    load.module = "qpsk";
+    log.requests.push_back(load);
+    ServiceRequest scrub;
+    scrub.at = 50'000'000;  // well after the demand load settles
+    scrub.device = 0;
+    scrub.region = "D1";
+    scrub.module = "qpsk";
+    scrub.klass = RequestClass::Maintenance;
+    scrub.deadline = deadline;
+    log.requests.push_back(scrub);
+    FleetService service(bundle, ServiceConfig{});
+    return service.run(log);
+  };
+  const ServiceReport probe = run_with_deadline(0);
+  ASSERT_EQ(probe.records.size(), 2u);
+  const TimeNs stall = probe.records[1].stall;
+  ASSERT_GT(stall, 0);
+  const ServiceReport tie = run_with_deadline(stall);
+  EXPECT_EQ(tie.records[1].disposition, Disposition::Completed);
+  EXPECT_EQ(tie.timed_out, 0);
+  const ServiceReport miss = run_with_deadline(stall - 1);
+  EXPECT_EQ(miss.records[1].disposition, Disposition::TimedOut);
+  EXPECT_EQ(miss.timed_out, 1);
+}
+
+TEST(FleetServiceTest, DeadlineTieBreakIsByteIdenticalAcrossJobs) {
+  // Exact-tie deadlines are the sharpest determinism probe: any
+  // jobs-dependent reordering that shifts ready_at by one tick flips a
+  // disposition and changes the report text.
+  const auto bundle = test_bundle();
+  constexpr int kDevices = 4;
+  const auto make_log = [&](TimeNs deadline) {
+    RequestLog log;
+    log.devices = kDevices;
+    for (int d = 0; d < kDevices; ++d) {
+      ServiceRequest req;
+      req.at = 0;
+      req.device = d;
+      req.region = "D1";
+      req.module = "qam16";
+      req.klass = RequestClass::Demand;
+      req.deadline = deadline;
+      log.requests.push_back(req);
+    }
+    return log;
+  };
+  FleetService probe_service(bundle, ServiceConfig{});
+  const ServiceReport probe = probe_service.run(make_log(0));
+  ASSERT_EQ(probe.records.size(), static_cast<std::size_t>(kDevices));
+  const TimeNs stall = probe.records[0].stall;
+  ASSERT_GT(stall, 0);
+  const auto run_with_jobs = [&](int jobs) {
+    ServiceConfig config;
+    config.jobs = jobs;
+    FleetService service(bundle, config);
+    return service.run(make_log(stall)).to_string();
+  };
+  const std::string serial = run_with_jobs(1);
+  EXPECT_NE(serial.find("completed"), std::string::npos);
+  EXPECT_EQ(run_with_jobs(4), serial);
+  EXPECT_EQ(run_with_jobs(8), serial);
+}
+
 // One device, a store-damage window on qam16 and exact arrival spacing
 // walk the breaker through its whole lifecycle with exact disposition
 // counts:

@@ -72,6 +72,7 @@
 #include "mccdma/system.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "plan/planner.hpp"
 #include "rtr/manager.hpp"
 #include "svc/request_log.hpp"
 #include "svc/service.hpp"
@@ -97,7 +98,9 @@ int usage() {
       "  pdrflow latency <constraints-file> [--bandwidth BYTES_PER_S]\n"
       "  pdrflow adequation <project-file> [--no-prefetch] [--reconfig-ms N]\n"
       "  pdrflow explore <project-file> [--top K] [--reconfig-ms N] [--max-points N]\n"
-      "                  [--no-verify]\n"
+      "                  [--no-verify] [--floorplan] [--floorplan-candidates N] [--seed S]\n"
+      "  pdrflow floorplan <project-file> [--seed S] [--rounds N] [--margin COLS]\n"
+      "                    [--bandwidth BYTES_PER_S] [--baseline-width COLS] [--out FILE]\n"
       "  pdrflow simulate [--symbols N] [--seed S] [--prefetch none|schedule|history]\n"
       "                   [--cache BYTES] [--scrub-ms N]\n"
       "  pdrflow simulate --faults <spec-file> [--seed S] [--no-recovery]\n"
@@ -376,6 +379,9 @@ int cmd_explore(int argc, char** argv, int jobs) {
                         {"--reconfig-ms", true},
                         {"--max-points", true},
                         {"--no-verify", false},
+                        {"--floorplan", false},
+                        {"--floorplan-candidates", true},
+                        {"--seed", true},
                         {"--trace-out", true},
                         {"--metrics-out", true}},
                        1);
@@ -391,8 +397,18 @@ int cmd_explore(int argc, char** argv, int jobs) {
       static_cast<std::size_t>(args.uint_or("--max-points", explorer_options.max_points));
   explorer_options.static_pruning = !args.has("--no-verify");
 
-  const flow::DesignSpaceExplorer explorer(*project, aaa::ExplorationSpace::from_project(*project),
-                                           explorer_options);
+  aaa::ExplorationSpace space = aaa::ExplorationSpace::from_project(*project);
+  if (args.has("--floorplan")) {
+    // The planner runs once, serially, before the sweep; the axis carries
+    // only priced choices, so --jobs never touches the plan itself.
+    plan::PlanOptions plan_options;
+    plan_options.seed = args.uint_or("--seed", plan_options.seed);
+    space.floorplans = plan::floorplan_axis(
+        *project, plan_options,
+        static_cast<std::size_t>(args.uint_or("--floorplan-candidates", 3)));
+  }
+
+  const flow::DesignSpaceExplorer explorer(*project, space, explorer_options);
   const flow::ExplorationReport report = explorer.run();
 
   std::printf("project '%s': %zu operations on %zu operators\n", project->name.c_str(),
@@ -405,6 +421,58 @@ int cmd_explore(int argc, char** argv, int jobs) {
   // Infeasible points are expected (the space is exhaustive); an empty
   // front means nothing scheduled at all — that is the failure.
   return report.pareto.empty() ? 1 : 0;
+}
+
+int cmd_floorplan(int argc, char** argv) {
+  const ArgParser args("floorplan", argc, argv,
+                       {{"--seed", true},
+                        {"--rounds", true},
+                        {"--margin", true},
+                        {"--bandwidth", true},
+                        {"--baseline-width", true},
+                        {"--out", true}},
+                       1);
+  flow::PipelineOptions options;
+  options.project_text = read_file(args.positional(0));
+  flow::Pipeline pipeline(std::move(options));
+  const std::shared_ptr<const aaa::Project> project = pipeline.project();
+
+  plan::PlanOptions plan_options;
+  plan_options.seed = args.uint_or("--seed", plan_options.seed);
+  plan_options.max_rounds = static_cast<int>(args.uint_or("--rounds", plan_options.max_rounds));
+  plan_options.margin_cols = static_cast<int>(args.uint_or("--margin", plan_options.margin_cols));
+  plan_options.store_bandwidth_bytes_per_s =
+      args.double_or("--bandwidth", plan_options.store_bandwidth_bytes_per_s);
+
+  const plan::PlanResult result = plan::plan_floorplan(*project, plan_options);
+  std::fputs(result.to_string().c_str(), stdout);
+
+  // --baseline-width N: price a hand-written uniform width the same way
+  // and report the comparison (the paper's case study hand-places D1 at 5
+  // CLB columns).
+  if (args.has("--baseline-width")) {
+    const int baseline = static_cast<int>(args.uint_or("--baseline-width", 5));
+    std::map<std::string, int> widths;
+    for (const auto& r : result.regions) widths[r.name] = baseline;
+    const plan::PlanResult fixed = plan::plan_fixed(*project, widths, plan_options);
+    std::printf("baseline (uniform width %d): makespan %.3f ms, reconfig exposed %.3f ms\n",
+                baseline, static_cast<double>(fixed.makespan) / 1e6,
+                static_cast<double>(fixed.reconfig_exposed) / 1e6);
+    std::printf("planned vs baseline: %+.3f ms makespan\n",
+                static_cast<double>(result.makespan - fixed.makespan) / 1e6);
+  }
+
+  std::fputs("\nconstraints fragment:\n", stdout);
+  std::fputs(result.constraints_fragment().c_str(), stdout);
+  if (const std::string* out_path = args.value("--out")) {
+    std::ofstream out(*out_path, std::ios::binary);
+    if (!out.good()) fail("cannot write '" + *out_path + "'");
+    out << result.constraints_fragment();
+    std::fprintf(stderr, "floorplan: wrote %s\n", out_path->c_str());
+  }
+  std::fprintf(stderr, "floorplan: %zu region(s), %d rounds, %d schedules evaluated\n",
+               result.regions.size(), result.rounds, result.evaluated);
+  return (result.lint.errors() == 0 && result.certified) ? 0 : 1;
 }
 
 /// Maps the simulate/sweep fault flags onto pipeline FaultCampaignOptions.
@@ -647,6 +715,7 @@ int main(int argc, char** argv) {
     if (cmd == "latency") return cmd_latency(argc - 2, argv + 2);
     if (cmd == "adequation") return cmd_adequation(argc - 2, argv + 2);
     if (cmd == "explore") return cmd_explore(argc - 2, argv + 2, jobs);
+    if (cmd == "floorplan") return cmd_floorplan(argc - 2, argv + 2);
     if (cmd == "simulate") return cmd_simulate(argc - 2, argv + 2);
     if (cmd == "sweep") return cmd_sweep(argc - 2, argv + 2, jobs);
     if (cmd == "serve") return cmd_serve(argc - 2, argv + 2, jobs);
